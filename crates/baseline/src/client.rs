@@ -1,0 +1,437 @@
+//! Client for the centralized comparator: same science-user behaviour as
+//! [`lidc_core::client::ScienceClient`], but every request is addressed to
+//! the `/central` controller instead of to the semantic compute name.
+//!
+//! The structural difference is the point: the LIDC client names the
+//! *computation* (any cluster may answer), whereas this client names the
+//! *controller* — when the controller is unreachable nothing can be placed,
+//! no matter how many healthy clusters exist.
+
+use std::collections::HashMap;
+
+use lidc_core::client::ClientConfig;
+use lidc_core::naming::ComputeRequest;
+use lidc_core::status::{JobState, SubmitAck};
+use lidc_ndn::app::{Consumer, ConsumerEvent, RetxTimer};
+use lidc_ndn::face::FaceIdAlloc;
+use lidc_ndn::forwarder::AppRx;
+use lidc_ndn::name::Name;
+use lidc_ndn::net::attach_app;
+use lidc_ndn::packet::{ContentType, Data, Interest};
+use lidc_simcore::engine::{Actor, ActorId, Ctx, Msg, Sim};
+use lidc_simcore::time::{SimDuration, SimTime};
+
+use crate::central::{status_name, submit_name};
+
+/// The record of one centrally-placed request.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// The request.
+    pub request: ComputeRequest,
+    /// Submission instant.
+    pub submitted_at: SimTime,
+    /// Controller ack received.
+    pub ack_at: Option<SimTime>,
+    /// Controller-assigned job id.
+    pub job_id: Option<String>,
+    /// Cluster the controller chose.
+    pub cluster: Option<String>,
+    /// `Completed` observed.
+    pub completed_at: Option<SimTime>,
+    /// Terminal error.
+    pub error: Option<String>,
+    /// Status polls issued.
+    pub polls: u32,
+    /// Whole-request resubmissions.
+    pub resubmits: u32,
+    status_failures: u32,
+}
+
+impl BaselineRun {
+    fn new(request: ComputeRequest, now: SimTime) -> Self {
+        BaselineRun {
+            request,
+            submitted_at: now,
+            ack_at: None,
+            job_id: None,
+            cluster: None,
+            completed_at: None,
+            error: None,
+            polls: 0,
+            resubmits: 0,
+            status_failures: 0,
+        }
+    }
+
+    /// True when the run completed without error.
+    pub fn is_success(&self) -> bool {
+        self.completed_at.is_some() && self.error.is_none()
+    }
+
+    /// Submission → completion latency.
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        self.completed_at.map(|t| t.since(self.submitted_at))
+    }
+
+    /// Submission → ack latency.
+    pub fn ack_latency(&self) -> Option<SimDuration> {
+        self.ack_at.map(|t| t.since(self.submitted_at))
+    }
+}
+
+/// Submit a request through the central controller.
+#[derive(Debug)]
+pub struct SubmitCentral(pub ComputeRequest);
+
+#[derive(Debug)]
+struct PollTick {
+    record: usize,
+}
+
+#[derive(Debug)]
+struct Resubmit {
+    record: usize,
+}
+
+/// The centralized-baseline client actor.
+pub struct CentralClient {
+    consumer: Option<Consumer>,
+    config: ClientConfig,
+    runs: Vec<BaselineRun>,
+    active_submits: HashMap<Name, usize>,
+    active_polls: HashMap<Name, usize>,
+}
+
+impl CentralClient {
+    /// Build an (unattached) client. `fetch_results` is ignored — the
+    /// controller's ack/status protocol does not serve result objects.
+    pub fn new(config: ClientConfig) -> Self {
+        CentralClient {
+            consumer: None,
+            config,
+            runs: Vec::new(),
+            active_submits: HashMap::new(),
+            active_polls: HashMap::new(),
+        }
+    }
+
+    /// Spawn and attach to `fwd` (the WAN router the controller lives on).
+    pub fn deploy(
+        config: ClientConfig,
+        sim: &mut Sim,
+        fwd: ActorId,
+        alloc: &FaceIdAlloc,
+        label: impl Into<String>,
+    ) -> ActorId {
+        let client = sim.spawn(label.into(), CentralClient::new(config));
+        let face = attach_app(sim, fwd, client, alloc);
+        sim.actor_mut::<CentralClient>(client).unwrap().consumer =
+            Some(Consumer::new(fwd, face));
+        client
+    }
+
+    /// The recorded runs.
+    pub fn runs(&self) -> &[BaselineRun] {
+        &self.runs
+    }
+
+    /// Count of successful runs.
+    pub fn successes(&self) -> usize {
+        self.runs.iter().filter(|r| r.is_success()).count()
+    }
+
+    fn express_submit(&mut self, record: usize, ctx: &mut Ctx<'_>) {
+        let name = submit_name(&self.runs[record].request);
+        let interest = Interest::new(name.clone())
+            .must_be_fresh(true)
+            .with_lifetime(SimDuration::from_secs(4));
+        self.active_submits.insert(name, record);
+        self.consumer
+            .as_mut()
+            .expect("deployed")
+            .express(ctx, interest, self.config.retries);
+    }
+
+    fn express_poll(&mut self, record: usize, ctx: &mut Ctx<'_>) {
+        let Some(job_id) = self.runs[record].job_id.clone() else {
+            return;
+        };
+        let name = status_name(&job_id);
+        let interest = Interest::new(name.clone())
+            .must_be_fresh(true)
+            .with_lifetime(SimDuration::from_secs(4));
+        self.active_polls.insert(name, record);
+        self.runs[record].polls += 1;
+        self.consumer
+            .as_mut()
+            .expect("deployed")
+            .express(ctx, interest, self.config.retries);
+    }
+
+    fn maybe_resubmit(&mut self, record: usize, why: &str, ctx: &mut Ctx<'_>) {
+        let run = &mut self.runs[record];
+        if run.resubmits < self.config.resubmit_attempts {
+            run.resubmits += 1;
+            run.job_id = None;
+            run.cluster = None;
+            run.ack_at = None;
+            run.status_failures = 0;
+            ctx.schedule_self(SimDuration::from_secs(1), Resubmit { record });
+        } else {
+            run.error = Some(why.to_owned());
+        }
+    }
+
+    fn on_data(&mut self, data: Data, ctx: &mut Ctx<'_>) {
+        let name = data.name.clone();
+        if let Some(record) = self.active_submits.remove(&name) {
+            if data.content_type == ContentType::Nack {
+                self.runs[record].error =
+                    Some(String::from_utf8_lossy(&data.content).into_owned());
+                return;
+            }
+            let Some(ack) = SubmitAck::from_text(&String::from_utf8_lossy(&data.content)) else {
+                self.runs[record].error = Some("unparseable ack".to_owned());
+                return;
+            };
+            let run = &mut self.runs[record];
+            run.ack_at = Some(ctx.now());
+            run.job_id = Some(ack.job_id);
+            run.cluster = Some(ack.cluster);
+            let interval = self.config.poll_interval;
+            ctx.schedule_self(interval, PollTick { record });
+            return;
+        }
+        if let Some(record) = self.active_polls.remove(&name) {
+            if data.content_type == ContentType::Nack {
+                self.maybe_resubmit(record, "status-nack", ctx);
+                return;
+            }
+            let Some(state) = JobState::from_text(&String::from_utf8_lossy(&data.content)) else {
+                self.runs[record].error = Some("unparseable status".to_owned());
+                return;
+            };
+            self.runs[record].status_failures = 0;
+            match state {
+                JobState::Pending | JobState::Running { .. } => {
+                    let interval = self.config.poll_interval;
+                    ctx.schedule_self(interval, PollTick { record });
+                }
+                JobState::Completed { .. } => {
+                    self.runs[record].completed_at = Some(ctx.now());
+                }
+                JobState::Failed { error } => {
+                    self.runs[record].error = Some(format!("job-failed: {error}"));
+                }
+            }
+        }
+    }
+
+    fn on_failure(&mut self, interest: Interest, what: &str, ctx: &mut Ctx<'_>) {
+        let name = interest.name.clone();
+        if let Some(record) = self.active_submits.remove(&name) {
+            self.maybe_resubmit(record, &format!("submit-{what}"), ctx);
+            return;
+        }
+        if let Some(record) = self.active_polls.remove(&name) {
+            let run = &mut self.runs[record];
+            run.status_failures += 1;
+            if run.status_failures >= self.config.max_status_failures {
+                self.maybe_resubmit(record, &format!("status-{what}"), ctx);
+            } else {
+                let interval = self.config.poll_interval;
+                ctx.schedule_self(interval, PollTick { record });
+            }
+        }
+    }
+}
+
+impl Actor for CentralClient {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        let msg = match msg.downcast::<SubmitCentral>() {
+            Ok(s) => {
+                let record = self.runs.len();
+                self.runs.push(BaselineRun::new(s.0, ctx.now()));
+                self.express_submit(record, ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<PollTick>() {
+            Ok(t) => {
+                self.express_poll(t.record, ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Resubmit>() {
+            Ok(r) => {
+                self.express_submit(r.record, ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<AppRx>() {
+            Ok(rx) => {
+                match self.consumer.as_mut().expect("deployed").on_app_rx(&rx) {
+                    Some(ConsumerEvent::Data(data)) => self.on_data(data, ctx),
+                    Some(ConsumerEvent::Nack(_, i)) => self.on_failure(i, "nack", ctx),
+                    Some(ConsumerEvent::Timeout(i)) => self.on_failure(i, "timeout", ctx),
+                    None => {}
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(t) = msg.downcast::<RetxTimer>() {
+            match self.consumer.as_mut().expect("deployed").on_timer(ctx, &t) {
+                Some(ConsumerEvent::Data(data)) => self.on_data(data, ctx),
+                Some(ConsumerEvent::Nack(_, i)) => self.on_failure(i, "nack", ctx),
+                Some(ConsumerEvent::Timeout(i)) => self.on_failure(i, "timeout", ctx),
+                None => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::central::{CentralController, CentralPolicy};
+    use lidc_k8s::cluster::{Cluster, ClusterConfig};
+    use lidc_k8s::node::Node;
+    use lidc_k8s::resources::Resources;
+    use lidc_ndn::forwarder::{Forwarder, ForwarderConfig};
+
+    fn k8s_cluster(sim: &mut Sim, name: &str) -> Cluster {
+        let c = Cluster::spawn(sim, ClusterConfig::named(name));
+        c.add_node(sim, Node::new(format!("{name}-n0"), Resources::new(16, 64)));
+        c
+    }
+
+    fn world(
+        sim: &mut Sim,
+        policy: CentralPolicy,
+        member_names: &[&str],
+    ) -> (ActorId, ActorId, Vec<Cluster>) {
+        let alloc = FaceIdAlloc::new();
+        let router = sim.spawn(
+            "router",
+            Forwarder::new("router", ForwarderConfig::default()),
+        );
+        let controller = CentralController::new(policy).deploy(sim, router, &alloc);
+        let mut clusters = Vec::new();
+        for name in member_names {
+            let c = k8s_cluster(sim, name);
+            CentralController::add_member(sim, controller, *name, c.clone());
+            clusters.push(c);
+        }
+        let client = CentralClient::deploy(
+            ClientConfig::default(),
+            sim,
+            router,
+            &alloc,
+            "central-client",
+        );
+        (controller, client, clusters)
+    }
+
+    fn blast() -> ComputeRequest {
+        ComputeRequest::new("BLAST", 2, 4)
+            .with_param("srr", "SRR2931415")
+            .with_param("ref", "HUMAN")
+    }
+
+    #[test]
+    fn central_submission_completes() {
+        let mut sim = Sim::new(1);
+        let (_controller, client, _clusters) =
+            world(&mut sim, CentralPolicy::RoundRobin, &["a", "b"]);
+        sim.send(client, SubmitCentral(blast()));
+        sim.run();
+        let runs = sim.actor::<CentralClient>(client).unwrap().runs();
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].is_success(), "error = {:?}", runs[0].error);
+        assert_eq!(runs[0].cluster.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn round_robin_cycles_members() {
+        let mut sim = Sim::new(2);
+        let (_controller, client, _clusters) =
+            world(&mut sim, CentralPolicy::RoundRobin, &["a", "b", "c"]);
+        for i in 0..6 {
+            // Distinct tags keep the six submit-Interest names distinct, so
+            // neither the PIT nor the consumer's pending table aggregates
+            // them into one request.
+            sim.send(
+                client,
+                SubmitCentral(blast().with_param("tag", &i.to_string())),
+            );
+        }
+        sim.run();
+        let runs = sim.actor::<CentralClient>(client).unwrap().runs();
+        let mut by_cluster: Vec<&str> = runs.iter().filter_map(|r| r.cluster.as_deref()).collect();
+        by_cluster.sort_unstable();
+        assert_eq!(by_cluster, ["a", "a", "b", "b", "c", "c"]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_member() {
+        let mut sim = Sim::new(3);
+        let (_controller, client, clusters) =
+            world(&mut sim, CentralPolicy::GlobalLeastLoaded, &["busy", "idle"]);
+        // Pre-load the first cluster with a long-running placeholder job so
+        // the global view shows it as busy.
+        let now = sim.now();
+        {
+            let mut api = clusters[0].api.write();
+            let spec = lidc_k8s::pod::PodSpec::single(lidc_k8s::pod::ContainerSpec {
+                name: "hog".into(),
+                image: "hog:latest".into(),
+                requests: Resources::new(14, 60),
+                workload: lidc_k8s::pod::WorkloadSpec::Run {
+                    duration: SimDuration::from_hours(100),
+                    output: None,
+                },
+            });
+            let job = lidc_k8s::job::Job::new(
+                lidc_k8s::meta::ObjectMeta::named("hog"),
+                spec,
+                1,
+            );
+            api.create_job(job, now).unwrap();
+        }
+        sim.send(clusters[0].actor, lidc_k8s::cluster::Nudge);
+        sim.run_for(SimDuration::from_secs(5));
+        sim.send(client, SubmitCentral(blast()));
+        sim.run();
+        let runs = sim.actor::<CentralClient>(client).unwrap().runs();
+        assert!(runs[0].is_success(), "error = {:?}", runs[0].error);
+        assert_eq!(runs[0].cluster.as_deref(), Some("idle"));
+    }
+
+    #[test]
+    fn controller_crash_fails_all_placement() {
+        let mut sim = Sim::new(4);
+        let (controller, client, _clusters) =
+            world(&mut sim, CentralPolicy::RoundRobin, &["a", "b"]);
+        // Kill the single point of failure before anything is submitted.
+        sim.kill(controller);
+        sim.send(client, SubmitCentral(blast()));
+        sim.run();
+        let runs = sim.actor::<CentralClient>(client).unwrap().runs();
+        assert!(!runs[0].is_success());
+        assert!(runs[0].error.as_deref().unwrap().contains("submit-"));
+    }
+
+    #[test]
+    fn no_members_nacked() {
+        let mut sim = Sim::new(5);
+        let (_controller, client, _clusters) = world(&mut sim, CentralPolicy::RoundRobin, &[]);
+        sim.send(client, SubmitCentral(blast()));
+        sim.run();
+        let runs = sim.actor::<CentralClient>(client).unwrap().runs();
+        assert_eq!(runs[0].error.as_deref(), Some("no-members"));
+    }
+}

@@ -1,0 +1,228 @@
+//! The manual-configuration comparator: the status quo the paper's
+//! introduction describes, where "users must first identify which compute
+//! cluster can handle their workflow … and manually configure workflows to
+//! specify resource requirements", then re-do that work whenever the
+//! infrastructure changes.
+//!
+//! A [`ManualWorkflow`] is a science client that has been *statically
+//! configured against one specific cluster*: it attaches directly to that
+//! cluster's gateway NFD instead of naming the computation into an overlay.
+//! When the configured cluster fails, every in-flight and subsequent job
+//! fails until a human operator "re-tailors the workflow" — modelled by
+//! [`ManualWorkflow::reconfigure`], which charges a configurable operator
+//! delay before the client can use the new cluster.
+
+use lidc_core::client::{ClientConfig, JobRun, ScienceClient, Submit};
+use lidc_core::cluster::LidcCluster;
+use lidc_core::naming::ComputeRequest;
+use lidc_ndn::face::FaceIdAlloc;
+use lidc_simcore::engine::{ActorId, Sim};
+use lidc_simcore::time::SimDuration;
+
+/// How long the human operator takes to re-tailor a workflow for a new
+/// cluster (account setup, resource-spec rewrites, endpoint changes). The
+/// default is deliberately conservative; the paper cites multi-step manual
+/// processes.
+pub const DEFAULT_RECONFIG_DELAY: SimDuration = SimDuration::from_mins(30);
+
+/// A workflow statically configured against one named cluster.
+pub struct ManualWorkflow {
+    /// Label used for client actors.
+    pub label: String,
+    /// Client behaviour (same knobs as the LIDC client, for fairness).
+    pub config: ClientConfig,
+    /// Operator reconfiguration delay charged by [`reconfigure`].
+    ///
+    /// [`reconfigure`]: ManualWorkflow::reconfigure
+    pub reconfig_delay: SimDuration,
+    /// The cluster this workflow is currently tailored to.
+    pub configured_cluster: String,
+    client: ActorId,
+    alloc: FaceIdAlloc,
+    /// Runs completed on previous clients (before reconfigurations).
+    archived_runs: Vec<JobRun>,
+    /// Earliest time the current client may submit (reconfig gate).
+    ready_at: lidc_simcore::time::SimTime,
+}
+
+impl ManualWorkflow {
+    /// Tailor a workflow to `cluster` and attach its client directly to the
+    /// cluster's gateway (the "cluster-specific configuration" of §I).
+    pub fn configure(
+        sim: &mut Sim,
+        cluster: &LidcCluster,
+        alloc: &FaceIdAlloc,
+        config: ClientConfig,
+        label: impl Into<String>,
+    ) -> ManualWorkflow {
+        let label = label.into();
+        let client = ScienceClient::deploy(
+            config.clone(),
+            sim,
+            cluster.gateway_fwd,
+            alloc,
+            format!("{label}@{}", cluster.name),
+        );
+        ManualWorkflow {
+            label,
+            config,
+            reconfig_delay: DEFAULT_RECONFIG_DELAY,
+            configured_cluster: cluster.name.clone(),
+            client,
+            alloc: alloc.clone(),
+            archived_runs: Vec::new(),
+            ready_at: lidc_simcore::time::SimTime::ZERO,
+        }
+    }
+
+    /// Override the operator delay.
+    pub fn with_reconfig_delay(mut self, delay: SimDuration) -> ManualWorkflow {
+        self.reconfig_delay = delay;
+        self
+    }
+
+    /// Submit a request to the currently configured cluster. If the
+    /// workflow is mid-reconfiguration, the submission is deferred until
+    /// the operator finishes.
+    pub fn submit(&self, sim: &mut Sim, request: ComputeRequest) {
+        if sim.now() < self.ready_at {
+            let wait = self.ready_at.since(sim.now());
+            sim.send_after(wait, self.client, Submit(request));
+        } else {
+            sim.send(self.client, Submit(request));
+        }
+    }
+
+    /// Re-tailor the workflow to a different cluster. The old client is torn
+    /// down (its completed history is preserved) and a new one is attached
+    /// to the new cluster after [`Self::reconfig_delay`] of operator work.
+    pub fn reconfigure(&mut self, sim: &mut Sim, new_cluster: &LidcCluster) {
+        let old_runs = sim
+            .actor::<ScienceClient>(self.client)
+            .map(|c| c.runs().to_vec())
+            .unwrap_or_default();
+        self.archived_runs.extend(old_runs);
+        sim.kill(self.client);
+        self.configured_cluster = new_cluster.name.clone();
+        self.client = ScienceClient::deploy(
+            self.config.clone(),
+            sim,
+            new_cluster.gateway_fwd,
+            &self.alloc,
+            format!("{}@{}", self.label, new_cluster.name),
+        );
+        self.ready_at = sim.now() + self.reconfig_delay;
+    }
+
+    /// All runs across every configuration epoch, in submission order.
+    pub fn runs(&self, sim: &Sim) -> Vec<JobRun> {
+        let mut runs = self.archived_runs.clone();
+        if let Some(c) = sim.actor::<ScienceClient>(self.client) {
+            runs.extend(c.runs().to_vec());
+        }
+        runs
+    }
+
+    /// Count of successful runs across all epochs.
+    pub fn successes(&self, sim: &Sim) -> usize {
+        self.runs(sim).iter().filter(|r| r.is_success()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidc_core::cluster::LidcClusterConfig;
+
+    fn blast(tag: u32) -> ComputeRequest {
+        ComputeRequest::new("BLAST", 2, 4)
+            .with_param("srr", "SRR2931415")
+            .with_param("ref", "HUMAN")
+            .with_param("tag", &tag.to_string())
+    }
+
+    #[test]
+    fn manual_workflow_runs_on_its_configured_cluster() {
+        let mut sim = Sim::new(1);
+        let alloc = FaceIdAlloc::new();
+        let a = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("site-a"));
+        let _b = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("site-b"));
+        let wf = ManualWorkflow::configure(
+            &mut sim,
+            &a,
+            &alloc,
+            ClientConfig::default(),
+            "manual",
+        );
+        wf.submit(&mut sim, blast(1));
+        sim.run();
+        let runs = wf.runs(&sim);
+        assert!(runs[0].is_success(), "{:?}", runs[0].error);
+        assert_eq!(runs[0].cluster.as_deref(), Some("site-a"));
+    }
+
+    #[test]
+    fn cluster_failure_strands_manual_workflow_until_reconfigured() {
+        let mut sim = Sim::new(2);
+        let alloc = FaceIdAlloc::new();
+        let a = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("site-a"));
+        let b = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("site-b"));
+        let mut wf = ManualWorkflow::configure(
+            &mut sim,
+            &a,
+            &alloc,
+            ClientConfig::default(),
+            "manual",
+        )
+        .with_reconfig_delay(SimDuration::from_mins(30));
+
+        // The configured cluster dies before the job can be submitted.
+        sim.kill(a.gateway_fwd);
+        wf.submit(&mut sim, blast(1));
+        sim.run();
+        assert_eq!(wf.successes(&sim), 0, "no failover without an operator");
+        let first = &wf.runs(&sim)[0];
+        assert!(first.error.is_some());
+
+        // The operator re-tailors the workflow to site-b; only then do new
+        // submissions succeed, delayed by the operator work.
+        let before = sim.now();
+        wf.reconfigure(&mut sim, &b);
+        wf.submit(&mut sim, blast(2));
+        sim.run();
+        let runs = wf.runs(&sim);
+        let retry = runs.last().unwrap();
+        assert!(retry.is_success(), "{:?}", retry.error);
+        assert_eq!(retry.cluster.as_deref(), Some("site-b"));
+        assert!(
+            retry.submitted_at.since(before) >= SimDuration::from_mins(30),
+            "operator delay was charged"
+        );
+    }
+
+    #[test]
+    fn runs_preserved_across_reconfigurations() {
+        let mut sim = Sim::new(3);
+        let alloc = FaceIdAlloc::new();
+        let a = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("site-a"));
+        let b = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("site-b"));
+        let mut wf = ManualWorkflow::configure(
+            &mut sim,
+            &a,
+            &alloc,
+            ClientConfig::default(),
+            "manual",
+        )
+        .with_reconfig_delay(SimDuration::ZERO);
+        wf.submit(&mut sim, blast(1));
+        sim.run();
+        wf.reconfigure(&mut sim, &b);
+        wf.submit(&mut sim, blast(2));
+        sim.run();
+        let runs = wf.runs(&sim);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(wf.successes(&sim), 2);
+        assert_eq!(runs[0].cluster.as_deref(), Some("site-a"));
+        assert_eq!(runs[1].cluster.as_deref(), Some("site-b"));
+    }
+}

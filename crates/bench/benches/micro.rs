@@ -1,0 +1,164 @@
+//! Microbenchmarks (wall-clock, criterion): the hot paths underneath every
+//! LIDC request — name parsing, TLV codecs, forwarder tables, gateway
+//! classification — plus the real (rayon-parallel) alignment kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lidc_core::naming::{classify, ComputeRequest, RequestKind};
+use lidc_genomics::aligner::{align_parallel, align_sequential, Reference};
+use lidc_genomics::sequence::sample_reads;
+use lidc_ndn::face::FaceId;
+use lidc_ndn::name::Name;
+use lidc_ndn::packet::{Data, Interest};
+use lidc_ndn::tables::cs::ContentStore;
+use lidc_ndn::tables::fib::Fib;
+use lidc_ndn::tables::pit::Pit;
+use lidc_simcore::time::{SimDuration, SimTime};
+
+fn bench_naming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("naming");
+    let uri = "/ndn/k8s/compute/mem=4&cpu=2&app=BLAST&ref=HUMAN&srr=SRR2931415&tag=17";
+    let name = Name::parse(uri).unwrap();
+    let request = ComputeRequest::new("BLAST", 2, 4)
+        .with_param("srr", "SRR2931415")
+        .with_param("ref", "HUMAN")
+        .with_param("tag", "17");
+
+    g.bench_function("name_parse", |b| b.iter(|| Name::parse(black_box(uri)).unwrap()));
+    g.bench_function("name_to_uri", |b| b.iter(|| black_box(&name).to_uri()));
+    g.bench_function("compute_request_to_name", |b| {
+        b.iter(|| black_box(&request).to_name())
+    });
+    g.bench_function("compute_request_from_name", |b| {
+        b.iter(|| ComputeRequest::from_name(black_box(&name)).unwrap())
+    });
+    g.bench_function("classify", |b| {
+        b.iter(|| match classify(black_box(&name)) {
+            RequestKind::Compute(r) => r.cpu_cores,
+            _ => unreachable!(),
+        })
+    });
+    g.bench_function("http_url_parse", |b| {
+        b.iter(|| {
+            ComputeRequest::from_http_url(black_box(
+                "https://lidc.example/compute?mem=4&cpu=2&app=BLAST&srr=SRR2931415",
+            ))
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_tlv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlv");
+    let interest = Interest::new(
+        Name::parse("/ndn/k8s/compute/mem=4&cpu=2&app=BLAST&srr=SRR2931415").unwrap(),
+    )
+    .with_nonce(0xDEAD_BEEF)
+    .with_lifetime(SimDuration::from_secs(4));
+    let interest_wire = interest.encode();
+    let data = Data::new(
+        Name::parse("/ndn/k8s/data/sra/SRR2931415").unwrap(),
+        vec![7u8; 1024],
+    )
+    .with_freshness(SimDuration::from_secs(60))
+    .sign_digest();
+    let data_wire = data.encode();
+
+    g.throughput(Throughput::Bytes(interest_wire.len() as u64));
+    g.bench_function("interest_encode", |b| b.iter(|| black_box(&interest).encode()));
+    g.bench_function("interest_decode", |b| {
+        b.iter(|| Interest::decode(black_box(&interest_wire)).unwrap())
+    });
+    g.throughput(Throughput::Bytes(data_wire.len() as u64));
+    g.bench_function("data_encode_sign", |b| {
+        b.iter(|| {
+            Data::new(
+                Name::parse("/ndn/k8s/data/sra/SRR2931415").unwrap(),
+                vec![7u8; 1024],
+            )
+            .sign_digest()
+            .encode()
+        })
+    });
+    g.bench_function("data_decode_verify", |b| {
+        b.iter(|| {
+            let d = Data::decode(black_box(&data_wire)).unwrap();
+            assert!(d.verify(None));
+            d
+        })
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+
+    // FIB longest-prefix match over a realistically mixed route table.
+    for &routes in &[16usize, 256, 4096] {
+        let mut fib = Fib::new();
+        for i in 0..routes {
+            let prefix = Name::parse(&format!("/ndn/k8s/status/cluster-{i}")).unwrap();
+            fib.add_nexthop(prefix, FaceId::from_raw(i as u64), (i % 7) as u32);
+        }
+        fib.add_nexthop(Name::parse("/ndn/k8s/compute").unwrap(), FaceId::from_raw(9999), 0);
+        let lookup = Name::parse(&format!(
+            "/ndn/k8s/status/cluster-{}/job-42",
+            routes / 2
+        ))
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("fib_lpm", routes), &routes, |b, _| {
+            b.iter(|| fib.lookup(black_box(&lookup)).unwrap().prefix.len())
+        });
+    }
+
+    // PIT insert + consume cycle.
+    g.bench_function("pit_insert_match_take", |b| {
+        let mut pit = Pit::new();
+        let now = SimTime::ZERO;
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            let name = Name::parse(&format!("/svc/job{}", n % 1024)).unwrap();
+            let interest = Interest::new(name.clone()).with_nonce(n);
+            let (_, _) = pit.insert(&interest, FaceId::from_raw(1), now);
+            let keys = pit.match_data(&name);
+            for k in &keys {
+                pit.take(k);
+            }
+            keys.len()
+        })
+    });
+
+    // Content-store insert + hit at capacity (LRU churn).
+    g.bench_function("cs_insert_lookup", |b| {
+        let mut cs = ContentStore::new(1024);
+        let now = SimTime::ZERO;
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            let name = Name::parse(&format!("/data/obj{}", n % 2048)).unwrap();
+            let data = Data::new(name.clone(), vec![1u8; 64]).sign_digest();
+            cs.insert(data, now);
+            cs.lookup(&Interest::new(name), now).is_some()
+        })
+    });
+    g.finish();
+}
+
+fn bench_aligner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aligner");
+    g.sample_size(10);
+    let reference = Reference::synthesize(200_000, 16, 0xFEED);
+    let reads = sample_reads(&reference.seq, 2_000, 100, 0.01, 0xBEEF);
+    g.throughput(Throughput::Elements(reads.len() as u64));
+    g.bench_function("sequential_2k_reads", |b| {
+        b.iter(|| align_sequential(black_box(&reference), black_box(&reads)).len())
+    });
+    g.bench_function("parallel_2k_reads", |b| {
+        b.iter(|| align_parallel(black_box(&reference), black_box(&reads)).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_naming, bench_tlv, bench_tables, bench_aligner);
+criterion_main!(benches);

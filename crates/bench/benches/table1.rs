@@ -1,0 +1,53 @@
+//! Criterion bench for the Table I harness: one full end-to-end LIDC
+//! workflow (client → NDN → gateway → K8s job → data lake) per iteration,
+//! in virtual time. This measures how fast the *simulator* regenerates a
+//! paper row, and guards the harness against event-count regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidc_core::client::{ClientConfig, ScienceClient, Submit};
+use lidc_core::cluster::{LidcCluster, LidcClusterConfig};
+use lidc_core::naming::ComputeRequest;
+use lidc_ndn::face::FaceIdAlloc;
+use lidc_simcore::engine::Sim;
+
+fn run_row(seed: u64, srr: &str, cpu: u64, mem: u64) -> u64 {
+    let mut sim = Sim::new(seed);
+    let alloc = FaceIdAlloc::new();
+    let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("bench"));
+    let client = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        cluster.gateway_fwd,
+        &alloc,
+        "client",
+    );
+    let request = ComputeRequest::new("BLAST", cpu, mem)
+        .with_param("srr", srr)
+        .with_param("ref", "HUMAN");
+    sim.send(client, Submit(request));
+    sim.run();
+    let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+    assert!(run.is_success());
+    sim.events_processed()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_end_to_end");
+    g.sample_size(10);
+    for (label, srr, cpu, mem) in [
+        ("rice_4gb_2cpu", "SRR2931415", 2u64, 4u64),
+        ("kidney_4gb_2cpu", "SRR5139395", 2, 4),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_row(seed, srr, cpu, mem)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

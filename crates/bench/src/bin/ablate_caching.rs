@@ -1,0 +1,147 @@
+//! **Ablation: result caching** — the paper's §VII future-work item
+//! ("implementing result caching … primarily when multiple clients issue
+//! identical requests"), implemented and measured.
+//!
+//! Ten distinct BLAST computations, each requested by five different
+//! clients over time. Three system variants:
+//!
+//! * `off`        — no caching anywhere: every request spawns a job;
+//! * `gateway`    — gateway result cache on: repeats answered instantly;
+//! * `gateway+cs` — result cache + cacheable acks, so repeats can be
+//!   served by the *network* (router Content Store) without reaching any
+//!   cluster.
+//!
+//! ```text
+//! cargo run -p lidc-bench --release --bin ablate_caching
+//! ```
+
+use lidc_bench::{blast_request, finish, mean_duration};
+use lidc_core::client::{ClientConfig, ScienceClient, Submit};
+use lidc_core::naming::ComputeRequest;
+use lidc_core::overlay::{ClusterSpec, Overlay, OverlayConfig};
+use lidc_core::placement::PlacementPolicy;
+use lidc_simcore::engine::{ActorId, Sim};
+use lidc_simcore::report::{Report, Table};
+use lidc_simcore::time::SimDuration;
+
+const DISTINCT: usize = 10;
+const CLIENTS: usize = 5;
+
+struct Variant {
+    name: &'static str,
+    cache_capacity: usize,
+    ack_freshness: SimDuration,
+    submit_must_be_fresh: bool,
+}
+
+fn distinct_requests() -> Vec<ComputeRequest> {
+    (0..DISTINCT)
+        .map(|i| {
+            let srr = if i % 2 == 0 { "SRR2931415" } else { "SRR5139395" };
+            blast_request(srr, 2, 4).with_param("series", i.to_string())
+        })
+        .collect()
+}
+
+fn main() {
+    let mut report = Report::new("ablate_caching", "Ablation — result caching for identical requests");
+    report.note(format!(
+        "{DISTINCT} distinct computations x {CLIENTS} clients each (first client computes, the rest repeat)"
+    ));
+
+    let variants = [
+        Variant {
+            name: "off",
+            cache_capacity: 0,
+            ack_freshness: SimDuration::ZERO,
+            submit_must_be_fresh: true,
+        },
+        Variant {
+            name: "gateway",
+            cache_capacity: 256,
+            ack_freshness: SimDuration::ZERO,
+            submit_must_be_fresh: true,
+        },
+        Variant {
+            name: "gateway+cs",
+            cache_capacity: 256,
+            ack_freshness: SimDuration::from_secs(3600),
+            submit_must_be_fresh: false,
+        },
+    ];
+
+    let mut t = Table::new(
+        "Cache variants",
+        &[
+            "variant",
+            "requests",
+            "jobs actually run",
+            "gateway cache hits",
+            "router CS hits",
+            "mean repeat latency",
+        ],
+    );
+
+    for v in &variants {
+        let mut sim = Sim::new(99);
+        let overlay = Overlay::build(&mut sim, OverlayConfig {
+            placement: PlacementPolicy::Nearest,
+            clusters: vec![ClusterSpec::new("solo", SimDuration::from_millis(40))
+                .with_nodes(2, 16, 64)
+                .with_cache(v.cache_capacity, v.ack_freshness)],
+            ..Default::default()
+        });
+        let alloc = overlay.alloc.clone();
+        let clients: Vec<ActorId> = (0..CLIENTS)
+            .map(|i| {
+                ScienceClient::deploy(
+                    ClientConfig {
+                        submit_must_be_fresh: v.submit_must_be_fresh,
+                        ..Default::default()
+                    },
+                    &mut sim,
+                    overlay.router,
+                    &alloc,
+                    format!("client-{i}"),
+                )
+            })
+            .collect();
+
+        // Client 0 issues every request first; the rest repeat it after the
+        // computation has certainly completed (26h stagger per wave).
+        for (c, client) in clients.iter().enumerate() {
+            for (r, req) in distinct_requests().into_iter().enumerate() {
+                let at = SimDuration::from_hours(26) * c as u64
+                    + SimDuration::from_secs(60) * r as u64;
+                sim.send_after(at, *client, Submit(req));
+            }
+        }
+        sim.run();
+
+        let mut all_ok = 0usize;
+        let mut repeat_latencies: Vec<SimDuration> = Vec::new();
+        for (c, client) in clients.iter().enumerate() {
+            let runs = sim.actor::<ScienceClient>(*client).unwrap().runs();
+            all_ok += runs.iter().filter(|r| r.is_success()).count();
+            if c > 0 {
+                repeat_latencies.extend(runs.iter().filter_map(|r| r.turnaround()));
+            }
+        }
+        let total = DISTINCT * CLIENTS;
+        assert_eq!(all_ok, total, "variant {} lost runs", v.name);
+        let stats = overlay.clusters[0].gateway_stats(&sim);
+        let cs_hits = sim.metrics_ref().counter("ndn.cs_hits");
+        t.push_row(vec![
+            v.name.to_owned(),
+            total.to_string(),
+            stats.jobs_created.to_string(),
+            stats.cache_hits.to_string(),
+            cs_hits.to_string(),
+            mean_duration(&repeat_latencies).to_string(),
+        ]);
+    }
+    report.add_table(t);
+    report.note("Expected shape: off runs 50 jobs; gateway runs 10 and answers 40 from the result cache; gateway+cs additionally short-circuits some repeats in the network before they reach the cluster.");
+
+    finish(&report);
+}

@@ -1,0 +1,105 @@
+//! **Ablation: placement policy** — the paper's §VII "intelligence in the
+//! network" direction. Same heterogeneous four-site overlay and the same
+//! 40-job burst under every placement policy LIDC implements; compare
+//! completion, balance, and latency.
+//!
+//! ```text
+//! cargo run -p lidc-bench --release --bin ablate_placement
+//! ```
+
+use lidc_bench::{finish, jobs_per_cluster, mean_duration, mixed_workload, submit_all};
+use lidc_core::client::{ClientConfig, ScienceClient};
+use lidc_core::overlay::{ClusterSpec, Overlay, OverlayConfig};
+use lidc_core::placement::PlacementPolicy;
+use lidc_simcore::engine::Sim;
+use lidc_simcore::report::{Report, Table};
+use lidc_simcore::rng::DetRng;
+use lidc_simcore::time::SimDuration;
+
+const JOBS: usize = 40;
+
+/// Heterogeneous sites: near-but-small through far-but-large.
+fn sites() -> Vec<ClusterSpec> {
+    vec![
+        ClusterSpec::new("near-small", SimDuration::from_millis(3)).with_nodes(1, 8, 32),
+        ClusterSpec::new("mid-medium", SimDuration::from_millis(25)).with_nodes(1, 16, 64),
+        ClusterSpec::new("far-large", SimDuration::from_millis(80)).with_nodes(2, 16, 64),
+        ClusterSpec::new("far-huge", SimDuration::from_millis(120)).with_nodes(4, 16, 64),
+    ]
+}
+
+fn main() {
+    let mut report = Report::new(
+        "ablate_placement",
+        "Ablation — placement policies on a heterogeneous overlay",
+    );
+    report.note(format!("{JOBS} mixed jobs (rice/kidney BLAST + COMPRESS), 30s apart, same seed per policy"));
+
+    let mut t = Table::new(
+        "Policy comparison",
+        &[
+            "policy",
+            "succeeded",
+            "makespan",
+            "mean turnaround",
+            "mean ack",
+            "balance (jobs/cluster)",
+        ],
+    );
+
+    for policy in [
+        PlacementPolicy::Nearest,
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::Adaptive,
+        PlacementPolicy::LeastLoaded,
+        PlacementPolicy::Learned,
+    ] {
+        let mut sim = Sim::new(7_777);
+        let overlay = Overlay::build(&mut sim, OverlayConfig {
+            placement: policy,
+            clusters: sites(),
+            ..Default::default()
+        });
+        let alloc = overlay.alloc.clone();
+        let client = ScienceClient::deploy(
+            ClientConfig::default(),
+            &mut sim,
+            overlay.router,
+            &alloc,
+            "client",
+        );
+        let workload = mixed_workload(&mut DetRng::new(42), JOBS);
+        let t0 = sim.now();
+        submit_all(&mut sim, client, &workload, SimDuration::from_secs(30));
+
+        let runs = sim.actor::<ScienceClient>(client).unwrap().runs();
+        let ok = runs.iter().filter(|r| r.is_success()).count();
+        let makespan = runs
+            .iter()
+            .filter_map(|r| r.completed_at)
+            .max()
+            .map(|t| t.since(t0))
+            .unwrap_or(SimDuration::ZERO);
+        let turnarounds: Vec<SimDuration> = runs.iter().filter_map(|r| r.turnaround()).collect();
+        let acks: Vec<SimDuration> = runs.iter().filter_map(|r| r.ack_latency()).collect();
+        let per = jobs_per_cluster(runs);
+        let mut balance: Vec<String> = sites()
+            .iter()
+            .map(|s| format!("{}:{}", s.name, per.get(&s.name).copied().unwrap_or(0)))
+            .collect();
+        balance.sort();
+        t.push_row(vec![
+            policy.to_string(),
+            format!("{ok}/{JOBS}"),
+            makespan.to_string(),
+            mean_duration(&turnarounds).to_string(),
+            mean_duration(&acks).to_string(),
+            balance.join(" "),
+        ]);
+    }
+    report.add_table(t);
+    report.note("Expected shape: nearest piles onto the small near site (long makespan under load); least-loaded/learned spread by capacity (short makespan); round-robin is blind to both.");
+    report.note("learned = predicted runtime x (1 + advertised load); with location-invariant job runtimes its per-face ranking coincides with least-loaded, so identical placements are the correct outcome — the predictor's value shows up in completion-time estimates, not placement deltas, until clusters differ in speed.");
+
+    finish(&report);
+}

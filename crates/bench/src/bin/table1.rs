@@ -1,0 +1,128 @@
+//! **Table I — Computation Performance** (the paper's single results table).
+//!
+//! Reruns the four paper configurations through the full LIDC stack (client
+//! → NDN → gateway → simulated Kubernetes job → data lake) and regenerates
+//! the table, then extends it with the CPU/memory sweep the paper's §VI
+//! discussion gestures at ("a variance of CPU and memory sizes is not
+//! showing any significant changes in the run time").
+//!
+//! ```text
+//! cargo run -p lidc-bench --release --bin table1
+//! ```
+
+use lidc_bench::{blast_request, finish};
+use lidc_core::client::{ClientConfig, ScienceClient, Submit};
+use lidc_core::cluster::{LidcCluster, LidcClusterConfig};
+use lidc_k8s::job::JobCondition;
+use lidc_ndn::face::FaceIdAlloc;
+use lidc_simcore::bytesize::format_bytes;
+use lidc_simcore::engine::Sim;
+use lidc_simcore::report::{Report, Table};
+use lidc_simcore::time::SimDuration;
+
+/// Run one (srr, cpu, mem) configuration end to end; returns (k8s job run
+/// time, output bytes).
+fn run_config(seed: u64, srr: &str, cpu: u64, mem: u64) -> (SimDuration, u64) {
+    let mut sim = Sim::new(seed);
+    let alloc = FaceIdAlloc::new();
+    let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("gcp-microk8s"));
+    let client = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        cluster.gateway_fwd,
+        &alloc,
+        "scientist",
+    );
+    sim.send(client, Submit(blast_request(srr, cpu, mem)));
+    sim.run();
+    let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+    assert!(run.is_success(), "{srr}/{cpu}cpu/{mem}GB failed: {:?}", run.error);
+    let api = cluster.k8s.api.read();
+    let job = api.jobs.values().next().expect("job exists");
+    assert_eq!(job.status.condition, JobCondition::Completed);
+    (job.run_time().expect("terminal job"), run.result_size)
+}
+
+fn main() {
+    let mut report = Report::new("table1", "Table I — Computation Performance");
+    report.note("Substrate: simulated MicroK8s cluster; run time from the Table-I-calibrated cost model in virtual time (DESIGN.md §2).");
+
+    // --- The paper's four rows ---
+    let paper_rows: [(&str, &str, u64, u64, &str, &str); 4] = [
+        ("SRR2931415", "RICE", 4, 2, "8h9m50s", "941MB"),
+        ("SRR2931415", "RICE", 4, 4, "8h7m10s", "941MB"),
+        ("SRR5139395", "KIDNEY", 4, 2, "24h16m12s", "2.71GB"),
+        ("SRR5139395", "KIDNEY", 6, 2, "24h2m47s", "2.71GB"),
+    ];
+    let mut t = Table::new(
+        "Reproduced rows (paper values in parentheses)",
+        &[
+            "SRR ID",
+            "Ref. Database",
+            "Genome Type",
+            "Memory (GB)",
+            "CPU",
+            "Run Time",
+            "Output Size",
+        ],
+    );
+    for (i, &(srr, genome, mem, cpu, paper_rt, paper_sz)) in paper_rows.iter().enumerate() {
+        let (run_time, bytes) = run_config(100 + i as u64, srr, cpu, mem);
+        t.push_row(vec![
+            srr.to_owned(),
+            "HUMAN".to_owned(),
+            genome.to_owned(),
+            mem.to_string(),
+            cpu.to_string(),
+            format!("{run_time} ({paper_rt})"),
+            format!("{} ({paper_sz})", format_bytes(bytes)),
+        ]);
+    }
+    report.add_table(t);
+
+    // --- Shape checks the paper's discussion makes ---
+    let (rice_2, _) = run_config(200, "SRR2931415", 2, 4);
+    let (rice_4, _) = run_config(201, "SRR2931415", 4, 4);
+    let (kidney_2, _) = run_config(202, "SRR5139395", 2, 4);
+    let cpu_delta = (rice_2.as_secs_f64() - rice_4.as_secs_f64()).abs() / rice_2.as_secs_f64();
+    let ratio = kidney_2.as_secs_f64() / rice_2.as_secs_f64();
+    let mut shape = Table::new(
+        "Shape checks",
+        &["property", "paper", "measured", "holds"],
+    );
+    shape.push_row(vec![
+        "runtime ~ config-insensitive (2→4 cpu)".to_owned(),
+        "<1% delta".to_owned(),
+        format!("{:.2}% delta", cpu_delta * 100.0),
+        (cpu_delta < 0.01).to_string(),
+    ]);
+    shape.push_row(vec![
+        "kidney / rice runtime ratio".to_owned(),
+        "2.98x".to_owned(),
+        format!("{ratio:.2}x"),
+        ((2.5..3.5).contains(&ratio)).to_string(),
+    ]);
+    report.add_table(shape);
+
+    // --- Extended sweep (the §VI "network could learn from this" data) ---
+    let mut sweep = Table::new(
+        "Extended configuration sweep (rice sample)",
+        &["CPU", "Memory (GB)", "Run Time", "Output Size"],
+    );
+    let mut seed = 300;
+    for &cpu in &[1u64, 2, 4, 8] {
+        for &mem in &[2u64, 4, 8, 16] {
+            let (run_time, bytes) = run_config(seed, "SRR2931415", cpu, mem);
+            seed += 1;
+            sweep.push_row(vec![
+                cpu.to_string(),
+                mem.to_string(),
+                run_time.to_string(),
+                format_bytes(bytes),
+            ]);
+        }
+    }
+    report.add_table(sweep);
+
+    finish(&report);
+}

@@ -1,0 +1,103 @@
+//! A minimal `--flag value` argument parser (the workspace deliberately
+//! avoids argument-parsing dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, positional arguments, and flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: Option<String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` and bare `--switch` flags (switch value = "true").
+    pub flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args` (skipping the program name).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty flag name".into());
+                }
+                if let Some((k, v)) = key.split_once('=') {
+                    args.flags.insert(k.to_owned(), v.to_owned());
+                } else if it.peek().map(|n| !n.starts_with("--")).unwrap_or(false) {
+                    let v = it.next().expect("peeked");
+                    args.flags.insert(key.to_owned(), v);
+                } else {
+                    args.flags.insert(key.to_owned(), "true".to_owned());
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// A flag's value, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A flag with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A required numeric flag.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// Bare switch presence.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn command_positionals_and_flags() {
+        let a = parse("submit extra --app BLAST --cpu 2 --verbose --mem=4");
+        assert_eq!(a.command.as_deref(), Some("submit"));
+        assert_eq!(a.positional, vec!["extra".to_owned()]);
+        assert_eq!(a.get("app"), Some("BLAST"));
+        assert_eq!(a.get_u64("cpu", 0).unwrap(), 2);
+        assert_eq!(a.get_u64("mem", 0).unwrap(), 4);
+        assert!(a.has("verbose"));
+    }
+
+    #[test]
+    fn switch_before_flag_not_swallowed() {
+        let a = parse("run --dry-run --seed 7");
+        assert_eq!(a.get("dry-run"), Some("true"));
+        assert_eq!(a.get_u64("seed", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = parse("x --n abc");
+        assert_eq!(a.get_or("missing", "d"), "d");
+        assert!(a.get_u64("n", 1).is_err());
+        assert_eq!(a.get_u64("absent", 5).unwrap(), 5);
+    }
+}

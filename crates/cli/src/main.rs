@@ -1,0 +1,37 @@
+//! `lidc` — the command-line tool over the simulated multi-cluster testbed.
+//!
+//! Mirrors the paper's user-facing workflow (§IV): submit named
+//! computations, check status, retrieve datasets — without knowing where
+//! any cluster is.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("submit") => commands::submit(&parsed),
+        Some("fetch") => commands::fetch(&parsed),
+        Some("load-data") => commands::load_data(&parsed),
+        Some("catalog") => commands::catalog(&parsed),
+        Some("topology") => commands::topology(&parsed),
+        Some("experiment") => commands::experiment(&parsed),
+        Some("help") | None => {
+            commands::help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try `lidc help`)")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

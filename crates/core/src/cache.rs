@@ -1,0 +1,176 @@
+//! Gateway-level result caching (paper §VII, implemented future work).
+//!
+//! "Implementing result caching in the framework would be beneficial,
+//! primarily when multiple clients issue identical requests. This can be
+//! achieved by uniquely identifying names and using various storage
+//! solutions to store the mapping information." — [`ResultCache`] keys on
+//! the canonical request name and stores the mapping to the published
+//! result object. (The second caching layer is the NDN Content Store on
+//! the network path; `ablate_caching` measures both.)
+
+use std::collections::HashMap;
+
+use lidc_ndn::name::Name;
+
+/// A cached result mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResult {
+    /// Data-lake name of the result object.
+    pub result: Name,
+    /// Result size in bytes.
+    pub size: u64,
+    /// Job that produced it (provenance).
+    pub job_id: String,
+}
+
+/// Canonical-request-name → result mapping with LRU eviction.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: HashMap<String, (CachedResult, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` mappings (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of cached mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Look up a canonical request key.
+    pub fn get(&mut self, key: &str) -> Option<CachedResult> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((result, last_used)) => {
+                *last_used = self.tick;
+                self.hits += 1;
+                Some(result.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a completed result.
+    pub fn insert(&mut self, key: impl Into<String>, result: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.entries.insert(key.into(), (result, self.tick));
+        while self.entries.len() > self.capacity {
+            // Evict the least-recently-used entry (deterministic: the
+            // smallest tick; ties impossible since ticks are unique).
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+                .expect("nonempty");
+            self.entries.remove(&lru);
+        }
+    }
+
+    /// Drop a mapping (e.g. when the result object is deleted).
+    pub fn invalidate(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidc_ndn::name;
+
+    fn result(job: &str) -> CachedResult {
+        CachedResult {
+            result: name!("/ndn/k8s/data/results/x"),
+            size: 941,
+            job_id: job.to_owned(),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get("k1"), None);
+        c.insert("k1", result("job-1"));
+        assert_eq!(c.get("k1").unwrap().job_id, "job-1");
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = ResultCache::new(2);
+        c.insert("a", result("1"));
+        c.insert("b", result("2"));
+        let _ = c.get("a"); // refresh a
+        c.insert("c", result("3")); // evicts b
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        assert!(!c.enabled());
+        c.insert("a", result("1"));
+        assert!(c.is_empty());
+        assert_eq!(c.get("a"), None);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = ResultCache::new(2);
+        c.insert("a", result("1"));
+        assert!(c.invalidate("a"));
+        assert!(!c.invalidate("a"));
+        assert_eq!(c.get("a"), None);
+    }
+
+    #[test]
+    fn overwrite_same_key_keeps_len() {
+        let mut c = ResultCache::new(2);
+        c.insert("a", result("1"));
+        c.insert("a", result("2"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a").unwrap().job_id, "2");
+    }
+}

@@ -1,0 +1,411 @@
+//! The science-user client: submit by name, poll status, fetch results.
+//!
+//! Implements the paper's workflow (§IV, Fig. 5): the client expresses a
+//! semantically named compute Interest with no knowledge of cluster
+//! locations, receives a job id, checks `/ndn/k8s/status/...` periodically,
+//! and finally retrieves the result from the data lake. Every step is
+//! timestamped, which is exactly what the `fig5` workflow-trace experiment
+//! reports.
+
+use std::collections::HashMap;
+
+use lidc_ndn::app::{Consumer, ConsumerEvent, RetxTimer};
+use lidc_ndn::face::FaceIdAlloc;
+use lidc_ndn::forwarder::AppRx;
+use lidc_ndn::name::Name;
+use lidc_ndn::net::attach_app;
+use lidc_ndn::packet::{ContentType, Data, Interest};
+use lidc_simcore::engine::{Actor, ActorId, Ctx, Msg, Sim};
+use lidc_simcore::time::{SimDuration, SimTime};
+
+use crate::naming::{ComputeRequest, JobId};
+use crate::status::{JobState, SubmitAck};
+
+/// Client behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Status poll period.
+    pub poll_interval: SimDuration,
+    /// Fetch the result object (manifest / small object) after completion.
+    pub fetch_results: bool,
+    /// Set MustBeFresh on compute submissions (bypasses Content-Store
+    /// caching of submit acks; turn off for the caching experiments).
+    pub submit_must_be_fresh: bool,
+    /// Consumer retransmissions per Interest.
+    pub retries: u32,
+    /// Consecutive status-poll timeouts before the job is declared lost.
+    pub max_status_failures: u32,
+    /// Whole-request resubmissions after a lost job or submit NACK
+    /// (the overlay then routes to a surviving cluster).
+    pub resubmit_attempts: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            poll_interval: SimDuration::from_secs(30),
+            fetch_results: true,
+            submit_must_be_fresh: true,
+            retries: 3,
+            max_status_failures: 3,
+            resubmit_attempts: 2,
+        }
+    }
+}
+
+/// The full record of one submitted request (the fig-5 timeline).
+#[derive(Debug, Clone)]
+pub struct JobRun {
+    /// The request.
+    pub request: ComputeRequest,
+    /// Submission instant.
+    pub submitted_at: SimTime,
+    /// Ack (job id) received.
+    pub ack_at: Option<SimTime>,
+    /// Assigned job id.
+    pub job_id: Option<String>,
+    /// Cluster that accepted the job.
+    pub cluster: Option<String>,
+    /// First `Running` status observed.
+    pub first_running_at: Option<SimTime>,
+    /// Latest predicted-seconds-to-completion from a Running status (§VII).
+    pub last_eta_secs: Option<u64>,
+    /// `Completed` status observed.
+    pub completed_at: Option<SimTime>,
+    /// Result object name.
+    pub result_name: Option<Name>,
+    /// Result size (bytes).
+    pub result_size: u64,
+    /// Result object (or manifest) retrieved.
+    pub fetched_at: Option<SimTime>,
+    /// Terminal error, if the run failed.
+    pub error: Option<String>,
+    /// Status polls issued.
+    pub polls: u32,
+    /// Whole-request resubmissions performed.
+    pub resubmits: u32,
+    /// Answered from a result cache (ack said Completed immediately).
+    pub served_from_cache: bool,
+    status_failures: u32,
+}
+
+impl JobRun {
+    fn new(request: ComputeRequest, now: SimTime) -> Self {
+        JobRun {
+            request,
+            submitted_at: now,
+            ack_at: None,
+            job_id: None,
+            cluster: None,
+            first_running_at: None,
+            last_eta_secs: None,
+            completed_at: None,
+            result_name: None,
+            result_size: 0,
+            fetched_at: None,
+            error: None,
+            polls: 0,
+            resubmits: 0,
+            served_from_cache: false,
+            status_failures: 0,
+        }
+    }
+
+    /// True when the run reached `Completed` (and fetched the result when
+    /// fetching was requested).
+    pub fn is_success(&self) -> bool {
+        self.completed_at.is_some() && self.error.is_none()
+    }
+
+    /// Submission → completed-observed latency.
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        self.completed_at.map(|t| t.since(self.submitted_at))
+    }
+
+    /// Submission → ack latency (the placement latency the network adds).
+    pub fn ack_latency(&self) -> Option<SimDuration> {
+        self.ack_at.map(|t| t.since(self.submitted_at))
+    }
+}
+
+/// Submit a compute request (message to the client actor).
+#[derive(Debug)]
+pub struct Submit(pub ComputeRequest);
+
+#[derive(Debug)]
+struct PollTick {
+    record: usize,
+}
+
+#[derive(Debug)]
+struct Resubmit {
+    record: usize,
+}
+
+/// The client actor.
+pub struct ScienceClient {
+    consumer: Option<Consumer>,
+    config: ClientConfig,
+    runs: Vec<JobRun>,
+    /// Pending compute-Interest name → record index.
+    active_submits: HashMap<Name, usize>,
+    /// Pending status-Interest name → record index.
+    active_polls: HashMap<Name, usize>,
+    /// Pending result-fetch name → record index.
+    active_fetches: HashMap<Name, usize>,
+}
+
+impl ScienceClient {
+    /// Build an (unattached) client.
+    pub fn new(config: ClientConfig) -> Self {
+        ScienceClient {
+            consumer: None,
+            config,
+            runs: Vec::new(),
+            active_submits: HashMap::new(),
+            active_polls: HashMap::new(),
+            active_fetches: HashMap::new(),
+        }
+    }
+
+    /// Spawn a client and attach it to `fwd` (usually the overlay's access
+    /// router). Returns the actor id; send [`Submit`] messages to drive it.
+    pub fn deploy(
+        config: ClientConfig,
+        sim: &mut Sim,
+        fwd: ActorId,
+        alloc: &FaceIdAlloc,
+        label: impl Into<String>,
+    ) -> ActorId {
+        let client = sim.spawn(label.into(), ScienceClient::new(config));
+        let face = attach_app(sim, fwd, client, alloc);
+        sim.actor_mut::<ScienceClient>(client).unwrap().consumer =
+            Some(Consumer::new(fwd, face));
+        client
+    }
+
+    /// The recorded runs.
+    pub fn runs(&self) -> &[JobRun] {
+        &self.runs
+    }
+
+    /// Count of successful runs.
+    pub fn successes(&self) -> usize {
+        self.runs.iter().filter(|r| r.is_success()).count()
+    }
+
+    fn express_submit(&mut self, record: usize, ctx: &mut Ctx<'_>) {
+        let request = self.runs[record].request.clone();
+        let name = request.to_name();
+        let interest = Interest::new(name.clone())
+            .must_be_fresh(self.config.submit_must_be_fresh)
+            .with_lifetime(SimDuration::from_secs(4));
+        self.active_submits.insert(name, record);
+        self.consumer
+            .as_mut()
+            .expect("deployed")
+            .express(ctx, interest, self.config.retries);
+    }
+
+    fn on_submit(&mut self, request: ComputeRequest, ctx: &mut Ctx<'_>) {
+        let record = self.runs.len();
+        self.runs.push(JobRun::new(request, ctx.now()));
+        self.express_submit(record, ctx);
+        ctx.metrics().incr("client.submissions", 1);
+    }
+
+    fn schedule_poll(&mut self, record: usize, delay: SimDuration, ctx: &mut Ctx<'_>) {
+        ctx.schedule_self(delay, PollTick { record });
+    }
+
+    fn express_poll(&mut self, record: usize, ctx: &mut Ctx<'_>) {
+        let Some(job_id) = self.runs[record].job_id.clone() else {
+            return;
+        };
+        let name = JobId(job_id).status_name();
+        let interest = Interest::new(name.clone())
+            .must_be_fresh(true)
+            .with_lifetime(SimDuration::from_secs(4));
+        self.active_polls.insert(name, record);
+        self.runs[record].polls += 1;
+        self.consumer
+            .as_mut()
+            .expect("deployed")
+            .express(ctx, interest, self.config.retries);
+    }
+
+    fn maybe_resubmit(&mut self, record: usize, why: &str, ctx: &mut Ctx<'_>) {
+        let run = &mut self.runs[record];
+        if run.resubmits < self.config.resubmit_attempts {
+            run.resubmits += 1;
+            run.job_id = None;
+            run.cluster = None;
+            run.ack_at = None;
+            run.status_failures = 0;
+            ctx.metrics().incr("client.resubmissions", 1);
+            ctx.schedule_self(SimDuration::from_secs(1), Resubmit { record });
+        } else {
+            run.error = Some(why.to_owned());
+            ctx.metrics().incr("client.failed_runs", 1);
+        }
+    }
+
+    fn on_data(&mut self, data: Data, ctx: &mut Ctx<'_>) {
+        let name = data.name.clone();
+        if let Some(record) = self.active_submits.remove(&name) {
+            if data.content_type == ContentType::Nack {
+                let message = String::from_utf8_lossy(&data.content).into_owned();
+                self.runs[record].error = Some(message);
+                ctx.metrics().incr("client.rejected_runs", 1);
+                return;
+            }
+            let Some(ack) = SubmitAck::from_text(&String::from_utf8_lossy(&data.content)) else {
+                self.runs[record].error = Some("unparseable ack".to_owned());
+                return;
+            };
+            let run = &mut self.runs[record];
+            run.ack_at = Some(ctx.now());
+            run.job_id = Some(ack.job_id.clone());
+            run.cluster = Some(ack.cluster.clone());
+            if ack.state == "Completed" {
+                run.served_from_cache = true;
+                // Ask for the result pointer right away.
+                self.schedule_poll(record, SimDuration::ZERO, ctx);
+            } else {
+                self.schedule_poll(record, self.config.poll_interval, ctx);
+            }
+            return;
+        }
+        if let Some(record) = self.active_polls.remove(&name) {
+            if data.content_type == ContentType::Nack {
+                // Unknown job (e.g. the request was rerouted after a crash).
+                self.maybe_resubmit(record, "status-nack", ctx);
+                return;
+            }
+            let Some(state) = JobState::from_text(&String::from_utf8_lossy(&data.content)) else {
+                self.runs[record].error = Some("unparseable status".to_owned());
+                return;
+            };
+            self.runs[record].status_failures = 0;
+            match state {
+                JobState::Pending => {
+                    self.schedule_poll(record, self.config.poll_interval, ctx);
+                }
+                JobState::Running { eta_secs } => {
+                    let run = &mut self.runs[record];
+                    if run.first_running_at.is_none() {
+                        run.first_running_at = Some(ctx.now());
+                    }
+                    run.last_eta_secs = eta_secs;
+                    self.schedule_poll(record, self.config.poll_interval, ctx);
+                }
+                JobState::Completed { result, size } => {
+                    let fetch = self.config.fetch_results;
+                    let run = &mut self.runs[record];
+                    run.completed_at = Some(ctx.now());
+                    run.result_name = Some(result.clone());
+                    run.result_size = size;
+                    ctx.metrics().incr("client.completed_runs", 1);
+                    if fetch {
+                        let interest = Interest::new(result.clone())
+                            .with_lifetime(SimDuration::from_secs(4));
+                        self.active_fetches.insert(result, record);
+                        self.consumer
+                            .as_mut()
+                            .expect("deployed")
+                            .express(ctx, interest, self.config.retries);
+                    }
+                }
+                JobState::Failed { error } => {
+                    self.runs[record].error = Some(format!("job-failed: {error}"));
+                    ctx.metrics().incr("client.failed_runs", 1);
+                }
+            }
+            return;
+        }
+        // Result fetches may return the object itself or a manifest; either
+        // way the name matches what we asked for (or extends it via
+        // CanBePrefix — not used here).
+        if let Some(record) = self.active_fetches.remove(&name) {
+            if data.content_type == ContentType::Nack {
+                self.runs[record].error = Some("result-fetch-nack".to_owned());
+            } else {
+                self.runs[record].fetched_at = Some(ctx.now());
+                ctx.metrics().incr("client.results_fetched", 1);
+            }
+        }
+    }
+
+    fn on_failure(&mut self, interest: Interest, what: &str, ctx: &mut Ctx<'_>) {
+        let name = interest.name.clone();
+        if let Some(record) = self.active_submits.remove(&name) {
+            self.maybe_resubmit(record, &format!("submit-{what}"), ctx);
+            return;
+        }
+        if let Some(record) = self.active_polls.remove(&name) {
+            let run = &mut self.runs[record];
+            run.status_failures += 1;
+            if run.status_failures >= self.config.max_status_failures {
+                self.maybe_resubmit(record, &format!("status-{what}"), ctx);
+            } else {
+                self.schedule_poll(record, self.config.poll_interval, ctx);
+            }
+            return;
+        }
+        if let Some(record) = self.active_fetches.remove(&name) {
+            self.runs[record].error = Some(format!("fetch-{what}"));
+        }
+    }
+}
+
+impl Actor for ScienceClient {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        let msg = match msg.downcast::<Submit>() {
+            Ok(s) => {
+                self.on_submit(s.0, ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<PollTick>() {
+            Ok(t) => {
+                self.express_poll(t.record, ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Resubmit>() {
+            Ok(r) => {
+                self.express_submit(r.record, ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<AppRx>() {
+            Ok(rx) => {
+                let event = self.consumer.as_mut().expect("deployed").on_app_rx(&rx);
+                match event {
+                    Some(ConsumerEvent::Data(data)) => self.on_data(data, ctx),
+                    Some(ConsumerEvent::Nack(_, interest)) => {
+                        self.on_failure(interest, "nack", ctx)
+                    }
+                    Some(ConsumerEvent::Timeout(interest)) => {
+                        self.on_failure(interest, "timeout", ctx)
+                    }
+                    None => {}
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(t) = msg.downcast::<RetxTimer>() {
+            let event = self.consumer.as_mut().expect("deployed").on_timer(ctx, &t);
+            match event {
+                Some(ConsumerEvent::Timeout(interest)) => self.on_failure(interest, "timeout", ctx),
+                Some(ConsumerEvent::Data(data)) => self.on_data(data, ctx),
+                Some(ConsumerEvent::Nack(_, interest)) => self.on_failure(interest, "nack", ctx),
+                None => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! The LIDC gateway: the per-cluster decision-maker (paper Fig. 4).
+//!
+//! "The Gateway acts as a decision-maker, determining how to process the
+//! incoming Interest. If the Interest relates to computational tasks, the
+//! Gateway parses the Interest to understand details such as the specific
+//! application to be activated, the target dataset, and other application
+//! parameters like memory capacity and CPU needs. Once these details are
+//! clear, the Gateway initiates a Kubernetes job to run the desired
+//! computation task." (§III-C)
+//!
+//! The gateway is an NDN producer on the cluster's gateway NFD. It:
+//!
+//! 1. classifies Interests by the LIDC name grammar;
+//! 2. runs application-specific validation;
+//! 3. consults the result cache (future-work §VII, implemented);
+//! 4. plans the job through the genomics cost model and creates a
+//!    Kubernetes Job;
+//! 5. answers `/ndn/k8s/status/<cluster>/<job>` checks against the API
+//!    server;
+//! 6. publishes completed results back into the data lake and feeds the
+//!    completion-time predictor.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use lidc_datalake::content::Content;
+use lidc_datalake::repo::SharedRepo;
+use lidc_genomics::blast::{plan_blast, BlastError};
+use lidc_genomics::costmodel::CostModel;
+use lidc_k8s::cluster::{Cluster, Nudge};
+use lidc_k8s::job::JobCondition;
+use lidc_k8s::meta::ObjectKey;
+use lidc_k8s::pod::{ContainerSpec, PodSpec, WorkloadSpec};
+use lidc_k8s::resources::Resources;
+use lidc_ndn::app::Producer;
+use lidc_ndn::forwarder::AppRx;
+use lidc_ndn::name::Name;
+use lidc_ndn::packet::{ContentType, Data, Interest, Packet};
+use lidc_simcore::engine::{Actor, Ctx, Msg};
+use lidc_simcore::time::SimDuration;
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::naming::{classify, data_prefix, ComputeRequest, JobId, RequestKind};
+use crate::predictor::{JobFeatures, RuntimePredictor};
+use crate::status::{JobState, SubmitAck};
+use crate::validation::ValidatorRegistry;
+
+/// Shared handle to a predictor (placement strategies read it).
+pub type SharedPredictor = Arc<RwLock<RuntimePredictor>>;
+
+/// Gateway tuning knobs.
+pub struct GatewayConfig {
+    /// Cluster name (prefixed onto job ids).
+    pub cluster_name: String,
+    /// Result-cache capacity (0 = off; the base paper system runs without).
+    pub result_cache_capacity: usize,
+    /// Freshness of submit-ack Data. Zero means acks are never "fresh", so
+    /// `MustBeFresh` compute Interests always reach the gateway; a long
+    /// freshness lets the NDN Content Store answer identical requests (the
+    /// network half of the caching ablation).
+    pub ack_freshness: SimDuration,
+    /// Freshness of status responses.
+    pub status_freshness: SimDuration,
+    /// Validators.
+    pub validators: ValidatorRegistry,
+    /// Cost model used for planning.
+    pub model: CostModel,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            cluster_name: "cluster".to_owned(),
+            result_cache_capacity: 0,
+            ack_freshness: SimDuration::ZERO,
+            status_freshness: SimDuration::from_millis(100),
+            validators: ValidatorRegistry::standard(),
+            model: CostModel::paper_calibrated(),
+        }
+    }
+}
+
+/// Per-job bookkeeping.
+#[derive(Debug, Clone)]
+struct JobRecord {
+    request: ComputeRequest,
+    k8s_key: ObjectKey,
+    /// Result name relative to the lake prefix.
+    output_rel: Name,
+    output_bytes: u64,
+    input_bytes: u64,
+    expected: SimDuration,
+    published: bool,
+}
+
+/// Gateway statistics (diagnostics and experiment outputs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Jobs admitted and created on Kubernetes.
+    pub jobs_created: u64,
+    /// Requests rejected by validation.
+    pub validation_failures: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Status queries served.
+    pub status_queries: u64,
+    /// Results published to the lake.
+    pub results_published: u64,
+    /// Interests that did not parse as any LIDC request.
+    pub unknown_requests: u64,
+}
+
+/// Internal timer: check whether a job finished (and publish its result).
+#[derive(Debug)]
+struct CheckJob {
+    job_id: String,
+}
+
+/// The gateway actor.
+pub struct Gateway {
+    producer: Option<Producer>,
+    config: GatewayConfig,
+    cluster: Cluster,
+    repo: SharedRepo,
+    lake_prefix: Name,
+    cache: ResultCache,
+    predictor: SharedPredictor,
+    jobs: HashMap<String, JobRecord>,
+    next_job: u64,
+    /// Statistics.
+    pub stats: GatewayStats,
+}
+
+impl Gateway {
+    /// Build a gateway for `cluster`, publishing results into `repo`.
+    pub fn new(config: GatewayConfig, cluster: Cluster, repo: SharedRepo) -> Self {
+        let cache = ResultCache::new(config.result_cache_capacity);
+        Gateway {
+            producer: None,
+            config,
+            cluster,
+            repo,
+            lake_prefix: data_prefix(),
+            cache,
+            predictor: Arc::new(RwLock::new(RuntimePredictor::new())),
+            jobs: HashMap::new(),
+            next_job: 0,
+            stats: GatewayStats::default(),
+        }
+    }
+
+    /// Set the producer after the face is attached (done by the deployer).
+    pub fn set_producer(&mut self, producer: Producer) {
+        self.producer = Some(producer);
+    }
+
+    /// The shared completion-time predictor.
+    pub fn predictor(&self) -> SharedPredictor {
+        self.predictor.clone()
+    }
+
+    /// Replace the predictor with a shared one (the overlay injects its
+    /// network-wide predictor so every gateway's observations train the
+    /// same model — the §VII "intelligence in the network").
+    pub fn set_predictor(&mut self, predictor: SharedPredictor) {
+        self.predictor = predictor;
+    }
+
+    /// Result-cache statistics.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+
+    fn reply(&self, ctx: &mut Ctx<'_>, data: Data) {
+        self.producer.expect("gateway deployed").reply(ctx, data);
+    }
+
+    fn reply_nack(&mut self, ctx: &mut Ctx<'_>, name: Name, message: String) {
+        let data = Data::new(name, message.into_bytes())
+            .with_content_type(ContentType::Nack)
+            .with_freshness(SimDuration::from_millis(100))
+            .sign_digest();
+        self.reply(ctx, data);
+    }
+
+    fn on_compute(&mut self, interest: Interest, request: ComputeRequest, ctx: &mut Ctx<'_>) {
+        // 1. Application-specific validation (§IV-B).
+        if let Err(e) = self.config.validators.validate(&request) {
+            self.stats.validation_failures += 1;
+            ctx.metrics().incr("gateway.validation_failures", 1);
+            self.reply_nack(ctx, interest.name, format!("validation-error: {e}"));
+            return;
+        }
+        // 2. Result cache (§VII future work, implemented).
+        let cache_key = request.canonical_key();
+        if self.cache.enabled() {
+            if let Some(cached) = self.cache.get(&cache_key) {
+                self.stats.cache_hits += 1;
+                ctx.metrics().incr("gateway.cache_hits", 1);
+                let ack = SubmitAck {
+                    job_id: cached.job_id.clone(),
+                    cluster: self.config.cluster_name.clone(),
+                    state: "Completed".to_owned(),
+                };
+                let data = Data::new(interest.name, ack.to_text().into_bytes())
+                    .with_freshness(self.config.ack_freshness)
+                    .sign_digest();
+                self.reply(ctx, data);
+                return;
+            }
+        }
+        // 3. Plan the job.
+        let plan = match self.plan(&request) {
+            Ok(p) => p,
+            Err(message) => {
+                self.stats.validation_failures += 1;
+                self.reply_nack(ctx, interest.name, message);
+                return;
+            }
+        };
+        // 4. Create the Kubernetes job.
+        let seq = self.next_job;
+        self.next_job += 1;
+        let job_id = format!("{}/job-{seq}", self.config.cluster_name);
+        let k8s_name = format!("job-{seq}");
+        let template = PodSpec::single(ContainerSpec {
+            name: request.app.to_lowercase(),
+            image: format!("lidc/{}:latest", request.app.to_lowercase()),
+            requests: Resources::new(request.cpu_cores, request.mem_gib),
+            workload: WorkloadSpec::Run {
+                duration: plan.duration,
+                output: Some((plan.output_rel.to_uri(), plan.output_bytes)),
+            },
+        });
+        let created = {
+            let now = ctx.now();
+            let job = lidc_k8s::job::Job::new(
+                lidc_k8s::meta::ObjectMeta::named(&k8s_name),
+                template,
+                2,
+            );
+            self.cluster.api.write().create_job(job, now)
+        };
+        let key = match created {
+            Ok(key) => key,
+            Err(e) => {
+                self.reply_nack(ctx, interest.name, format!("job-create-failed: {e}"));
+                return;
+            }
+        };
+        ctx.send(self.cluster.actor, Nudge);
+        self.jobs.insert(job_id.clone(), JobRecord {
+            request: request.clone(),
+            k8s_key: key,
+            output_rel: plan.output_rel,
+            output_bytes: plan.output_bytes,
+            input_bytes: plan.input_bytes,
+            expected: plan.duration,
+            published: false,
+        });
+        self.stats.jobs_created += 1;
+        ctx.metrics().incr("gateway.jobs_created", 1);
+        // Check for completion a little after the expected finish (covers
+        // the pod-start latency; re-arms itself while the job is queued).
+        ctx.schedule_self(
+            plan.duration + SimDuration::from_secs(2),
+            CheckJob {
+                job_id: job_id.clone(),
+            },
+        );
+        // 5. Acknowledge with the job id (§IV-A).
+        let ack = SubmitAck {
+            job_id,
+            cluster: self.config.cluster_name.clone(),
+            state: "Pending".to_owned(),
+        };
+        let data = Data::new(interest.name, ack.to_text().into_bytes())
+            .with_freshness(self.config.ack_freshness)
+            .sign_digest();
+        self.reply(ctx, data);
+    }
+
+    fn plan(&self, request: &ComputeRequest) -> Result<PlannedJob, String> {
+        // Admission: the job's pod must fit on at least one ready node even
+        // when empty — otherwise it would sit Pending forever and the
+        // client would poll indefinitely. NACK now instead (the overlay
+        // then lets the client try a bigger cluster).
+        let wanted = Resources::new(request.cpu_cores, request.mem_gib);
+        let feasible = {
+            let api = self.cluster.api.read();
+            api.nodes
+                .values()
+                .any(|n| n.ready && wanted.fits_in(&n.allocatable))
+        };
+        if !feasible {
+            return Err(format!(
+                "infeasible: cpu={} mem={}GiB exceeds every node on this cluster",
+                request.cpu_cores, request.mem_gib
+            ));
+        }
+        if request.app == "BLAST" {
+            let srr = request.param("srr").ok_or("missing srr")?;
+            let reference = request.param("ref").ok_or("missing ref")?;
+            let plan = plan_blast(
+                &self.config.model,
+                srr,
+                reference,
+                request.cpu_cores,
+                request.mem_gib,
+            )
+            .map_err(|e: BlastError| format!("plan-error: {e}"))?;
+            // The input must actually be in the lake (loaded per §V-B).
+            let input_full = self.lake_prefix.join(&plan.input_name);
+            if !self.repo.contains(&input_full) {
+                return Err(format!("input-not-in-lake: {input_full}"));
+            }
+            // Results carry the cluster segment so retrieval routes here.
+            let output_rel = Name::root()
+                .child_str("results")
+                .child_str(&self.config.cluster_name)
+                .child_str(&format!("{srr}-vs-{}", reference.to_uppercase()));
+            Ok(PlannedJob {
+                duration: plan.duration,
+                output_bytes: plan.output_bytes,
+                output_rel,
+                input_bytes: plan.input_bytes,
+            })
+        } else {
+            // Generic app: input size from `input=` (lake object) or `size=`.
+            let input_bytes = if let Some(input) = request.param("input") {
+                let name = Name::parse(input).map_err(|e| format!("bad input name: {e}"))?;
+                let full = self.lake_prefix.join(&name);
+                match self.repo.get(&full) {
+                    Some(c) => c.len(),
+                    None => return Err(format!("input-not-in-lake: {full}")),
+                }
+            } else if let Some(size) = request.param("size") {
+                size.parse::<u64>().map_err(|_| "bad size parameter".to_owned())?
+            } else {
+                1_000_000_000
+            };
+            let est = self.config.model.estimate(
+                &request.app,
+                None,
+                input_bytes,
+                request.cpu_cores,
+                request.mem_gib,
+            );
+            let output_rel = Name::root()
+                .child_str("results")
+                .child_str(&self.config.cluster_name)
+                .child_str(&format!(
+                    "{}-{:x}",
+                    request.app.to_lowercase(),
+                    fnv(request.canonical_key().as_bytes())
+                ));
+            Ok(PlannedJob {
+                duration: est.duration,
+                output_bytes: est.output_bytes,
+                output_rel,
+                input_bytes,
+            })
+        }
+    }
+
+    fn on_status(&mut self, interest: Interest, id: JobId, ctx: &mut Ctx<'_>) {
+        self.stats.status_queries += 1;
+        ctx.metrics().incr("gateway.status_queries", 1);
+        let Some(record) = self.jobs.get(&id.0).cloned() else {
+            self.reply_nack(ctx, interest.name, format!("unknown-job: {id}"));
+            return;
+        };
+        // "The client can inquire about the status of a job by asking the
+        // gateway, which then checks with the Kubernetes service." (§IV)
+        let job = self.cluster.job(&record.k8s_key);
+        let started_at = job.as_ref().and_then(|j| j.status.started_at);
+        let condition = job.map(|j| (j.status.condition, j.status.message.clone()));
+        let state = match condition {
+            None | Some((JobCondition::Pending, _)) => JobState::Pending,
+            Some((JobCondition::Running, _)) => JobState::Running {
+                eta_secs: self.eta_secs(&record, started_at, ctx.now()),
+            },
+            Some((JobCondition::Completed, _)) => {
+                self.publish_if_needed(&id.0, ctx);
+                JobState::Completed {
+                    result: self.lake_prefix.join(&record.output_rel),
+                    size: record.output_bytes,
+                }
+            }
+            Some((JobCondition::Failed, message)) => JobState::Failed { error: message },
+        };
+        let data = Data::new(interest.name, state.to_text().into_bytes())
+            .with_freshness(self.config.status_freshness)
+            .sign_digest();
+        self.reply(ctx, data);
+    }
+
+    /// Predicted seconds until a running job completes (§VII): the trained
+    /// predictor's estimate when it has history for this application,
+    /// otherwise the planning-time cost-model expectation; either way minus
+    /// the time already spent executing.
+    fn eta_secs(
+        &self,
+        record: &JobRecord,
+        started_at: Option<lidc_simcore::time::SimTime>,
+        now: lidc_simcore::time::SimTime,
+    ) -> Option<u64> {
+        let features = JobFeatures {
+            input_bytes: record.input_bytes,
+            cpu_cores: record.request.cpu_cores,
+            mem_gib: record.request.mem_gib,
+        };
+        let total_secs = self
+            .predictor
+            .read()
+            .predict(&record.request.app, features)
+            .unwrap_or_else(|| record.expected.as_secs_f64());
+        let elapsed = started_at
+            .map(|t| now.since(t).as_secs_f64())
+            .unwrap_or(0.0);
+        Some((total_secs - elapsed).max(0.0).round() as u64)
+    }
+
+    /// Publish the result object and train the predictor, once.
+    fn publish_if_needed(&mut self, job_id: &str, ctx: &mut Ctx<'_>) {
+        let Some(record) = self.jobs.get(job_id) else {
+            return;
+        };
+        if record.published {
+            return;
+        }
+        let Some(job) = self.cluster.job(&record.k8s_key) else {
+            return;
+        };
+        if job.status.condition != JobCondition::Completed {
+            return;
+        }
+        let record = self.jobs.get_mut(job_id).expect("present");
+        record.published = true;
+        let full = self.lake_prefix.join(&record.output_rel);
+        let seed = fnv(full.to_uri().as_bytes());
+        self.repo
+            .put(&full, Content::synthetic(record.output_bytes, seed));
+        self.stats.results_published += 1;
+        ctx.metrics().incr("gateway.results_published", 1);
+        self.cluster.api.write().record_event(
+            ctx.now(),
+            "ResultPublished",
+            full.to_uri(),
+            format!("{} bytes", record.output_bytes),
+        );
+        // Train the predictor on the observed runtime (§VII).
+        if let Some(actual) = job.run_time() {
+            let features = JobFeatures {
+                input_bytes: record.input_bytes,
+                cpu_cores: record.request.cpu_cores,
+                mem_gib: record.request.mem_gib,
+            };
+            self.predictor
+                .write()
+                .observe(&record.request.app, features, actual.as_secs_f64());
+        }
+        // Record in the result cache.
+        if self.cache.enabled() {
+            let key = record.request.canonical_key();
+            let cached = CachedResult {
+                result: full,
+                size: record.output_bytes,
+                job_id: job_id.to_owned(),
+            };
+            self.cache.insert(key, cached);
+        }
+    }
+
+    fn on_check_job(&mut self, job_id: String, ctx: &mut Ctx<'_>) {
+        let Some(record) = self.jobs.get(&job_id) else {
+            return;
+        };
+        match self.cluster.job_condition(&record.k8s_key) {
+            Some(JobCondition::Completed) => self.publish_if_needed(&job_id, ctx),
+            Some(JobCondition::Failed) | None => {}
+            Some(JobCondition::Pending) | Some(JobCondition::Running) => {
+                // Still queued or executing (cluster may be saturated);
+                // check again later.
+                let delay = (record.expected / 4).max(SimDuration::from_secs(10));
+                ctx.schedule_self(delay, CheckJob { job_id });
+            }
+        }
+    }
+}
+
+/// Result of planning (internal).
+struct PlannedJob {
+    duration: SimDuration,
+    output_bytes: u64,
+    output_rel: Name,
+    input_bytes: u64,
+}
+
+/// FNV-1a hash (content seeds, request digests).
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl Actor for Gateway {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        let msg = match msg.downcast::<AppRx>() {
+            Ok(rx) => {
+                if let Packet::Interest(interest) = rx.packet {
+                    match classify(&interest.name) {
+                        RequestKind::Compute(request) => self.on_compute(interest, request, ctx),
+                        RequestKind::Status(id) => self.on_status(interest, id, ctx),
+                        RequestKind::MalformedCompute(e) => {
+                            self.stats.unknown_requests += 1;
+                            self.reply_nack(ctx, interest.name, format!("malformed-request: {e}"));
+                        }
+                        RequestKind::Data(_) | RequestKind::Unknown => {
+                            // Data Interests are routed to the data-lake NFD,
+                            // not here; answer defensively.
+                            self.stats.unknown_requests += 1;
+                            self.reply_nack(ctx, interest.name, "not-a-gateway-name".to_owned());
+                        }
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(check) = msg.downcast::<CheckJob>() {
+            self.on_check_job(check.job_id, ctx);
+        }
+    }
+}

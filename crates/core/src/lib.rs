@@ -1,0 +1,60 @@
+//! # lidc-core — Location Independent Data and Compute
+//!
+//! The paper's primary contribution (DESIGN.md §3): a decentralized control
+//! plane that places computations on geographically dispersed Kubernetes
+//! clusters using semantic names.
+//!
+//! * [`naming`] — the `/ndn/k8s/{compute,data,status}` name grammar (plus
+//!   the HTTP-URL extension of §II).
+//! * [`status`] — the Pending/Running/Completed/Failed status protocol.
+//! * [`validation`] — modular per-application request validators (§IV-B).
+//! * [`gateway`] — the per-cluster decision-maker mapping named requests to
+//!   Kubernetes jobs (Fig. 4).
+//! * [`http`] — the HTTP(S) front-end translating web requests onto the
+//!   same semantic names (§II's "HTTP(s)-based naming" claim).
+//! * [`cluster`] — full LIDC cluster assembly (gateway NFD + data-lake NFD +
+//!   K8s + PVC/NFS data lake, §IV).
+//! * [`overlay`] — the multi-cluster compute overlay with join/fail/leave.
+//! * [`placement`] — nearest / round-robin / adaptive / least-loaded /
+//!   learned placement policies (§VII implemented).
+//! * [`cache`] — gateway result caching (§VII implemented).
+//! * [`predictor`] — online completion-time prediction (§VII implemented).
+//! * [`client`] — the science-user client driving the Fig. 5 workflow.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod cluster;
+pub mod gateway;
+pub mod http;
+pub mod naming;
+pub mod overlay;
+pub mod placement;
+pub mod predictor;
+pub mod status;
+pub mod validation;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::cache::{CachedResult, ResultCache};
+    pub use crate::client::{ClientConfig, JobRun, ScienceClient, Submit};
+    pub use crate::cluster::{LidcCluster, LidcClusterConfig};
+    pub use crate::gateway::{Gateway, GatewayConfig, GatewayStats, SharedPredictor};
+    pub use crate::http::{HttpBridge, HttpCall, HttpReply, HttpRequest, HttpResponse};
+    pub use crate::naming::{
+        classify, compute_prefix, data_prefix, status_prefix, ComputeRequest, JobId, NamingError,
+        RequestKind,
+    };
+    pub use crate::overlay::{ClusterSpec, Overlay, OverlayConfig};
+    pub use crate::placement::{
+        strategy_for, LoadBoard, PlacementPolicy, spawn_load_reporter,
+    };
+    pub use crate::predictor::{JobFeatures, RuntimePredictor};
+    pub use crate::status::{JobState, SubmitAck};
+    pub use crate::validation::{
+        BlastValidator, CompressValidator, UnknownAppPolicy, ValidationError, Validator,
+        ValidatorRegistry,
+    };
+}

@@ -1,0 +1,363 @@
+//! The LIDC semantic naming grammar.
+//!
+//! The paper's §III-B/C: computations, data, and status checks are all
+//! expressed as names under three prefixes —
+//!
+//! * `/ndn/k8s/compute/<params>` where `<params>` is one component like
+//!   `mem=4&cpu=6&app=BLAST&srr=SRR2931415&ref=HUMAN`;
+//! * `/ndn/k8s/data/<object...>` for the data lake;
+//! * `/ndn/k8s/status/<job-id>` for job status checks.
+//!
+//! §II also claims "HTTP(s)-based naming of computational jobs can also
+//! match them to appropriate endpoints" — [`ComputeRequest::from_http_url`]
+//! parses `https://…/compute?mem=4&cpu=6&app=BLAST` into the same request,
+//! implementing that extension.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use lidc_ndn::name::Name;
+use lidc_ndn::name;
+
+/// The compute prefix.
+pub fn compute_prefix() -> Name {
+    name!("/ndn/k8s/compute")
+}
+
+/// The data prefix.
+pub fn data_prefix() -> Name {
+    name!("/ndn/k8s/data")
+}
+
+/// The status prefix.
+pub fn status_prefix() -> Name {
+    name!("/ndn/k8s/status")
+}
+
+/// A semantic compute request: application, resources, and free-form
+/// parameters (dataset ids, reference database, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComputeRequest {
+    /// Application name (`BLAST`, `COMPRESS`, …).
+    pub app: String,
+    /// Requested CPU cores.
+    pub cpu_cores: u64,
+    /// Requested memory in GiB.
+    pub mem_gib: u64,
+    /// Remaining parameters, sorted by key.
+    pub params: BTreeMap<String, String>,
+}
+
+impl ComputeRequest {
+    /// A request for `app` with the paper's default shape.
+    pub fn new(app: impl Into<String>, cpu_cores: u64, mem_gib: u64) -> Self {
+        ComputeRequest {
+            app: app.into(),
+            cpu_cores,
+            mem_gib,
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Builder: add a parameter.
+    pub fn with_param(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.params.insert(k.into(), v.into());
+        self
+    }
+
+    /// Get a parameter.
+    pub fn param(&self, k: &str) -> Option<&str> {
+        self.params.get(k).map(String::as_str)
+    }
+
+    /// Parse the `&`-separated parameter component
+    /// (`mem=4&cpu=6&app=BLAST&srr=…`).
+    pub fn from_param_component(component: &str) -> Result<ComputeRequest, NamingError> {
+        let mut app = None;
+        let mut cpu = None;
+        let mut mem = None;
+        let mut params = BTreeMap::new();
+        for pair in component.split('&') {
+            if pair.is_empty() {
+                continue;
+            }
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| NamingError::MalformedPair(pair.to_owned()))?;
+            match k {
+                "app" => app = Some(v.to_owned()),
+                "cpu" => {
+                    cpu = Some(v.parse().map_err(|_| NamingError::BadNumber("cpu"))?);
+                }
+                "mem" => {
+                    mem = Some(v.parse().map_err(|_| NamingError::BadNumber("mem"))?);
+                }
+                _ => {
+                    params.insert(k.to_owned(), v.to_owned());
+                }
+            }
+        }
+        Ok(ComputeRequest {
+            app: app.ok_or(NamingError::MissingApp)?,
+            cpu_cores: cpu.unwrap_or(1),
+            mem_gib: mem.unwrap_or(1),
+            params,
+        })
+    }
+
+    /// Render the parameter component in canonical order
+    /// (`mem`, `cpu`, `app`, then sorted params) — the paper's example order.
+    pub fn to_param_component(&self) -> String {
+        let mut out = format!("mem={}&cpu={}&app={}", self.mem_gib, self.cpu_cores, self.app);
+        for (k, v) in &self.params {
+            out.push_str(&format!("&{k}={v}"));
+        }
+        out
+    }
+
+    /// The full compute Interest name
+    /// (`/ndn/k8s/compute/mem=4&cpu=6&app=BLAST…`).
+    pub fn to_name(&self) -> Name {
+        compute_prefix().child_str(&self.to_param_component())
+    }
+
+    /// Parse a full compute name.
+    pub fn from_name(name: &Name) -> Result<ComputeRequest, NamingError> {
+        let prefix = compute_prefix();
+        if !prefix.is_prefix_of(name) || name.len() != prefix.len() + 1 {
+            return Err(NamingError::NotAComputeName(name.clone()));
+        }
+        let component = name
+            .get(prefix.len())
+            .and_then(|c| c.as_str())
+            .ok_or_else(|| NamingError::NotAComputeName(name.clone()))?;
+        ComputeRequest::from_param_component(component)
+    }
+
+    /// Parse an HTTP(S) URL form (`https://host/compute?mem=4&cpu=6&app=X`).
+    pub fn from_http_url(url: &str) -> Result<ComputeRequest, NamingError> {
+        let rest = url
+            .strip_prefix("https://")
+            .or_else(|| url.strip_prefix("http://"))
+            .ok_or(NamingError::NotHttp)?;
+        let (_, path_q) = rest.split_once('/').ok_or(NamingError::NotHttp)?;
+        let (path, query) = path_q.split_once('?').unwrap_or((path_q, ""));
+        if path.trim_end_matches('/') != "compute" {
+            return Err(NamingError::NotHttp);
+        }
+        ComputeRequest::from_param_component(query)
+    }
+
+    /// Canonical cache key: identical requests (regardless of original
+    /// parameter order) share one key.
+    pub fn canonical_key(&self) -> String {
+        self.to_param_component()
+    }
+}
+
+impl fmt::Display for ComputeRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_param_component())
+    }
+}
+
+/// A job identifier minted by a gateway. The canonical form is
+/// `<cluster>/job-<n>` — the leading cluster segment makes status Interests
+/// routable to the owning cluster (`/ndn/k8s/status/<cluster>` is a routed
+/// prefix in the overlay).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub String);
+
+impl JobId {
+    /// The status Interest name for this job
+    /// (`/ndn/k8s/status/<cluster>/job-<n>`).
+    pub fn status_name(&self) -> Name {
+        let mut name = status_prefix();
+        for segment in self.0.split('/').filter(|s| !s.is_empty()) {
+            name = name.child_str(segment);
+        }
+        name
+    }
+
+    /// Parse a status name back into a job id.
+    pub fn from_status_name(name: &Name) -> Option<JobId> {
+        let prefix = status_prefix();
+        if !prefix.is_prefix_of(name) || name.len() <= prefix.len() {
+            return None;
+        }
+        let segments: Option<Vec<&str>> = name.components()[prefix.len()..]
+            .iter()
+            .map(|c| c.as_str())
+            .collect();
+        Some(JobId(segments?.join("/")))
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// What an incoming Interest is asking for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKind {
+    /// A compute placement request.
+    Compute(ComputeRequest),
+    /// A data-lake retrieval.
+    Data(Name),
+    /// A job status check.
+    Status(JobId),
+    /// A compute-name parse failure (malformed parameters).
+    MalformedCompute(NamingError),
+    /// None of the LIDC prefixes.
+    Unknown,
+}
+
+/// Classify an Interest name against the LIDC grammar.
+pub fn classify(interest_name: &Name) -> RequestKind {
+    if compute_prefix().is_prefix_of(interest_name) {
+        return match ComputeRequest::from_name(interest_name) {
+            Ok(req) => RequestKind::Compute(req),
+            Err(e) => RequestKind::MalformedCompute(e),
+        };
+    }
+    if status_prefix().is_prefix_of(interest_name) {
+        return match JobId::from_status_name(interest_name) {
+            Some(id) => RequestKind::Status(id),
+            None => RequestKind::Unknown,
+        };
+    }
+    if data_prefix().is_prefix_of(interest_name) {
+        return RequestKind::Data(interest_name.clone());
+    }
+    RequestKind::Unknown
+}
+
+/// Naming errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NamingError {
+    /// A `k=v` pair had no `=`.
+    MalformedPair(String),
+    /// `cpu=` / `mem=` value was not a number.
+    BadNumber(&'static str),
+    /// No `app=` parameter.
+    MissingApp,
+    /// The name is not under `/ndn/k8s/compute` with one parameter component.
+    NotAComputeName(Name),
+    /// Not an `http(s)://…/compute?…` URL.
+    NotHttp,
+}
+
+impl fmt::Display for NamingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NamingError::MalformedPair(p) => write!(f, "malformed parameter pair: {p}"),
+            NamingError::BadNumber(k) => write!(f, "non-numeric value for {k}"),
+            NamingError::MissingApp => write!(f, "missing app= parameter"),
+            NamingError::NotAComputeName(n) => write!(f, "not a compute name: {n}"),
+            NamingError::NotHttp => write!(f, "not an HTTP compute URL"),
+        }
+    }
+}
+
+impl std::error::Error for NamingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_round_trip() {
+        // The exact example from §III-C / Fig. 2.
+        let uri = "/ndn/k8s/compute/mem=4&cpu=6&app=BLAST";
+        let n = Name::parse(uri).unwrap();
+        let req = ComputeRequest::from_name(&n).unwrap();
+        assert_eq!(req.app, "BLAST");
+        assert_eq!(req.cpu_cores, 6);
+        assert_eq!(req.mem_gib, 4);
+        assert_eq!(req.to_name().to_uri(), uri);
+    }
+
+    #[test]
+    fn extra_params_preserved_sorted() {
+        let req = ComputeRequest::new("BLAST", 2, 4)
+            .with_param("srr", "SRR2931415")
+            .with_param("ref", "HUMAN");
+        let component = req.to_param_component();
+        assert_eq!(component, "mem=4&cpu=2&app=BLAST&ref=HUMAN&srr=SRR2931415");
+        let parsed = ComputeRequest::from_param_component(&component).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn canonical_key_order_independent() {
+        let a = ComputeRequest::from_param_component("app=X&cpu=1&mem=2&b=2&a=1").unwrap();
+        let b = ComputeRequest::from_param_component("a=1&b=2&mem=2&cpu=1&app=X").unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let req = ComputeRequest::from_param_component("app=X").unwrap();
+        assert_eq!((req.cpu_cores, req.mem_gib), (1, 1), "defaults");
+        assert_eq!(
+            ComputeRequest::from_param_component("cpu=2"),
+            Err(NamingError::MissingApp)
+        );
+        assert_eq!(
+            ComputeRequest::from_param_component("app=X&cpu=abc"),
+            Err(NamingError::BadNumber("cpu"))
+        );
+        assert_eq!(
+            ComputeRequest::from_param_component("app=X&junk"),
+            Err(NamingError::MalformedPair("junk".into()))
+        );
+    }
+
+    #[test]
+    fn http_url_extension() {
+        let req =
+            ComputeRequest::from_http_url("https://cluster.example/compute?mem=4&cpu=6&app=BLAST")
+                .unwrap();
+        assert_eq!(req, ComputeRequest::new("BLAST", 6, 4));
+        assert!(ComputeRequest::from_http_url("ftp://x/compute?app=X").is_err());
+        assert!(ComputeRequest::from_http_url("https://x/other?app=X").is_err());
+    }
+
+    #[test]
+    fn status_name_round_trip() {
+        let id = JobId("edge-a/job-7".into());
+        let n = id.status_name();
+        assert_eq!(n.to_uri(), "/ndn/k8s/status/edge-a/job-7");
+        assert_eq!(JobId::from_status_name(&n), Some(id));
+        assert_eq!(JobId::from_status_name(&name!("/ndn/k8s/status")), None);
+        // Single-segment ids still work.
+        let simple = JobId("job-1".into());
+        assert_eq!(
+            JobId::from_status_name(&simple.status_name()),
+            Some(simple)
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert!(matches!(
+            classify(&name!("/ndn/k8s/compute/mem=4&cpu=2&app=BLAST")),
+            RequestKind::Compute(_)
+        ));
+        assert!(matches!(
+            classify(&name!("/ndn/k8s/compute/garbage-without-app")),
+            RequestKind::MalformedCompute(_)
+        ));
+        assert!(matches!(
+            classify(&name!("/ndn/k8s/data/sra/SRR1/seg=0")),
+            RequestKind::Data(_)
+        ));
+        assert!(matches!(
+            classify(&name!("/ndn/k8s/status/job-1")),
+            RequestKind::Status(_)
+        ));
+        assert!(matches!(classify(&name!("/other/x")), RequestKind::Unknown));
+    }
+}

@@ -1,0 +1,208 @@
+//! Completion-time prediction from past runs (paper §VII, implemented
+//! future work).
+//!
+//! "We aim to … optimize the system by leveraging machine learning
+//! algorithms to predict completion times. Once the network knows cluster
+//! capabilities, it can select the best cluster based on computing and
+//! timing requirements, data size, past performances, and other factors."
+//!
+//! [`RuntimePredictor`] is an online least-squares regressor over
+//! `(log input size, cpu, mem, app)` features, trained incrementally from
+//! observed completions. The `Learned` placement policy combines its
+//! predictions with advertised cluster load.
+
+use std::collections::HashMap;
+
+/// Feature vector for one job observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobFeatures {
+    /// Input size in bytes.
+    pub input_bytes: u64,
+    /// Requested CPU cores.
+    pub cpu_cores: u64,
+    /// Requested memory (GiB).
+    pub mem_gib: u64,
+}
+
+impl JobFeatures {
+    fn vector(&self) -> [f64; 4] {
+        [
+            1.0,
+            // log1p keeps multi-GB inputs on a sane scale.
+            ((self.input_bytes as f64) + 1.0).ln(),
+            self.cpu_cores as f64,
+            self.mem_gib as f64,
+        ]
+    }
+}
+
+/// Per-application online linear model trained by stochastic gradient
+/// descent on normalised features.
+#[derive(Debug, Clone)]
+struct AppModel {
+    weights: [f64; 4],
+    observations: u64,
+    /// Running mean of the target (used before the model has converged and
+    /// as a sanity fallback).
+    mean_secs: f64,
+}
+
+impl AppModel {
+    fn new() -> Self {
+        AppModel {
+            weights: [0.0; 4],
+            observations: 0,
+            mean_secs: 0.0,
+        }
+    }
+
+    fn predict(&self, features: &JobFeatures) -> f64 {
+        let x = features.vector();
+        let raw: f64 = self.weights.iter().zip(&x).map(|(w, xi)| w * xi).sum();
+        if self.observations < 3 || !raw.is_finite() || raw < 0.0 {
+            self.mean_secs
+        } else {
+            raw
+        }
+    }
+
+    fn observe(&mut self, features: &JobFeatures, actual_secs: f64) {
+        self.observations += 1;
+        let n = self.observations as f64;
+        self.mean_secs += (actual_secs - self.mean_secs) / n;
+        // SGD with a decaying learning rate; features are O(1)–O(25) so a
+        // scale-normalised step keeps updates stable.
+        let x = features.vector();
+        let prediction: f64 = self.weights.iter().zip(&x).map(|(w, xi)| w * xi).sum();
+        let error = actual_secs - prediction;
+        let x_norm_sq: f64 = x.iter().map(|v| v * v).sum();
+        let rate = 0.5 / (1.0 + 0.05 * n);
+        let step = rate * error / x_norm_sq.max(1e-9);
+        for (w, xi) in self.weights.iter_mut().zip(&x) {
+            *w += step * xi;
+        }
+    }
+}
+
+/// The online completion-time predictor.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimePredictor {
+    models: HashMap<String, AppModel>,
+}
+
+impl RuntimePredictor {
+    /// An untrained predictor.
+    pub fn new() -> Self {
+        RuntimePredictor::default()
+    }
+
+    /// Number of observations recorded for `app`.
+    pub fn observations(&self, app: &str) -> u64 {
+        self.models.get(app).map(|m| m.observations).unwrap_or(0)
+    }
+
+    /// Record a completed run.
+    pub fn observe(&mut self, app: &str, features: JobFeatures, actual_secs: f64) {
+        self.models
+            .entry(app.to_owned())
+            .or_insert_with(AppModel::new)
+            .observe(&features, actual_secs);
+    }
+
+    /// Predict the runtime (seconds) of a prospective job. `None` until the
+    /// app has at least one observation.
+    pub fn predict(&self, app: &str, features: JobFeatures) -> Option<f64> {
+        let model = self.models.get(app)?;
+        if model.observations == 0 {
+            return None;
+        }
+        Some(model.predict(&features).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidc_simcore::rng::DetRng;
+
+    fn features(gb: f64, cpu: u64, mem: u64) -> JobFeatures {
+        JobFeatures {
+            input_bytes: (gb * 1e9) as u64,
+            cpu_cores: cpu,
+            mem_gib: mem,
+        }
+    }
+
+    #[test]
+    fn untrained_returns_none() {
+        let p = RuntimePredictor::new();
+        assert_eq!(p.predict("BLAST", features(2.0, 2, 4)), None);
+        assert_eq!(p.observations("BLAST"), 0);
+    }
+
+    #[test]
+    fn single_observation_predicts_mean() {
+        let mut p = RuntimePredictor::new();
+        p.observe("BLAST", features(2.0, 2, 4), 1000.0);
+        let pred = p.predict("BLAST", features(2.0, 2, 4)).unwrap();
+        assert!((pred - 1000.0).abs() < 1e-9, "mean fallback, got {pred}");
+    }
+
+    #[test]
+    fn converges_on_linear_ground_truth() {
+        // Ground truth: secs = 500·ln(bytes) − 20·cpu (a plausible shape).
+        let mut p = RuntimePredictor::new();
+        let mut rng = DetRng::new(1);
+        for _ in 0..4000 {
+            let gb = 0.5 + rng.next_f64() * 8.0;
+            let cpu = 1 + rng.next_below(8);
+            let f = features(gb, cpu, 4);
+            let truth = 500.0 * ((f.input_bytes as f64) + 1.0).ln() - 20.0 * cpu as f64;
+            p.observe("BLAST", f, truth);
+        }
+        // Held-out checks.
+        for (gb, cpu) in [(1.0, 2u64), (4.0, 4), (7.5, 1)] {
+            let f = features(gb, cpu, 4);
+            let truth = 500.0 * ((f.input_bytes as f64) + 1.0).ln() - 20.0 * cpu as f64;
+            let pred = p.predict("BLAST", f).unwrap();
+            let rel = (pred - truth).abs() / truth;
+            assert!(rel < 0.05, "gb={gb} cpu={cpu}: pred {pred} vs {truth} ({rel})");
+        }
+    }
+
+    #[test]
+    fn models_are_per_app() {
+        let mut p = RuntimePredictor::new();
+        p.observe("FAST", features(1.0, 2, 4), 10.0);
+        p.observe("SLOW", features(1.0, 2, 4), 10_000.0);
+        let fast = p.predict("FAST", features(1.0, 2, 4)).unwrap();
+        let slow = p.predict("SLOW", features(1.0, 2, 4)).unwrap();
+        assert!(slow > fast * 10.0);
+    }
+
+    #[test]
+    fn predictions_never_negative() {
+        let mut p = RuntimePredictor::new();
+        for i in 0..10 {
+            p.observe("X", features(0.1, 1, 1), 5.0 + i as f64);
+        }
+        let pred = p.predict("X", features(100.0, 64, 512)).unwrap();
+        assert!(pred >= 0.0);
+    }
+
+    #[test]
+    fn bigger_inputs_predict_longer_runtimes_after_training() {
+        let mut p = RuntimePredictor::new();
+        let mut rng = DetRng::new(2);
+        for _ in 0..2000 {
+            let gb = 0.5 + rng.next_f64() * 8.0;
+            let f = features(gb, 2, 4);
+            // Truth proportional to log-size (matches the feature basis).
+            let truth = 1000.0 * ((f.input_bytes as f64) + 1.0).ln();
+            p.observe("BLAST", f, truth);
+        }
+        let small = p.predict("BLAST", features(1.0, 2, 4)).unwrap();
+        let large = p.predict("BLAST", features(8.0, 2, 4)).unwrap();
+        assert!(large > small);
+    }
+}

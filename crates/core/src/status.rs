@@ -1,0 +1,209 @@
+//! The job-status protocol (`/ndn/k8s/status/<job-id>`).
+//!
+//! Responses carry one of the paper's four states (§IV-A): Completed (with
+//! a pointer for retrieving results from the data lake), Failed (with an
+//! error message), Running, or Pending. The wire form is a small line
+//! format inside the Data content.
+
+use lidc_ndn::name::Name;
+
+/// A status response state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// The application is starting.
+    Pending,
+    /// The application is running.
+    Running {
+        /// Predicted seconds until completion, when the gateway has a model
+        /// for the application (paper §VII: "leveraging machine learning
+        /// algorithms to predict completion times"). `None` for gateways
+        /// without enough history.
+        eta_secs: Option<u64>,
+    },
+    /// The application completed; results live at `result` in the lake.
+    Completed {
+        /// Data-lake name of the result object.
+        result: Name,
+        /// Result size in bytes.
+        size: u64,
+    },
+    /// The application errored.
+    Failed {
+        /// Error message.
+        error: String,
+    },
+}
+
+impl JobState {
+    /// Serialise to the wire text.
+    pub fn to_text(&self) -> String {
+        match self {
+            JobState::Pending => "state=Pending".to_owned(),
+            JobState::Running { eta_secs: None } => "state=Running".to_owned(),
+            JobState::Running {
+                eta_secs: Some(eta),
+            } => format!("state=Running\neta-secs={eta}"),
+            JobState::Completed { result, size } => {
+                format!("state=Completed\nresult={}\nsize={size}", result.to_uri())
+            }
+            JobState::Failed { error } => {
+                // Newlines in errors would corrupt the line format.
+                format!("state=Failed\nerror={}", error.replace('\n', " "))
+            }
+        }
+    }
+
+    /// Parse the wire text.
+    pub fn from_text(text: &str) -> Option<JobState> {
+        let mut state = None;
+        let mut result = None;
+        let mut size = None;
+        let mut error = None;
+        let mut eta_secs = None;
+        for line in text.lines() {
+            if let Some(v) = line.strip_prefix("state=") {
+                state = Some(v.to_owned());
+            } else if let Some(v) = line.strip_prefix("result=") {
+                result = Name::parse(v).ok();
+            } else if let Some(v) = line.strip_prefix("size=") {
+                size = v.parse().ok();
+            } else if let Some(v) = line.strip_prefix("error=") {
+                error = Some(v.to_owned());
+            } else if let Some(v) = line.strip_prefix("eta-secs=") {
+                eta_secs = v.parse().ok();
+            }
+        }
+        match state?.as_str() {
+            "Pending" => Some(JobState::Pending),
+            "Running" => Some(JobState::Running { eta_secs }),
+            "Completed" => Some(JobState::Completed {
+                result: result?,
+                size: size?,
+            }),
+            "Failed" => Some(JobState::Failed { error: error? }),
+            _ => None,
+        }
+    }
+
+    /// True for Completed/Failed.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Completed { .. } | JobState::Failed { .. })
+    }
+}
+
+/// The submission acknowledgement returned for a compute Interest: the job
+/// id the client needs for `/ndn/k8s/status` checks (paper §IV-A: "Clients
+/// need a job id from their initial /ndn/k8s/compute request").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitAck {
+    /// Assigned job id.
+    pub job_id: String,
+    /// Cluster that accepted the job.
+    pub cluster: String,
+    /// Initial state (Pending unless served from a result cache).
+    pub state: String,
+}
+
+impl SubmitAck {
+    /// Serialise.
+    pub fn to_text(&self) -> String {
+        format!(
+            "job-id={}\ncluster={}\nstate={}",
+            self.job_id, self.cluster, self.state
+        )
+    }
+
+    /// Parse.
+    pub fn from_text(text: &str) -> Option<SubmitAck> {
+        let mut job_id = None;
+        let mut cluster = None;
+        let mut state = None;
+        for line in text.lines() {
+            if let Some(v) = line.strip_prefix("job-id=") {
+                job_id = Some(v.to_owned());
+            } else if let Some(v) = line.strip_prefix("cluster=") {
+                cluster = Some(v.to_owned());
+            } else if let Some(v) = line.strip_prefix("state=") {
+                state = Some(v.to_owned());
+            }
+        }
+        Some(SubmitAck {
+            job_id: job_id?,
+            cluster: cluster?,
+            state: state?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidc_ndn::name;
+
+    #[test]
+    fn all_states_round_trip() {
+        let states = [
+            JobState::Pending,
+            JobState::Running { eta_secs: None },
+            JobState::Running {
+                eta_secs: Some(29_390),
+            },
+            JobState::Completed {
+                result: name!("/ndn/k8s/data/results/SRR2931415-vs-HUMAN"),
+                size: 941_000_000,
+            },
+            JobState::Failed {
+                error: "invalid SRR id".into(),
+            },
+        ];
+        for s in states {
+            let text = s.to_text();
+            assert_eq!(JobState::from_text(&text), Some(s.clone()), "{text}");
+        }
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(!JobState::Pending.is_terminal());
+        assert!(!JobState::Running { eta_secs: None }.is_terminal());
+        assert!(JobState::Completed {
+            result: name!("/r"),
+            size: 1
+        }
+        .is_terminal());
+        assert!(JobState::Failed { error: "e".into() }.is_terminal());
+    }
+
+    #[test]
+    fn malformed_status_rejected() {
+        assert_eq!(JobState::from_text(""), None);
+        assert_eq!(JobState::from_text("state=Bogus"), None);
+        assert_eq!(JobState::from_text("state=Completed"), None, "missing result");
+        assert_eq!(JobState::from_text("state=Failed"), None, "missing error");
+    }
+
+    #[test]
+    fn error_newlines_flattened() {
+        let s = JobState::Failed {
+            error: "line1\nline2".into(),
+        };
+        let parsed = JobState::from_text(&s.to_text()).unwrap();
+        assert_eq!(
+            parsed,
+            JobState::Failed {
+                error: "line1 line2".into()
+            }
+        );
+    }
+
+    #[test]
+    fn submit_ack_round_trip() {
+        let ack = SubmitAck {
+            job_id: "edge-a-job-3".into(),
+            cluster: "edge-a".into(),
+            state: "Pending".into(),
+        };
+        assert_eq!(SubmitAck::from_text(&ack.to_text()), Some(ack));
+        assert_eq!(SubmitAck::from_text("nope"), None);
+    }
+}

@@ -1,0 +1,280 @@
+//! Application-specific request validation (paper §IV-B).
+//!
+//! "LIDC allows for application-specific validations. These validations are
+//! built into the system in a modular manner and can be managed separately
+//! for each application." — [`Validator`] is the module interface and
+//! [`ValidatorRegistry`] the per-application management.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::naming::ComputeRequest;
+use lidc_genomics::sra::SraAccession;
+
+/// A validation failure, returned to the client in a NACK response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Which check failed.
+    pub check: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl ValidationError {
+    /// Construct an error.
+    pub fn new(check: impl Into<String>, reason: impl Into<String>) -> Self {
+        ValidationError {
+            check: check.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.check, self.reason)
+    }
+}
+
+/// A per-application validation module.
+pub trait Validator: Send + Sync {
+    /// The application this validator governs.
+    fn app(&self) -> &str;
+    /// Check a request.
+    fn validate(&self, request: &ComputeRequest) -> Result<(), ValidationError>;
+}
+
+/// Magic-BLAST validation: the request must carry a syntactically valid
+/// `srr=` accession and a `ref=` database (the paper's §IV-B example:
+/// "a specific check might be confirming correct SRR IDs").
+#[derive(Debug, Default)]
+pub struct BlastValidator;
+
+impl Validator for BlastValidator {
+    fn app(&self) -> &str {
+        "BLAST"
+    }
+
+    fn validate(&self, request: &ComputeRequest) -> Result<(), ValidationError> {
+        let srr = request
+            .param("srr")
+            .ok_or_else(|| ValidationError::new("srr-present", "BLAST requires srr=<id>"))?;
+        SraAccession::parse(srr)
+            .map_err(|e| ValidationError::new("srr-syntax", format!("{srr}: {e}")))?;
+        if request.param("ref").is_none() {
+            return Err(ValidationError::new(
+                "ref-present",
+                "BLAST requires ref=<database>",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Compression-tool validation: needs an `input=` object but, per the paper,
+/// "might not need SRR IDs and could have its own checks".
+#[derive(Debug, Default)]
+pub struct CompressValidator;
+
+impl Validator for CompressValidator {
+    fn app(&self) -> &str {
+        "COMPRESS"
+    }
+
+    fn validate(&self, request: &ComputeRequest) -> Result<(), ValidationError> {
+        match request.param("input") {
+            Some(input) if input.starts_with('/') => Ok(()),
+            Some(input) => Err(ValidationError::new(
+                "input-syntax",
+                format!("input must be an absolute lake name, got {input}"),
+            )),
+            None => Err(ValidationError::new(
+                "input-present",
+                "COMPRESS requires input=<lake-name>",
+            )),
+        }
+    }
+}
+
+/// Policy for applications with no registered validator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnknownAppPolicy {
+    /// Admit them (resource sanity checks still apply).
+    #[default]
+    Allow,
+    /// Reject them.
+    Deny,
+}
+
+/// The per-application validator registry.
+pub struct ValidatorRegistry {
+    validators: HashMap<String, Box<dyn Validator>>,
+    policy: UnknownAppPolicy,
+    /// Upper bound on requested cores (resource sanity check).
+    pub max_cpu_cores: u64,
+    /// Upper bound on requested memory (GiB).
+    pub max_mem_gib: u64,
+}
+
+impl Default for ValidatorRegistry {
+    fn default() -> Self {
+        ValidatorRegistry::new(UnknownAppPolicy::Allow)
+    }
+}
+
+impl ValidatorRegistry {
+    /// An empty registry with the given unknown-app policy.
+    pub fn new(policy: UnknownAppPolicy) -> Self {
+        ValidatorRegistry {
+            validators: HashMap::new(),
+            policy,
+            max_cpu_cores: 128,
+            max_mem_gib: 1024,
+        }
+    }
+
+    /// The registry LIDC deploys by default (BLAST + COMPRESS modules).
+    pub fn standard() -> Self {
+        let mut r = ValidatorRegistry::default();
+        r.register(Box::new(BlastValidator));
+        r.register(Box::new(CompressValidator));
+        r
+    }
+
+    /// Install (or replace) a validator for its application.
+    pub fn register(&mut self, validator: Box<dyn Validator>) {
+        self.validators
+            .insert(validator.app().to_owned(), validator);
+    }
+
+    /// Remove an application's validator; true if one existed.
+    pub fn unregister(&mut self, app: &str) -> bool {
+        self.validators.remove(app).is_some()
+    }
+
+    /// Validate a request: generic resource sanity first, then the
+    /// app-specific module.
+    pub fn validate(&self, request: &ComputeRequest) -> Result<(), ValidationError> {
+        if request.cpu_cores == 0 || request.cpu_cores > self.max_cpu_cores {
+            return Err(ValidationError::new(
+                "cpu-range",
+                format!("cpu={} outside 1..={}", request.cpu_cores, self.max_cpu_cores),
+            ));
+        }
+        if request.mem_gib == 0 || request.mem_gib > self.max_mem_gib {
+            return Err(ValidationError::new(
+                "mem-range",
+                format!("mem={} outside 1..={}", request.mem_gib, self.max_mem_gib),
+            ));
+        }
+        match self.validators.get(&request.app) {
+            Some(v) => v.validate(request),
+            None => match self.policy {
+                UnknownAppPolicy::Allow => Ok(()),
+                UnknownAppPolicy::Deny => Err(ValidationError::new(
+                    "app-known",
+                    format!("no validator registered for app {}", request.app),
+                )),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blast_request() -> ComputeRequest {
+        ComputeRequest::new("BLAST", 2, 4)
+            .with_param("srr", "SRR2931415")
+            .with_param("ref", "HUMAN")
+    }
+
+    #[test]
+    fn valid_blast_passes() {
+        let r = ValidatorRegistry::standard();
+        assert_eq!(r.validate(&blast_request()), Ok(()));
+    }
+
+    #[test]
+    fn blast_srr_checks() {
+        let r = ValidatorRegistry::standard();
+        let missing = ComputeRequest::new("BLAST", 2, 4).with_param("ref", "HUMAN");
+        assert_eq!(r.validate(&missing).unwrap_err().check, "srr-present");
+        let bad = blast_request().with_param("srr", "NOT-AN-SRR");
+        assert_eq!(r.validate(&bad).unwrap_err().check, "srr-syntax");
+        let no_ref = ComputeRequest::new("BLAST", 2, 4).with_param("srr", "SRR2931415");
+        assert_eq!(r.validate(&no_ref).unwrap_err().check, "ref-present");
+    }
+
+    #[test]
+    fn compress_has_its_own_checks_not_srr() {
+        // Per the paper: the compression tool "might not need SRR_IDs and
+        // could have its own checks".
+        let r = ValidatorRegistry::standard();
+        let ok = ComputeRequest::new("COMPRESS", 1, 1).with_param("input", "/sra/SRR2931415");
+        assert_eq!(r.validate(&ok), Ok(()));
+        let missing = ComputeRequest::new("COMPRESS", 1, 1);
+        assert_eq!(r.validate(&missing).unwrap_err().check, "input-present");
+        let relative = ComputeRequest::new("COMPRESS", 1, 1).with_param("input", "relative");
+        assert_eq!(r.validate(&relative).unwrap_err().check, "input-syntax");
+    }
+
+    #[test]
+    fn resource_sanity_bounds() {
+        let r = ValidatorRegistry::standard();
+        let zero_cpu = ComputeRequest::new("X", 0, 4);
+        assert_eq!(r.validate(&zero_cpu).unwrap_err().check, "cpu-range");
+        let huge_mem = ComputeRequest::new("X", 1, 4096);
+        assert_eq!(r.validate(&huge_mem).unwrap_err().check, "mem-range");
+    }
+
+    #[test]
+    fn unknown_app_policy() {
+        let allow = ValidatorRegistry::new(UnknownAppPolicy::Allow);
+        assert_eq!(allow.validate(&ComputeRequest::new("NOVEL", 1, 1)), Ok(()));
+        let deny = ValidatorRegistry::new(UnknownAppPolicy::Deny);
+        assert_eq!(
+            deny.validate(&ComputeRequest::new("NOVEL", 1, 1))
+                .unwrap_err()
+                .check,
+            "app-known"
+        );
+    }
+
+    #[test]
+    fn validators_managed_separately_per_app() {
+        // Modular management: removing BLAST's validator leaves COMPRESS's.
+        let mut r = ValidatorRegistry::standard();
+        assert!(r.unregister("BLAST"));
+        assert!(!r.unregister("BLAST"));
+        let blast_no_srr = ComputeRequest::new("BLAST", 2, 4);
+        assert_eq!(r.validate(&blast_no_srr), Ok(()), "no validator now");
+        let bad_compress = ComputeRequest::new("COMPRESS", 1, 1);
+        assert!(r.validate(&bad_compress).is_err(), "COMPRESS still checked");
+    }
+
+    #[test]
+    fn custom_validator_registration() {
+        struct FoldValidator;
+        impl Validator for FoldValidator {
+            fn app(&self) -> &str {
+                "FOLD"
+            }
+            fn validate(&self, request: &ComputeRequest) -> Result<(), ValidationError> {
+                if request.param("pdb").is_some() {
+                    Ok(())
+                } else {
+                    Err(ValidationError::new("pdb-present", "FOLD requires pdb="))
+                }
+            }
+        }
+        let mut r = ValidatorRegistry::standard();
+        r.register(Box::new(FoldValidator));
+        assert!(r.validate(&ComputeRequest::new("FOLD", 1, 1)).is_err());
+        assert_eq!(
+            r.validate(&ComputeRequest::new("FOLD", 1, 1).with_param("pdb", "1abc")),
+            Ok(())
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the LIDC core: the semantic-name grammar, the
+//! status protocol codecs, the result cache, and the runtime predictor.
+
+use lidc_core::cache::{CachedResult, ResultCache};
+use lidc_core::naming::{classify, ComputeRequest, JobId, RequestKind};
+use lidc_core::predictor::{JobFeatures, RuntimePredictor};
+use lidc_core::status::{JobState, SubmitAck};
+use lidc_ndn::name::Name;
+use proptest::prelude::*;
+
+/// Param keys/values that survive the `k=v&k=v` grammar (no `&`, `=`, `/`).
+fn param_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9._+,-]{1,12}").unwrap()
+}
+
+prop_compose! {
+    fn arb_request()(
+        app in "[A-Z][A-Z0-9]{0,9}",
+        cpu in 1u64..128,
+        mem in 1u64..512,
+        params in proptest::collection::btree_map(param_text(), param_text(), 0..6),
+    ) -> ComputeRequest {
+        let mut req = ComputeRequest::new(app, cpu, mem);
+        for (k, v) in params {
+            // Reserved keys would collide with the grammar's fixed fields.
+            if !matches!(k.as_str(), "app" | "cpu" | "mem") {
+                req = req.with_param(&k, &v);
+            }
+        }
+        req
+    }
+}
+
+proptest! {
+    // --- naming grammar -----------------------------------------------------
+
+    #[test]
+    fn compute_request_name_round_trip(req in arb_request()) {
+        let name = req.to_name();
+        let back = ComputeRequest::from_name(&name).unwrap();
+        prop_assert_eq!(back, req.clone());
+        // classify() agrees.
+        match classify(&name) {
+            RequestKind::Compute(c) => prop_assert_eq!(c, req),
+            other => return Err(TestCaseError::fail(format!("classified as {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn compute_request_uri_round_trip_through_ndn_name_parse(req in arb_request()) {
+        // The full URI must survive NDN name parsing too (percent escaping).
+        let uri = req.to_name().to_uri();
+        let name = Name::parse(&uri).unwrap();
+        prop_assert_eq!(ComputeRequest::from_name(&name).unwrap(), req);
+    }
+
+    #[test]
+    fn canonical_key_is_param_order_independent(req in arb_request()) {
+        // Rebuild with params inserted in reverse order.
+        let mut rev = ComputeRequest::new(req.app.clone(), req.cpu_cores, req.mem_gib);
+        for (k, v) in req.params.iter().rev() {
+            rev = rev.with_param(k, v);
+        }
+        prop_assert_eq!(req.canonical_key(), rev.canonical_key());
+        prop_assert_eq!(req.to_param_component(), rev.to_param_component());
+    }
+
+    #[test]
+    fn http_url_equivalent_to_param_component(req in arb_request()) {
+        let url = format!("https://lidc.example/compute?{}", req.to_param_component());
+        let parsed = ComputeRequest::from_http_url(&url).unwrap();
+        prop_assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn job_id_status_name_round_trip(
+        cluster in "[a-z][a-z0-9-]{0,12}",
+        n in 0u64..1_000_000,
+    ) {
+        let id = JobId(format!("{cluster}/job-{n}"));
+        let name = id.status_name();
+        prop_assert!(lidc_core::naming::status_prefix().is_prefix_of(&name));
+        let back = JobId::from_status_name(&name).expect("round-trips");
+        prop_assert_eq!(back, id);
+        // classify() agrees.
+        match classify(&name) {
+            RequestKind::Status(s) => prop_assert_eq!(s.0, format!("{cluster}/job-{n}")),
+            other => return Err(TestCaseError::fail(format!("classified as {other:?}"))),
+        }
+    }
+
+    // --- status protocol codecs -------------------------------------------------
+
+    #[test]
+    fn job_state_text_round_trip(
+        kind in 0u8..4,
+        size in 0u64..1 << 40,
+        error in "[ -~&&[^\n]]{0,40}",
+        result_part in "[a-z0-9-]{1,12}",
+        eta in any::<Option<u64>>(),
+    ) {
+        let state = match kind {
+            0 => JobState::Pending,
+            1 => JobState::Running { eta_secs: eta },
+            2 => JobState::Completed {
+                result: Name::parse("/ndn/k8s/data/results").unwrap().child_str(&result_part),
+                size,
+            },
+            _ => JobState::Failed { error },
+        };
+        let text = state.to_text();
+        let back = JobState::from_text(&text).expect("parses");
+        prop_assert_eq!(back, state);
+    }
+
+    #[test]
+    fn submit_ack_text_round_trip(
+        job in "[a-z0-9/-]{1,20}",
+        cluster in "[a-z][a-z0-9-]{0,12}",
+        state in prop_oneof![Just("Pending"), Just("Completed")],
+    ) {
+        let ack = SubmitAck {
+            job_id: job,
+            cluster,
+            state: state.to_owned(),
+        };
+        let back = SubmitAck::from_text(&ack.to_text()).expect("parses");
+        prop_assert_eq!(back, ack);
+    }
+
+    // --- result cache --------------------------------------------------------------
+
+    #[test]
+    fn result_cache_capacity_and_mru_retention(
+        capacity in 1usize..16,
+        keys in proptest::collection::vec("[a-z0-9]{1,8}", 1..48),
+    ) {
+        let mut cache = ResultCache::new(capacity);
+        let mut last = String::new();
+        for (i, key) in keys.iter().enumerate() {
+            cache.insert(key.clone(), CachedResult {
+                job_id: format!("c/job-{i}"),
+                result: Name::parse("/ndn/k8s/data/results/x").unwrap(),
+                size: i as u64,
+            });
+            prop_assert!(cache.len() <= capacity);
+            last = key.clone();
+        }
+        // The most recently inserted key is always retrievable.
+        prop_assert!(cache.get(&last).is_some());
+        // get() refreshes recency: insert `capacity` new keys after touching
+        // `last`; with capacity 1 it must be evicted, otherwise touch-then-
+        // fill-minus-one keeps it.
+        cache.get(&last);
+        for i in 0..capacity.saturating_sub(1) {
+            cache.insert(format!("fill-{i}"), CachedResult {
+                job_id: "c/job-f".into(),
+                result: Name::parse("/ndn/k8s/data/results/x").unwrap(),
+                size: 0,
+            });
+        }
+        prop_assert!(cache.get(&last).is_some(), "MRU entry survived the refill");
+    }
+
+    // --- predictor -------------------------------------------------------------------
+
+    /// Trained on a world inside its hypothesis class
+    /// (`a + b·ln(bytes) + c·cpu + d·mem`), the online regressor's
+    /// predictions interpolate within tolerance.
+    #[test]
+    fn predictor_learns_its_model_family(
+        b in 10.0f64..100.0,
+        c in 0.0f64..20.0,
+        d in 0.0f64..20.0,
+        probe_i in 1u64..40,
+        probe_cpu in 1u64..8,
+        probe_mem in 1u64..16,
+    ) {
+        let truth_fn = |f: &JobFeatures| {
+            50.0 + b * ((f.input_bytes as f64) + 1.0).ln()
+                + c * f.cpu_cores as f64
+                + d * f.mem_gib as f64
+        };
+        let mut p = RuntimePredictor::new();
+        // Several epochs over a small grid (SGD needs repetition).
+        for _epoch in 0..40 {
+            for i in 1..40u64 {
+                let features = JobFeatures {
+                    input_bytes: i * (1 << 26),
+                    cpu_cores: 1 + (i % 8),
+                    mem_gib: 1 + (i % 16),
+                };
+                p.observe("APP", features, truth_fn(&features));
+            }
+        }
+        let features = JobFeatures {
+            input_bytes: probe_i * (1 << 26),
+            cpu_cores: probe_cpu,
+            mem_gib: probe_mem,
+        };
+        let predicted = p.predict("APP", features).expect("trained");
+        let truth = truth_fn(&features);
+        let rel = (predicted - truth).abs() / truth.max(1e-9);
+        prop_assert!(rel < 0.2, "predicted {predicted}, truth {truth} (rel {rel})");
+        // Unknown apps stay unpredicted rather than guessing.
+        prop_assert!(p.predict("OTHER", features).is_none());
+    }
+}

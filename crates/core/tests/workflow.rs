@@ -1,0 +1,424 @@
+//! End-to-end LIDC workflow tests: client → NDN → gateway → K8s → data lake.
+//!
+//! These are the paper's Fig. 5 protocol and §I claims, executed on the full
+//! simulated stack: location-independent submission, status polling, result
+//! publication and retrieval, validation rejections, multi-cluster
+//! placement, failover, and result caching.
+
+use lidc_core::client::{ClientConfig, ScienceClient, Submit};
+use lidc_core::cluster::{LidcCluster, LidcClusterConfig};
+use lidc_core::naming::{data_prefix, ComputeRequest};
+use lidc_core::overlay::{ClusterSpec, Overlay, OverlayConfig};
+use lidc_core::placement::PlacementPolicy;
+use lidc_k8s::job::JobCondition;
+use lidc_ndn::face::FaceIdAlloc;
+use lidc_simcore::engine::{ActorId, Sim};
+use lidc_simcore::time::SimDuration;
+
+fn blast_request(srr: &str, cpu: u64, mem: u64) -> ComputeRequest {
+    ComputeRequest::new("BLAST", cpu, mem)
+        .with_param("srr", srr)
+        .with_param("ref", "HUMAN")
+}
+
+/// One cluster + one client directly attached to its gateway NFD.
+fn single_cluster_world(seed: u64) -> (Sim, LidcCluster, ActorId) {
+    let mut sim = Sim::new(seed);
+    let alloc = FaceIdAlloc::new();
+    let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("edge-a"));
+    let client = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        cluster.gateway_fwd,
+        &alloc,
+        "client",
+    );
+    (sim, cluster, client)
+}
+
+#[test]
+fn fig5_full_workflow_rice_blast() {
+    let (mut sim, cluster, client) = single_cluster_world(1);
+    sim.send(client, Submit(blast_request("SRR2931415", 2, 4)));
+    sim.run();
+
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+    assert!(run.is_success(), "error = {:?}", run.error);
+    // Step ordering of the Fig. 5 sequence.
+    let ack = run.ack_at.expect("acked");
+    let running = run.first_running_at.expect("observed running");
+    let completed = run.completed_at.expect("completed");
+    let fetched = run.fetched_at.expect("fetched result");
+    assert!(run.submitted_at < ack);
+    assert!(ack < running);
+    assert!(running < completed);
+    assert!(completed <= fetched);
+    // The job ran for the paper's Table-I duration.
+    assert_eq!(run.cluster.as_deref(), Some("edge-a"));
+    let turnaround = run.turnaround().unwrap();
+    assert!(
+        turnaround >= SimDuration::from_hours(8) && turnaround <= SimDuration::from_hours(9),
+        "turnaround {turnaround}"
+    );
+    // Result object exists in the lake with the predicted size.
+    let result_name = run.result_name.clone().unwrap();
+    assert!(result_name.to_uri().starts_with("/ndn/k8s/data/results/edge-a/"));
+    let content = cluster.repo.get(&result_name).expect("published");
+    assert_eq!(content.len(), 941_000_000);
+    assert_eq!(run.result_size, 941_000_000);
+    // Gateway and K8s agree.
+    let stats = cluster.gateway_stats(&sim);
+    assert_eq!(stats.jobs_created, 1);
+    assert_eq!(stats.results_published, 1);
+    let api = cluster.k8s.api.read();
+    let job = api.jobs.values().next().unwrap();
+    assert_eq!(job.status.condition, JobCondition::Completed);
+    assert_eq!(job.run_time().unwrap().to_string(), "8h9m50s");
+}
+
+#[test]
+fn cluster_events_trace_the_protocol() {
+    let (mut sim, cluster, client) = single_cluster_world(2);
+    sim.send(client, Submit(blast_request("SRR2931415", 2, 4)));
+    sim.run();
+    let api = cluster.k8s.api.read();
+    let kinds: Vec<&str> = api.events.iter().map(|e| e.kind.as_str()).collect();
+    for expected in [
+        "JobCreated",
+        "JobPodLaunched",
+        "PodScheduled",
+        "PodStarted",
+        "PodSucceeded",
+        "JobCompleted",
+        "ResultPublished",
+    ] {
+        assert!(
+            kinds.contains(&expected),
+            "missing event {expected} in {kinds:?}"
+        );
+    }
+    // Events are time-ordered.
+    let times: Vec<_> = api.events.iter().map(|e| e.time).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn invalid_srr_rejected_by_validation() {
+    let (mut sim, cluster, client) = single_cluster_world(3);
+    let bad = ComputeRequest::new("BLAST", 2, 4)
+        .with_param("srr", "NOT-AN-ID")
+        .with_param("ref", "HUMAN");
+    sim.send(client, Submit(bad));
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+    let err = runs[0].error.as_deref().unwrap();
+    assert!(err.contains("validation-error"), "{err}");
+    assert!(err.contains("srr-syntax"), "{err}");
+    assert_eq!(cluster.gateway_stats(&sim).jobs_created, 0);
+    assert_eq!(cluster.gateway_stats(&sim).validation_failures, 1);
+}
+
+#[test]
+fn unknown_accession_rejected_at_planning() {
+    let (mut sim, cluster, client) = single_cluster_world(4);
+    // Valid syntax, but not in the archive.
+    sim.send(client, Submit(blast_request("SRR777", 2, 4)));
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+    let err = runs[0].error.as_deref().unwrap();
+    assert!(err.contains("plan-error"), "{err}");
+    assert_eq!(cluster.gateway_stats(&sim).jobs_created, 0);
+}
+
+#[test]
+fn compress_app_runs_on_lake_object() {
+    let (mut sim, _cluster, client) = single_cluster_world(5);
+    let req = ComputeRequest::new("COMPRESS", 1, 2).with_param("input", "/sra/SRR2931415");
+    sim.send(client, Submit(req));
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+    assert!(runs[0].is_success(), "error = {:?}", runs[0].error);
+    assert!(runs[0].result_name.as_ref().unwrap().to_uri().contains("compress"));
+}
+
+#[test]
+fn status_query_for_unknown_job_nacks() {
+    use lidc_core::naming::JobId;
+    use lidc_ndn::app::{Consumer, ConsumerEvent, RetxTimer};
+    use lidc_ndn::forwarder::AppRx;
+    use lidc_ndn::net::attach_app;
+    use lidc_ndn::packet::{ContentType, Interest, Packet};
+    use lidc_simcore::engine::{Actor, Ctx, Msg};
+
+    struct Probe {
+        consumer: Option<Consumer>,
+        nacked: bool,
+    }
+    struct Go;
+    impl Actor for Probe {
+        fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+            let msg = match msg.downcast::<Go>() {
+                Ok(_) => {
+                    let interest =
+                        Interest::new(JobId("edge-a/job-999".into()).status_name())
+                            .must_be_fresh(true);
+                    self.consumer.as_mut().unwrap().express(ctx, interest, 0);
+                    return;
+                }
+                Err(m) => m,
+            };
+            let msg = match msg.downcast::<AppRx>() {
+                Ok(rx) => {
+                    if let Packet::Data(d) = &rx.packet {
+                        if d.content_type == ContentType::Nack {
+                            self.nacked = true;
+                        }
+                    }
+                    return;
+                }
+                Err(m) => m,
+            };
+            let _ = msg.downcast::<RetxTimer>();
+        }
+    }
+
+    let mut sim = Sim::new(6);
+    let alloc = FaceIdAlloc::new();
+    let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("edge-a"));
+    let probe = sim.spawn("probe", Probe {
+        consumer: None,
+        nacked: false,
+    });
+    let face = attach_app(&mut sim, cluster.gateway_fwd, probe, &alloc);
+    sim.actor_mut::<Probe>(probe).unwrap().consumer =
+        Some(Consumer::new(cluster.gateway_fwd, face));
+    sim.send(probe, Go);
+    sim.run();
+    assert!(sim.actor::<Probe>(probe).unwrap().nacked);
+}
+
+fn overlay_world(seed: u64, placement: PlacementPolicy) -> (Sim, Overlay, ActorId) {
+    let mut sim = Sim::new(seed);
+    let overlay = Overlay::build(&mut sim, OverlayConfig {
+        placement,
+        clusters: vec![
+            ClusterSpec::new("near", SimDuration::from_millis(5)),
+            ClusterSpec::new("mid", SimDuration::from_millis(25)),
+            ClusterSpec::new("far", SimDuration::from_millis(60)),
+        ],
+        ..Default::default()
+    });
+    let client = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        overlay.router,
+        &alloc_of(&overlay),
+        "client",
+    );
+    (sim, overlay, client)
+}
+
+fn alloc_of(overlay: &Overlay) -> FaceIdAlloc {
+    overlay.alloc.clone()
+}
+
+#[test]
+fn nearest_placement_without_any_location_config() {
+    let (mut sim, overlay, client) = overlay_world(7, PlacementPolicy::Nearest);
+    // The client names only the computation — no cluster, no address.
+    for i in 0..4 {
+        let req = blast_request("SRR2931415", 2, 4).with_param("tag", &i.to_string());
+        sim.send(client, Submit(req));
+    }
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+    assert_eq!(runs.len(), 4);
+    for run in &runs {
+        assert!(run.is_success(), "error = {:?}", run.error);
+        assert_eq!(run.cluster.as_deref(), Some("near"), "nearest cluster wins");
+    }
+    let _ = overlay;
+}
+
+#[test]
+fn round_robin_spreads_jobs() {
+    let (mut sim, overlay, client) = overlay_world(8, PlacementPolicy::RoundRobin);
+    for i in 0..6 {
+        let req = blast_request("SRR2931415", 2, 4).with_param("tag", &i.to_string());
+        sim.send(client, Submit(req));
+    }
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+    let mut clusters: Vec<String> = runs.iter().filter_map(|r| r.cluster.clone()).collect();
+    clusters.sort();
+    clusters.dedup();
+    assert_eq!(clusters.len(), 3, "all three clusters used: {clusters:?}");
+    for c in &overlay.clusters {
+        assert!(c.gateway_stats(&sim).jobs_created >= 1, "{} unused", c.name);
+    }
+}
+
+#[test]
+fn failover_resubmits_to_surviving_cluster() {
+    let (mut sim, overlay, client) = overlay_world(9, PlacementPolicy::Nearest);
+    sim.send(client, Submit(blast_request("SRR2931415", 2, 4)));
+    // Let the job land on "near" and start.
+    sim.run_for(SimDuration::from_mins(10));
+    {
+        let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+        assert_eq!(runs[0].cluster.as_deref(), Some("near"));
+        assert!(runs[0].completed_at.is_none());
+    }
+    // The near cluster is partitioned away mid-run.
+    overlay.fail_cluster(&mut sim, "near");
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+    let run = &runs[0];
+    assert!(run.is_success(), "error = {:?}", run.error);
+    assert!(run.resubmits >= 1, "client resubmitted after losing the job");
+    assert_eq!(
+        run.cluster.as_deref(),
+        Some("mid"),
+        "resubmission landed on the next-nearest cluster"
+    );
+}
+
+#[test]
+fn result_cache_answers_identical_request() {
+    let mut sim = Sim::new(10);
+    let overlay = Overlay::build(&mut sim, OverlayConfig {
+        placement: PlacementPolicy::Nearest,
+        clusters: vec![
+            ClusterSpec::new("solo", SimDuration::from_millis(5)).with_cache(64, SimDuration::ZERO),
+        ],
+        ..Default::default()
+    });
+    let alloc = overlay.alloc.clone();
+    let client = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        overlay.router,
+        &alloc,
+        "client",
+    );
+    sim.send(client, Submit(blast_request("SRR2931415", 2, 4)));
+    sim.run();
+    // Identical request again: served from the gateway result cache.
+    sim.send(client, Submit(blast_request("SRR2931415", 2, 4)));
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+    assert_eq!(runs.len(), 2);
+    assert!(runs[0].is_success());
+    assert!(!runs[0].served_from_cache);
+    assert!(runs[1].is_success(), "error = {:?}", runs[1].error);
+    assert!(runs[1].served_from_cache, "second run hits the result cache");
+    let stats = overlay.clusters[0].gateway_stats(&sim);
+    assert_eq!(stats.jobs_created, 1, "no second job");
+    assert_eq!(stats.cache_hits, 1);
+    // The cached run resolved enormously faster than the computed one.
+    let t0 = runs[0].turnaround().unwrap();
+    let t1 = runs[1].turnaround().unwrap();
+    assert!(t1 < t0 / 1000, "cached {t1} vs computed {t0}");
+}
+
+#[test]
+fn cluster_join_is_transparent_to_clients() {
+    let mut sim = Sim::new(11);
+    let mut overlay = Overlay::build(&mut sim, OverlayConfig {
+        placement: PlacementPolicy::Nearest,
+        clusters: vec![ClusterSpec::new("first", SimDuration::from_millis(50))],
+        ..Default::default()
+    });
+    let alloc = overlay.alloc.clone();
+    let client = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        overlay.router,
+        &alloc,
+        "client",
+    );
+    sim.send(client, Submit(blast_request("SRR2931415", 2, 4).with_param("tag", "a")));
+    sim.run();
+    // A closer cluster joins; the same unmodified client now lands there.
+    overlay.add_cluster(&mut sim, ClusterSpec::new("closer", SimDuration::from_millis(2)));
+    sim.send(client, Submit(blast_request("SRR2931415", 2, 4).with_param("tag", "b")));
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+    assert_eq!(runs[0].cluster.as_deref(), Some("first"));
+    assert_eq!(runs[1].cluster.as_deref(), Some("closer"));
+    assert!(runs[1].is_success());
+}
+
+#[test]
+fn http_named_request_equivalent_to_ndn_named(){
+    // §II: HTTP(s)-based naming can express the same computation.
+    let url = "https://lidc.example/compute?mem=4&cpu=2&app=BLAST&srr=SRR2931415&ref=HUMAN";
+    let from_http = ComputeRequest::from_http_url(url).unwrap();
+    let (mut sim, _cluster, client) = single_cluster_world(12);
+    sim.send(client, Submit(from_http.clone()));
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+    assert!(runs[0].is_success());
+    assert_eq!(from_http, blast_request("SRR2931415", 2, 4));
+}
+
+#[test]
+fn deterministic_end_to_end_replay() {
+    fn run_once(seed: u64) -> (u64, String) {
+        let (mut sim, _cluster, client) = single_cluster_world(seed);
+        sim.send(client, Submit(blast_request("SRR2931415", 2, 4)));
+        sim.run();
+        let runs = sim.actor::<ScienceClient>(client).unwrap().runs().to_vec();
+        (
+            sim.events_processed(),
+            format!("{:?}", runs[0].turnaround()),
+        )
+    }
+    assert_eq!(run_once(42), run_once(42));
+}
+
+#[test]
+fn running_status_carries_predicted_eta() {
+    // §VII implemented: while a job runs, status responses predict the
+    // remaining seconds (cost-model expectation for the first run on a
+    // gateway, trained-predictor estimates once history exists).
+    let (mut sim, cluster, client) = single_cluster_world(13);
+    sim.send(client, Submit(blast_request("SRR2931415", 2, 4)));
+    // Mid-run: the rice BLAST takes 8h9m50s; probe at ~2h.
+    sim.run_for(SimDuration::from_hours(2));
+    {
+        let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+        assert!(run.completed_at.is_none(), "still running");
+        let eta = run.last_eta_secs.expect("Running status carries an ETA");
+        // True remaining ≈ 8h9m50s − 2h ≈ 22190 s (±poll interval).
+        let truth = 8 * 3600 + 9 * 60 + 50 - 2 * 3600;
+        assert!(
+            (eta as i64 - truth as i64).unsigned_abs() < 120,
+            "eta {eta} vs truth {truth}"
+        );
+    }
+    // Near the end the ETA must have shrunk accordingly.
+    sim.run_for(SimDuration::from_hours(6));
+    let eta_late = sim.actor::<ScienceClient>(client).unwrap().runs()[0]
+        .last_eta_secs
+        .expect("still running");
+    assert!(eta_late < 1200, "eta {eta_late} near completion");
+    sim.run();
+    let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+    assert!(run.is_success());
+
+    // A second, distinct job now gets its ETA from the *trained* predictor
+    // (one observation recorded at publication time).
+    let predictor = cluster.predictor(&sim);
+    assert_eq!(predictor.read().observations("BLAST"), 1);
+    sim.send(
+        client,
+        Submit(blast_request("SRR2931415", 2, 4).with_param("tag", "second")),
+    );
+    sim.run_for(SimDuration::from_hours(1));
+    let run2 = &sim.actor::<ScienceClient>(client).unwrap().runs()[1];
+    assert!(run2.last_eta_secs.is_some(), "trained gateway still predicts");
+    sim.run();
+}

@@ -1,0 +1,151 @@
+//! The dataset catalog: a named index of what the lake holds.
+//!
+//! Published as an ordinary object at `<lake-prefix>/_catalog`, so clients
+//! discover datasets with a plain data Interest — names all the way down.
+
+use crate::content::Content;
+use crate::repo::Repo;
+use lidc_ndn::name::Name;
+
+/// One catalogued dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Object name in the lake.
+    pub name: Name,
+    /// Size in bytes.
+    pub size: u64,
+    /// Human description (genome type, sample id, …).
+    pub description: String,
+}
+
+/// The catalog.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    /// Entries in insertion order.
+    pub entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Add an entry.
+    pub fn add(&mut self, name: Name, size: u64, description: impl Into<String>) {
+        self.entries.push(CatalogEntry {
+            name,
+            size,
+            description: description.into(),
+        });
+    }
+
+    /// Total bytes catalogued.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.size).sum()
+    }
+
+    /// Find an entry by name.
+    pub fn find(&self, name: &Name) -> Option<&CatalogEntry> {
+        self.entries.iter().find(|e| &e.name == name)
+    }
+
+    /// Serialise to the line-oriented wire form (`<uri>\t<size>\t<desc>`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("{}\t{}\t{}\n", e.name.to_uri(), e.size, e.description));
+        }
+        out
+    }
+
+    /// Parse the wire form back.
+    pub fn from_text(text: &str) -> Option<Catalog> {
+        let mut catalog = Catalog::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let name = Name::parse(parts.next()?).ok()?;
+            let size = parts.next()?.parse().ok()?;
+            let description = parts.next().unwrap_or("").to_owned();
+            catalog.entries.push(CatalogEntry {
+                name,
+                size,
+                description,
+            });
+        }
+        Some(catalog)
+    }
+
+    /// The catalog's object name under a lake prefix.
+    pub fn object_name(lake_prefix: &Name) -> Name {
+        lake_prefix.clone().child_str("_catalog")
+    }
+
+    /// Publish into a repo at `<lake_prefix>/_catalog`.
+    pub fn publish(&self, repo: &dyn Repo, lake_prefix: &Name) {
+        repo.put(
+            &Self::object_name(lake_prefix),
+            Content::bytes(self.to_text().into_bytes()),
+        );
+    }
+
+    /// Load from a repo.
+    pub fn load(repo: &dyn Repo, lake_prefix: &Name) -> Option<Catalog> {
+        let content = repo.get(&Self::object_name(lake_prefix))?;
+        let bytes = content.slice(0, content.len() as usize);
+        Catalog::from_text(std::str::from_utf8(&bytes).ok()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::MemRepo;
+    use lidc_ndn::name;
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(name!("/ndn/k8s/data/ref/human"), 3_200_000_000, "human reference DB");
+        c.add(name!("/ndn/k8s/data/sra/SRR2931415"), 2_000_000_000, "rice RNA sample");
+        c
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let c = sample();
+        let parsed = Catalog::from_text(&c.to_text()).unwrap();
+        assert_eq!(parsed, c);
+        assert_eq!(parsed.total_bytes(), 5_200_000_000);
+    }
+
+    #[test]
+    fn publish_and_load() {
+        let repo = MemRepo::new();
+        let prefix = name!("/ndn/k8s/data");
+        sample().publish(&repo, &prefix);
+        assert!(repo.contains(&name!("/ndn/k8s/data/_catalog")));
+        let loaded = Catalog::load(&repo, &prefix).unwrap();
+        assert_eq!(loaded, sample());
+        assert!(loaded.find(&name!("/ndn/k8s/data/ref/human")).is_some());
+        assert!(loaded.find(&name!("/ndn/k8s/data/ghost")).is_none());
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert_eq!(Catalog::from_text("relative-name\t5\tx"), None);
+        assert_eq!(Catalog::from_text("/ok\tnot-a-number\tx"), None);
+        // Empty text is an empty catalog.
+        assert_eq!(Catalog::from_text("").unwrap().entries.len(), 0);
+    }
+
+    #[test]
+    fn descriptions_with_tabs_preserved_in_tail() {
+        let mut c = Catalog::new();
+        c.add(name!("/a"), 1, "desc\twith tab");
+        let round = Catalog::from_text(&c.to_text()).unwrap();
+        assert_eq!(round.entries[0].description, "desc\twith tab");
+    }
+}

@@ -1,0 +1,147 @@
+//! Content representation for data-lake objects.
+//!
+//! Scientific objects in the paper are large (the human reference database,
+//! multi-GB BLAST outputs). Holding them as real bytes would make the
+//! simulation memory-bound for no fidelity gain, so content is either
+//! [`Content::Bytes`] (real, for small/meaningful payloads) or
+//! [`Content::Synthetic`] (a size + seed; bytes are generated
+//! deterministically on demand when a range is actually read). Both forms
+//! behave identically through [`Content::slice`].
+
+use bytes::Bytes;
+use lidc_simcore::rng::DetRng;
+
+/// Object content: real bytes or a deterministic synthetic expanse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// Literal bytes.
+    Bytes(Bytes),
+    /// `size` bytes generated on demand from `seed`.
+    Synthetic {
+        /// Total size in bytes.
+        size: u64,
+        /// Generation seed; equal seeds generate equal bytes.
+        seed: u64,
+    },
+}
+
+impl Content {
+    /// Real content from bytes.
+    pub fn bytes(b: impl Into<Bytes>) -> Self {
+        Content::Bytes(b.into())
+    }
+
+    /// Synthetic content of `size` bytes.
+    pub fn synthetic(size: u64, seed: u64) -> Self {
+        Content::Synthetic { size, seed }
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Content::Bytes(b) => b.len() as u64,
+            Content::Synthetic { size, .. } => *size,
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialise `[offset, offset+len)` (clamped to the object's end).
+    ///
+    /// Synthetic reads are deterministic in `(seed, offset, len)` — the same
+    /// range always yields the same bytes, independent of read order, so
+    /// segment-level digests are stable.
+    pub fn slice(&self, offset: u64, len: usize) -> Bytes {
+        match self {
+            Content::Bytes(b) => {
+                let start = (offset as usize).min(b.len());
+                let end = (start + len).min(b.len());
+                b.slice(start..end)
+            }
+            Content::Synthetic { size, seed } => {
+                let start = offset.min(*size);
+                let end = (start + len as u64).min(*size);
+                let mut out = Vec::with_capacity((end - start) as usize);
+                // Generate 64-byte blocks keyed by block index so random
+                // access is order-independent.
+                const BLOCK: u64 = 64;
+                let mut block_idx = start / BLOCK;
+                while (block_idx * BLOCK) < end {
+                    let mut rng = DetRng::new(*seed ^ block_idx.wrapping_mul(0x9E37_79B9));
+                    let mut block = [0u8; BLOCK as usize];
+                    for chunk in block.chunks_exact_mut(8) {
+                        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+                    }
+                    let block_start = block_idx * BLOCK;
+                    let from = start.max(block_start) - block_start;
+                    let to = end.min(block_start + BLOCK) - block_start;
+                    out.extend_from_slice(&block[from as usize..to as usize]);
+                    block_idx += 1;
+                }
+                Bytes::from(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_content_slicing() {
+        let c = Content::bytes(&b"hello world"[..]);
+        assert_eq!(c.len(), 11);
+        assert_eq!(c.slice(0, 5).as_ref(), b"hello");
+        assert_eq!(c.slice(6, 100).as_ref(), b"world", "clamped at end");
+        assert_eq!(c.slice(100, 5).len(), 0, "past the end");
+    }
+
+    #[test]
+    fn synthetic_deterministic_and_order_independent() {
+        let c = Content::synthetic(10_000, 42);
+        assert_eq!(c.len(), 10_000);
+        let a = c.slice(1000, 500);
+        let b = c.slice(1000, 500);
+        assert_eq!(a, b, "same range, same bytes");
+        // Reading a different range first must not change the result.
+        let _ = c.slice(0, 64);
+        assert_eq!(c.slice(1000, 500), a);
+        // Random access equals a covering read's sub-range.
+        let covering = c.slice(900, 700);
+        assert_eq!(&covering[100..600], a.as_ref());
+    }
+
+    #[test]
+    fn synthetic_different_seeds_differ() {
+        let a = Content::synthetic(256, 1).slice(0, 256);
+        let b = Content::synthetic(256, 2).slice(0, 256);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn synthetic_clamps_at_end() {
+        let c = Content::synthetic(100, 7);
+        assert_eq!(c.slice(90, 64).len(), 10);
+        assert_eq!(c.slice(100, 64).len(), 0);
+        // Full read assembles exactly `size` bytes.
+        assert_eq!(c.slice(0, 200).len(), 100);
+    }
+
+    #[test]
+    fn unaligned_reads_consistent_with_aligned() {
+        let c = Content::synthetic(1024, 99);
+        let full = c.slice(0, 1024);
+        for (off, len) in [(3u64, 61usize), (63, 2), (64, 64), (511, 513)] {
+            let part = c.slice(off, len);
+            assert_eq!(
+                part.as_ref(),
+                &full[off as usize..off as usize + len],
+                "range ({off},{len})"
+            );
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The data-lake file server: an NDN producer serving repo objects.
+//!
+//! Mirrors the paper's §III-C/§IV setup: "The data lake's NFD is
+//! complemented by a fileserver application, which serves the data from the
+//! PVC." The server answers three Interest shapes under its prefix:
+//!
+//! * `<object>/seg=K` — one segment of a (possibly huge) object;
+//! * `<object>` (exact) — the whole object when it fits one segment, or a
+//!   `Link`-typed manifest (`segments=<n>;size=<bytes>`) telling the client
+//!   to switch to segmented retrieval;
+//! * anything unknown — an application-level NACK Data (`ContentType::Nack`)
+//!   so consumers distinguish "no such dataset" from network loss.
+
+use lidc_ndn::app::Producer;
+use lidc_ndn::face::FaceIdAlloc;
+use lidc_ndn::forwarder::{AppRx, Forwarder};
+use lidc_ndn::name::{Name, TT_SEGMENT};
+use lidc_ndn::net::attach_app;
+use lidc_ndn::packet::{ContentType, Data, Interest, Packet};
+use lidc_simcore::engine::{Actor, ActorId, Ctx, Msg, Sim};
+use lidc_simcore::time::SimDuration;
+
+use crate::repo::SharedRepo;
+use crate::segment::{segment_count, segment_data, DEFAULT_SEGMENT_SIZE};
+
+/// Parse a manifest produced for multi-segment objects.
+pub fn parse_manifest(content: &[u8]) -> Option<(u64, u64)> {
+    let text = std::str::from_utf8(content).ok()?;
+    let mut segments = None;
+    let mut size = None;
+    for part in text.split(';') {
+        if let Some(v) = part.strip_prefix("segments=") {
+            segments = v.parse().ok();
+        } else if let Some(v) = part.strip_prefix("size=") {
+            size = v.parse().ok();
+        }
+    }
+    Some((segments?, size?))
+}
+
+/// The file-server actor.
+pub struct FileServer {
+    producer: Option<Producer>,
+    prefix: Name,
+    repo: SharedRepo,
+    segment_size: usize,
+    freshness: SimDuration,
+    /// Segments served (diagnostics).
+    pub served_segments: u64,
+    /// Whole objects / manifests served (diagnostics).
+    pub served_objects: u64,
+    /// NACKed lookups (diagnostics).
+    pub not_found: u64,
+}
+
+impl FileServer {
+    /// Build a file server for `prefix` over `repo`.
+    pub fn new(prefix: Name, repo: SharedRepo) -> Self {
+        FileServer {
+            producer: None,
+            prefix,
+            repo,
+            segment_size: DEFAULT_SEGMENT_SIZE,
+            freshness: SimDuration::from_secs(60),
+            served_segments: 0,
+            served_objects: 0,
+            not_found: 0,
+        }
+    }
+
+    /// Override the segment size.
+    pub fn with_segment_size(mut self, size: usize) -> Self {
+        self.segment_size = size.max(1);
+        self
+    }
+
+    /// Deploy: spawn the actor, attach it to `fwd`, and register its prefix.
+    /// Returns the actor id.
+    pub fn deploy(
+        self,
+        sim: &mut Sim,
+        fwd: ActorId,
+        alloc: &FaceIdAlloc,
+        label: impl Into<String>,
+    ) -> ActorId {
+        let prefix = self.prefix.clone();
+        let app = sim.spawn(label.into(), self);
+        let face = attach_app(sim, fwd, app, alloc);
+        sim.actor_mut::<FileServer>(app).unwrap().producer = Some(Producer::new(fwd, face));
+        sim.actor_mut::<Forwarder>(fwd)
+            .unwrap()
+            .register_prefix(prefix, face, 0);
+        app
+    }
+
+    fn handle_interest(&mut self, interest: Interest, ctx: &mut Ctx<'_>) {
+        let producer = self.producer.expect("deployed");
+        let name = &interest.name;
+        // Segment request?
+        if name.len() > self.prefix.len() {
+            if let Some(last) = name.get(name.len() - 1) {
+                if last.typ() == TT_SEGMENT {
+                    let base = name.parent();
+                    if let (Some(content), Some(seg)) = (self.repo.get(&base), last.as_number()) {
+                        if let Some(data) =
+                            segment_data(&base, &content, seg, self.segment_size, self.freshness)
+                        {
+                            self.served_segments += 1;
+                            ctx.metrics().incr("datalake.segments_served", 1);
+                            producer.reply(ctx, data);
+                            return;
+                        }
+                    }
+                    self.reply_not_found(interest, ctx);
+                    return;
+                }
+            }
+        }
+        // Whole-object / manifest request.
+        if let Some(content) = self.repo.get(name) {
+            let total = segment_count(content.len(), self.segment_size);
+            let data = if total == 1 {
+                Data::new(name.clone(), content.slice(0, self.segment_size))
+                    .with_freshness(self.freshness)
+                    .sign_digest()
+            } else {
+                let manifest = format!("segments={total};size={}", content.len());
+                Data::new(name.clone(), manifest.into_bytes())
+                    .with_content_type(ContentType::Link)
+                    .with_freshness(self.freshness)
+                    .sign_digest()
+            };
+            self.served_objects += 1;
+            ctx.metrics().incr("datalake.objects_served", 1);
+            producer.reply(ctx, data);
+            return;
+        }
+        // CanBePrefix discovery: serve seg=0 of a matching object.
+        if interest.can_be_prefix {
+            let matching = self.repo.list(name);
+            if let Some(base) = matching.first() {
+                let content = self.repo.get(base).expect("listed");
+                if let Some(data) =
+                    segment_data(base, &content, 0, self.segment_size, self.freshness)
+                {
+                    self.served_segments += 1;
+                    producer.reply(ctx, data);
+                    return;
+                }
+            }
+        }
+        self.reply_not_found(interest, ctx);
+    }
+
+    fn reply_not_found(&mut self, interest: Interest, ctx: &mut Ctx<'_>) {
+        self.not_found += 1;
+        ctx.metrics().incr("datalake.not_found", 1);
+        let data = Data::new(interest.name.clone(), &b"no such object"[..])
+            .with_content_type(ContentType::Nack)
+            .with_freshness(SimDuration::from_millis(100))
+            .sign_digest();
+        self.producer.expect("deployed").reply(ctx, data);
+    }
+}
+
+impl Actor for FileServer {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        if let Ok(rx) = msg.downcast::<AppRx>() {
+            if let Packet::Interest(interest) = rx.packet {
+                self.handle_interest(interest, ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::Content;
+    use crate::repo::MemRepo;
+    use bytes::Bytes;
+    use lidc_ndn::app::{Consumer, ConsumerEvent, RetxTimer};
+    use lidc_ndn::forwarder::ForwarderConfig;
+    use lidc_ndn::name;
+
+    /// Consumer harness collecting raw Data events.
+    struct Collector {
+        consumer: Option<Consumer>,
+        got: Vec<Data>,
+    }
+    struct Ask(Interest);
+    impl Actor for Collector {
+        fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+            let msg = match msg.downcast::<Ask>() {
+                Ok(a) => {
+                    self.consumer.as_mut().unwrap().express(ctx, a.0, 0);
+                    return;
+                }
+                Err(m) => m,
+            };
+            let msg = match msg.downcast::<AppRx>() {
+                Ok(rx) => {
+                    if let Some(ConsumerEvent::Data(d)) =
+                        self.consumer.as_mut().unwrap().on_app_rx(&rx)
+                    {
+                        self.got.push(d);
+                    }
+                    return;
+                }
+                Err(m) => m,
+            };
+            if let Ok(t) = msg.downcast::<RetxTimer>() {
+                let _ = self.consumer.as_mut().unwrap().on_timer(ctx, &t);
+            }
+        }
+    }
+
+    fn world() -> (Sim, ActorId, FaceIdAlloc, SharedRepo, ActorId) {
+        let mut sim = Sim::new(0);
+        let alloc = FaceIdAlloc::new();
+        let fwd = sim.spawn("fwd", Forwarder::new("fwd", ForwarderConfig::default()));
+        let repo = MemRepo::shared();
+        let server = FileServer::new(name!("/ndn/k8s/data"), repo.clone())
+            .with_segment_size(100)
+            .deploy(&mut sim, fwd, &alloc, "fileserver");
+        (sim, fwd, alloc, repo, server)
+    }
+
+    fn spawn_consumer(sim: &mut Sim, fwd: ActorId, alloc: &FaceIdAlloc) -> ActorId {
+        let app = sim.spawn("collector", Collector {
+            consumer: None,
+            got: vec![],
+        });
+        let face = attach_app(sim, fwd, app, alloc);
+        sim.actor_mut::<Collector>(app).unwrap().consumer = Some(Consumer::new(fwd, face));
+        app
+    }
+
+    #[test]
+    fn serves_small_object_whole() {
+        let (mut sim, fwd, alloc, repo, _server) = world();
+        repo.put(&name!("/ndn/k8s/data/tiny"), Content::bytes(&b"abc"[..]));
+        let c = spawn_consumer(&mut sim, fwd, &alloc);
+        sim.send(c, Ask(Interest::new(name!("/ndn/k8s/data/tiny"))));
+        sim.run();
+        let got = &sim.actor::<Collector>(c).unwrap().got;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].content.as_ref(), b"abc");
+        assert_eq!(got[0].content_type, ContentType::Blob);
+    }
+
+    #[test]
+    fn serves_manifest_for_large_object_then_segments() {
+        let (mut sim, fwd, alloc, repo, _server) = world();
+        let payload: Vec<u8> = (0..=255u8).cycle().take(450).collect();
+        repo.put(
+            &name!("/ndn/k8s/data/big"),
+            Content::bytes(Bytes::from(payload.clone())),
+        );
+        let c = spawn_consumer(&mut sim, fwd, &alloc);
+        sim.send(c, Ask(Interest::new(name!("/ndn/k8s/data/big"))));
+        sim.run();
+        {
+            let got = &sim.actor::<Collector>(c).unwrap().got;
+            assert_eq!(got[0].content_type, ContentType::Link, "manifest");
+            let (segments, size) = parse_manifest(&got[0].content).unwrap();
+            assert_eq!(segments, 5);
+            assert_eq!(size, 450);
+        }
+        // Fetch each segment.
+        for seg in 0..5u64 {
+            let name = name!("/ndn/k8s/data/big")
+                .child(lidc_ndn::name::NameComponent::segment(seg));
+            sim.send(c, Ask(Interest::new(name)));
+        }
+        sim.run();
+        let got = &sim.actor::<Collector>(c).unwrap().got;
+        assert_eq!(got.len(), 6);
+        let reassembled: Vec<u8> = got[1..]
+            .iter()
+            .flat_map(|d| d.content.to_vec())
+            .collect();
+        assert_eq!(reassembled, payload);
+        assert_eq!(got[5].content.len(), 50, "final short segment");
+    }
+
+    #[test]
+    fn unknown_object_gets_app_nack() {
+        let (mut sim, fwd, alloc, _repo, server) = world();
+        let c = spawn_consumer(&mut sim, fwd, &alloc);
+        sim.send(c, Ask(Interest::new(name!("/ndn/k8s/data/ghost"))));
+        sim.run();
+        let got = &sim.actor::<Collector>(c).unwrap().got;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].content_type, ContentType::Nack);
+        assert_eq!(sim.actor::<FileServer>(server).unwrap().not_found, 1);
+    }
+
+    #[test]
+    fn can_be_prefix_discovers_first_segment() {
+        let (mut sim, fwd, alloc, repo, _server) = world();
+        repo.put(
+            &name!("/ndn/k8s/data/ds/sample1"),
+            Content::bytes(Bytes::from(vec![9u8; 120])),
+        );
+        let c = spawn_consumer(&mut sim, fwd, &alloc);
+        sim.send(
+            c,
+            Ask(Interest::new(name!("/ndn/k8s/data/ds")).can_be_prefix(true)),
+        );
+        sim.run();
+        let got = &sim.actor::<Collector>(c).unwrap().got;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, name!("/ndn/k8s/data/ds/sample1/seg=0"));
+        assert_eq!(got[0].final_block_id.as_ref().unwrap().as_number(), Some(1));
+    }
+
+    #[test]
+    fn synthetic_content_served_identically() {
+        let (mut sim, fwd, alloc, repo, _server) = world();
+        repo.put(&name!("/ndn/k8s/data/synth"), Content::synthetic(250, 11));
+        let c = spawn_consumer(&mut sim, fwd, &alloc);
+        let seg1 = name!("/ndn/k8s/data/synth").child(lidc_ndn::name::NameComponent::segment(1));
+        sim.send(c, Ask(Interest::new(seg1)));
+        sim.run();
+        let got = &sim.actor::<Collector>(c).unwrap().got;
+        assert_eq!(got[0].content, Content::synthetic(250, 11).slice(100, 100));
+    }
+
+    #[test]
+    fn out_of_range_segment_nacked() {
+        let (mut sim, fwd, alloc, repo, _server) = world();
+        repo.put(&name!("/ndn/k8s/data/x"), Content::bytes(&b"ab"[..]));
+        let c = spawn_consumer(&mut sim, fwd, &alloc);
+        let name = name!("/ndn/k8s/data/x").child(lidc_ndn::name::NameComponent::segment(5));
+        sim.send(c, Ask(Interest::new(name)));
+        sim.run();
+        let got = &sim.actor::<Collector>(c).unwrap().got;
+        assert_eq!(got[0].content_type, ContentType::Nack);
+    }
+}

@@ -1,0 +1,35 @@
+//! # lidc-datalake — a named data lake over NDN
+//!
+//! The paper's data layer (DESIGN.md §3): datasets are published under
+//! content names (`/ndn/k8s/data/...`), retrieved by name from anywhere, and
+//! computation results are published back to the same lake.
+//!
+//! * [`content`] — real or deterministic-synthetic object content (multi-GB
+//!   datasets without multi-GB memory).
+//! * [`repo`] — name→content stores: in-memory and NFS/PVC-backed.
+//! * [`segment`] — segmentation into `seg=K` Data packets and the windowed
+//!   [`segment::SegmentFetch`] consumer state machine.
+//! * [`fileserver`] — the NDN producer serving repo objects (the paper's
+//!   "fileserver application" behind the data-lake NFD).
+//! * [`catalog`] — the named dataset index (`<lake>/_catalog`).
+//! * [`loader`] — the one-time data-loading tool (paper §V-B).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod content;
+pub mod fileserver;
+pub mod loader;
+pub mod repo;
+pub mod segment;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::catalog::{Catalog, CatalogEntry};
+    pub use crate::content::Content;
+    pub use crate::fileserver::{parse_manifest, FileServer};
+    pub use crate::loader::{DataLoader, DatasetSpec, LoadStats};
+    pub use crate::repo::{MemRepo, NfsRepo, Repo, SharedRepo};
+    pub use crate::segment::{segment_count, segment_data, FetchProgress, SegmentFetch};
+}

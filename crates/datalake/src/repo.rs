@@ -1,0 +1,235 @@
+//! Repositories: where the data lake keeps objects.
+//!
+//! A [`Repo`] maps NDN names to [`Content`]. Two implementations:
+//! [`MemRepo`] (standalone, in-memory) and [`NfsRepo`] (backed by the
+//! cluster's [`NfsExport`], i.e. the PVC-mounted NFS server of the paper's
+//! testbed — §IV: "a Kubernetes PVC … mounts it to an NFS server, which
+//! functions like a remote data lake").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::content::Content;
+use lidc_k8s::storage::NfsExport;
+use lidc_ndn::name::Name;
+
+/// A named-object store. All methods take `&self`; implementations use
+/// interior mutability so the handle can be shared between the file server,
+/// the gateway, and compute jobs.
+pub trait Repo: Send + Sync {
+    /// Store (or replace) an object.
+    fn put(&self, name: &Name, content: Content);
+    /// Fetch an object.
+    fn get(&self, name: &Name) -> Option<Content>;
+    /// Whether an object exists.
+    fn contains(&self, name: &Name) -> bool {
+        self.get(name).is_some()
+    }
+    /// Remove an object; true if it existed.
+    fn remove(&self, name: &Name) -> bool;
+    /// Names under `prefix`, in canonical order.
+    fn list(&self, prefix: &Name) -> Vec<Name>;
+    /// Sum of object sizes (synthetic sizes count fully).
+    fn total_bytes(&self) -> u64;
+}
+
+/// Shared repo handle.
+pub type SharedRepo = Arc<dyn Repo>;
+
+/// In-memory repository.
+#[derive(Debug, Default)]
+pub struct MemRepo {
+    objects: RwLock<BTreeMap<Name, Content>>,
+}
+
+impl MemRepo {
+    /// Empty repo.
+    pub fn new() -> Self {
+        MemRepo::default()
+    }
+
+    /// Empty shared repo.
+    pub fn shared() -> SharedRepo {
+        Arc::new(MemRepo::new())
+    }
+}
+
+impl Repo for MemRepo {
+    fn put(&self, name: &Name, content: Content) {
+        self.objects.write().insert(name.clone(), content);
+    }
+
+    fn get(&self, name: &Name) -> Option<Content> {
+        self.objects.read().get(name).cloned()
+    }
+
+    fn remove(&self, name: &Name) -> bool {
+        self.objects.write().remove(name).is_some()
+    }
+
+    fn list(&self, prefix: &Name) -> Vec<Name> {
+        self.objects
+            .read()
+            .keys()
+            .filter(|n| prefix.is_prefix_of(n))
+            .cloned()
+            .collect()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(Content::len).sum()
+    }
+}
+
+/// Repository persisted on the cluster's NFS export (PVC-backed).
+///
+/// Object names map to file paths (`<uri>` → file key); synthetic content is
+/// stored as a tiny manifest line rather than materialised bytes, mirroring
+/// how the simulation avoids holding multi-GB datasets in memory.
+#[derive(Debug, Clone)]
+pub struct NfsRepo {
+    export: NfsExport,
+}
+
+const SYNTH_PREFIX: &str = "#synthetic:";
+
+impl NfsRepo {
+    /// Wrap an export.
+    pub fn new(export: NfsExport) -> Self {
+        NfsRepo { export }
+    }
+
+    /// Shared handle.
+    pub fn shared(export: NfsExport) -> SharedRepo {
+        Arc::new(NfsRepo::new(export))
+    }
+
+    fn path_of(name: &Name) -> String {
+        name.to_uri()
+    }
+}
+
+impl Repo for NfsRepo {
+    fn put(&self, name: &Name, content: Content) {
+        let path = Self::path_of(name);
+        match content {
+            Content::Bytes(b) => self.export.write(path, b),
+            Content::Synthetic { size, seed } => self
+                .export
+                .write(path, format!("{SYNTH_PREFIX}{size}:{seed}").into_bytes()),
+        }
+    }
+
+    fn get(&self, name: &Name) -> Option<Content> {
+        let raw = self.export.read(&Self::path_of(name))?;
+        if let Ok(text) = std::str::from_utf8(&raw) {
+            if let Some(rest) = text.strip_prefix(SYNTH_PREFIX) {
+                let mut parts = rest.splitn(2, ':');
+                let size = parts.next()?.parse().ok()?;
+                let seed = parts.next()?.parse().ok()?;
+                return Some(Content::Synthetic { size, seed });
+            }
+        }
+        Some(Content::Bytes(raw))
+    }
+
+    fn remove(&self, name: &Name) -> bool {
+        self.export.delete(&Self::path_of(name))
+    }
+
+    fn list(&self, prefix: &Name) -> Vec<Name> {
+        // URI prefixes align with name prefixes only at component
+        // boundaries; filter properly.
+        self.export
+            .list(&Self::path_of(prefix))
+            .into_iter()
+            .filter_map(|p| Name::parse(&p).ok())
+            .filter(|n| prefix.is_prefix_of(n))
+            .collect()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        // Account synthetic manifests at their declared size.
+        let mut total = 0u64;
+        for path in self.export.list("/") {
+            if let Ok(name) = Name::parse(&path) {
+                if let Some(c) = self.get(&name) {
+                    total += c.len();
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use lidc_ndn::name;
+
+    fn exercise(repo: &dyn Repo) {
+        let a = name!("/ndn/k8s/data/rice/SRR1");
+        let b = name!("/ndn/k8s/data/rice/SRR2");
+        let c = name!("/ndn/k8s/data/kidney/SRR3");
+        assert!(!repo.contains(&a));
+        repo.put(&a, Content::bytes(&b"AAAA"[..]));
+        repo.put(&b, Content::synthetic(1_000_000, 7));
+        repo.put(&c, Content::bytes(&b"CC"[..]));
+        assert!(repo.contains(&a));
+        assert_eq!(repo.get(&a).unwrap().slice(0, 10).as_ref(), b"AAAA");
+        assert_eq!(repo.get(&b).unwrap().len(), 1_000_000);
+        // Synthetic survives the round trip with identical bytes.
+        let s1 = repo.get(&b).unwrap().slice(500, 64);
+        let s2 = Content::synthetic(1_000_000, 7).slice(500, 64);
+        assert_eq!(s1, s2);
+        assert_eq!(repo.list(&name!("/ndn/k8s/data/rice")).len(), 2);
+        assert_eq!(repo.list(&name!("/ndn/k8s/data")).len(), 3);
+        assert_eq!(repo.total_bytes(), 1_000_000 + 4 + 2);
+        assert!(repo.remove(&a));
+        assert!(!repo.remove(&a));
+        assert_eq!(repo.list(&name!("/ndn/k8s/data")).len(), 2);
+    }
+
+    #[test]
+    fn mem_repo_behaviour() {
+        exercise(&MemRepo::new());
+    }
+
+    #[test]
+    fn nfs_repo_behaviour() {
+        exercise(&NfsRepo::new(NfsExport::new()));
+    }
+
+    #[test]
+    fn nfs_repo_shares_export_with_cluster() {
+        let export = NfsExport::new();
+        let repo = NfsRepo::new(export.clone());
+        repo.put(&name!("/d/x"), Content::bytes(&b"42"[..]));
+        // Visible from the raw export (e.g. to a pod mounting the PVC).
+        assert!(export.exists("/d/x"));
+        // And writes from the pod side are visible in the repo.
+        export.write("/d/y", Bytes::from_static(b"021"));
+        assert!(repo.contains(&name!("/d/y")));
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let repo = MemRepo::new();
+        let n = name!("/x");
+        repo.put(&n, Content::bytes(&b"v1"[..]));
+        repo.put(&n, Content::bytes(&b"v2"[..]));
+        assert_eq!(repo.get(&n).unwrap().slice(0, 10).as_ref(), b"v2");
+    }
+
+    #[test]
+    fn list_respects_component_boundaries() {
+        let repo = MemRepo::new();
+        repo.put(&name!("/data/rice"), Content::bytes(&b"1"[..]));
+        repo.put(&name!("/data/rice-extra"), Content::bytes(&b"2"[..]));
+        let listed = repo.list(&name!("/data/rice"));
+        assert_eq!(listed.len(), 1, "/data/rice-extra is not under /data/rice");
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the data lake: segmentation/reassembly round
+//! trips, repo semantics, and catalog text-codec round trips.
+
+use bytes::Bytes;
+use lidc_datalake::catalog::Catalog;
+use lidc_datalake::content::Content;
+use lidc_datalake::repo::{MemRepo, Repo};
+use lidc_datalake::segment::{segment_count, segment_data, FetchProgress, SegmentFetch};
+use lidc_ndn::name::Name;
+use lidc_simcore::time::SimDuration;
+use proptest::prelude::*;
+
+fn lake_name(parts: &[String]) -> Name {
+    let mut n = Name::parse("/ndn/k8s/data").unwrap();
+    for p in parts {
+        n = n.child_str(p);
+    }
+    n
+}
+
+proptest! {
+    #[test]
+    fn segment_count_covers_every_byte(len in 0u64..1 << 30, seg in 1usize..1 << 22) {
+        let count = segment_count(len, seg);
+        // Enough segments to cover, never a fully-empty trailing segment
+        // (except the single empty segment of an empty object).
+        if len == 0 {
+            prop_assert_eq!(count, 1);
+        } else {
+            prop_assert!(count * seg as u64 >= len);
+            prop_assert!((count - 1) * (seg as u64) < len);
+        }
+    }
+
+    /// Segment an object, shuffle delivery, reassemble through the
+    /// windowed fetch state machine: the bytes must round-trip.
+    #[test]
+    fn segmentation_reassembly_round_trip(
+        payload in proptest::collection::vec(any::<u8>(), 0..4096),
+        seg_size in 1usize..512,
+        window in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let base = Name::parse("/ndn/k8s/data/obj").unwrap();
+        let content = Content::bytes(Bytes::from(payload.clone()));
+        let total = segment_count(content.len(), seg_size);
+        let mut segments: Vec<_> = (0..total)
+            .map(|i| {
+                segment_data(&base, &content, i, seg_size, SimDuration::from_secs(60))
+                    .expect("in range")
+            })
+            .collect();
+        prop_assert!(segment_data(&base, &content, total, seg_size, SimDuration::ZERO).is_none());
+
+        // Deterministic shuffle of arrival order.
+        let mut rng = lidc_simcore::rng::DetRng::new(seed);
+        rng.shuffle(&mut segments);
+
+        let mut fetch = SegmentFetch::new(base, window);
+        let _first = fetch.start();
+        let mut done: Option<Bytes> = None;
+        for data in &segments {
+            match fetch.on_data(data) {
+                FetchProgress::Done(bytes) => {
+                    done = Some(bytes);
+                    break;
+                }
+                FetchProgress::Continue(_more) => {}
+            }
+        }
+        let bytes = done.expect("reassembly completed");
+        prop_assert_eq!(bytes.as_ref(), payload.as_slice());
+    }
+
+    #[test]
+    fn synthetic_content_is_deterministic_and_sliceable(
+        size in 0u64..1 << 20,
+        seed in any::<u64>(),
+        offset in 0u64..1 << 20,
+        len in 0usize..4096,
+    ) {
+        let a = Content::synthetic(size, seed);
+        let b = Content::synthetic(size, seed);
+        prop_assert_eq!(a.len(), size);
+        let off = offset.min(size);
+        prop_assert_eq!(a.slice(off, len), b.slice(off, len));
+        prop_assert!(a.slice(off, len).len() as u64 <= size.saturating_sub(off).min(len as u64).max(0));
+        // Different seeds diverge (over non-trivial sizes).
+        if size >= 16 {
+            let c = Content::synthetic(size, seed.wrapping_add(1));
+            prop_assert_ne!(a.slice(0, 16), c.slice(0, 16));
+        }
+    }
+
+    #[test]
+    fn repo_put_get_remove(
+        entries in proptest::collection::btree_map(
+            "[a-z0-9-]{1,12}",
+            proptest::collection::vec(any::<u8>(), 0..64),
+            1..16,
+        ),
+    ) {
+        let repo = MemRepo::shared();
+        for (k, v) in &entries {
+            let name = lake_name(&[k.clone()]);
+            repo.put(&name, Content::bytes(Bytes::from(v.clone())));
+        }
+        for (k, v) in &entries {
+            let name = lake_name(&[k.clone()]);
+            prop_assert!(repo.contains(&name));
+            let got = repo.get(&name).expect("present");
+            prop_assert_eq!(got.len(), v.len() as u64);
+            let bytes = got.slice(0, v.len());
+            prop_assert_eq!(bytes.as_ref(), v.as_slice());
+        }
+        // Overwrite keeps the newest bytes.
+        let (k0, _) = entries.iter().next().unwrap();
+        let name = lake_name(&[k0.clone()]);
+        repo.put(&name, Content::bytes(&b"replaced"[..]));
+        let bytes = repo.get(&name).unwrap().slice(0, 8);
+        prop_assert_eq!(bytes.as_ref(), b"replaced");
+    }
+
+    #[test]
+    fn catalog_text_round_trip(
+        entries in proptest::collection::btree_map(
+            "[a-z0-9-]{1,12}",
+            (0u64..1 << 40, "[ -~&&[^|]]{0,24}"),
+            0..12,
+        ),
+    ) {
+        let mut catalog = Catalog::new();
+        for (k, (size, desc)) in &entries {
+            catalog.add(lake_name(&[k.clone()]), *size, desc.clone());
+        }
+        let text = catalog.to_text();
+        let parsed = Catalog::from_text(&text).expect("parses back");
+        prop_assert_eq!(parsed.entries.len(), catalog.entries.len());
+        prop_assert_eq!(parsed.total_bytes(), catalog.total_bytes());
+        for e in &catalog.entries {
+            let found = parsed.find(&e.name).expect("entry survives");
+            prop_assert_eq!(found.size, e.size);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The Magic-BLAST job facade: from a semantic request to a planned job.
+//!
+//! Bridges the genomics domain to the rest of LIDC: given an accession, a
+//! reference database, and requested resources, [`plan_blast`] resolves the
+//! input from the simulated archive, consults the cost model, and produces
+//! everything the gateway needs to create the Kubernetes job and later
+//! publish the result.
+
+use lidc_ndn::name::Name;
+use lidc_simcore::time::SimDuration;
+
+use crate::costmodel::CostModel;
+use crate::sra::{kidney_series, paper_runs, rice_series, SraAccession, SraError, SraRun};
+
+/// A planned BLAST execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlastPlan {
+    /// The validated accession.
+    pub accession: SraAccession,
+    /// Input archive size (bytes).
+    pub input_bytes: u64,
+    /// Predicted run time.
+    pub duration: SimDuration,
+    /// Predicted output size (bytes).
+    pub output_bytes: u64,
+    /// Where the result will be published in the data lake
+    /// (relative name, joined onto the lake prefix).
+    pub output_name: Name,
+    /// Where the input lives in the lake (relative name).
+    pub input_name: Name,
+}
+
+/// Planning errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlastError {
+    /// The accession string failed validation.
+    InvalidAccession(SraError),
+    /// The accession validates but is not in the archive.
+    UnknownAccession(String),
+    /// Unsupported reference database (only HUMAN is loaded, per the paper).
+    UnknownReference(String),
+}
+
+impl std::fmt::Display for BlastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlastError::InvalidAccession(e) => write!(f, "invalid SRR id: {e}"),
+            BlastError::UnknownAccession(a) => write!(f, "accession not in archive: {a}"),
+            BlastError::UnknownReference(r) => write!(f, "unknown reference database: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for BlastError {}
+
+/// The reference database name the paper uses.
+pub const HUMAN_REFERENCE: &str = "HUMAN";
+/// Size of the (synthetic stand-in) human reference database: ~3.2 GB.
+pub const HUMAN_REFERENCE_BYTES: u64 = 3_200_000_000;
+
+/// Look up a run in the simulated archive (the two Table I samples plus the
+/// 99-sample rice and 36-sample kidney series).
+pub fn lookup_run(accession: &str) -> Option<SraRun> {
+    paper_runs()
+        .into_iter()
+        .chain(rice_series())
+        .chain(kidney_series())
+        .find(|r| r.accession.as_str() == accession)
+}
+
+/// Plan a BLAST job.
+pub fn plan_blast(
+    model: &CostModel,
+    accession: &str,
+    reference: &str,
+    cpu_cores: u64,
+    mem_gib: u64,
+) -> Result<BlastPlan, BlastError> {
+    let acc = SraAccession::parse(accession).map_err(BlastError::InvalidAccession)?;
+    if !reference.eq_ignore_ascii_case(HUMAN_REFERENCE) {
+        return Err(BlastError::UnknownReference(reference.to_owned()));
+    }
+    let run = lookup_run(accession)
+        .ok_or_else(|| BlastError::UnknownAccession(accession.to_owned()))?;
+    let estimate = model.estimate("BLAST", Some(accession), run.size_bytes, cpu_cores, mem_gib);
+    Ok(BlastPlan {
+        accession: acc,
+        input_bytes: run.size_bytes,
+        duration: estimate.duration,
+        output_bytes: estimate.output_bytes,
+        output_name: Name::root()
+            .child_str("results")
+            .child_str(&format!("{accession}-vs-{}", reference.to_uppercase())),
+        input_name: run.lake_name(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sra::{PAPER_KIDNEY_SRR, PAPER_RICE_SRR};
+
+    #[test]
+    fn paper_rows_plan_correctly() {
+        let m = CostModel::paper_calibrated();
+        let plan = plan_blast(&m, PAPER_RICE_SRR, "HUMAN", 2, 4).unwrap();
+        assert_eq!(plan.duration.to_string(), "8h9m50s");
+        assert_eq!(plan.output_bytes, 941_000_000);
+        assert_eq!(plan.input_name.to_uri(), "/sra/SRR2931415");
+        assert_eq!(plan.output_name.to_uri(), "/results/SRR2931415-vs-HUMAN");
+        let plan = plan_blast(&m, PAPER_KIDNEY_SRR, "HUMAN", 2, 6).unwrap();
+        assert_eq!(plan.duration.to_string(), "24h2m47s");
+    }
+
+    #[test]
+    fn series_samples_resolvable() {
+        let m = CostModel::paper_calibrated();
+        // First rice-series sample.
+        let plan = plan_blast(&m, "SRR2931400", "HUMAN", 2, 4).unwrap();
+        assert!(plan.duration > SimDuration::from_hours(1), "{:?}", plan.duration);
+        assert!(plan.output_bytes > 0);
+    }
+
+    #[test]
+    fn validation_errors_distinguished() {
+        let m = CostModel::paper_calibrated();
+        assert!(matches!(
+            plan_blast(&m, "BAD123", "HUMAN", 2, 4),
+            Err(BlastError::InvalidAccession(_))
+        ));
+        assert!(matches!(
+            plan_blast(&m, "SRR1", "HUMAN", 2, 4),
+            Err(BlastError::UnknownAccession(_))
+        ));
+        assert!(matches!(
+            plan_blast(&m, PAPER_RICE_SRR, "MOUSE", 2, 4),
+            Err(BlastError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn reference_name_case_insensitive() {
+        let m = CostModel::paper_calibrated();
+        assert!(plan_blast(&m, PAPER_RICE_SRR, "human", 2, 4).is_ok());
+    }
+}

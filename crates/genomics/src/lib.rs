@@ -1,0 +1,35 @@
+//! # lidc-genomics — the synthetic genomics workload
+//!
+//! The Magic-BLAST / NCBI-data substitution from DESIGN.md §2:
+//!
+//! * [`sequence`] — seeded synthetic nucleotide sequences, reads, FASTQ.
+//! * [`sra`] — SRA accession validation and the paper's dataset catalog
+//!   (the Table I samples plus the 99-rice / 36-kidney series).
+//! * [`aligner`] — a real seed-and-extend mini-aligner (rayon-parallel);
+//!   the benches' HPC kernel.
+//! * [`costmodel`] — the Table-I-calibrated virtual-time cost model (the
+//!   regenerated table matches the paper's strings exactly).
+//! * [`blast`] — the job facade the LIDC gateway plans jobs through.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aligner;
+pub mod blast;
+pub mod costmodel;
+pub mod sequence;
+pub mod sra;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::aligner::{
+        align_parallel, align_sequential, stats, Alignment, AlignmentStats, Reference,
+    };
+    pub use crate::blast::{lookup_run, plan_blast, BlastError, BlastPlan, HUMAN_REFERENCE};
+    pub use crate::costmodel::{CostModel, JobEstimate};
+    pub use crate::sequence::{random_sequence, sample_reads, to_fastq, Read};
+    pub use crate::sra::{
+        kidney_series, paper_runs, rice_series, GenomeType, SraAccession, SraError, SraRun,
+        PAPER_KIDNEY_SRR, PAPER_RICE_SRR,
+    };
+}

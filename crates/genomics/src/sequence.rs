@@ -1,0 +1,156 @@
+//! Synthetic nucleotide sequences and reads.
+//!
+//! Everything is generated deterministically from seeds (DESIGN.md §2: we
+//! cannot ship NCBI data, so the workload is synthetic but algorithmically
+//! real — the aligner does genuine seed-and-extend work on these sequences).
+
+use lidc_simcore::rng::DetRng;
+
+/// The nucleotide alphabet.
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Generate a random nucleotide sequence of `len` bases.
+pub fn random_sequence(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    (0..len)
+        .map(|_| BASES[rng.next_below(4) as usize])
+        .collect()
+}
+
+/// A sequencing read sampled from a reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Read {
+    /// Read id within its batch.
+    pub id: u32,
+    /// Base sequence.
+    pub seq: Vec<u8>,
+    /// True origin on the reference (for accuracy evaluation).
+    pub true_pos: u32,
+}
+
+/// Sample `n` reads of `read_len` bases from `reference`, flipping each base
+/// to a random other base with probability `error_rate` (sequencing error).
+pub fn sample_reads(
+    reference: &[u8],
+    n: usize,
+    read_len: usize,
+    error_rate: f64,
+    seed: u64,
+) -> Vec<Read> {
+    assert!(
+        reference.len() >= read_len,
+        "reference shorter than read length"
+    );
+    let mut rng = DetRng::new(seed);
+    let max_start = (reference.len() - read_len) as u64 + 1;
+    (0..n as u32)
+        .map(|id| {
+            let start = rng.next_below(max_start) as usize;
+            let mut seq = reference[start..start + read_len].to_vec();
+            for base in seq.iter_mut() {
+                if rng.next_bool(error_rate) {
+                    let mut replacement = BASES[rng.next_below(4) as usize];
+                    while replacement == *base {
+                        replacement = BASES[rng.next_below(4) as usize];
+                    }
+                    *base = replacement;
+                }
+            }
+            Read {
+                id,
+                seq,
+                true_pos: start as u32,
+            }
+        })
+        .collect()
+}
+
+/// Render reads in FASTQ-ish text (for realistic payload bytes).
+pub fn to_fastq(reads: &[Read], accession: &str) -> String {
+    let mut out = String::new();
+    for r in reads {
+        out.push_str(&format!("@{accession}.{}\n", r.id));
+        out.push_str(std::str::from_utf8(&r.seq).expect("ASCII bases"));
+        out.push_str("\n+\n");
+        out.push_str(&"I".repeat(r.seq.len()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse FASTQ-ish text back into reads (inverse of [`to_fastq`]; origin
+/// positions are lost and set to `u32::MAX`).
+pub fn from_fastq(text: &str) -> Vec<Read> {
+    let lines: Vec<&str> = text.lines().collect();
+    lines
+        .chunks(4)
+        .filter(|c| c.len() == 4 && c[0].starts_with('@'))
+        .enumerate()
+        .map(|(i, c)| Read {
+            id: i as u32,
+            seq: c[1].as_bytes().to_vec(),
+            true_pos: u32::MAX,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sequence_deterministic_and_valid() {
+        let a = random_sequence(1000, 7);
+        let b = random_sequence(1000, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|b| BASES.contains(b)));
+        let c = random_sequence(1000, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampled_reads_match_reference_without_errors() {
+        let reference = random_sequence(10_000, 1);
+        let reads = sample_reads(&reference, 50, 100, 0.0, 2);
+        assert_eq!(reads.len(), 50);
+        for r in &reads {
+            let origin = &reference[r.true_pos as usize..r.true_pos as usize + 100];
+            assert_eq!(r.seq, origin);
+        }
+    }
+
+    #[test]
+    fn error_rate_perturbs_reads() {
+        let reference = random_sequence(10_000, 1);
+        let reads = sample_reads(&reference, 50, 100, 0.1, 2);
+        let mut mismatches = 0usize;
+        let mut total = 0usize;
+        for r in &reads {
+            let origin = &reference[r.true_pos as usize..r.true_pos as usize + 100];
+            mismatches += r.seq.iter().zip(origin).filter(|(a, b)| a != b).count();
+            total += 100;
+        }
+        let rate = mismatches as f64 / total as f64;
+        assert!((0.05..0.15).contains(&rate), "observed error rate {rate}");
+    }
+
+    #[test]
+    fn fastq_round_trip() {
+        let reference = random_sequence(1_000, 3);
+        let reads = sample_reads(&reference, 5, 50, 0.01, 4);
+        let text = to_fastq(&reads, "SRR2931415");
+        assert!(text.starts_with("@SRR2931415.0\n"));
+        let parsed = from_fastq(&text);
+        assert_eq!(parsed.len(), 5);
+        for (orig, round) in reads.iter().zip(&parsed) {
+            assert_eq!(orig.seq, round.seq);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reference shorter")]
+    fn sample_reads_rejects_short_reference() {
+        let reference = random_sequence(10, 1);
+        let _ = sample_reads(&reference, 1, 100, 0.0, 2);
+    }
+}

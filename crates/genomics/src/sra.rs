@@ -1,0 +1,226 @@
+//! Sequence Read Archive accessions and the paper's dataset catalog.
+//!
+//! Accession validation (`SRR` + digits) is the concrete example of LIDC's
+//! "application-specific validations" (§IV-B): the BLAST validator checks
+//! SRR ids before a job is admitted.
+
+use std::fmt;
+
+use lidc_datalake::loader::DatasetSpec;
+use lidc_ndn::name::Name;
+
+/// Genome/sample classes used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GenomeType {
+    /// Rice RNA samples (Wilkens 2015, 99 samples).
+    Rice,
+    /// Human kidney tumour RNA (NCBI 2017, 36 samples).
+    Kidney,
+    /// The human reference itself.
+    Human,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for GenomeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GenomeType::Rice => "RICE",
+            GenomeType::Kidney => "KIDNEY",
+            GenomeType::Human => "HUMAN",
+            GenomeType::Other => "OTHER",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A validated SRA run accession (e.g. `SRR2931415`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SraAccession(String);
+
+impl SraAccession {
+    /// Validate and wrap an accession: `SRR` followed by 1–12 digits.
+    pub fn parse(s: &str) -> Result<SraAccession, SraError> {
+        let digits = s.strip_prefix("SRR").ok_or(SraError::BadPrefix)?;
+        if digits.is_empty() || digits.len() > 12 {
+            return Err(SraError::BadLength);
+        }
+        if !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(SraError::NonNumeric);
+        }
+        Ok(SraAccession(s.to_owned()))
+    }
+
+    /// The accession string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SraAccession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Accession validation errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SraError {
+    /// Missing `SRR` prefix.
+    BadPrefix,
+    /// Too short or too long.
+    BadLength,
+    /// Non-digit characters after the prefix.
+    NonNumeric,
+}
+
+impl fmt::Display for SraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SraError::BadPrefix => write!(f, "accession must start with SRR"),
+            SraError::BadLength => write!(f, "accession digit count out of range"),
+            SraError::NonNumeric => write!(f, "accession contains non-digits"),
+        }
+    }
+}
+
+impl std::error::Error for SraError {}
+
+/// Metadata for one SRA run in the simulated archive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SraRun {
+    /// Accession.
+    pub accession: SraAccession,
+    /// Sample class.
+    pub genome: GenomeType,
+    /// Compressed archive size in bytes.
+    pub size_bytes: u64,
+    /// Content seed for synthetic generation.
+    pub seed: u64,
+}
+
+impl SraRun {
+    /// The run's object name inside a data lake (`/sra/<accession>`).
+    pub fn lake_name(&self) -> Name {
+        Name::root()
+            .child_str("sra")
+            .child_str(self.accession.as_str())
+    }
+
+    /// As a loader spec.
+    pub fn dataset_spec(&self) -> DatasetSpec {
+        DatasetSpec::new(
+            self.lake_name(),
+            self.size_bytes,
+            self.seed,
+            format!("{} RNA sample {}", self.genome, self.accession),
+        )
+    }
+}
+
+/// The rice sample evaluated in Table I.
+pub const PAPER_RICE_SRR: &str = "SRR2931415";
+/// The kidney sample evaluated in Table I.
+pub const PAPER_KIDNEY_SRR: &str = "SRR5139395";
+/// Rice sample archive size (synthetic stand-in, ~2.1 GB).
+pub const PAPER_RICE_BYTES: u64 = 2_100_000_000;
+/// Kidney sample archive size (synthetic stand-in, ~6.3 GB; the paper's
+/// kidney run takes ≈3× the rice run).
+pub const PAPER_KIDNEY_BYTES: u64 = 6_300_000_000;
+
+/// The two Table I runs.
+pub fn paper_runs() -> Vec<SraRun> {
+    vec![
+        SraRun {
+            accession: SraAccession::parse(PAPER_RICE_SRR).expect("valid"),
+            genome: GenomeType::Rice,
+            size_bytes: PAPER_RICE_BYTES,
+            seed: 0x51CE,
+        },
+        SraRun {
+            accession: SraAccession::parse(PAPER_KIDNEY_SRR).expect("valid"),
+            genome: GenomeType::Kidney,
+            size_bytes: PAPER_KIDNEY_BYTES,
+            seed: 0x16D8,
+        },
+    ]
+}
+
+/// The 99-sample rice series (paper §V-B).
+pub fn rice_series() -> Vec<SraRun> {
+    series(GenomeType::Rice, 2_931_400, 99, 900_000_000, 0xA11CE)
+}
+
+/// The 36-sample kidney series (paper §V-B).
+pub fn kidney_series() -> Vec<SraRun> {
+    series(GenomeType::Kidney, 5_139_300, 36, 2_400_000_000, 0xB0B)
+}
+
+fn series(genome: GenomeType, first_id: u64, n: u64, base_size: u64, seed0: u64) -> Vec<SraRun> {
+    (0..n)
+        .map(|i| SraRun {
+            accession: SraAccession::parse(&format!("SRR{}", first_id + i)).expect("valid"),
+            genome,
+            // Sizes vary ±20% deterministically so samples are not uniform.
+            size_bytes: base_size + (i * 7919 % 40) * base_size / 100,
+            seed: seed0 ^ i,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_accessions_validate() {
+        assert!(SraAccession::parse(PAPER_RICE_SRR).is_ok());
+        assert!(SraAccession::parse(PAPER_KIDNEY_SRR).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_malformed() {
+        assert_eq!(SraAccession::parse("ERR123"), Err(SraError::BadPrefix));
+        assert_eq!(SraAccession::parse("SRR"), Err(SraError::BadLength));
+        assert_eq!(
+            SraAccession::parse("SRR1234567890123"),
+            Err(SraError::BadLength)
+        );
+        assert_eq!(SraAccession::parse("SRR12a4"), Err(SraError::NonNumeric));
+    }
+
+    #[test]
+    fn paper_runs_match_table1_inputs() {
+        let runs = paper_runs();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].accession.as_str(), "SRR2931415");
+        assert_eq!(runs[0].genome, GenomeType::Rice);
+        assert_eq!(runs[1].accession.as_str(), "SRR5139395");
+        assert_eq!(runs[1].genome, GenomeType::Kidney);
+    }
+
+    #[test]
+    fn series_counts_match_paper() {
+        assert_eq!(rice_series().len(), 99, "99 rice samples");
+        assert_eq!(kidney_series().len(), 36, "36 kidney samples");
+    }
+
+    #[test]
+    fn series_accessions_unique_and_valid() {
+        let all: Vec<SraRun> = rice_series().into_iter().chain(kidney_series()).collect();
+        let mut ids: Vec<&str> = all.iter().map(|r| r.accession.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "no duplicate accessions");
+    }
+
+    #[test]
+    fn lake_names_and_specs() {
+        let run = &paper_runs()[0];
+        assert_eq!(run.lake_name().to_uri(), "/sra/SRR2931415");
+        let spec = run.dataset_spec();
+        assert_eq!(spec.size, PAPER_RICE_BYTES);
+        assert!(spec.description.contains("RICE"));
+    }
+}

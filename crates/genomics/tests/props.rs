@@ -1,0 +1,101 @@
+//! Property-based tests for the genomics workload: cost-model shape
+//! invariants, accession parsing, and aligner equivalence/accuracy.
+
+use lidc_genomics::aligner::{align_parallel, align_sequential, stats, Reference};
+use lidc_genomics::costmodel::CostModel;
+use lidc_genomics::sequence::{random_sequence, sample_reads};
+use lidc_genomics::sra::SraAccession;
+use proptest::prelude::*;
+
+proptest! {
+    // --- cost model -----------------------------------------------------------
+
+    /// The Table-I shape: more CPU or memory never makes a job *slower*
+    /// (the measured effect is small but monotone), and the output size is
+    /// purely a function of the dataset.
+    #[test]
+    fn cost_model_monotone_and_output_config_invariant(
+        cpu_a in 1u64..64, cpu_b in 1u64..64,
+        mem_a in 1u64..128, mem_b in 1u64..128,
+    ) {
+        let model = CostModel::paper_calibrated();
+        let lo = model.estimate("BLAST", Some("SRR2931415"), 0, cpu_a.min(cpu_b), mem_a.min(mem_b));
+        let hi = model.estimate("BLAST", Some("SRR2931415"), 0, cpu_a.max(cpu_b), mem_a.max(mem_b));
+        prop_assert!(hi.duration <= lo.duration, "{} > {}", hi.duration, lo.duration);
+        prop_assert_eq!(lo.output_bytes, hi.output_bytes);
+    }
+
+    /// The configuration insensitivity the paper reports: within the
+    /// tested 1-8 cpu / 2-16 GB window, runtime varies by only a few
+    /// percent.
+    #[test]
+    fn cost_model_config_insensitive_in_paper_window(
+        cpu in 1u64..=8, mem in 2u64..=16,
+    ) {
+        let model = CostModel::paper_calibrated();
+        let baseline = model.estimate("BLAST", Some("SRR2931415"), 0, 2, 4);
+        let probe = model.estimate("BLAST", Some("SRR2931415"), 0, cpu, mem);
+        let ratio = probe.duration.as_secs_f64() / baseline.duration.as_secs_f64();
+        prop_assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// Uncalibrated inputs scale linearly with input size.
+    #[test]
+    fn cost_model_linear_in_input_bytes(bytes in 1u64..1 << 34) {
+        let model = CostModel::paper_calibrated();
+        let one = model.estimate("COMPRESS", None, bytes, 2, 4);
+        let two = model.estimate("COMPRESS", None, bytes * 2, 2, 4);
+        let ratio = two.duration.as_secs_f64() / one.duration.as_secs_f64();
+        prop_assert!((1.99..=2.01).contains(&ratio), "ratio {ratio}");
+        prop_assert!(one.output_bytes <= bytes, "compression must not grow output");
+    }
+
+    // --- accession parsing -------------------------------------------------------
+
+    #[test]
+    fn valid_srr_accessions_parse(n in 1u64..99_999_999) {
+        let s = format!("SRR{n}");
+        let acc = SraAccession::parse(&s).expect("valid");
+        prop_assert_eq!(acc.as_str(), s.as_str());
+    }
+
+    #[test]
+    fn junk_accessions_rejected(s in "[a-z!@# ]{1,12}") {
+        prop_assert!(SraAccession::parse(&s).is_err());
+    }
+
+    // --- sequences & aligner -------------------------------------------------------
+
+    #[test]
+    fn random_sequence_deterministic_acgt(len in 0usize..4096, seed in any::<u64>()) {
+        let a = random_sequence(len, seed);
+        let b = random_sequence(len, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), len);
+        prop_assert!(a.iter().all(|c| matches!(c, b'A' | b'C' | b'G' | b'T')));
+    }
+
+    /// The rayon-parallel aligner returns exactly the sequential results.
+    #[test]
+    fn parallel_aligner_equals_sequential(seed in any::<u64>()) {
+        let reference = Reference::synthesize(20_000, 12, seed);
+        let reads = sample_reads(&reference.seq, 200, 80, 0.02, seed ^ 0xABCD);
+        let seq = align_sequential(&reference, &reads);
+        let par = align_parallel(&reference, &reads);
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Error-free reads sampled from the reference map back to their true
+    /// positions.
+    #[test]
+    fn perfect_reads_map_to_origin(seed in any::<u64>()) {
+        let reference = Reference::synthesize(20_000, 12, seed);
+        let reads = sample_reads(&reference.seq, 100, 64, 0.0, seed ^ 0x1234);
+        let alignments = align_sequential(&reference, &reads);
+        let s = stats(&alignments, 64);
+        prop_assert_eq!(s.mapped, 100, "all error-free reads map");
+        for (read, alignment) in reads.iter().zip(&alignments) {
+            prop_assert_eq!(alignment.ref_pos, Some(read.true_pos));
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The API server: the cluster's typed object store.
+//!
+//! All controllers and the LIDC gateway share one [`SharedApi`]
+//! (`Arc<RwLock<ApiServer>>`). The simulation is single-threaded, so the
+//! lock is uncontended; it exists to give independent actors safe mutable
+//! access. Every mutation sets a dirty flag that the cluster actor turns
+//! into a (latency-modelled) reconcile pass.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use lidc_simcore::time::SimTime;
+
+use crate::deployment::{Deployment, Hpa, ReplicaSet};
+use crate::job::Job;
+use crate::meta::{ObjectKey, Uid};
+use crate::node::Node;
+use crate::pod::Pod;
+use crate::resources::Resources;
+use crate::service::{Service, ServiceType};
+use crate::storage::{PersistentVolume, PersistentVolumeClaim};
+
+/// Shared handle to a cluster's API server.
+pub type SharedApi = Arc<RwLock<ApiServer>>;
+
+/// A recorded cluster event (for workflow traces, e.g. experiment `fig5`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Event kind (`PodScheduled`, `JobCompleted`, …).
+    pub kind: String,
+    /// Object the event concerns.
+    pub object: String,
+    /// Free-form detail.
+    pub message: String,
+}
+
+/// The API server state.
+#[derive(Debug, Default)]
+pub struct ApiServer {
+    /// Cluster name (diagnostics).
+    pub cluster_name: String,
+    next_uid: u64,
+    next_pod_ip: u32,
+    next_svc_ip: u32,
+    next_node_ip: u32,
+    next_node_port: u16,
+    /// Nodes by name (cluster-scoped).
+    pub nodes: BTreeMap<String, Node>,
+    /// Pods by (namespace, name).
+    pub pods: BTreeMap<ObjectKey, Pod>,
+    /// Services by (namespace, name).
+    pub services: BTreeMap<ObjectKey, Service>,
+    /// Jobs by (namespace, name).
+    pub jobs: BTreeMap<ObjectKey, Job>,
+    /// Deployments by (namespace, name).
+    pub deployments: BTreeMap<ObjectKey, Deployment>,
+    /// ReplicaSets by (namespace, name).
+    pub replicasets: BTreeMap<ObjectKey, ReplicaSet>,
+    /// HPAs by (namespace, name).
+    pub hpas: BTreeMap<ObjectKey, Hpa>,
+    /// PVCs by (namespace, name).
+    pub pvcs: BTreeMap<ObjectKey, PersistentVolumeClaim>,
+    /// PersistentVolumes by name (cluster-scoped).
+    pub pvs: BTreeMap<String, PersistentVolume>,
+    /// Event log (append-only).
+    pub events: Vec<ClusterEvent>,
+    dirty: bool,
+}
+
+impl ApiServer {
+    /// A fresh API server for `cluster_name`.
+    pub fn new(cluster_name: impl Into<String>) -> Self {
+        ApiServer {
+            cluster_name: cluster_name.into(),
+            next_node_port: 30000,
+            ..Default::default()
+        }
+    }
+
+    /// Create a shared handle.
+    pub fn shared(cluster_name: impl Into<String>) -> SharedApi {
+        Arc::new(RwLock::new(ApiServer::new(cluster_name)))
+    }
+
+    /// Allocate a fresh UID.
+    pub fn alloc_uid(&mut self) -> Uid {
+        self.next_uid += 1;
+        Uid(self.next_uid)
+    }
+
+    /// Mark state changed (triggers reconcile on the next nudge).
+    pub fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    /// Consume the dirty flag.
+    pub fn take_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Append an event.
+    pub fn record_event(
+        &mut self,
+        time: SimTime,
+        kind: impl Into<String>,
+        object: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.events.push(ClusterEvent {
+            time,
+            kind: kind.into(),
+            object: object.into(),
+            message: message.into(),
+        });
+    }
+
+    // ----- nodes -----
+
+    /// Add a node; assigns its IP.
+    pub fn add_node(&mut self, mut node: Node, now: SimTime) {
+        self.next_node_ip += 1;
+        node.ip = format!("10.0.0.{}", self.next_node_ip);
+        node.meta.uid = self.alloc_uid();
+        node.meta.created_at = now;
+        self.record_event(now, "NodeAdded", node.meta.name.clone(), node.ip.clone());
+        self.nodes.insert(node.meta.name.clone(), node);
+        self.mark_dirty();
+    }
+
+    /// Resources currently reserved on `node` by scheduled, unfinished pods.
+    pub fn node_usage(&self, node: &str) -> Resources {
+        self.pods
+            .values()
+            .filter(|p| p.holds_resources() && p.status.node.as_deref() == Some(node))
+            .fold(Resources::ZERO, |acc, p| acc + p.spec.total_requests())
+    }
+
+    /// Free (allocatable − used) resources on `node`.
+    pub fn node_free(&self, node: &str) -> Resources {
+        match self.nodes.get(node) {
+            Some(n) => n.allocatable.saturating_sub(&self.node_usage(node)),
+            None => Resources::ZERO,
+        }
+    }
+
+    /// Total free resources across ready nodes (LIDC clusters advertise
+    /// this to placement strategies).
+    pub fn cluster_free(&self) -> Resources {
+        self.nodes
+            .values()
+            .filter(|n| n.ready)
+            .map(|n| self.node_free(&n.meta.name))
+            .fold(Resources::ZERO, |acc, r| acc + r)
+    }
+
+    /// Total allocatable resources across ready nodes.
+    pub fn cluster_allocatable(&self) -> Resources {
+        self.nodes
+            .values()
+            .filter(|n| n.ready)
+            .fold(Resources::ZERO, |acc, n| acc + n.allocatable)
+    }
+
+    // ----- pods -----
+
+    /// Create a pod (assigns uid + timestamps). Fails if the key exists.
+    pub fn create_pod(&mut self, mut pod: Pod, now: SimTime) -> Result<Uid, ApiError> {
+        let key = pod.meta.key();
+        if self.pods.contains_key(&key) {
+            return Err(ApiError::AlreadyExists(key));
+        }
+        pod.meta.uid = self.alloc_uid();
+        pod.meta.created_at = now;
+        let uid = pod.meta.uid;
+        self.record_event(now, "PodCreated", key.to_string(), "");
+        self.pods.insert(key, pod);
+        self.mark_dirty();
+        Ok(uid)
+    }
+
+    /// Find a pod by uid.
+    pub fn pod_by_uid(&self, uid: Uid) -> Option<&Pod> {
+        self.pods.values().find(|p| p.meta.uid == uid)
+    }
+
+    /// Find a pod by uid, mutably.
+    pub fn pod_by_uid_mut(&mut self, uid: Uid) -> Option<&mut Pod> {
+        self.pods.values_mut().find(|p| p.meta.uid == uid)
+    }
+
+    /// Allocate a pod IP.
+    pub fn alloc_pod_ip(&mut self) -> String {
+        self.next_pod_ip += 1;
+        format!("10.244.0.{}", self.next_pod_ip)
+    }
+
+    // ----- services -----
+
+    /// Create a service: assigns ClusterIP and, for NodePort services, a
+    /// node port from the 30000–32767 range (paper Fig. 3).
+    pub fn create_service(&mut self, mut svc: Service, now: SimTime) -> Result<(), ApiError> {
+        let key = svc.meta.key();
+        if self.services.contains_key(&key) {
+            return Err(ApiError::AlreadyExists(key));
+        }
+        svc.meta.uid = self.alloc_uid();
+        svc.meta.created_at = now;
+        self.next_svc_ip += 1;
+        svc.status.cluster_ip = format!("10.96.0.{}", self.next_svc_ip);
+        if svc.spec.service_type == ServiceType::NodePort {
+            for port in &mut svc.spec.ports {
+                if port.node_port.is_none() {
+                    if self.next_node_port > 32767 {
+                        return Err(ApiError::NodePortsExhausted);
+                    }
+                    port.node_port = Some(self.next_node_port);
+                    self.next_node_port += 1;
+                }
+            }
+        }
+        self.record_event(
+            now,
+            "ServiceCreated",
+            key.to_string(),
+            format!("clusterIP={} dns={}", svc.status.cluster_ip, svc.dns_name()),
+        );
+        self.services.insert(key, svc);
+        self.mark_dirty();
+        Ok(())
+    }
+
+    // ----- jobs -----
+
+    /// Create a job.
+    pub fn create_job(&mut self, mut job: Job, now: SimTime) -> Result<ObjectKey, ApiError> {
+        let key = job.meta.key();
+        if self.jobs.contains_key(&key) {
+            return Err(ApiError::AlreadyExists(key));
+        }
+        job.meta.uid = self.alloc_uid();
+        job.meta.created_at = now;
+        self.record_event(now, "JobCreated", key.to_string(), "");
+        self.jobs.insert(key.clone(), job);
+        self.mark_dirty();
+        Ok(key)
+    }
+
+    // ----- deployments / HPAs -----
+
+    /// Create a deployment.
+    pub fn create_deployment(&mut self, mut d: Deployment, now: SimTime) -> Result<(), ApiError> {
+        let key = d.meta.key();
+        if self.deployments.contains_key(&key) {
+            return Err(ApiError::AlreadyExists(key));
+        }
+        d.meta.uid = self.alloc_uid();
+        d.meta.created_at = now;
+        self.record_event(now, "DeploymentCreated", key.to_string(), "");
+        self.deployments.insert(key, d);
+        self.mark_dirty();
+        Ok(())
+    }
+
+    /// Create an HPA.
+    pub fn create_hpa(&mut self, mut hpa: Hpa, now: SimTime) -> Result<(), ApiError> {
+        let key = hpa.meta.key();
+        if self.hpas.contains_key(&key) {
+            return Err(ApiError::AlreadyExists(key));
+        }
+        hpa.meta.uid = self.alloc_uid();
+        hpa.meta.created_at = now;
+        self.hpas.insert(key, hpa);
+        self.mark_dirty();
+        Ok(())
+    }
+
+    // ----- storage -----
+
+    /// Register a PersistentVolume.
+    pub fn add_pv(&mut self, mut pv: PersistentVolume, now: SimTime) {
+        pv.meta.uid = self.alloc_uid();
+        pv.meta.created_at = now;
+        self.record_event(now, "PvAdded", pv.meta.name.clone(), "");
+        self.pvs.insert(pv.meta.name.clone(), pv);
+        self.mark_dirty();
+    }
+
+    /// Create a PVC.
+    pub fn create_pvc(
+        &mut self,
+        mut pvc: PersistentVolumeClaim,
+        now: SimTime,
+    ) -> Result<(), ApiError> {
+        let key = pvc.meta.key();
+        if self.pvcs.contains_key(&key) {
+            return Err(ApiError::AlreadyExists(key));
+        }
+        pvc.meta.uid = self.alloc_uid();
+        pvc.meta.created_at = now;
+        self.record_event(now, "PvcCreated", key.to_string(), "");
+        self.pvcs.insert(key, pvc);
+        self.mark_dirty();
+        Ok(())
+    }
+}
+
+/// API-server errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// An object with this key already exists.
+    AlreadyExists(ObjectKey),
+    /// The NodePort range (30000–32767) is exhausted.
+    NodePortsExhausted,
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::AlreadyExists(k) => write!(f, "object already exists: {k}"),
+            ApiError::NodePortsExhausted => write!(f, "node port range exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::ObjectMeta;
+    use crate::pod::{ContainerSpec, PodSpec, WorkloadSpec};
+    use lidc_simcore::time::SimDuration;
+
+    const T0: SimTime = SimTime::ZERO;
+
+    fn pod(name: &str, cores: u64, gib: u64) -> Pod {
+        Pod::new(
+            ObjectMeta::named(name),
+            PodSpec::single(ContainerSpec {
+                name: "c".into(),
+                image: "i".into(),
+                requests: Resources::new(cores, gib),
+                workload: WorkloadSpec::run_for(SimDuration::from_secs(1)),
+            }),
+        )
+    }
+
+    #[test]
+    fn uid_allocation_is_unique_and_monotone() {
+        let mut api = ApiServer::new("c");
+        let a = api.alloc_uid();
+        let b = api.alloc_uid();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn node_ips_and_usage_accounting() {
+        let mut api = ApiServer::new("c");
+        api.add_node(Node::new("n1", Resources::new(8, 32)), T0);
+        assert_eq!(api.nodes["n1"].ip, "10.0.0.1");
+        assert_eq!(api.node_free("n1"), Resources::new(8, 32));
+        let mut p = pod("p1", 2, 4);
+        p.status.node = Some("n1".into());
+        p.status.phase = crate::pod::PodPhase::Running;
+        api.create_pod(p, T0).unwrap();
+        assert_eq!(api.node_usage("n1"), Resources::new(2, 4));
+        assert_eq!(api.node_free("n1"), Resources::new(6, 28));
+        assert_eq!(api.cluster_free(), Resources::new(6, 28));
+        assert_eq!(api.node_free("missing"), Resources::ZERO);
+    }
+
+    #[test]
+    fn finished_pods_release_resources() {
+        let mut api = ApiServer::new("c");
+        api.add_node(Node::new("n1", Resources::new(4, 8)), T0);
+        let mut p = pod("p1", 4, 8);
+        p.status.node = Some("n1".into());
+        p.status.phase = crate::pod::PodPhase::Succeeded;
+        api.create_pod(p, T0).unwrap();
+        assert_eq!(api.node_free("n1"), Resources::new(4, 8));
+    }
+
+    #[test]
+    fn duplicate_creation_rejected() {
+        let mut api = ApiServer::new("c");
+        api.create_pod(pod("p", 1, 1), T0).unwrap();
+        assert!(matches!(
+            api.create_pod(pod("p", 1, 1), T0),
+            Err(ApiError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn service_gets_cluster_ip_and_node_port() {
+        let mut api = ApiServer::new("c");
+        let svc = crate::service::Service::node_port("gateway-nfd", "gw", 6363);
+        api.create_service(svc, T0).unwrap();
+        let svc = &api.services[&ObjectKey::named("gateway-nfd")];
+        assert_eq!(svc.status.cluster_ip, "10.96.0.1");
+        let np = svc.spec.ports[0].node_port.unwrap();
+        assert!((30000..=32767).contains(&np), "paper's NodePort range");
+        // Second NodePort service gets the next port.
+        let svc2 = crate::service::Service::node_port("other", "o", 80);
+        api.create_service(svc2, T0).unwrap();
+        assert_eq!(
+            api.services[&ObjectKey::named("other")].spec.ports[0].node_port,
+            Some(np + 1)
+        );
+    }
+
+    #[test]
+    fn dirty_flag_set_and_consumed() {
+        let mut api = ApiServer::new("c");
+        assert!(!api.take_dirty());
+        api.add_node(Node::new("n", Resources::new(1, 1)), T0);
+        assert!(api.take_dirty());
+        assert!(!api.take_dirty());
+    }
+
+    #[test]
+    fn events_recorded_in_order() {
+        let mut api = ApiServer::new("c");
+        api.add_node(Node::new("n", Resources::new(1, 1)), T0);
+        api.create_pod(pod("p", 1, 1), T0).unwrap();
+        let kinds: Vec<&str> = api.events.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["NodeAdded", "PodCreated"]);
+    }
+}

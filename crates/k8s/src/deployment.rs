@@ -1,0 +1,149 @@
+//! Deployments, ReplicaSets and the HorizontalPodAutoscaler.
+//!
+//! These back the paper's scalability claim (§III-A): "Kubernetes provides
+//! the ability to scale horizontally and vertically … Once the resources are
+//! appropriately allocated, Kubernetes handles performance degradation or
+//! failures, meaning that the network can only serve as a simple matchmaker."
+
+use crate::meta::{LabelSelector, ObjectMeta};
+use crate::pod::PodSpec;
+
+/// A ReplicaSet: keeps `replicas` pods matching `selector` alive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaSet {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Desired replica count.
+    pub replicas: u32,
+    /// Pod selector (must match the template labels).
+    pub selector: LabelSelector,
+    /// Pod template.
+    pub template: PodSpec,
+    /// Labels applied to created pods.
+    pub template_labels: std::collections::BTreeMap<String, String>,
+    /// Currently observed ready replicas (maintained by the controller).
+    pub ready_replicas: u32,
+}
+
+/// A Deployment: a versioned wrapper creating/updating a ReplicaSet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Desired replica count.
+    pub replicas: u32,
+    /// Pod selector.
+    pub selector: LabelSelector,
+    /// Pod template.
+    pub template: PodSpec,
+    /// Labels applied to created pods.
+    pub template_labels: std::collections::BTreeMap<String, String>,
+}
+
+impl Deployment {
+    /// A deployment whose pods carry `app=<app>`.
+    pub fn new(name: impl Into<String>, app: &str, replicas: u32, template: PodSpec) -> Self {
+        let mut labels = std::collections::BTreeMap::new();
+        labels.insert("app".to_owned(), app.to_owned());
+        Deployment {
+            meta: ObjectMeta::named(name).with_label("app", app),
+            replicas,
+            selector: LabelSelector::eq("app", app),
+            template,
+            template_labels: labels,
+        }
+    }
+}
+
+/// HorizontalPodAutoscaler: scales a Deployment between `min` and `max`
+/// replicas, targeting `target_utilisation` of the externally reported load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hpa {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Target deployment name (same namespace).
+    pub target: String,
+    /// Minimum replicas.
+    pub min_replicas: u32,
+    /// Maximum replicas.
+    pub max_replicas: u32,
+    /// Target per-replica utilisation in `(0, 1]`.
+    pub target_utilisation: f64,
+    /// Externally reported aggregate load, in "replica-equivalents"
+    /// (e.g. 2.5 = work for 2.5 fully-utilised replicas). Updated via
+    /// [`crate::cluster::SetHpaLoad`].
+    pub observed_load: f64,
+}
+
+impl Hpa {
+    /// Construct an HPA.
+    pub fn new(
+        name: impl Into<String>,
+        target: impl Into<String>,
+        min_replicas: u32,
+        max_replicas: u32,
+        target_utilisation: f64,
+    ) -> Self {
+        Hpa {
+            meta: ObjectMeta::named(name),
+            target: target.into(),
+            min_replicas,
+            max_replicas,
+            target_utilisation: target_utilisation.clamp(0.01, 1.0),
+            observed_load: 0.0,
+        }
+    }
+
+    /// The replica count this HPA currently wants: `ceil(load / target)`,
+    /// clamped to `[min, max]`.
+    pub fn desired_replicas(&self) -> u32 {
+        let raw = (self.observed_load / self.target_utilisation).ceil();
+        let raw = if raw.is_finite() && raw > 0.0 {
+            raw as u32
+        } else {
+            0
+        };
+        raw.clamp(self.min_replicas, self.max_replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pod::{ContainerSpec, WorkloadSpec};
+    use crate::resources::Resources;
+
+    fn template() -> PodSpec {
+        PodSpec::single(ContainerSpec {
+            name: "srv".into(),
+            image: "fileserver".into(),
+            requests: Resources::new(1, 1),
+            workload: WorkloadSpec::Forever,
+        })
+    }
+
+    #[test]
+    fn deployment_wiring() {
+        let d = Deployment::new("fileserver", "fs", 3, template());
+        assert_eq!(d.replicas, 3);
+        assert!(d.selector.matches(&d.template_labels));
+    }
+
+    #[test]
+    fn hpa_desired_replicas() {
+        let mut hpa = Hpa::new("hpa", "fileserver", 1, 10, 0.5);
+        assert_eq!(hpa.desired_replicas(), 1, "no load → min");
+        hpa.observed_load = 2.0;
+        assert_eq!(hpa.desired_replicas(), 4, "2.0 load at 0.5 target → 4");
+        hpa.observed_load = 100.0;
+        assert_eq!(hpa.desired_replicas(), 10, "clamped to max");
+        hpa.observed_load = -5.0;
+        assert_eq!(hpa.desired_replicas(), 1, "negative load → min");
+    }
+
+    #[test]
+    fn hpa_clamps_target() {
+        let hpa = Hpa::new("h", "d", 1, 5, 0.0);
+        assert!(hpa.target_utilisation > 0.0, "target clamped away from zero");
+    }
+}

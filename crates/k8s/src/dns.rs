@@ -1,0 +1,110 @@
+//! CoreDNS-style in-cluster name resolution.
+//!
+//! The paper's §V-A enables the MicroK8s DNS add-on so services resolve as
+//! `<service>.<namespace>.svc.cluster.local`; LIDC maps NDN names onto these
+//! service names. This module resolves such DNS names against the API
+//! server, returning the ClusterIP and (optionally) the ready endpoints.
+
+use crate::apiserver::ApiServer;
+use crate::meta::ObjectKey;
+
+/// A successful resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// The service's stable virtual IP.
+    pub cluster_ip: String,
+    /// Ready pod IPs backing the service (may be empty).
+    pub endpoints: Vec<String>,
+    /// The service key that matched.
+    pub service: ObjectKey,
+}
+
+/// Errors from [`resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsError {
+    /// The name is not of the form `<svc>.<ns>.svc.cluster.local`.
+    MalformedName(String),
+    /// No such service.
+    NxDomain(String),
+}
+
+impl std::fmt::Display for DnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnsError::MalformedName(n) => write!(f, "malformed cluster DNS name: {n}"),
+            DnsError::NxDomain(n) => write!(f, "NXDOMAIN: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// Resolve an in-cluster DNS name (`<svc>.<ns>.svc.cluster.local`).
+pub fn resolve(api: &ApiServer, dns_name: &str) -> Result<Resolution, DnsError> {
+    let key = parse_service_dns(dns_name)
+        .ok_or_else(|| DnsError::MalformedName(dns_name.to_owned()))?;
+    let svc = api
+        .services
+        .get(&key)
+        .ok_or_else(|| DnsError::NxDomain(dns_name.to_owned()))?;
+    Ok(Resolution {
+        cluster_ip: svc.status.cluster_ip.clone(),
+        endpoints: svc.status.endpoints.clone(),
+        service: key,
+    })
+}
+
+/// Parse `<svc>.<ns>.svc.cluster.local` into an [`ObjectKey`].
+pub fn parse_service_dns(dns_name: &str) -> Option<ObjectKey> {
+    let rest = dns_name.strip_suffix(".svc.cluster.local")?;
+    let (svc, ns) = rest.split_once('.')?;
+    
+    
+    if svc.is_empty() || ns.is_empty() || ns.contains('.') {
+        return None;
+    }
+    Some(ObjectKey::new(ns, svc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Service;
+    use lidc_simcore::time::SimTime;
+
+    #[test]
+    fn parse_valid_and_invalid() {
+        assert_eq!(
+            parse_service_dns("dl-nfd.ndnk8s.svc.cluster.local"),
+            Some(ObjectKey::new("ndnk8s", "dl-nfd"))
+        );
+        assert_eq!(parse_service_dns("dl-nfd.ndnk8s"), None);
+        assert_eq!(parse_service_dns("a.b.c.svc.cluster.local"), None);
+        assert_eq!(parse_service_dns(".ns.svc.cluster.local"), None);
+        assert_eq!(parse_service_dns("svc..svc.cluster.local"), None);
+    }
+
+    #[test]
+    fn resolve_returns_cluster_ip_and_endpoints() {
+        let mut api = ApiServer::new("c");
+        api.create_service(Service::cluster_ip("dl-nfd", "nfd", 6363), SimTime::ZERO)
+            .unwrap();
+        let r = resolve(&api, "dl-nfd.ndnk8s.svc.cluster.local").unwrap();
+        assert_eq!(r.cluster_ip, "10.96.0.1");
+        assert!(r.endpoints.is_empty(), "no pods yet");
+        assert_eq!(r.service, ObjectKey::new("ndnk8s", "dl-nfd"));
+    }
+
+    #[test]
+    fn resolve_errors() {
+        let api = ApiServer::new("c");
+        assert!(matches!(
+            resolve(&api, "not-a-dns-name"),
+            Err(DnsError::MalformedName(_))
+        ));
+        assert!(matches!(
+            resolve(&api, "ghost.ndnk8s.svc.cluster.local"),
+            Err(DnsError::NxDomain(_))
+        ));
+    }
+}

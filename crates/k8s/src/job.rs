@@ -1,0 +1,134 @@
+//! Jobs: run-to-completion workloads with retry/backoff.
+//!
+//! The LIDC gateway turns every `/ndn/k8s/compute/...` Interest into one Job
+//! (paper §III-C: "the Gateway initiates a Kubernetes job to run the desired
+//! computation task").
+
+use lidc_simcore::time::SimTime;
+
+use crate::meta::ObjectMeta;
+use crate::pod::PodSpec;
+
+/// Job specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Pod template.
+    pub template: PodSpec,
+    /// Retries allowed after pod failure before the job fails.
+    pub backoff_limit: u32,
+}
+
+/// Job condition (mirrors the LIDC status vocabulary: the paper's
+/// `/ndn/k8s/status` responses are Pending/Running/Completed/Failed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobCondition {
+    /// No pod has started yet.
+    Pending,
+    /// A pod is executing.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Exhausted retries.
+    Failed,
+}
+
+/// Job runtime status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Condition.
+    pub condition: JobCondition,
+    /// Pods created so far (names).
+    pub pods: Vec<String>,
+    /// Failed attempts so far.
+    pub failures: u32,
+    /// When the first pod started.
+    pub started_at: Option<SimTime>,
+    /// When the job reached a terminal condition.
+    pub finished_at: Option<SimTime>,
+    /// Error message when failed.
+    pub message: String,
+    /// Output artifact `(identifier, bytes)` from the successful pod.
+    pub output: Option<(String, u64)>,
+}
+
+impl Default for JobStatus {
+    fn default() -> Self {
+        JobStatus {
+            condition: JobCondition::Pending,
+            pods: Vec::new(),
+            failures: 0,
+            started_at: None,
+            finished_at: None,
+            message: String::new(),
+            output: None,
+        }
+    }
+}
+
+/// A job object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Spec.
+    pub spec: JobSpec,
+    /// Status.
+    pub status: JobStatus,
+}
+
+impl Job {
+    /// A new pending job.
+    pub fn new(meta: ObjectMeta, template: PodSpec, backoff_limit: u32) -> Self {
+        Job {
+            meta,
+            spec: JobSpec {
+                template,
+                backoff_limit,
+            },
+            status: JobStatus::default(),
+        }
+    }
+
+    /// True when the job is in a terminal condition.
+    pub fn is_finished(&self) -> bool {
+        matches!(
+            self.status.condition,
+            JobCondition::Completed | JobCondition::Failed
+        )
+    }
+
+    /// Total wall-clock (virtual) run time, when finished.
+    pub fn run_time(&self) -> Option<lidc_simcore::time::SimDuration> {
+        match (self.status.started_at, self.status.finished_at) {
+            (Some(s), Some(f)) => Some(f.since(s)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pod::{ContainerSpec, WorkloadSpec};
+    use crate::resources::Resources;
+    use lidc_simcore::time::SimDuration;
+
+    #[test]
+    fn job_lifecycle_helpers() {
+        let template = PodSpec::single(ContainerSpec {
+            name: "blast".into(),
+            image: "magicblast".into(),
+            requests: Resources::new(2, 4),
+            workload: WorkloadSpec::run_for(SimDuration::from_hours(8)),
+        });
+        let mut job = Job::new(ObjectMeta::named("job-1"), template, 3);
+        assert_eq!(job.status.condition, JobCondition::Pending);
+        assert!(!job.is_finished());
+        assert_eq!(job.run_time(), None);
+        job.status.started_at = Some(SimTime::ZERO);
+        job.status.finished_at = Some(SimTime::ZERO + SimDuration::from_hours(8));
+        job.status.condition = JobCondition::Completed;
+        assert!(job.is_finished());
+        assert_eq!(job.run_time(), Some(SimDuration::from_hours(8)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Object metadata: names, namespaces, labels, selectors, UIDs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use lidc_simcore::time::SimTime;
+
+/// A unique object id within a cluster (assigned by the API server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Uid(pub u64);
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid-{}", self.0)
+    }
+}
+
+/// Kubernetes-style object metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObjectMeta {
+    /// Object name, unique within (kind, namespace).
+    pub name: String,
+    /// Namespace; LIDC uses `ndnk8s` (per the paper's DNS example).
+    pub namespace: String,
+    /// Labels for selector matching.
+    pub labels: BTreeMap<String, String>,
+    /// Unique id, assigned on creation.
+    pub uid: Uid,
+    /// Creation timestamp (virtual).
+    pub created_at: SimTime,
+}
+
+impl ObjectMeta {
+    /// Metadata with a name in the default LIDC namespace.
+    pub fn named(name: impl Into<String>) -> Self {
+        ObjectMeta {
+            name: name.into(),
+            namespace: DEFAULT_NAMESPACE.to_owned(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: namespace.
+    pub fn in_namespace(mut self, ns: impl Into<String>) -> Self {
+        self.namespace = ns.into();
+        self
+    }
+
+    /// Builder: add one label.
+    pub fn with_label(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.labels.insert(k.into(), v.into());
+        self
+    }
+
+    /// The `(namespace, name)` key used by the API server stores.
+    pub fn key(&self) -> ObjectKey {
+        ObjectKey {
+            namespace: self.namespace.clone(),
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// The namespace LIDC deploys into (`dl-nfd.ndnk8s.svc.cluster.local`).
+pub const DEFAULT_NAMESPACE: &str = "ndnk8s";
+
+/// `(namespace, name)` pair keying API-server collections.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectKey {
+    /// Namespace.
+    pub namespace: String,
+    /// Name.
+    pub name: String,
+}
+
+impl ObjectKey {
+    /// Construct a key.
+    pub fn new(namespace: impl Into<String>, name: impl Into<String>) -> Self {
+        ObjectKey {
+            namespace: namespace.into(),
+            name: name.into(),
+        }
+    }
+
+    /// Key in the default namespace.
+    pub fn named(name: impl Into<String>) -> Self {
+        ObjectKey::new(DEFAULT_NAMESPACE, name)
+    }
+}
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.namespace, self.name)
+    }
+}
+
+/// An equality-based label selector (the subset Kubernetes services use).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LabelSelector {
+    /// Every entry must match the target's labels exactly.
+    pub match_labels: BTreeMap<String, String>,
+}
+
+impl LabelSelector {
+    /// An empty selector. Per Kubernetes semantics an empty selector
+    /// matches **nothing** when used by services here (avoids accidentally
+    /// selecting every pod).
+    pub fn none() -> Self {
+        LabelSelector::default()
+    }
+
+    /// Selector requiring one label.
+    pub fn eq(k: impl Into<String>, v: impl Into<String>) -> Self {
+        let mut match_labels = BTreeMap::new();
+        match_labels.insert(k.into(), v.into());
+        LabelSelector { match_labels }
+    }
+
+    /// Builder: add a required label.
+    pub fn and(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.match_labels.insert(k.into(), v.into());
+        self
+    }
+
+    /// Whether `labels` satisfies the selector. Empty selectors match
+    /// nothing.
+    pub fn matches(&self, labels: &BTreeMap<String, String>) -> bool {
+        if self.match_labels.is_empty() {
+            return false;
+        }
+        self.match_labels
+            .iter()
+            .all(|(k, v)| labels.get(k) == Some(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_builders() {
+        let m = ObjectMeta::named("gateway")
+            .in_namespace("ndnk8s")
+            .with_label("app", "nfd");
+        assert_eq!(m.name, "gateway");
+        assert_eq!(m.namespace, "ndnk8s");
+        assert_eq!(m.labels.get("app").map(String::as_str), Some("nfd"));
+        assert_eq!(m.key(), ObjectKey::new("ndnk8s", "gateway"));
+        assert_eq!(m.key().to_string(), "ndnk8s/gateway");
+    }
+
+    #[test]
+    fn selector_matching() {
+        let sel = LabelSelector::eq("app", "blast").and("tier", "compute");
+        let mut labels = BTreeMap::new();
+        labels.insert("app".to_owned(), "blast".to_owned());
+        assert!(!sel.matches(&labels), "partial match fails");
+        labels.insert("tier".to_owned(), "compute".to_owned());
+        assert!(sel.matches(&labels));
+        labels.insert("extra".to_owned(), "ok".to_owned());
+        assert!(sel.matches(&labels), "extra labels are fine");
+    }
+
+    #[test]
+    fn empty_selector_matches_nothing() {
+        let sel = LabelSelector::none();
+        let mut labels = BTreeMap::new();
+        assert!(!sel.matches(&labels));
+        labels.insert("a".to_owned(), "b".to_owned());
+        assert!(!sel.matches(&labels));
+    }
+}

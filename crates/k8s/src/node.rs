@@ -1,0 +1,42 @@
+//! Cluster nodes.
+
+use crate::meta::ObjectMeta;
+use crate::resources::Resources;
+
+/// A worker node with fixed allocatable resources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Schedulable capacity.
+    pub allocatable: Resources,
+    /// Node readiness; unschedulable when false.
+    pub ready: bool,
+    /// Synthetic node IP (NodePort services are reachable at this address).
+    pub ip: String,
+}
+
+impl Node {
+    /// A ready node. The IP is derived later by the API server when added.
+    pub fn new(name: impl Into<String>, allocatable: Resources) -> Self {
+        Node {
+            meta: ObjectMeta::named(name).in_namespace(""),
+            allocatable,
+            ready: true,
+            ip: String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_defaults() {
+        let n = Node::new("node-1", Resources::new(8, 32));
+        assert!(n.ready);
+        assert_eq!(n.meta.name, "node-1");
+        assert_eq!(n.allocatable, Resources::new(8, 32));
+    }
+}

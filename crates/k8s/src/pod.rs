@@ -1,0 +1,212 @@
+//! Pods: the smallest execution unit, plus the simulated workload model.
+
+use lidc_simcore::time::{SimDuration, SimTime};
+
+use crate::meta::ObjectMeta;
+use crate::resources::Resources;
+
+/// What a simulated container does when it runs.
+///
+/// Real Kubernetes runs an image; the simulator runs a *description* whose
+/// duration/outcome the creator computes up front (for LIDC compute jobs the
+/// gateway derives the duration from the genomics cost model). Keeping this
+/// declarative keeps `lidc-k8s` independent of the workload domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Run for `duration`, then succeed, optionally reporting an output
+    /// artifact (key + size in bytes) for the job's status.
+    Run {
+        /// Virtual execution time.
+        duration: SimDuration,
+        /// Artifact `(identifier, bytes)` recorded on success.
+        output: Option<(String, u64)>,
+    },
+    /// Run for `after`, then fail with `message`.
+    Fail {
+        /// Virtual time until the failure.
+        after: SimDuration,
+        /// Error message recorded in the pod/job status.
+        message: String,
+    },
+    /// Fail `failures` times (each after `attempt_duration`), then succeed —
+    /// exercises Job backoff.
+    FlakyThenSucceed {
+        /// Number of leading failures.
+        failures: u32,
+        /// Duration of every attempt, failing or succeeding.
+        attempt_duration: SimDuration,
+    },
+    /// Run until deleted (services/daemons such as the gateway NFD pod).
+    Forever,
+}
+
+impl WorkloadSpec {
+    /// A fixed-duration successful run.
+    pub fn run_for(duration: SimDuration) -> Self {
+        WorkloadSpec::Run {
+            duration,
+            output: None,
+        }
+    }
+}
+
+/// A container within a pod.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerSpec {
+    /// Container name.
+    pub name: String,
+    /// Image reference (informational; e.g. `ncbi/magicblast:1.6`).
+    pub image: String,
+    /// Resource requests (the scheduler reserves these).
+    pub requests: Resources,
+    /// The simulated behaviour.
+    pub workload: WorkloadSpec,
+}
+
+/// Pod specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PodSpec {
+    /// Containers (LIDC jobs use exactly one).
+    pub containers: Vec<ContainerSpec>,
+    /// Optional node name constraint.
+    pub node_name: Option<String>,
+    /// PVC names this pod mounts.
+    pub volumes: Vec<String>,
+}
+
+impl PodSpec {
+    /// A single-container pod spec.
+    pub fn single(container: ContainerSpec) -> Self {
+        PodSpec {
+            containers: vec![container],
+            node_name: None,
+            volumes: Vec::new(),
+        }
+    }
+
+    /// Total resource requests across containers.
+    pub fn total_requests(&self) -> Resources {
+        self.containers
+            .iter()
+            .fold(Resources::ZERO, |acc, c| acc + c.requests)
+    }
+}
+
+/// Pod lifecycle phase (Kubernetes semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PodPhase {
+    /// Accepted but not yet scheduled/started.
+    Pending,
+    /// Executing on a node.
+    Running,
+    /// All containers finished successfully.
+    Succeeded,
+    /// A container failed.
+    Failed,
+}
+
+/// Pod runtime status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PodStatus {
+    /// Phase.
+    pub phase: PodPhase,
+    /// Node the pod is bound to.
+    pub node: Option<String>,
+    /// Synthetic pod IP once running.
+    pub ip: Option<String>,
+    /// When it started running.
+    pub started_at: Option<SimTime>,
+    /// When it reached a terminal phase.
+    pub finished_at: Option<SimTime>,
+    /// Failure or progress message.
+    pub message: String,
+    /// Restart count (failed attempts executed in place).
+    pub restarts: u32,
+    /// Output artifact reported by a successful `Run` workload.
+    pub output: Option<(String, u64)>,
+}
+
+impl Default for PodStatus {
+    fn default() -> Self {
+        PodStatus {
+            phase: PodPhase::Pending,
+            node: None,
+            ip: None,
+            started_at: None,
+            finished_at: None,
+            message: String::new(),
+            restarts: 0,
+            output: None,
+        }
+    }
+}
+
+/// A pod: spec + status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pod {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Specification.
+    pub spec: PodSpec,
+    /// Runtime status.
+    pub status: PodStatus,
+}
+
+impl Pod {
+    /// A pending pod.
+    pub fn new(meta: ObjectMeta, spec: PodSpec) -> Self {
+        Pod {
+            meta,
+            spec,
+            status: PodStatus::default(),
+        }
+    }
+
+    /// True when the pod is in a terminal phase.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.status.phase, PodPhase::Succeeded | PodPhase::Failed)
+    }
+
+    /// True while the pod holds node resources (scheduled and not finished).
+    pub fn holds_resources(&self) -> bool {
+        self.status.node.is_some() && !self.is_finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn container(cores: u64, gib: u64) -> ContainerSpec {
+        ContainerSpec {
+            name: "main".into(),
+            image: "test:latest".into(),
+            requests: Resources::new(cores, gib),
+            workload: WorkloadSpec::run_for(SimDuration::from_secs(1)),
+        }
+    }
+
+    #[test]
+    fn total_requests_sums_containers() {
+        let spec = PodSpec {
+            containers: vec![container(1, 2), container(2, 3)],
+            node_name: None,
+            volumes: vec![],
+        };
+        assert_eq!(spec.total_requests(), Resources::new(3, 5));
+    }
+
+    #[test]
+    fn lifecycle_predicates() {
+        let mut pod = Pod::new(ObjectMeta::named("p"), PodSpec::single(container(1, 1)));
+        assert_eq!(pod.status.phase, PodPhase::Pending);
+        assert!(!pod.is_finished());
+        assert!(!pod.holds_resources(), "pending pods hold nothing");
+        pod.status.node = Some("n1".into());
+        pod.status.phase = PodPhase::Running;
+        assert!(pod.holds_resources());
+        pod.status.phase = PodPhase::Succeeded;
+        assert!(pod.is_finished());
+        assert!(!pod.holds_resources(), "finished pods release resources");
+    }
+}

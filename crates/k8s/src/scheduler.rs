@@ -1,0 +1,295 @@
+//! The pod scheduler: filter + score, never overcommitting a node.
+//!
+//! Mirrors kube-scheduler's two-phase design. Filtering removes nodes that
+//! are not ready, violate an explicit `node_name` constraint, or lack free
+//! resources for the pod's requests. Scoring ranks the survivors by the
+//! configured policy. Binding writes `status.node`.
+
+use crate::apiserver::ApiServer;
+use crate::meta::ObjectKey;
+use crate::resources::Resources;
+use lidc_simcore::time::SimTime;
+
+/// Node-scoring policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScorePolicy {
+    /// Prefer the emptiest node (spreads load; kube-scheduler default-ish).
+    #[default]
+    LeastAllocated,
+    /// Prefer the fullest node that still fits (bin packing).
+    MostAllocated,
+    /// Prefer the node whose cpu/memory utilisation stays most balanced.
+    Balanced,
+}
+
+/// The scheduler.
+#[derive(Debug, Default, Clone)]
+pub struct Scheduler {
+    /// Scoring policy.
+    pub policy: ScorePolicy,
+}
+
+impl Scheduler {
+    /// A scheduler with the given policy.
+    pub fn new(policy: ScorePolicy) -> Self {
+        Scheduler { policy }
+    }
+
+    /// Bind every schedulable pending pod. Returns the bound pod keys.
+    pub fn schedule(&self, api: &mut ApiServer, now: SimTime) -> Vec<ObjectKey> {
+        // Deterministic order: creation uid.
+        let mut pending: Vec<(ObjectKey, Resources, Option<String>)> = api
+            .pods
+            .iter()
+            .filter(|(_, p)| {
+                p.status.phase == crate::pod::PodPhase::Pending && p.status.node.is_none()
+            })
+            .map(|(k, p)| (k.clone(), p.spec.total_requests(), p.spec.node_name.clone()))
+            .collect();
+        pending.sort_by_key(|(k, _, _)| api.pods[k].meta.uid);
+
+        let mut bound = Vec::new();
+        for (key, requests, node_constraint) in pending {
+            let Some(node) = self.pick_node(api, &requests, node_constraint.as_deref()) else {
+                continue; // stays pending; retried next reconcile
+            };
+            let ip = api.alloc_pod_ip();
+            let pod = api.pods.get_mut(&key).expect("pod exists");
+            pod.status.node = Some(node.clone());
+            pod.status.ip = Some(ip);
+            api.record_event(now, "PodScheduled", key.to_string(), node);
+            api.mark_dirty();
+            bound.push(key);
+        }
+        bound
+    }
+
+    fn pick_node(
+        &self,
+        api: &ApiServer,
+        requests: &Resources,
+        constraint: Option<&str>,
+    ) -> Option<String> {
+        let candidates = api
+            .nodes
+            .values()
+            .filter(|n| n.ready)
+            .filter(|n| constraint.is_none_or(|c| c == n.meta.name))
+            .filter(|n| requests.fits_in(&api.node_free(&n.meta.name)));
+        // Deterministic tie-break by node name via max_by with name-reversed
+        // comparison: take the best score, then lexicographically smallest.
+        let mut best: Option<(f64, &str)> = None;
+        for n in candidates {
+            let score = self.score(api, &n.meta.name, requests);
+            let better = match best {
+                None => true,
+                Some((bs, bn)) => {
+                    score > bs + 1e-12 || ((score - bs).abs() <= 1e-12 && n.meta.name.as_str() < bn)
+                }
+            };
+            if better {
+                best = Some((score, &n.meta.name));
+            }
+        }
+        best.map(|(_, name)| name.to_owned())
+    }
+
+    /// Higher is better.
+    fn score(&self, api: &ApiServer, node: &str, requests: &Resources) -> f64 {
+        let allocatable = api.nodes[node].allocatable;
+        let used_after = api.node_usage(node) + *requests;
+        let util = used_after.dominant_utilisation(&allocatable);
+        match self.policy {
+            ScorePolicy::LeastAllocated => 1.0 - util,
+            ScorePolicy::MostAllocated => util,
+            ScorePolicy::Balanced => {
+                let cpu = if allocatable.cpu.0 == 0 {
+                    0.0
+                } else {
+                    used_after.cpu.0 as f64 / allocatable.cpu.0 as f64
+                };
+                let mem = if allocatable.memory.0 == 0 {
+                    0.0
+                } else {
+                    used_after.memory.0 as f64 / allocatable.memory.0 as f64
+                };
+                1.0 - (cpu - mem).abs()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::ObjectMeta;
+    use crate::node::Node;
+    use crate::pod::{ContainerSpec, Pod, PodPhase, PodSpec, WorkloadSpec};
+    use lidc_simcore::time::SimDuration;
+
+    const T0: SimTime = SimTime::ZERO;
+
+    fn api_with_nodes(nodes: &[(&str, u64, u64)]) -> ApiServer {
+        let mut api = ApiServer::new("test");
+        for (name, cores, gib) in nodes {
+            api.add_node(Node::new(*name, Resources::new(*cores, *gib)), T0);
+        }
+        api
+    }
+
+    fn make_pod(name: &str, cores: u64, gib: u64) -> Pod {
+        Pod::new(
+            ObjectMeta::named(name),
+            PodSpec::single(ContainerSpec {
+                name: "c".into(),
+                image: "i".into(),
+                requests: Resources::new(cores, gib),
+                workload: WorkloadSpec::run_for(SimDuration::from_secs(1)),
+            }),
+        )
+    }
+
+    #[test]
+    fn binds_to_fitting_node_only() {
+        let mut api = api_with_nodes(&[("small", 1, 1), ("big", 8, 16)]);
+        api.create_pod(make_pod("p", 4, 8), T0).unwrap();
+        let bound = Scheduler::default().schedule(&mut api, T0);
+        assert_eq!(bound.len(), 1);
+        let pod = &api.pods[&bound[0]];
+        assert_eq!(pod.status.node.as_deref(), Some("big"));
+        assert!(pod.status.ip.is_some());
+    }
+
+    #[test]
+    fn unschedulable_pod_stays_pending() {
+        let mut api = api_with_nodes(&[("n", 2, 2)]);
+        api.create_pod(make_pod("too-big", 4, 4), T0).unwrap();
+        let bound = Scheduler::default().schedule(&mut api, T0);
+        assert!(bound.is_empty());
+        let pod = api.pods.values().next().unwrap();
+        assert_eq!(pod.status.phase, PodPhase::Pending);
+        assert!(pod.status.node.is_none());
+    }
+
+    #[test]
+    fn never_overcommits() {
+        let mut api = api_with_nodes(&[("n1", 4, 8), ("n2", 4, 8)]);
+        for i in 0..10 {
+            api.create_pod(make_pod(&format!("p{i}"), 2, 4), T0).unwrap();
+        }
+        // Mark bound pods running so they hold resources.
+        let scheduler = Scheduler::default();
+        let bound = scheduler.schedule(&mut api, T0);
+        assert_eq!(bound.len(), 4, "2 fit per node");
+        for key in &bound {
+            api.pods.get_mut(key).unwrap().status.phase = PodPhase::Running;
+        }
+        for node in ["n1", "n2"] {
+            let used = api.node_usage(node);
+            assert!(
+                used.fits_in(&api.nodes[node].allocatable),
+                "{node} overcommitted: {used}"
+            );
+        }
+        // Releasing one pod frees space for exactly one more.
+        let first = bound[0].clone();
+        api.pods.get_mut(&first).unwrap().status.phase = PodPhase::Succeeded;
+        let more = scheduler.schedule(&mut api, T0);
+        assert_eq!(more.len(), 1);
+    }
+
+    #[test]
+    fn node_name_constraint_respected() {
+        let mut api = api_with_nodes(&[("a", 8, 8), ("b", 8, 8)]);
+        let mut p = make_pod("pinned", 1, 1);
+        p.spec.node_name = Some("b".into());
+        api.create_pod(p, T0).unwrap();
+        let bound = Scheduler::default().schedule(&mut api, T0);
+        assert_eq!(api.pods[&bound[0]].status.node.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn not_ready_nodes_excluded() {
+        let mut api = api_with_nodes(&[("a", 8, 8)]);
+        api.nodes.get_mut("a").unwrap().ready = false;
+        api.create_pod(make_pod("p", 1, 1), T0).unwrap();
+        assert!(Scheduler::default().schedule(&mut api, T0).is_empty());
+    }
+
+    #[test]
+    fn least_allocated_spreads() {
+        let mut api = api_with_nodes(&[("a", 8, 8), ("b", 8, 8)]);
+        api.create_pod(make_pod("p1", 2, 2), T0).unwrap();
+        api.create_pod(make_pod("p2", 2, 2), T0).unwrap();
+        let s = Scheduler::new(ScorePolicy::LeastAllocated);
+        let bound = s.schedule(&mut api, T0);
+        for key in &bound {
+            api.pods.get_mut(key).unwrap().status.phase = PodPhase::Running;
+        }
+        let nodes: Vec<_> = bound
+            .iter()
+            .map(|k| api.pods[k].status.node.clone().unwrap())
+            .collect();
+        assert_ne!(nodes[0], nodes[1], "spread across both nodes");
+    }
+
+    #[test]
+    fn most_allocated_packs() {
+        let mut api = api_with_nodes(&[("a", 8, 8), ("b", 8, 8)]);
+        // Pre-load node a a bit.
+        let mut warm = make_pod("warm", 2, 2);
+        warm.status.node = Some("a".into());
+        warm.status.phase = PodPhase::Running;
+        api.create_pod(warm, T0).unwrap();
+        api.create_pod(make_pod("p1", 2, 2), T0).unwrap();
+        let s = Scheduler::new(ScorePolicy::MostAllocated);
+        let bound = s.schedule(&mut api, T0);
+        assert_eq!(api.pods[&bound[0]].status.node.as_deref(), Some("a"), "packs onto warmer node");
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_name() {
+        let mut api = api_with_nodes(&[("zeta", 4, 4), ("alpha", 4, 4)]);
+        api.create_pod(make_pod("p", 1, 1), T0).unwrap();
+        let bound = Scheduler::default().schedule(&mut api, T0);
+        assert_eq!(api.pods[&bound[0]].status.node.as_deref(), Some("alpha"));
+    }
+
+    #[test]
+    fn random_workload_never_overcommits_property() {
+        use lidc_simcore::rng::DetRng;
+        let mut rng = DetRng::new(0x5EED);
+        for trial in 0..30 {
+            let mut api = api_with_nodes(&[("a", 6, 12), ("b", 4, 8), ("c", 2, 4)]);
+            let s = Scheduler::default();
+            for i in 0..40 {
+                let cores = rng.next_below(4) + 1;
+                let gib = rng.next_below(6) + 1;
+                api.create_pod(make_pod(&format!("t{trial}-p{i}"), cores, gib), T0)
+                    .unwrap();
+                let bound = s.schedule(&mut api, T0);
+                for key in &bound {
+                    api.pods.get_mut(key).unwrap().status.phase = PodPhase::Running;
+                }
+                // Occasionally finish a random running pod.
+                if rng.next_bool(0.3) {
+                    if let Some(k) = api
+                        .pods
+                        .iter()
+                        .filter(|(_, p)| p.status.phase == PodPhase::Running)
+                        .map(|(k, _)| k.clone())
+                        .next()
+                    {
+                        api.pods.get_mut(&k).unwrap().status.phase = PodPhase::Succeeded;
+                    }
+                }
+                for node in ["a", "b", "c"] {
+                    assert!(
+                        api.node_usage(node).fits_in(&api.nodes[node].allocatable),
+                        "overcommit on {node}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Services: stable names in front of pods, with ClusterIP and NodePort.
+//!
+//! This is the half of LIDC's naming story that lives inside the cluster:
+//! a Kubernetes service gets a stable DNS name
+//! (`dl-nfd.ndnk8s.svc.cluster.local`), and NodePort exposure is how the
+//! external NDN world reaches the gateway NFD pod (paper Fig. 3).
+
+use crate::meta::{LabelSelector, ObjectMeta};
+
+/// Service exposure type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceType {
+    /// Virtual IP reachable inside the cluster only.
+    ClusterIp,
+    /// Additionally exposed on every node's IP at an allocated port in
+    /// `30000..=32767`.
+    NodePort,
+}
+
+/// A service port mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServicePort {
+    /// Port the service listens on (cluster-internal).
+    pub port: u16,
+    /// Target port on the pods.
+    pub target_port: u16,
+    /// Allocated node port (NodePort services only; set by the API server).
+    pub node_port: Option<u16>,
+}
+
+/// Service specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Pod selector.
+    pub selector: LabelSelector,
+    /// Exposure type.
+    pub service_type: ServiceType,
+    /// Ports.
+    pub ports: Vec<ServicePort>,
+}
+
+/// Service status, maintained by the endpoints controller.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceStatus {
+    /// Assigned cluster IP.
+    pub cluster_ip: String,
+    /// IPs of ready pods backing the service, sorted.
+    pub endpoints: Vec<String>,
+}
+
+/// A service object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Service {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Spec.
+    pub spec: ServiceSpec,
+    /// Status.
+    pub status: ServiceStatus,
+}
+
+impl Service {
+    /// A ClusterIP service selecting pods labelled `app=<app>` on one port.
+    pub fn cluster_ip(name: impl Into<String>, app: &str, port: u16) -> Self {
+        Service {
+            meta: ObjectMeta::named(name).with_label("app", app),
+            spec: ServiceSpec {
+                selector: LabelSelector::eq("app", app),
+                service_type: ServiceType::ClusterIp,
+                ports: vec![ServicePort {
+                    port,
+                    target_port: port,
+                    node_port: None,
+                }],
+            },
+            status: ServiceStatus::default(),
+        }
+    }
+
+    /// A NodePort service (external exposure), as LIDC uses for the gateway
+    /// NFD.
+    pub fn node_port(name: impl Into<String>, app: &str, port: u16) -> Self {
+        let mut svc = Service::cluster_ip(name, app, port);
+        svc.spec.service_type = ServiceType::NodePort;
+        svc
+    }
+
+    /// The in-cluster DNS name: `<name>.<namespace>.svc.cluster.local`.
+    pub fn dns_name(&self) -> String {
+        format!("{}.{}.svc.cluster.local", self.meta.name, self.meta.namespace)
+    }
+
+    /// True when at least one ready endpoint backs the service.
+    pub fn has_endpoints(&self) -> bool {
+        !self.status.endpoints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dns_name_matches_paper_example() {
+        // The paper names the data-lake router service
+        // "dl-nfd.ndnk8s.svc.cluster.local".
+        let svc = Service::cluster_ip("dl-nfd", "nfd", 6363);
+        assert_eq!(svc.dns_name(), "dl-nfd.ndnk8s.svc.cluster.local");
+    }
+
+    #[test]
+    fn node_port_constructor() {
+        let svc = Service::node_port("gateway-nfd", "gateway", 6363);
+        assert_eq!(svc.spec.service_type, ServiceType::NodePort);
+        assert_eq!(svc.spec.ports[0].node_port, None, "allocated by apiserver");
+        assert!(!svc.has_endpoints());
+    }
+}

@@ -1,0 +1,176 @@
+//! Persistent storage: PersistentVolumes, claims, and the NFS-backed store.
+//!
+//! The paper mounts an NFS server into MicroK8s through a PVC and uses it as
+//! the data lake's backing store (§IV, §V-B). [`NfsExport`] is the simulated
+//! remote filesystem: a shared key→bytes map that both the PVC machinery and
+//! the `lidc-datalake` repo wrap.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::meta::ObjectMeta;
+use crate::resources::Memory;
+
+/// A simulated NFS export: a concurrent key→bytes map with usage accounting.
+/// Cheap to clone (shared).
+#[derive(Debug, Clone, Default)]
+pub struct NfsExport {
+    inner: Arc<RwLock<BTreeMap<String, Bytes>>>,
+}
+
+impl NfsExport {
+    /// An empty export.
+    pub fn new() -> Self {
+        NfsExport::default()
+    }
+
+    /// Write (or overwrite) a file.
+    pub fn write(&self, path: impl Into<String>, content: impl Into<Bytes>) {
+        self.inner.write().insert(path.into(), content.into());
+    }
+
+    /// Read a file.
+    pub fn read(&self, path: &str) -> Option<Bytes> {
+        self.inner.read().get(path).cloned()
+    }
+
+    /// Delete a file; true if it existed.
+    pub fn delete(&self, path: &str) -> bool {
+        self.inner.write().remove(path).is_some()
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.read().contains_key(path)
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Total bytes stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.read().values().map(|b| b.len() as u64).sum()
+    }
+
+    /// List paths under a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+}
+
+/// A PersistentVolume backed by an NFS export.
+#[derive(Debug, Clone)]
+pub struct PersistentVolume {
+    /// Metadata (cluster-scoped: namespace is empty).
+    pub meta: ObjectMeta,
+    /// Capacity.
+    pub capacity: Memory,
+    /// Backing export.
+    pub export: NfsExport,
+    /// Name of the PVC bound to this volume, if any.
+    pub bound_to: Option<String>,
+}
+
+impl PersistentVolume {
+    /// A new unbound volume.
+    pub fn new(name: impl Into<String>, capacity: Memory, export: NfsExport) -> Self {
+        PersistentVolume {
+            meta: ObjectMeta::named(name).in_namespace(""),
+            capacity,
+            export,
+            bound_to: None,
+        }
+    }
+}
+
+/// PVC binding phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PvcPhase {
+    /// Awaiting a matching volume.
+    Pending,
+    /// Bound to a volume.
+    Bound,
+}
+
+/// A PersistentVolumeClaim.
+#[derive(Debug, Clone)]
+pub struct PersistentVolumeClaim {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Requested capacity.
+    pub request: Memory,
+    /// Phase.
+    pub phase: PvcPhase,
+    /// Bound volume name.
+    pub volume: Option<String>,
+}
+
+impl PersistentVolumeClaim {
+    /// A new pending claim.
+    pub fn new(name: impl Into<String>, request: Memory) -> Self {
+        PersistentVolumeClaim {
+            meta: ObjectMeta::named(name),
+            request,
+            phase: PvcPhase::Pending,
+            volume: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nfs_export_read_write_delete() {
+        let nfs = NfsExport::new();
+        assert!(!nfs.exists("ref/human.fa"));
+        nfs.write("ref/human.fa", &b"ACGT"[..]);
+        assert!(nfs.exists("ref/human.fa"));
+        assert_eq!(nfs.read("ref/human.fa").unwrap().as_ref(), b"ACGT");
+        assert_eq!(nfs.used_bytes(), 4);
+        assert!(nfs.delete("ref/human.fa"));
+        assert!(!nfs.delete("ref/human.fa"));
+        assert_eq!(nfs.file_count(), 0);
+    }
+
+    #[test]
+    fn nfs_export_clones_share_state() {
+        let a = NfsExport::new();
+        let b = a.clone();
+        a.write("x", &b"1"[..]);
+        assert!(b.exists("x"));
+    }
+
+    #[test]
+    fn nfs_list_by_prefix() {
+        let nfs = NfsExport::new();
+        nfs.write("sra/rice/SRR1", &b"a"[..]);
+        nfs.write("sra/rice/SRR2", &b"b"[..]);
+        nfs.write("sra/kidney/SRR3", &b"c"[..]);
+        assert_eq!(nfs.list("sra/rice/").len(), 2);
+        assert_eq!(nfs.list("sra/").len(), 3);
+        assert_eq!(nfs.list("ref/").len(), 0);
+        let listed = nfs.list("sra/rice/");
+        assert_eq!(listed, vec!["sra/rice/SRR1".to_owned(), "sra/rice/SRR2".to_owned()]);
+    }
+
+    #[test]
+    fn pvc_defaults() {
+        let pvc = PersistentVolumeClaim::new("datalake-pvc", Memory::gib(100));
+        assert_eq!(pvc.phase, PvcPhase::Pending);
+        assert!(pvc.volume.is_none());
+        let pv = PersistentVolume::new("pv-1", Memory::gib(500), NfsExport::new());
+        assert!(pv.bound_to.is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! Application-side helpers: consumers (with retransmission) and producers.
+//!
+//! These are embedded inside application actors (the LIDC client, gateway,
+//! and data-lake file server all use them) rather than being actors
+//! themselves: the owning actor routes its [`AppRx`] messages and
+//! [`RetxTimer`] timers into the helper and reacts to the returned
+//! [`ConsumerEvent`]s.
+
+use std::collections::HashMap;
+
+use lidc_simcore::engine::{ActorId, Ctx};
+
+use crate::face::FaceId;
+use crate::forwarder::{AppRx, Rx};
+use crate::name::Name;
+use crate::packet::{Data, Interest, Nack, NackReason, Packet};
+
+/// What a consumer learns about an expressed Interest.
+#[derive(Debug)]
+pub enum ConsumerEvent {
+    /// Data arrived.
+    Data(Data),
+    /// The network rejected the Interest.
+    Nack(NackReason, Interest),
+    /// All retransmissions timed out.
+    Timeout(Interest),
+}
+
+#[derive(Debug)]
+struct PendingEntry {
+    interest: Interest,
+    retries_left: u32,
+    /// Monotone id distinguishing reincarnations of the same name so stale
+    /// timers are ignored.
+    seq: u64,
+}
+
+/// Retransmission timer; the owning actor receives it as a message and must
+/// pass it to [`Consumer::on_timer`].
+#[derive(Debug, Clone)]
+pub struct RetxTimer {
+    /// Name of the pending Interest.
+    pub name: Name,
+    /// Reincarnation stamp.
+    pub seq: u64,
+}
+
+/// Consumer-side Interest management with retransmission.
+#[derive(Debug)]
+pub struct Consumer {
+    fwd: ActorId,
+    face: FaceId,
+    pending: HashMap<Name, PendingEntry>,
+    next_seq: u64,
+}
+
+impl Consumer {
+    /// A consumer speaking to forwarder `fwd` through app face `face`.
+    pub fn new(fwd: ActorId, face: FaceId) -> Self {
+        Consumer {
+            fwd,
+            face,
+            pending: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The app face this consumer sends through.
+    pub fn face(&self) -> FaceId {
+        self.face
+    }
+
+    /// Number of outstanding Interests.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Express `interest`, retrying up to `retries` times after each
+    /// lifetime elapses without a response. A fresh nonce is drawn per
+    /// transmission.
+    pub fn express(&mut self, ctx: &mut Ctx<'_>, mut interest: Interest, retries: u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        interest.nonce = Some(ctx.rng().next_u64() as u32);
+        let name = interest.name.clone();
+        let lifetime = interest.lifetime;
+        self.pending.insert(name.clone(), PendingEntry {
+            interest: interest.clone(),
+            retries_left: retries,
+            seq,
+        });
+        ctx.send(self.fwd, Rx {
+            face: self.face,
+            packet: Packet::Interest(interest),
+        });
+        ctx.schedule_self(lifetime, RetxTimer { name, seq });
+    }
+
+    /// Feed a received [`AppRx`]; returns an event if it resolves a pending
+    /// Interest.
+    pub fn on_app_rx(&mut self, rx: &AppRx) -> Option<ConsumerEvent> {
+        match &rx.packet {
+            Packet::Data(data) => {
+                let key = self
+                    .pending
+                    .iter()
+                    .find(|(name, e)| {
+                        *name == &data.name
+                            || (e.interest.can_be_prefix && name.is_prefix_of(&data.name))
+                    })
+                    .map(|(name, _)| name.clone())?;
+                self.pending.remove(&key);
+                Some(ConsumerEvent::Data(data.clone()))
+            }
+            Packet::Nack(nack) => {
+                let entry = self.pending.remove(&nack.interest.name)?;
+                Some(ConsumerEvent::Nack(nack.reason, entry.interest))
+            }
+            Packet::Interest(_) => None,
+        }
+    }
+
+    /// Feed a [`RetxTimer`]; retransmits or reports expiry.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: &RetxTimer) -> Option<ConsumerEvent> {
+        let entry = self.pending.get_mut(&timer.name)?;
+        if entry.seq != timer.seq {
+            return None; // stale timer from an earlier reincarnation
+        }
+        if entry.retries_left == 0 {
+            let entry = self.pending.remove(&timer.name).expect("present");
+            return Some(ConsumerEvent::Timeout(entry.interest));
+        }
+        entry.retries_left -= 1;
+        let mut interest = entry.interest.clone();
+        interest.nonce = Some(ctx.rng().next_u64() as u32);
+        entry.interest = interest.clone();
+        let lifetime = interest.lifetime;
+        let seq = entry.seq;
+        ctx.send(self.fwd, Rx {
+            face: self.face,
+            packet: Packet::Interest(interest),
+        });
+        ctx.schedule_self(lifetime, RetxTimer {
+            name: timer.name.clone(),
+            seq,
+        });
+        None
+    }
+}
+
+/// Producer-side send path.
+#[derive(Debug, Clone, Copy)]
+pub struct Producer {
+    fwd: ActorId,
+    face: FaceId,
+}
+
+impl Producer {
+    /// A producer speaking to forwarder `fwd` through app face `face`.
+    pub fn new(fwd: ActorId, face: FaceId) -> Self {
+        Producer { fwd, face }
+    }
+
+    /// The app face this producer serves through.
+    pub fn face(&self) -> FaceId {
+        self.face
+    }
+
+    /// Publish a Data packet in response to an Interest.
+    pub fn reply(&self, ctx: &mut Ctx<'_>, data: Data) {
+        ctx.send(self.fwd, Rx {
+            face: self.face,
+            packet: Packet::Data(data),
+        });
+    }
+
+    /// Reject an Interest with a NACK.
+    pub fn reject(&self, ctx: &mut Ctx<'_>, reason: NackReason, interest: Interest) {
+        ctx.send(self.fwd, Rx {
+            face: self.face,
+            packet: Packet::Nack(Nack::new(reason, interest)),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name;
+    use lidc_simcore::engine::{Actor, Msg, Sim};
+    use lidc_simcore::time::SimDuration;
+
+    /// Minimal harness: a consumer actor that records events.
+    struct ConsumerActor {
+        consumer: Option<Consumer>,
+        events: Vec<String>,
+    }
+
+    struct Express(Interest, u32);
+
+    impl Actor for ConsumerActor {
+        fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+            let msg = match msg.downcast::<Express>() {
+                Ok(e) => {
+                    self.consumer.as_mut().unwrap().express(ctx, e.0, e.1);
+                    return;
+                }
+                Err(m) => m,
+            };
+            let msg = match msg.downcast::<AppRx>() {
+                Ok(rx) => {
+                    if let Some(ev) = self.consumer.as_mut().unwrap().on_app_rx(&rx) {
+                        self.events.push(format!("{ev:?}"));
+                    }
+                    return;
+                }
+                Err(m) => m,
+            };
+            if let Ok(t) = msg.downcast::<RetxTimer>() {
+                if let Some(ev) = self.consumer.as_mut().unwrap().on_timer(ctx, &t) {
+                    self.events.push(format!("{ev:?}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_after_retries_exhausted() {
+        use crate::face::FaceIdAlloc;
+        use crate::forwarder::{Forwarder, ForwarderConfig};
+        use crate::net::attach_app;
+
+        let mut sim = Sim::new(1);
+        let alloc = FaceIdAlloc::new();
+        let fwd = sim.spawn("fwd", Forwarder::new("fwd", ForwarderConfig::default()));
+        let app = sim.spawn("app", ConsumerActor {
+            consumer: None,
+            events: vec![],
+        });
+        let face = attach_app(&mut sim, fwd, app, &alloc);
+        sim.actor_mut::<ConsumerActor>(app).unwrap().consumer = Some(Consumer::new(fwd, face));
+        // No route exists: the forwarder NACKs immediately, but check the
+        // timer path by sending to a forwarder-less consumer instead.
+        // Here the NACK resolves the entry before any retransmission.
+        let interest = Interest::new(name!("/nowhere"))
+            .with_lifetime(SimDuration::from_millis(100));
+        sim.send(app, Express(interest, 2));
+        sim.run();
+        let events = &sim.actor::<ConsumerActor>(app).unwrap().events;
+        assert_eq!(events.len(), 1);
+        assert!(events[0].contains("Nack"), "got {events:?}");
+        assert_eq!(sim.actor::<ConsumerActor>(app).unwrap().consumer.as_ref().unwrap().outstanding(), 0);
+    }
+
+    #[test]
+    fn retransmission_then_timeout_when_unanswered() {
+        // Consumer whose forwarder face leads nowhere useful: register a
+        // route to a black-hole app that never replies.
+        use crate::face::FaceIdAlloc;
+        use crate::forwarder::{Forwarder, ForwarderConfig};
+        use crate::net::attach_app;
+
+        struct BlackHole;
+        impl Actor for BlackHole {
+            fn on_message(&mut self, _m: Msg, _c: &mut Ctx<'_>) {}
+        }
+
+        let mut sim = Sim::new(2);
+        let alloc = FaceIdAlloc::new();
+        let fwd = sim.spawn("fwd", Forwarder::new("fwd", ForwarderConfig::default()));
+        let hole = sim.spawn("hole", BlackHole);
+        let hole_face = attach_app(&mut sim, fwd, hole, &alloc);
+        let app = sim.spawn("app", ConsumerActor {
+            consumer: None,
+            events: vec![],
+        });
+        let face = attach_app(&mut sim, fwd, app, &alloc);
+        sim.actor_mut::<ConsumerActor>(app).unwrap().consumer = Some(Consumer::new(fwd, face));
+        sim.actor_mut::<Forwarder>(fwd)
+            .unwrap()
+            .register_prefix(name!("/hole"), hole_face, 0);
+
+        let interest = Interest::new(name!("/hole/x"))
+            .with_lifetime(SimDuration::from_millis(50));
+        sim.send(app, Express(interest, 3));
+        sim.run();
+        let events = &sim.actor::<ConsumerActor>(app).unwrap().events;
+        assert_eq!(events.len(), 1);
+        assert!(events[0].contains("Timeout"), "got {events:?}");
+        // 1 initial + 3 retransmissions reached the black hole's forwarder.
+        assert_eq!(sim.metrics_ref().counter("ndn.rx_interests"), 4);
+    }
+}

@@ -1,0 +1,602 @@
+//! The NDN forwarding daemon (NFD-equivalent), as a simulation actor.
+//!
+//! Implements the NFD forwarding pipeline: Content Store lookup, PIT
+//! aggregation, dead-nonce loop suppression, FIB longest-prefix match,
+//! per-prefix strategy choice, reverse-path Data delivery, NACKs, and PIT
+//! expiry. Faces connect either to peer forwarders (with latency/bandwidth/
+//! loss) or to local application actors (producers, consumers, the LIDC
+//! gateway).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use lidc_simcore::engine::{Actor, Ctx, Msg};
+
+use crate::face::{Face, FaceId, FaceKind};
+use crate::name::Name;
+use crate::packet::{Data, Interest, Nack, NackReason, Packet};
+use crate::strategy::{BestRoute, Strategy, StrategyCtx};
+use crate::tables::cs::ContentStore;
+use crate::tables::fib::{Fib, NextHop};
+use crate::tables::pit::{InsertOutcome, Pit, PitKey};
+
+/// A packet arriving at the forwarder on a face. Sent by peer forwarders
+/// *and* by local applications injecting packets through their app face.
+#[derive(Debug)]
+pub struct Rx {
+    /// The receiving face (from this forwarder's perspective).
+    pub face: FaceId,
+    /// The packet.
+    pub packet: Packet,
+}
+
+/// A packet the forwarder delivers to a local application actor.
+#[derive(Debug)]
+pub struct AppRx {
+    /// The app's face on the forwarder.
+    pub face: FaceId,
+    /// The packet.
+    pub packet: Packet,
+}
+
+/// Runtime face addition (topology churn).
+#[derive(Debug)]
+pub struct AddFace {
+    /// Fully-specified face (id allocated by the caller).
+    pub face: Face,
+}
+
+/// Runtime face removal; routes through the face are dropped.
+#[derive(Debug)]
+pub struct RemoveFace {
+    /// The face to destroy.
+    pub face: FaceId,
+}
+
+/// Administrative up/down.
+#[derive(Debug)]
+pub struct SetFaceUp {
+    /// The face.
+    pub face: FaceId,
+    /// New state.
+    pub up: bool,
+}
+
+/// Register a route (RIB entry flattened straight into the FIB).
+#[derive(Debug)]
+pub struct RegisterPrefix {
+    /// Name prefix.
+    pub prefix: Name,
+    /// Next-hop face.
+    pub face: FaceId,
+    /// Routing cost.
+    pub cost: u32,
+}
+
+/// Remove a route.
+#[derive(Debug)]
+pub struct UnregisterPrefix {
+    /// Name prefix.
+    pub prefix: Name,
+    /// Next-hop face.
+    pub face: FaceId,
+}
+
+/// Install a strategy for a prefix (longest-prefix-match choice).
+pub struct SetStrategy {
+    /// Prefix the strategy governs.
+    pub prefix: Name,
+    /// The strategy instance.
+    pub strategy: Box<dyn Strategy>,
+}
+
+impl std::fmt::Debug for SetStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SetStrategy({} -> {})", self.prefix, self.strategy.strategy_name())
+    }
+}
+
+/// Internal PIT-expiry timer.
+#[derive(Debug)]
+struct PitExpire {
+    key: PitKey,
+    version: u64,
+}
+
+/// Forwarder tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ForwarderConfig {
+    /// Content Store capacity in packets (0 disables caching).
+    pub cs_capacity: usize,
+    /// Dead nonce list capacity.
+    pub dnl_capacity: usize,
+    /// Delivery latency to application faces. Real NFD apps sit behind a
+    /// unix/TCP socket (the paper's NodePort exposure), so the hop is small
+    /// but never zero; a nonzero default also keeps request/response
+    /// timestamps strictly ordered in single-cluster worlds.
+    pub app_face_latency: lidc_simcore::time::SimDuration,
+}
+
+impl Default for ForwarderConfig {
+    fn default() -> Self {
+        ForwarderConfig {
+            cs_capacity: 4096,
+            dnl_capacity: 8192,
+            app_face_latency: lidc_simcore::time::SimDuration::from_micros(50),
+        }
+    }
+}
+
+/// Dead Nonce List: remembers (name, nonce) pairs of satisfied/expired
+/// Interests so late loops are detected. FIFO-bounded.
+#[derive(Debug, Default)]
+struct DeadNonceList {
+    set: HashSet<(Name, u32)>,
+    order: VecDeque<(Name, u32)>,
+    capacity: usize,
+}
+
+impl DeadNonceList {
+    fn new(capacity: usize) -> Self {
+        DeadNonceList {
+            set: HashSet::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn insert(&mut self, name: Name, nonce: u32) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (name, nonce);
+        if self.set.insert(key.clone()) {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn contains(&self, name: &Name, nonce: u32) -> bool {
+        // Avoid cloning on the hot path: HashSet<(Name,u32)> requires an
+        // owned key for lookup unless we use a borrowed wrapper; names are
+        // small (Arc'd bytes), so the clone is acceptable here.
+        self.set.contains(&(name.clone(), nonce))
+    }
+}
+
+/// The forwarder actor.
+pub struct Forwarder {
+    label: String,
+    config: ForwarderConfig,
+    faces: HashMap<FaceId, Face>,
+    fib: Fib,
+    pit: Pit,
+    cs: ContentStore,
+    dnl: DeadNonceList,
+    /// Per-prefix strategies; longest-prefix-match choice with the root
+    /// prefix always present (BestRoute by default).
+    strategies: Vec<(Name, Box<dyn Strategy>)>,
+}
+
+impl Forwarder {
+    /// Create a forwarder with the given diagnostics label and config.
+    pub fn new(label: impl Into<String>, config: ForwarderConfig) -> Self {
+        Forwarder {
+            label: label.into(),
+            faces: HashMap::new(),
+            fib: Fib::new(),
+            pit: Pit::new(),
+            cs: ContentStore::new(config.cs_capacity),
+            dnl: DeadNonceList::new(config.dnl_capacity),
+            strategies: vec![(Name::root(), Box::new(BestRoute::new()))],
+            config,
+        }
+    }
+
+    /// Diagnostics label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Add a face (pre-run topology building or via [`AddFace`]).
+    pub fn add_face(&mut self, face: Face) {
+        self.faces.insert(face.id, face);
+    }
+
+    /// Face lookup (tests/diagnostics).
+    pub fn face(&self, id: FaceId) -> Option<&Face> {
+        self.faces.get(&id)
+    }
+
+    /// All face ids, sorted (diagnostics).
+    pub fn face_ids(&self) -> Vec<FaceId> {
+        let mut ids: Vec<FaceId> = self.faces.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Register a route.
+    pub fn register_prefix(&mut self, prefix: Name, face: FaceId, cost: u32) {
+        self.fib.add_nexthop(prefix, face, cost);
+    }
+
+    /// Remove a route.
+    pub fn unregister_prefix(&mut self, prefix: &Name, face: FaceId) {
+        self.fib.remove_nexthop(prefix, face);
+    }
+
+    /// Install `strategy` for `prefix`, replacing any previous choice.
+    pub fn set_strategy(&mut self, prefix: Name, strategy: Box<dyn Strategy>) {
+        if let Some(slot) = self.strategies.iter_mut().find(|(p, _)| *p == prefix) {
+            slot.1 = strategy;
+        } else {
+            self.strategies.push((prefix, strategy));
+        }
+    }
+
+    /// The Content Store (tests/diagnostics).
+    pub fn cs(&self) -> &ContentStore {
+        &self.cs
+    }
+
+    /// The FIB (tests/diagnostics).
+    pub fn fib(&self) -> &Fib {
+        &self.fib
+    }
+
+    /// The PIT (tests/diagnostics).
+    pub fn pit(&self) -> &Pit {
+        &self.pit
+    }
+
+    fn strategy_index_for(&self, name: &Name) -> usize {
+        let mut best: usize = 0;
+        let mut best_len: isize = -1;
+        for (i, (prefix, _)) in self.strategies.iter().enumerate() {
+            if prefix.is_prefix_of(name) && (prefix.len() as isize) > best_len {
+                best = i;
+                best_len = prefix.len() as isize;
+            }
+        }
+        best
+    }
+
+    fn send_packet(&mut self, face_id: FaceId, packet: Packet, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let Some(face) = self.faces.get_mut(&face_id) else {
+            ctx.metrics().incr("ndn.tx_no_such_face", 1);
+            return;
+        };
+        if !face.up {
+            face.counters.dropped += 1;
+            ctx.metrics().incr("ndn.tx_face_down", 1);
+            return;
+        }
+        match packet {
+            Packet::Interest(_) => face.counters.out_interests += 1,
+            Packet::Data(_) => face.counters.out_data += 1,
+            Packet::Nack(_) => face.counters.out_nacks += 1,
+        }
+        match face.kind.clone() {
+            FaceKind::App { actor } => {
+                ctx.send_after(self.config.app_face_latency, actor, AppRx {
+                    face: face_id,
+                    packet,
+                });
+            }
+            FaceKind::Link {
+                peer,
+                peer_face,
+                props,
+            } => {
+                if props.loss > 0.0 && ctx.rng().next_bool(props.loss) {
+                    let face = self.faces.get_mut(&face_id).expect("face exists");
+                    face.counters.dropped += 1;
+                    ctx.metrics().incr("ndn.link_loss_drops", 1);
+                    return;
+                }
+                // Serialisation delay only matters on rate-limited links.
+                let transmit = match props.bandwidth_bps {
+                    Some(_) => props.transmit_time(packet.encoded_size()),
+                    None => lidc_simcore::time::SimDuration::ZERO,
+                };
+                let face = self.faces.get_mut(&face_id).expect("face exists");
+                let start = face.busy_until.max(now);
+                face.busy_until = start + transmit;
+                let delay = (face.busy_until + props.latency).since(now);
+                ctx.send_after(delay, peer, Rx {
+                    face: peer_face,
+                    packet,
+                });
+            }
+        }
+    }
+
+    fn nack_to(&mut self, face: FaceId, reason: NackReason, interest: Interest, ctx: &mut Ctx<'_>) {
+        self.send_packet(face, Packet::Nack(Nack::new(reason, interest)), ctx);
+    }
+
+    fn on_interest(&mut self, in_face: FaceId, mut interest: Interest, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        ctx.metrics().incr("ndn.rx_interests", 1);
+        if let Some(face) = self.faces.get_mut(&in_face) {
+            face.counters.in_interests += 1;
+        }
+        // Hop limit.
+        if let Some(h) = interest.hop_limit {
+            if h == 0 {
+                ctx.metrics().incr("ndn.hop_limit_drops", 1);
+                return;
+            }
+            interest.hop_limit = Some(h - 1);
+        }
+        // Dead-nonce loop suppression.
+        if let Some(nonce) = interest.nonce {
+            if self.dnl.contains(&interest.name, nonce) {
+                ctx.metrics().incr("ndn.duplicate_nonce", 1);
+                self.nack_to(in_face, NackReason::Duplicate, interest, ctx);
+                return;
+            }
+        }
+        // Content Store.
+        if let Some(data) = self.cs.lookup(&interest, now) {
+            ctx.metrics().incr("ndn.cs_hits", 1);
+            self.send_packet(in_face, Packet::Data(data), ctx);
+            return;
+        }
+        ctx.metrics().incr("ndn.cs_misses", 1);
+        // PIT.
+        let key = PitKey::of(&interest);
+        let (outcome, version) = self.pit.insert(&interest, in_face, now);
+        match outcome {
+            InsertOutcome::DuplicateNonce => {
+                ctx.metrics().incr("ndn.duplicate_nonce", 1);
+                self.nack_to(in_face, NackReason::Duplicate, interest, ctx);
+            }
+            InsertOutcome::Aggregated => {
+                ctx.metrics().incr("ndn.pit_aggregated", 1);
+                self.schedule_expiry(&key, version, ctx);
+            }
+            outcome @ (InsertOutcome::New | InsertOutcome::Retransmission) => {
+                self.schedule_expiry(&key, version, ctx);
+                self.forward_interest(
+                    in_face,
+                    interest,
+                    key,
+                    outcome == InsertOutcome::Retransmission,
+                    ctx,
+                );
+            }
+        }
+    }
+
+    fn schedule_expiry(&mut self, key: &PitKey, version: u64, ctx: &mut Ctx<'_>) {
+        if let Some(ttl) = self.pit.time_to_expiry(key, ctx.now()) {
+            ctx.schedule_self(ttl, PitExpire {
+                key: key.clone(),
+                version,
+            });
+        }
+    }
+
+    fn forward_interest(
+        &mut self,
+        in_face: FaceId,
+        interest: Interest,
+        key: PitKey,
+        is_retransmission: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let Some(entry) = self.fib.lookup(&interest.name) else {
+            ctx.metrics().incr("ndn.no_route", 1);
+            self.pit.take(&key);
+            self.nack_to(in_face, NackReason::NoRoute, interest, ctx);
+            return;
+        };
+        let prefix = entry.prefix.clone();
+        let eligible: Vec<NextHop> = entry
+            .nexthops
+            .iter()
+            .filter(|nh| {
+                nh.face != in_face
+                    && self
+                        .faces
+                        .get(&nh.face)
+                        .map(|f| f.up)
+                        .unwrap_or(false)
+            })
+            .copied()
+            .collect();
+        let sidx = self.strategy_index_for(&interest.name);
+        let selected = {
+            let (_, strategy) = &mut self.strategies[sidx];
+            let mut sctx = StrategyCtx {
+                interest: &interest,
+                nexthops: &eligible,
+                prefix: &prefix,
+                in_face,
+                is_retransmission,
+                now: ctx.now(),
+                rng: ctx.rng(),
+            };
+            strategy.select(&mut sctx)
+        };
+        if selected.is_empty() {
+            ctx.metrics().incr("ndn.no_route", 1);
+            self.pit.take(&key);
+            self.nack_to(in_face, NackReason::NoRoute, interest, ctx);
+            return;
+        }
+        for out_face in selected {
+            self.pit
+                .add_out_record(&key, out_face, interest.nonce, ctx.now());
+            self.send_packet(out_face, Packet::Interest(interest.clone()), ctx);
+        }
+        ctx.metrics().incr("ndn.interests_forwarded", 1);
+    }
+
+    fn on_data(&mut self, in_face: FaceId, data: Data, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        ctx.metrics().incr("ndn.rx_data", 1);
+        if let Some(face) = self.faces.get_mut(&in_face) {
+            face.counters.in_data += 1;
+        }
+        let keys = self.pit.match_data(&data.name);
+        if keys.is_empty() {
+            ctx.metrics().incr("ndn.unsolicited_data", 1);
+            return;
+        }
+        self.cs.insert(data.clone(), now);
+        for key in keys {
+            let Some(entry) = self.pit.take(&key) else {
+                continue;
+            };
+            // Strategy RTT feedback for the upstream that answered.
+            if let Some(out) = entry.out_record(in_face) {
+                let rtt = now.since(out.sent_at);
+                if let Some(fib_entry) = self.fib.lookup(&entry.interest.name) {
+                    let prefix = fib_entry.prefix.clone();
+                    let sidx = self.strategy_index_for(&entry.interest.name);
+                    self.strategies[sidx].1.on_data(&prefix, in_face, rtt);
+                }
+            }
+            // Retire nonces.
+            for rec in &entry.in_records {
+                if let Some(n) = rec.nonce {
+                    self.dnl.insert(entry.key.name.clone(), n);
+                }
+            }
+            for rec in &entry.out_records {
+                if let Some(n) = rec.nonce {
+                    self.dnl.insert(entry.key.name.clone(), n);
+                }
+            }
+            for face in entry.return_faces(in_face) {
+                self.send_packet(face, Packet::Data(data.clone()), ctx);
+            }
+            ctx.metrics().incr("ndn.pit_satisfied", 1);
+        }
+    }
+
+    fn on_nack(&mut self, in_face: FaceId, nack: Nack, ctx: &mut Ctx<'_>) {
+        ctx.metrics().incr("ndn.rx_nacks", 1);
+        if let Some(face) = self.faces.get_mut(&in_face) {
+            face.counters.in_nacks += 1;
+        }
+        let key = PitKey::of(&nack.interest);
+        let Some(entry) = self.pit.get_mut(&key) else {
+            return;
+        };
+        entry.out_records.retain(|r| r.face != in_face);
+        let exhausted = entry.out_records.is_empty();
+        // Strategy failure feedback.
+        if let Some(fib_entry) = self.fib.lookup(&nack.interest.name) {
+            let prefix = fib_entry.prefix.clone();
+            let sidx = self.strategy_index_for(&nack.interest.name);
+            self.strategies[sidx].1.on_failure(&prefix, in_face);
+        }
+        if exhausted {
+            if let Some(entry) = self.pit.take(&key) {
+                for rec in &entry.in_records {
+                    self.nack_to(rec.face, nack.reason, entry.interest.clone(), ctx);
+                }
+            }
+        }
+    }
+
+    fn on_pit_expire(&mut self, key: PitKey, version: u64, ctx: &mut Ctx<'_>) {
+        if let Some(entry) = self.pit.expire_if_stale(&key, version, ctx.now()) {
+            ctx.metrics().incr("ndn.pit_expired", 1);
+            if let Some(fib_entry) = self.fib.lookup(&entry.interest.name) {
+                let prefix = fib_entry.prefix.clone();
+                let sidx = self.strategy_index_for(&entry.interest.name);
+                for out in &entry.out_records {
+                    self.strategies[sidx].1.on_failure(&prefix, out.face);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for Forwarder {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        let msg = match msg.downcast::<Rx>() {
+            Ok(rx) => {
+                let rx = *rx;
+                if let Some(face) = self.faces.get(&rx.face) {
+                    if !face.up {
+                        ctx.metrics().incr("ndn.rx_face_down", 1);
+                        return;
+                    }
+                } else {
+                    ctx.metrics().incr("ndn.rx_no_such_face", 1);
+                    return;
+                }
+                match rx.packet {
+                    Packet::Interest(i) => self.on_interest(rx.face, i, ctx),
+                    Packet::Data(d) => self.on_data(rx.face, d, ctx),
+                    Packet::Nack(n) => self.on_nack(rx.face, n, ctx),
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<PitExpire>() {
+            Ok(e) => {
+                self.on_pit_expire(e.key.clone(), e.version, ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<AddFace>() {
+            Ok(f) => {
+                self.add_face(f.face);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RemoveFace>() {
+            Ok(f) => {
+                self.faces.remove(&f.face);
+                self.fib.remove_face(f.face);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<SetFaceUp>() {
+            Ok(s) => {
+                if let Some(face) = self.faces.get_mut(&s.face) {
+                    face.up = s.up;
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RegisterPrefix>() {
+            Ok(r) => {
+                self.register_prefix(r.prefix, r.face, r.cost);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<UnregisterPrefix>() {
+            Ok(u) => {
+                self.unregister_prefix(&u.prefix, u.face);
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<SetStrategy>() {
+            Ok(s) => {
+                let s = *s;
+                self.set_strategy(s.prefix, s.strategy);
+            }
+            Err(_) => {
+                ctx.metrics().incr("ndn.unknown_message", 1);
+            }
+        }
+    }
+}

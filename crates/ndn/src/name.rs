@@ -1,0 +1,560 @@
+//! Hierarchical NDN names.
+//!
+//! A [`Name`] is a sequence of typed [`NameComponent`]s, printed and parsed
+//! in URI form (`/ndn/k8s/compute/mem=4&cpu=6&app=BLAST`). LIDC's semantic
+//! job names are ordinary generic components; the `&`-separated parameter
+//! grammar is layered on top by `lidc-core::naming`.
+//!
+//! Component ordering follows the NDN canonical order (type, then length,
+//! then lexicographic bytes), and names order component-wise with shorter
+//! prefixes first — the order the Content Store and FIB rely on.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+
+use bytes::Bytes;
+
+/// TLV-TYPE of a generic name component.
+pub const TT_GENERIC_COMPONENT: u16 = 0x08;
+/// TLV-TYPE of an implicit SHA-256 digest component.
+pub const TT_IMPLICIT_DIGEST: u16 = 0x01;
+/// TLV-TYPE of a segment-number component (NDN naming conventions rev-3).
+pub const TT_SEGMENT: u16 = 0x32;
+/// TLV-TYPE of a version component (NDN naming conventions rev-3).
+pub const TT_VERSION: u16 = 0x36;
+
+/// One component of a [`Name`]: a TLV type plus an opaque byte value.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NameComponent {
+    typ: u16,
+    value: Bytes,
+}
+
+impl NameComponent {
+    /// A generic component holding the given bytes.
+    pub fn generic(value: impl Into<Bytes>) -> Self {
+        NameComponent {
+            typ: TT_GENERIC_COMPONENT,
+            value: value.into(),
+        }
+    }
+
+    /// A generic component from UTF-8 text.
+    pub fn from_str_generic(s: &str) -> Self {
+        NameComponent::generic(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    /// A typed component.
+    pub fn typed(typ: u16, value: impl Into<Bytes>) -> Self {
+        NameComponent {
+            typ,
+            value: value.into(),
+        }
+    }
+
+    /// A segment-number component (`seg=<n>` in URI form).
+    pub fn segment(n: u64) -> Self {
+        NameComponent::typed(TT_SEGMENT, encode_nonneg(n))
+    }
+
+    /// A version component (`v=<n>` in URI form).
+    pub fn version(n: u64) -> Self {
+        NameComponent::typed(TT_VERSION, encode_nonneg(n))
+    }
+
+    /// An implicit SHA-256 digest component (32 bytes).
+    pub fn implicit_digest(digest: [u8; 32]) -> Self {
+        NameComponent::typed(TT_IMPLICIT_DIGEST, Bytes::copy_from_slice(&digest))
+    }
+
+    /// The TLV type of this component.
+    pub fn typ(&self) -> u16 {
+        self.typ
+    }
+
+    /// The raw value bytes.
+    pub fn value(&self) -> &[u8] {
+        &self.value
+    }
+
+    /// Interpret the value as a non-negative integer (for segment/version
+    /// components). Returns `None` when longer than 8 bytes.
+    pub fn as_number(&self) -> Option<u64> {
+        if self.value.len() > 8 {
+            return None;
+        }
+        let mut n: u64 = 0;
+        for &b in self.value.iter() {
+            n = (n << 8) | u64::from(b);
+        }
+        Some(n)
+    }
+
+    /// The value as UTF-8 text, if valid.
+    pub fn as_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.value).ok()
+    }
+
+    /// Canonical NDN component ordering: type, then length, then bytes.
+    pub fn canonical_cmp(&self, other: &Self) -> Ordering {
+        self.typ
+            .cmp(&other.typ)
+            .then_with(|| self.value.len().cmp(&other.value.len()))
+            .then_with(|| self.value.cmp(&other.value))
+    }
+}
+
+/// Encode a non-negative integer as the shortest big-endian byte string
+/// (NDN's NonNegativeInteger, minus the 1/2/4/8 padding requirement, which
+/// applies to TLV values but the conventions use shortest form in names).
+fn encode_nonneg(n: u64) -> Bytes {
+    if n == 0 {
+        return Bytes::copy_from_slice(&[0]);
+    }
+    let bytes = n.to_be_bytes();
+    let skip = bytes.iter().take_while(|&&b| b == 0).count();
+    Bytes::copy_from_slice(&bytes[skip..])
+}
+
+impl PartialOrd for NameComponent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NameComponent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.canonical_cmp(other)
+    }
+}
+
+/// Characters that may appear unescaped in URI form. `=`, `&`, `+` are kept
+/// readable because LIDC job names use them heavily.
+fn is_unescaped(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~' | b'=' | b'&' | b'+' | b',' | b':')
+}
+
+fn escape_into(out: &mut String, bytes: &[u8]) {
+    for &b in bytes {
+        if is_unescaped(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push_str(&format!("{b:02X}"));
+        }
+    }
+}
+
+impl fmt::Display for NameComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.typ {
+            TT_GENERIC_COMPONENT => {
+                let mut s = String::new();
+                escape_into(&mut s, &self.value);
+                // A component that is all periods must be escaped to avoid
+                // colliding with relative-path syntax.
+                if s.chars().all(|c| c == '.') && !s.is_empty() {
+                    write!(f, "...{s}")
+                } else {
+                    f.write_str(&s)
+                }
+            }
+            TT_SEGMENT => write!(f, "seg={}", self.as_number().unwrap_or(0)),
+            TT_VERSION => write!(f, "v={}", self.as_number().unwrap_or(0)),
+            TT_IMPLICIT_DIGEST => {
+                write!(f, "sha256digest=")?;
+                for b in self.value.iter() {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+            t => {
+                let mut s = String::new();
+                escape_into(&mut s, &self.value);
+                write!(f, "{t}={s}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for NameComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A hierarchical NDN name.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Name {
+    components: Vec<NameComponent>,
+}
+
+impl Name {
+    /// The empty (root) name, printed as `/`.
+    pub fn root() -> Self {
+        Name::default()
+    }
+
+    /// Build from components.
+    pub fn from_components(components: Vec<NameComponent>) -> Self {
+        Name { components }
+    }
+
+    /// Parse a URI such as `/ndn/k8s/compute/mem=4&cpu=6&app=BLAST`.
+    ///
+    /// `seg=<n>` and `v=<n>` parse as typed segment/version components;
+    /// `%XX` escapes decode to raw bytes; `/` alone is the root name.
+    pub fn parse(uri: &str) -> Result<Name, NameParseError> {
+        let uri = uri.trim();
+        let path = uri
+            .strip_prefix("ndn:")
+            .unwrap_or(uri)
+            .trim_start_matches('/');
+        if !uri.starts_with('/') && !uri.starts_with("ndn:/") {
+            return Err(NameParseError::NotAbsolute);
+        }
+        let mut components = Vec::new();
+        if path.is_empty() {
+            return Ok(Name { components });
+        }
+        for part in path.split('/') {
+            if part.is_empty() {
+                return Err(NameParseError::EmptyComponent);
+            }
+            components.push(parse_component(part)?);
+        }
+        Ok(Name { components })
+    }
+
+    /// URI form; inverse of [`Name::parse`].
+    pub fn to_uri(&self) -> String {
+        if self.components.is_empty() {
+            return "/".to_owned();
+        }
+        let mut out = String::new();
+        for c in &self.components {
+            out.push('/');
+            out.push_str(&c.to_string());
+        }
+        out
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True for the root name.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Component at `i`.
+    pub fn get(&self, i: usize) -> Option<&NameComponent> {
+        self.components.get(i)
+    }
+
+    /// All components.
+    pub fn components(&self) -> &[NameComponent] {
+        &self.components
+    }
+
+    /// Append a component, consuming self (builder style).
+    pub fn child(mut self, c: NameComponent) -> Name {
+        self.components.push(c);
+        self
+    }
+
+    /// Append a generic text component.
+    pub fn child_str(self, s: &str) -> Name {
+        self.child(NameComponent::from_str_generic(s))
+    }
+
+    /// Append in place.
+    pub fn push(&mut self, c: NameComponent) {
+        self.components.push(c);
+    }
+
+    /// The first `n` components as a new name (clamped to `len`).
+    pub fn prefix(&self, n: usize) -> Name {
+        Name {
+            components: self.components[..n.min(self.components.len())].to_vec(),
+        }
+    }
+
+    /// Parent name (all but the last component); root's parent is root.
+    pub fn parent(&self) -> Name {
+        if self.components.is_empty() {
+            Name::root()
+        } else {
+            self.prefix(self.components.len() - 1)
+        }
+    }
+
+    /// True if `self` is a prefix of `other` (every name is a prefix of
+    /// itself; the root name is a prefix of everything).
+    pub fn is_prefix_of(&self, other: &Name) -> bool {
+        self.components.len() <= other.components.len()
+            && self
+                .components
+                .iter()
+                .zip(other.components.iter())
+                .all(|(a, b)| a == b)
+    }
+
+    /// Concatenate `other` onto `self`.
+    pub fn join(&self, other: &Name) -> Name {
+        let mut components = self.components.clone();
+        components.extend(other.components.iter().cloned());
+        Name { components }
+    }
+}
+
+fn parse_component(part: &str) -> Result<NameComponent, NameParseError> {
+    if let Some(rest) = part.strip_prefix("seg=") {
+        let n: u64 = rest.parse().map_err(|_| NameParseError::BadNumber)?;
+        return Ok(NameComponent::segment(n));
+    }
+    if let Some(rest) = part.strip_prefix("v=") {
+        let n: u64 = rest.parse().map_err(|_| NameParseError::BadNumber)?;
+        return Ok(NameComponent::version(n));
+    }
+    if let Some(rest) = part.strip_prefix("sha256digest=") {
+        if rest.len() != 64 {
+            return Err(NameParseError::BadDigest);
+        }
+        let mut digest = [0u8; 32];
+        for (i, chunk) in rest.as_bytes().chunks(2).enumerate() {
+            let hex = std::str::from_utf8(chunk).map_err(|_| NameParseError::BadDigest)?;
+            digest[i] = u8::from_str_radix(hex, 16).map_err(|_| NameParseError::BadDigest)?;
+        }
+        return Ok(NameComponent::implicit_digest(digest));
+    }
+    // `...` prefix escapes an all-period component.
+    let raw = part.strip_prefix("...").unwrap_or(part);
+    let mut bytes = Vec::with_capacity(raw.len());
+    let mut chars = raw.bytes();
+    while let Some(b) = chars.next() {
+        if b == b'%' {
+            let hi = chars.next().ok_or(NameParseError::BadEscape)?;
+            let lo = chars.next().ok_or(NameParseError::BadEscape)?;
+            let hex = [hi, lo];
+            let hex = std::str::from_utf8(&hex).map_err(|_| NameParseError::BadEscape)?;
+            bytes.push(u8::from_str_radix(hex, 16).map_err(|_| NameParseError::BadEscape)?);
+        } else {
+            bytes.push(b);
+        }
+    }
+    if bytes.is_empty() {
+        return Err(NameParseError::EmptyComponent);
+    }
+    Ok(NameComponent::generic(bytes))
+}
+
+/// Error from [`Name::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameParseError {
+    /// Names must begin with `/` (or `ndn:/`).
+    NotAbsolute,
+    /// Two adjacent slashes or a trailing slash produce an empty component.
+    EmptyComponent,
+    /// A `seg=`/`v=` component had a non-numeric value.
+    BadNumber,
+    /// A `sha256digest=` component was not 64 hex digits.
+    BadDigest,
+    /// A `%` escape was truncated or non-hex.
+    BadEscape,
+}
+
+impl fmt::Display for NameParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameParseError::NotAbsolute => write!(f, "name must start with '/'"),
+            NameParseError::EmptyComponent => write!(f, "empty name component"),
+            NameParseError::BadNumber => write!(f, "malformed numeric component"),
+            NameParseError::BadDigest => write!(f, "malformed sha256digest component"),
+            NameParseError::BadEscape => write!(f, "malformed percent escape"),
+        }
+    }
+}
+
+impl std::error::Error for NameParseError {}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// NDN canonical order: component-wise canonical comparison, with a
+    /// shorter name ordering before any name it prefixes.
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.components.iter().zip(other.components.iter()) {
+            match a.canonical_cmp(b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        self.components.len().cmp(&other.components.len())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_uri())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_uri())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = NameParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+impl Borrow<[NameComponent]> for Name {
+    fn borrow(&self) -> &[NameComponent] {
+        &self.components
+    }
+}
+
+/// Convenience: `name!("/ndn/k8s/compute")` parses at use-site (panics on
+/// malformed literals, which is appropriate for compile-time-known names).
+#[macro_export]
+macro_rules! name {
+    ($uri:expr) => {
+        $crate::name::Name::parse($uri).expect("malformed name literal")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_round_trip() {
+        for uri in [
+            "/",
+            "/ndn",
+            "/ndn/k8s/compute",
+            "/ndn/k8s/compute/mem=4&cpu=6&app=BLAST",
+            "/ndn/k8s/data/rice-rna/seg=12",
+            "/a/v=7/seg=0",
+        ] {
+            let n = Name::parse(uri).unwrap();
+            assert_eq!(n.to_uri(), uri, "round trip {uri}");
+        }
+    }
+
+    #[test]
+    fn paper_compute_name_components() {
+        let n = name!("/ndn/k8s/compute/mem=4&cpu=6&app=BLAST");
+        assert_eq!(n.len(), 4);
+        assert_eq!(n.get(0).unwrap().as_str(), Some("ndn"));
+        assert_eq!(n.get(3).unwrap().as_str(), Some("mem=4&cpu=6&app=BLAST"));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let n = Name::root().child(NameComponent::generic(&b"a b/c"[..]));
+        let uri = n.to_uri();
+        assert_eq!(uri, "/a%20b%2Fc");
+        assert_eq!(Name::parse(&uri).unwrap(), n);
+    }
+
+    #[test]
+    fn binary_component_round_trip() {
+        let n = Name::root().child(NameComponent::generic(vec![0u8, 1, 254, 255]));
+        let parsed = Name::parse(&n.to_uri()).unwrap();
+        assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert_eq!(Name::parse("relative"), Err(NameParseError::NotAbsolute));
+        assert_eq!(Name::parse("/a//b"), Err(NameParseError::EmptyComponent));
+        assert_eq!(Name::parse("/a/"), Err(NameParseError::EmptyComponent));
+        assert_eq!(Name::parse("/seg=abc"), Err(NameParseError::BadNumber));
+        assert_eq!(Name::parse("/a/%4"), Err(NameParseError::BadEscape));
+        assert_eq!(Name::parse("/a/%zz"), Err(NameParseError::BadEscape));
+        assert_eq!(Name::parse("/sha256digest=1234"), Err(NameParseError::BadDigest));
+    }
+
+    #[test]
+    fn ndn_scheme_prefix_accepted() {
+        assert_eq!(Name::parse("ndn:/a/b").unwrap(), name!("/a/b"));
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let root = Name::root();
+        let a = name!("/a");
+        let ab = name!("/a/b");
+        let ac = name!("/a/c");
+        assert!(root.is_prefix_of(&ab));
+        assert!(a.is_prefix_of(&ab));
+        assert!(ab.is_prefix_of(&ab));
+        assert!(!ab.is_prefix_of(&a));
+        assert!(!ac.is_prefix_of(&ab));
+    }
+
+    #[test]
+    fn prefix_parent_join() {
+        let n = name!("/a/b/c");
+        assert_eq!(n.prefix(2), name!("/a/b"));
+        assert_eq!(n.prefix(10), n);
+        assert_eq!(n.parent(), name!("/a/b"));
+        assert_eq!(Name::root().parent(), Name::root());
+        assert_eq!(name!("/a").join(&name!("/b/c")), name!("/a/b/c"));
+    }
+
+    #[test]
+    fn canonical_order_shorter_first() {
+        let a = name!("/a");
+        let ab = name!("/a/b");
+        let b = name!("/b");
+        assert!(a < ab, "prefix sorts before extension");
+        assert!(ab < b, "first differing component decides");
+        // Shorter component value sorts first at equal type.
+        let short = Name::root().child(NameComponent::generic(&b"z"[..]));
+        let long = Name::root().child(NameComponent::generic(&b"aa"[..]));
+        assert!(short < long, "1-byte component < 2-byte component");
+    }
+
+    #[test]
+    fn typed_components() {
+        let seg = NameComponent::segment(300);
+        assert_eq!(seg.typ(), TT_SEGMENT);
+        assert_eq!(seg.as_number(), Some(300));
+        assert_eq!(seg.to_string(), "seg=300");
+        let v = NameComponent::version(0);
+        assert_eq!(v.as_number(), Some(0));
+        assert_eq!(v.value(), &[0u8]);
+        let digest = NameComponent::implicit_digest([0xAB; 32]);
+        assert!(digest.to_string().starts_with("sha256digest=abab"));
+        let parsed = Name::parse(&Name::root().child(digest.clone()).to_uri()).unwrap();
+        assert_eq!(parsed.get(0).unwrap(), &digest);
+    }
+
+    #[test]
+    fn all_period_component_escaping() {
+        let n = Name::root().child(NameComponent::generic(&b".."[..]));
+        let uri = n.to_uri();
+        assert_eq!(uri, "/.....");
+        assert_eq!(Name::parse(&uri).unwrap(), n);
+    }
+
+    #[test]
+    fn as_number_rejects_wide_values() {
+        let c = NameComponent::typed(TT_SEGMENT, Bytes::copy_from_slice(&[1u8; 9]));
+        assert_eq!(c.as_number(), None);
+    }
+}

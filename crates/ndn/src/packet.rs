@@ -1,0 +1,686 @@
+//! NDN packets: Interest, Data, and network NACK.
+//!
+//! Packets are plain structs inside the simulator (links move clones), but
+//! every packet can be encoded to and decoded from the NDN v0.3 TLV wire
+//! format. The link model charges transmission time by [`Interest::encoded_size`] /
+//! [`Data::encoded_size`], and the benches exercise full encode/decode.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::crypto::{hmac_sha256, sha256, DIGEST_LEN};
+use crate::name::{Name, NameComponent};
+use crate::tlv::{
+    encode_tlv, parse_nonneg, put_nonneg_tlv, put_tlv, types, TlvError, TlvReader,
+};
+use lidc_simcore::time::SimDuration;
+
+/// Default InterestLifetime when none is carried (NDN spec: 4 seconds).
+pub const DEFAULT_INTEREST_LIFETIME: SimDuration = SimDuration::from_millis(4000);
+
+/// An Interest packet: a request for named data (or, in LIDC, a semantic
+/// compute request).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interest {
+    /// The requested name.
+    pub name: Name,
+    /// Whether a Data whose name this name merely prefixes may satisfy it.
+    pub can_be_prefix: bool,
+    /// Whether cached Data must still be fresh to satisfy it.
+    pub must_be_fresh: bool,
+    /// Loop-detection nonce.
+    pub nonce: Option<u32>,
+    /// How long forwarders keep PIT state for this Interest.
+    pub lifetime: SimDuration,
+    /// Remaining hops; decremented per hop, dropped at zero.
+    pub hop_limit: Option<u8>,
+    /// Application parameters (LIDC encodes job specs here when they exceed
+    /// what fits comfortably in the name).
+    pub app_params: Option<Bytes>,
+}
+
+impl Interest {
+    /// A plain Interest for `name` with spec defaults.
+    pub fn new(name: Name) -> Self {
+        Interest {
+            name,
+            can_be_prefix: false,
+            must_be_fresh: false,
+            nonce: None,
+            lifetime: DEFAULT_INTEREST_LIFETIME,
+            hop_limit: None,
+            app_params: None,
+        }
+    }
+
+    /// Builder: set CanBePrefix.
+    pub fn can_be_prefix(mut self, v: bool) -> Self {
+        self.can_be_prefix = v;
+        self
+    }
+
+    /// Builder: set MustBeFresh.
+    pub fn must_be_fresh(mut self, v: bool) -> Self {
+        self.must_be_fresh = v;
+        self
+    }
+
+    /// Builder: set the nonce.
+    pub fn with_nonce(mut self, nonce: u32) -> Self {
+        self.nonce = Some(nonce);
+        self
+    }
+
+    /// Builder: set the lifetime.
+    pub fn with_lifetime(mut self, lifetime: SimDuration) -> Self {
+        self.lifetime = lifetime;
+        self
+    }
+
+    /// Builder: set application parameters.
+    pub fn with_app_params(mut self, params: impl Into<Bytes>) -> Self {
+        self.app_params = Some(params.into());
+        self
+    }
+
+    /// Encode to wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        put_tlv(&mut body, types::NAME, &encode_name_body(&self.name));
+        if self.can_be_prefix {
+            put_tlv(&mut body, types::CAN_BE_PREFIX, &[]);
+        }
+        if self.must_be_fresh {
+            put_tlv(&mut body, types::MUST_BE_FRESH, &[]);
+        }
+        if let Some(nonce) = self.nonce {
+            put_tlv(&mut body, types::NONCE, &nonce.to_be_bytes());
+        }
+        if self.lifetime != DEFAULT_INTEREST_LIFETIME {
+            put_nonneg_tlv(&mut body, types::INTEREST_LIFETIME, self.lifetime.as_millis());
+        }
+        if let Some(h) = self.hop_limit {
+            put_tlv(&mut body, types::HOP_LIMIT, &[h]);
+        }
+        if let Some(params) = &self.app_params {
+            put_tlv(&mut body, types::APPLICATION_PARAMETERS, params);
+        }
+        encode_tlv(types::INTEREST, &body)
+    }
+
+    /// Wire size in bytes (used by the link bandwidth model).
+    pub fn encoded_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Decode from wire format.
+    pub fn decode(wire: &[u8]) -> Result<Interest, TlvError> {
+        let mut outer = TlvReader::new(wire);
+        let body = outer.read_expected(types::INTEREST)?;
+        let mut r = TlvReader::new(body);
+        let name = decode_name(r.read_expected(types::NAME)?)?;
+        let mut interest = Interest::new(name);
+        while !r.is_empty() {
+            let (typ, value) = r.read_tlv()?;
+            match typ {
+                types::CAN_BE_PREFIX => interest.can_be_prefix = true,
+                types::MUST_BE_FRESH => interest.must_be_fresh = true,
+                types::NONCE => {
+                    if value.len() != 4 {
+                        return Err(TlvError::Malformed("nonce must be 4 bytes"));
+                    }
+                    interest.nonce =
+                        Some(u32::from_be_bytes([value[0], value[1], value[2], value[3]]));
+                }
+                types::INTEREST_LIFETIME => {
+                    interest.lifetime = SimDuration::from_millis(parse_nonneg(value)?);
+                }
+                types::HOP_LIMIT => {
+                    if value.len() != 1 {
+                        return Err(TlvError::Malformed("hop limit must be 1 byte"));
+                    }
+                    interest.hop_limit = Some(value[0]);
+                }
+                types::APPLICATION_PARAMETERS => {
+                    interest.app_params = Some(Bytes::copy_from_slice(value));
+                }
+                _ => { /* ignore unrecognised elements (forward compatibility) */ }
+            }
+        }
+        Ok(interest)
+    }
+}
+
+/// ContentType of a Data packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContentType {
+    /// Ordinary payload.
+    #[default]
+    Blob,
+    /// A link/delegation object.
+    Link,
+    /// A public key.
+    Key,
+    /// An application-level negative acknowledgement (e.g. "no such job").
+    Nack,
+}
+
+impl ContentType {
+    fn code(self) -> u64 {
+        match self {
+            ContentType::Blob => 0,
+            ContentType::Link => 1,
+            ContentType::Key => 2,
+            ContentType::Nack => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> ContentType {
+        match code {
+            1 => ContentType::Link,
+            2 => ContentType::Key,
+            3 => ContentType::Nack,
+            _ => ContentType::Blob,
+        }
+    }
+}
+
+/// Signature flavour carried in SignatureInfo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SignatureType {
+    /// SHA-256 digest of the signed portion (integrity only).
+    #[default]
+    DigestSha256,
+    /// HMAC-SHA256 with a shared key identified by the KeyLocator.
+    HmacWithSha256,
+}
+
+impl SignatureType {
+    fn code(self) -> u64 {
+        match self {
+            SignatureType::DigestSha256 => 0,
+            SignatureType::HmacWithSha256 => 4,
+        }
+    }
+}
+
+/// A Data packet signature.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Signature {
+    /// Flavour.
+    pub typ: SignatureType,
+    /// Key name for HMAC signatures.
+    pub key_locator: Option<Name>,
+    /// Signature bytes.
+    pub value: Bytes,
+}
+
+/// A Data packet: named, signed content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Data {
+    /// The full data name (may extend the Interest name).
+    pub name: Name,
+    /// Payload semantics.
+    pub content_type: ContentType,
+    /// How long caches may serve this object as "fresh".
+    pub freshness: Option<SimDuration>,
+    /// Name component of the last segment in a segmented object.
+    pub final_block_id: Option<NameComponent>,
+    /// Payload.
+    pub content: Bytes,
+    /// Signature over the signed portion.
+    pub signature: Signature,
+}
+
+impl Data {
+    /// Unsigned Data with the given name and content; call [`Data::sign_digest`]
+    /// or [`Data::sign_hmac`] (or send as-is, and the forwarder treats it as
+    /// digest-signed on encode).
+    pub fn new(name: Name, content: impl Into<Bytes>) -> Self {
+        Data {
+            name,
+            content_type: ContentType::Blob,
+            freshness: None,
+            final_block_id: None,
+            content: content.into(),
+            signature: Signature::default(),
+        }
+    }
+
+    /// Builder: content type.
+    pub fn with_content_type(mut self, t: ContentType) -> Self {
+        self.content_type = t;
+        self
+    }
+
+    /// Builder: freshness period.
+    pub fn with_freshness(mut self, f: SimDuration) -> Self {
+        self.freshness = Some(f);
+        self
+    }
+
+    /// Builder: final block id.
+    pub fn with_final_block_id(mut self, c: NameComponent) -> Self {
+        self.final_block_id = Some(c);
+        self
+    }
+
+    fn signed_portion(&self) -> Bytes {
+        // Per spec: Name .. SignatureInfo (exclusive of SignatureValue).
+        let mut body = BytesMut::new();
+        put_tlv(&mut body, types::NAME, &encode_name_body(&self.name));
+        let meta = self.encode_meta_info();
+        if !meta.is_empty() {
+            put_tlv(&mut body, types::META_INFO, &meta);
+        }
+        put_tlv(&mut body, types::CONTENT, &self.content);
+        put_tlv(&mut body, types::SIGNATURE_INFO, &self.encode_signature_info());
+        body.freeze()
+    }
+
+    fn encode_meta_info(&self) -> Bytes {
+        let mut meta = BytesMut::new();
+        if self.content_type != ContentType::Blob {
+            put_nonneg_tlv(&mut meta, types::CONTENT_TYPE, self.content_type.code());
+        }
+        if let Some(f) = self.freshness {
+            put_nonneg_tlv(&mut meta, types::FRESHNESS_PERIOD, f.as_millis());
+        }
+        if let Some(fbi) = &self.final_block_id {
+            let comp = encode_component(fbi);
+            put_tlv(&mut meta, types::FINAL_BLOCK_ID, &comp);
+        }
+        meta.freeze()
+    }
+
+    fn encode_signature_info(&self) -> Bytes {
+        let mut info = BytesMut::new();
+        put_nonneg_tlv(&mut info, types::SIGNATURE_TYPE, self.signature.typ.code());
+        if let Some(kl) = &self.signature.key_locator {
+            let name_tlv = encode_tlv(types::NAME, &encode_name_body(kl));
+            put_tlv(&mut info, types::KEY_LOCATOR, &name_tlv);
+        }
+        info.freeze()
+    }
+
+    /// Sign with `DigestSha256` (integrity only).
+    pub fn sign_digest(mut self) -> Self {
+        self.signature = Signature {
+            typ: SignatureType::DigestSha256,
+            key_locator: None,
+            value: Bytes::new(),
+        };
+        let digest = sha256(&self.signed_portion());
+        self.signature.value = Bytes::copy_from_slice(&digest);
+        self
+    }
+
+    /// Sign with HMAC-SHA256 under `key`, naming the key `key_name`.
+    pub fn sign_hmac(mut self, key_name: Name, key: &[u8]) -> Self {
+        self.signature = Signature {
+            typ: SignatureType::HmacWithSha256,
+            key_locator: Some(key_name),
+            value: Bytes::new(),
+        };
+        let mac = hmac_sha256(key, &self.signed_portion());
+        self.signature.value = Bytes::copy_from_slice(&mac);
+        self
+    }
+
+    /// Verify the signature: digest recomputation, or HMAC under `key`
+    /// (required iff the flavour is HMAC).
+    pub fn verify(&self, key: Option<&[u8]>) -> bool {
+        match self.signature.typ {
+            SignatureType::DigestSha256 => {
+                let digest = sha256(&self.signed_portion());
+                self.signature.value.as_ref() == digest
+            }
+            SignatureType::HmacWithSha256 => match key {
+                Some(key) => {
+                    let mac = hmac_sha256(key, &self.signed_portion());
+                    self.signature.value.as_ref() == mac
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Encode to wire format. Unsigned packets are digest-signed on the fly
+    /// so the wire is always well-formed.
+    pub fn encode(&self) -> Bytes {
+        if self.signature.value.is_empty() {
+            return self.clone().sign_digest().encode();
+        }
+        let mut body = BytesMut::from(&self.signed_portion()[..]);
+        put_tlv(&mut body, types::SIGNATURE_VALUE, &self.signature.value);
+        encode_tlv(types::DATA, &body)
+    }
+
+    /// Wire size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// The implicit SHA-256 digest of the whole encoded packet.
+    pub fn implicit_digest(&self) -> [u8; DIGEST_LEN] {
+        sha256(&self.encode())
+    }
+
+    /// The full name: name + implicit digest component.
+    pub fn full_name(&self) -> Name {
+        self.name
+            .clone()
+            .child(NameComponent::implicit_digest(self.implicit_digest()))
+    }
+
+    /// Decode from wire format.
+    pub fn decode(wire: &[u8]) -> Result<Data, TlvError> {
+        let mut outer = TlvReader::new(wire);
+        let body = outer.read_expected(types::DATA)?;
+        let mut r = TlvReader::new(body);
+        let name = decode_name(r.read_expected(types::NAME)?)?;
+        let mut data = Data::new(name, Bytes::new());
+        if let Some(meta) = r.read_optional(types::META_INFO)? {
+            let mut m = TlvReader::new(meta);
+            while !m.is_empty() {
+                let (typ, value) = m.read_tlv()?;
+                match typ {
+                    types::CONTENT_TYPE => {
+                        data.content_type = ContentType::from_code(parse_nonneg(value)?);
+                    }
+                    types::FRESHNESS_PERIOD => {
+                        data.freshness = Some(SimDuration::from_millis(parse_nonneg(value)?));
+                    }
+                    types::FINAL_BLOCK_ID => {
+                        let mut c = TlvReader::new(value);
+                        data.final_block_id = Some(decode_component(&mut c)?);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(content) = r.read_optional(types::CONTENT)? {
+            data.content = Bytes::copy_from_slice(content);
+        }
+        let sig_info = r.read_expected(types::SIGNATURE_INFO)?;
+        let mut si = TlvReader::new(sig_info);
+        let sig_type = parse_nonneg(si.read_expected(types::SIGNATURE_TYPE)?)?;
+        data.signature.typ = match sig_type {
+            0 => SignatureType::DigestSha256,
+            4 => SignatureType::HmacWithSha256,
+            _ => return Err(TlvError::Malformed("unsupported signature type")),
+        };
+        if let Some(kl) = si.read_optional(types::KEY_LOCATOR)? {
+            let mut klr = TlvReader::new(kl);
+            let name_body = klr.read_expected(types::NAME)?;
+            data.signature.key_locator = Some(decode_name(name_body)?);
+        }
+        let sig_value = r.read_expected(types::SIGNATURE_VALUE)?;
+        data.signature.value = Bytes::copy_from_slice(sig_value);
+        Ok(data)
+    }
+}
+
+/// Reason codes for network NACKs (NDNLPv2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackReason {
+    /// Downstream congestion.
+    Congestion,
+    /// Duplicate nonce detected (loop).
+    Duplicate,
+    /// No route in the FIB.
+    NoRoute,
+}
+
+impl NackReason {
+    /// NDNLPv2 numeric code.
+    pub fn code(self) -> u64 {
+        match self {
+            NackReason::Congestion => 50,
+            NackReason::Duplicate => 100,
+            NackReason::NoRoute => 150,
+        }
+    }
+
+    /// Decode a numeric code.
+    pub fn from_code(code: u64) -> Option<NackReason> {
+        match code {
+            50 => Some(NackReason::Congestion),
+            100 => Some(NackReason::Duplicate),
+            150 => Some(NackReason::NoRoute),
+            _ => None,
+        }
+    }
+}
+
+/// A network NACK: the rejected Interest plus a reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nack {
+    /// Why the Interest was rejected.
+    pub reason: NackReason,
+    /// The Interest being rejected.
+    pub interest: Interest,
+}
+
+impl Nack {
+    /// Construct a NACK for `interest`.
+    pub fn new(reason: NackReason, interest: Interest) -> Self {
+        Nack { reason, interest }
+    }
+
+    /// Wire size (LP header + reason + Interest).
+    pub fn encoded_size(&self) -> usize {
+        // NACK header (3) + reason TLV (3) + encapsulated Interest.
+        6 + self.interest.encoded_size()
+    }
+}
+
+/// Any NDN packet moving across a link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// An Interest.
+    Interest(Interest),
+    /// A Data.
+    Data(Data),
+    /// A network NACK.
+    Nack(Nack),
+}
+
+impl Packet {
+    /// Wire size in bytes for the link bandwidth model.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Packet::Interest(i) => i.encoded_size(),
+            Packet::Data(d) => d.encoded_size(),
+            Packet::Nack(n) => n.encoded_size(),
+        }
+    }
+
+    /// The name this packet pertains to.
+    pub fn name(&self) -> &Name {
+        match self {
+            Packet::Interest(i) => &i.name,
+            Packet::Data(d) => &d.name,
+            Packet::Nack(n) => &n.interest.name,
+        }
+    }
+}
+
+/// Encode the body (component sequence) of a Name TLV.
+pub fn encode_name_body(name: &Name) -> Bytes {
+    let mut body = BytesMut::new();
+    for c in name.components() {
+        put_tlv(&mut body, u64::from(c.typ()), c.value());
+    }
+    body.freeze()
+}
+
+fn encode_component(c: &NameComponent) -> Bytes {
+    encode_tlv(u64::from(c.typ()), c.value())
+}
+
+fn decode_component(r: &mut TlvReader<'_>) -> Result<NameComponent, TlvError> {
+    let (typ, value) = r.read_tlv()?;
+    let typ = u16::try_from(typ).map_err(|_| TlvError::Malformed("component type too large"))?;
+    Ok(NameComponent::typed(typ, Bytes::copy_from_slice(value)))
+}
+
+/// Decode a Name TLV body (component sequence).
+pub fn decode_name(body: &[u8]) -> Result<Name, TlvError> {
+    let mut r = TlvReader::new(body);
+    let mut components = Vec::new();
+    while !r.is_empty() {
+        components.push(decode_component(&mut r)?);
+    }
+    Ok(Name::from_components(components))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interest_round_trip_minimal() {
+        let i = Interest::new(name!("/ndn/k8s/compute"));
+        let wire = i.encode();
+        let decoded = Interest::decode(&wire).unwrap();
+        assert_eq!(decoded, i);
+        assert_eq!(decoded.lifetime, DEFAULT_INTEREST_LIFETIME);
+    }
+
+    #[test]
+    fn interest_round_trip_full() {
+        let i = Interest::new(name!("/ndn/k8s/compute/mem=4&cpu=6&app=BLAST"))
+            .can_be_prefix(true)
+            .must_be_fresh(true)
+            .with_nonce(0xDEADBEEF)
+            .with_lifetime(SimDuration::from_millis(12_000))
+            .with_app_params(&b"srr=SRR2931415"[..]);
+        let mut i = i;
+        i.hop_limit = Some(32);
+        let decoded = Interest::decode(&i.encode()).unwrap();
+        assert_eq!(decoded, i);
+    }
+
+    #[test]
+    fn data_digest_sign_verify_round_trip() {
+        let d = Data::new(name!("/ndn/k8s/data/rice/seg=0"), &b"ACGT"[..])
+            .with_freshness(SimDuration::from_secs(10))
+            .with_final_block_id(NameComponent::segment(41))
+            .sign_digest();
+        assert!(d.verify(None));
+        let decoded = Data::decode(&d.encode()).unwrap();
+        assert_eq!(decoded, d);
+        assert!(decoded.verify(None));
+    }
+
+    #[test]
+    fn data_hmac_sign_verify() {
+        let key = b"shared-cluster-key";
+        let d = Data::new(name!("/ndn/k8s/status/job-1"), &b"Completed"[..])
+            .sign_hmac(name!("/keys/cluster-a"), key);
+        assert!(d.verify(Some(key)));
+        assert!(!d.verify(Some(b"wrong-key")));
+        assert!(!d.verify(None), "HMAC without key fails closed");
+        let decoded = Data::decode(&d.encode()).unwrap();
+        assert_eq!(decoded.signature.key_locator, Some(name!("/keys/cluster-a")));
+        assert!(decoded.verify(Some(key)));
+    }
+
+    #[test]
+    fn tampered_content_fails_verification() {
+        let d = Data::new(name!("/a"), &b"payload"[..]).sign_digest();
+        let mut tampered = d.clone();
+        tampered.content = Bytes::copy_from_slice(b"PAYLOAD");
+        assert!(!tampered.verify(None));
+    }
+
+    #[test]
+    fn unsigned_data_encodes_as_digest_signed() {
+        let d = Data::new(name!("/a/b"), &b"x"[..]);
+        let decoded = Data::decode(&d.encode()).unwrap();
+        assert_eq!(decoded.signature.typ, SignatureType::DigestSha256);
+        assert!(decoded.verify(None));
+    }
+
+    #[test]
+    fn content_type_round_trip() {
+        for ct in [
+            ContentType::Blob,
+            ContentType::Link,
+            ContentType::Key,
+            ContentType::Nack,
+        ] {
+            let d = Data::new(name!("/t"), Bytes::new())
+                .with_content_type(ct)
+                .sign_digest();
+            assert_eq!(Data::decode(&d.encode()).unwrap().content_type, ct);
+        }
+    }
+
+    #[test]
+    fn full_name_carries_implicit_digest() {
+        let d = Data::new(name!("/a"), &b"x"[..]).sign_digest();
+        let full = d.full_name();
+        assert_eq!(full.len(), 2);
+        assert_eq!(full.get(1).unwrap().typ(), crate::name::TT_IMPLICIT_DIGEST);
+        assert!(d.name.is_prefix_of(&full));
+        // Deterministic: same packet, same digest.
+        assert_eq!(d.full_name(), d.clone().full_name());
+    }
+
+    #[test]
+    fn name_body_round_trip_typed_components() {
+        let n = name!("/ndn/k8s/data/rice/v=3/seg=7");
+        let body = encode_name_body(&n);
+        assert_eq!(decode_name(&body).unwrap(), n);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Interest::decode(b"garbage").is_err());
+        assert!(Data::decode(&Interest::new(name!("/a")).encode()).is_err());
+        // Bad nonce width.
+        let mut body = BytesMut::new();
+        put_tlv(&mut body, types::NAME, &encode_name_body(&name!("/a")));
+        put_tlv(&mut body, types::NONCE, &[1, 2]);
+        let wire = encode_tlv(types::INTEREST, &body);
+        assert_eq!(
+            Interest::decode(&wire),
+            Err(TlvError::Malformed("nonce must be 4 bytes"))
+        );
+    }
+
+    #[test]
+    fn nack_codes() {
+        for r in [NackReason::Congestion, NackReason::Duplicate, NackReason::NoRoute] {
+            assert_eq!(NackReason::from_code(r.code()), Some(r));
+        }
+        assert_eq!(NackReason::from_code(7), None);
+        let nack = Nack::new(NackReason::NoRoute, Interest::new(name!("/nowhere")));
+        assert!(nack.encoded_size() > nack.interest.encoded_size());
+    }
+
+    #[test]
+    fn packet_enum_size_and_name() {
+        let i = Interest::new(name!("/x"));
+        let d = Data::new(name!("/y"), &b"abc"[..]).sign_digest();
+        assert_eq!(Packet::Interest(i.clone()).name(), &name!("/x"));
+        assert_eq!(Packet::Data(d.clone()).name(), &name!("/y"));
+        assert_eq!(Packet::Interest(i.clone()).encoded_size(), i.encoded_size());
+        assert!(Packet::Data(d.clone()).encoded_size() > d.content.len());
+    }
+
+    #[test]
+    fn unknown_elements_are_skipped() {
+        // Append an unknown TLV inside an Interest; decode should ignore it.
+        let i = Interest::new(name!("/a")).with_nonce(7);
+        let wire = i.encode();
+        let mut outer = TlvReader::new(&wire);
+        let body = outer.read_expected(types::INTEREST).unwrap();
+        let mut body = BytesMut::from(body);
+        put_tlv(&mut body, 0xFD00, b"future-extension");
+        let wire2 = encode_tlv(types::INTEREST, &body);
+        let decoded = Interest::decode(&wire2).unwrap();
+        assert_eq!(decoded.nonce, Some(7));
+    }
+}

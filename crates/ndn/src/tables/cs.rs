@@ -1,0 +1,317 @@
+//! Content Store: the forwarder's in-network cache.
+//!
+//! Exact LRU with a configurable entry capacity, freshness-aware lookup, and
+//! prefix matching for `CanBePrefix` Interests. The store is one of the two
+//! layers behind LIDC's future-work result caching (the other is the
+//! gateway-level result cache in `lidc-core::cache`).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::name::Name;
+use crate::packet::{Data, Interest};
+use lidc_simcore::time::SimTime;
+
+#[derive(Debug, Clone)]
+struct CsRecord {
+    data: Data,
+    /// Instant after which this record no longer satisfies MustBeFresh.
+    fresh_until: Option<SimTime>,
+    /// LRU tick of the last use.
+    last_used: u64,
+}
+
+/// The Content Store.
+#[derive(Debug)]
+pub struct ContentStore {
+    capacity: usize,
+    /// Name-ordered records (canonical order enables prefix range scans).
+    records: BTreeMap<Name, CsRecord>,
+    /// Reverse LRU index: tick → name.
+    lru: BTreeMap<u64, Name>,
+    /// Fast tick lookup per name (avoids storing the tick twice).
+    ticks: HashMap<Name, u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ContentStore {
+    /// Create a store holding at most `capacity` Data packets. A capacity of
+    /// zero disables caching entirely.
+    pub fn new(capacity: usize) -> Self {
+        ContentStore {
+            capacity,
+            records: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            ticks: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached packets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Lifetime cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime cache misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Insert a Data packet observed at `now`.
+    pub fn insert(&mut self, data: Data, now: SimTime) {
+        if self.capacity == 0 {
+            return;
+        }
+        let name = data.name.clone();
+        let fresh_until = data.freshness.map(|f| now + f);
+        self.touch(&name);
+        let tick = self.tick;
+        if let Some(old_tick) = self.ticks.insert(name.clone(), tick) {
+            self.lru.remove(&old_tick);
+        }
+        self.lru.insert(tick, name.clone());
+        self.records.insert(
+            name,
+            CsRecord {
+                data,
+                fresh_until,
+                last_used: tick,
+            },
+        );
+        while self.records.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    fn touch(&mut self, _name: &Name) {
+        self.tick += 1;
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some((&tick, _)) = self.lru.iter().next() {
+            if let Some(name) = self.lru.remove(&tick) {
+                self.records.remove(&name);
+                self.ticks.remove(&name);
+            }
+        }
+    }
+
+    fn mark_used(&mut self, name: &Name) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.ticks.insert(name.clone(), tick) {
+            self.lru.remove(&old);
+        }
+        self.lru.insert(tick, name.clone());
+        if let Some(rec) = self.records.get_mut(name) {
+            rec.last_used = tick;
+        }
+    }
+
+    /// Find a cached Data satisfying `interest` at `now`.
+    ///
+    /// Exact-name match unless `CanBePrefix`; `MustBeFresh` filters records
+    /// past their freshness period. The leftmost (canonical-order) match
+    /// wins, as in NFD.
+    pub fn lookup(&mut self, interest: &Interest, now: SimTime) -> Option<Data> {
+        let found: Option<Name> = if interest.can_be_prefix {
+            self.records
+                .range(interest.name.clone()..)
+                .take_while(|(name, _)| interest.name.is_prefix_of(name))
+                .find(|(_, rec)| Self::satisfies_freshness(rec, interest.must_be_fresh, now))
+                .map(|(name, _)| name.clone())
+        } else {
+            self.records
+                .get(&interest.name)
+                .filter(|rec| Self::satisfies_freshness(rec, interest.must_be_fresh, now))
+                .map(|_| interest.name.clone())
+        };
+        match found {
+            Some(name) => {
+                self.mark_used(&name);
+                self.hits += 1;
+                Some(self.records[&name].data.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn satisfies_freshness(rec: &CsRecord, must_be_fresh: bool, now: SimTime) -> bool {
+        if !must_be_fresh {
+            return true;
+        }
+        match rec.fresh_until {
+            Some(t) => now < t,
+            // No freshness period means "never fresh" under MustBeFresh
+            // (spec: FreshnessPeriod absent ⇒ non-fresh immediately).
+            None => false,
+        }
+    }
+
+    /// Drop every record (management/diagnostics).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.lru.clear();
+        self.ticks.clear();
+    }
+
+    /// Iterate cached names in canonical order (diagnostics).
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.records.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidc_simcore::time::SimDuration;
+
+    fn data(uri: &str) -> Data {
+        Data::new(name!(uri), &b"content"[..]).sign_digest()
+    }
+
+    fn fresh_data(uri: &str, fresh: SimDuration) -> Data {
+        Data::new(name!(uri), &b"content"[..])
+            .with_freshness(fresh)
+            .sign_digest()
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn exact_match_hit_and_miss() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(data("/a/b"), T0);
+        assert!(cs.lookup(&Interest::new(name!("/a/b")), T0).is_some());
+        assert!(cs.lookup(&Interest::new(name!("/a")), T0).is_none(), "no prefix without CanBePrefix");
+        assert!(cs.lookup(&Interest::new(name!("/a/b/c")), T0).is_none());
+        assert_eq!(cs.hits(), 1);
+        assert_eq!(cs.misses(), 2);
+    }
+
+    #[test]
+    fn prefix_match_with_can_be_prefix() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(data("/a/b/seg=0"), T0);
+        let i = Interest::new(name!("/a/b")).can_be_prefix(true);
+        assert!(cs.lookup(&i, T0).is_some());
+        // A sibling prefix must not match.
+        let i = Interest::new(name!("/a/c")).can_be_prefix(true);
+        assert!(cs.lookup(&i, T0).is_none());
+    }
+
+    #[test]
+    fn prefix_match_returns_leftmost() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(data("/a/b/seg=1"), T0);
+        cs.insert(data("/a/b/seg=0"), T0);
+        let i = Interest::new(name!("/a/b")).can_be_prefix(true);
+        let hit = cs.lookup(&i, T0).unwrap();
+        assert_eq!(hit.name, name!("/a/b/seg=0"), "canonical-leftmost wins");
+    }
+
+    #[test]
+    fn must_be_fresh_semantics() {
+        let mut cs = ContentStore::new(10);
+        cs.insert(fresh_data("/f", SimDuration::from_secs(10)), T0);
+        cs.insert(data("/stale"), T0);
+        let fresh_interest = |uri: &str| Interest::new(name!(uri)).must_be_fresh(true);
+        // Within the freshness window.
+        assert!(cs
+            .lookup(&fresh_interest("/f"), T0 + SimDuration::from_secs(5))
+            .is_some());
+        // Past it.
+        assert!(cs
+            .lookup(&fresh_interest("/f"), T0 + SimDuration::from_secs(10))
+            .is_none());
+        // Data without FreshnessPeriod is never fresh…
+        assert!(cs.lookup(&fresh_interest("/stale"), T0).is_none());
+        // …but still matches without MustBeFresh.
+        assert!(cs
+            .lookup(&Interest::new(name!("/stale")), T0 + SimDuration::from_hours(1))
+            .is_some());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut cs = ContentStore::new(2);
+        cs.insert(data("/one"), T0);
+        cs.insert(data("/two"), T0);
+        // Touch /one so /two becomes LRU.
+        assert!(cs.lookup(&Interest::new(name!("/one")), T0).is_some());
+        cs.insert(data("/three"), T0);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.lookup(&Interest::new(name!("/one")), T0).is_some());
+        assert!(cs.lookup(&Interest::new(name!("/two")), T0).is_none(), "/two evicted");
+        assert!(cs.lookup(&Interest::new(name!("/three")), T0).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_name_replaces() {
+        let mut cs = ContentStore::new(2);
+        cs.insert(data("/a"), T0);
+        let newer = Data::new(name!("/a"), &b"v2"[..]).sign_digest();
+        cs.insert(newer.clone(), T0);
+        assert_eq!(cs.len(), 1);
+        let got = cs.lookup(&Interest::new(name!("/a")), T0).unwrap();
+        assert_eq!(got.content, newer.content);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let mut cs = ContentStore::new(0);
+        cs.insert(data("/a"), T0);
+        assert!(cs.is_empty());
+        assert!(cs.lookup(&Interest::new(name!("/a")), T0).is_none());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cs = ContentStore::new(4);
+        cs.insert(data("/a"), T0);
+        cs.insert(data("/b"), T0);
+        cs.clear();
+        assert!(cs.is_empty());
+        assert_eq!(cs.names().count(), 0);
+    }
+
+    #[test]
+    fn lru_invariant_indices_consistent() {
+        // Property-style check: after a mixed workload, every record has a
+        // tick entry and vice versa.
+        use lidc_simcore::rng::DetRng;
+        let mut rng = DetRng::new(5);
+        let mut cs = ContentStore::new(8);
+        for step in 0..500u64 {
+            let id = rng.next_below(20);
+            let uri = format!("/obj/{id}");
+            if rng.next_bool(0.5) {
+                cs.insert(data(&uri), T0);
+            } else {
+                let _ = cs.lookup(&Interest::new(Name::parse(&uri).unwrap()), T0);
+            }
+            assert!(cs.len() <= 8, "capacity respected at step {step}");
+            assert_eq!(cs.records.len(), cs.ticks.len());
+            assert_eq!(cs.records.len(), cs.lru.len());
+            for (tick, name) in &cs.lru {
+                assert_eq!(cs.ticks.get(name), Some(tick));
+            }
+        }
+    }
+}

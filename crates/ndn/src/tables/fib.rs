@@ -1,0 +1,239 @@
+//! Forwarding Information Base: name prefixes → ranked next hops.
+//!
+//! Lookup is longest-prefix match in the NDN sense (component-granular, not
+//! byte-granular). The implementation keeps a `HashMap` keyed by prefix and
+//! walks the lookup name's prefixes from longest to shortest — O(k) map
+//! probes for a k-component name, which beats a trie for the short names
+//! LIDC uses while staying trivially correct (property-tested against a
+//! naive reference in this module).
+
+use std::collections::HashMap;
+
+use crate::face::FaceId;
+use crate::name::Name;
+
+/// One candidate next hop for a prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextHop {
+    /// Outgoing face.
+    pub face: FaceId,
+    /// Routing cost; lower is preferred.
+    pub cost: u32,
+}
+
+/// A FIB entry: the prefix plus its next hops sorted by ascending cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FibEntry {
+    /// Registered prefix.
+    pub prefix: Name,
+    /// Next hops, ascending cost (ties broken by face id for determinism).
+    pub nexthops: Vec<NextHop>,
+}
+
+/// The forwarding table.
+#[derive(Debug, Default)]
+pub struct Fib {
+    entries: HashMap<Name, FibEntry>,
+}
+
+impl Fib {
+    /// Empty FIB.
+    pub fn new() -> Self {
+        Fib::default()
+    }
+
+    /// Number of entries (prefixes).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no prefixes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Add (or update the cost of) a next hop for `prefix`.
+    pub fn add_nexthop(&mut self, prefix: Name, face: FaceId, cost: u32) {
+        let entry = self.entries.entry(prefix.clone()).or_insert_with(|| FibEntry {
+            prefix,
+            nexthops: Vec::new(),
+        });
+        match entry.nexthops.iter_mut().find(|nh| nh.face == face) {
+            Some(nh) => nh.cost = cost,
+            None => entry.nexthops.push(NextHop { face, cost }),
+        }
+        entry
+            .nexthops
+            .sort_by_key(|nh| (nh.cost, nh.face.raw()));
+    }
+
+    /// Remove one next hop; drops the entry when it was the last hop.
+    /// Returns true if something was removed.
+    pub fn remove_nexthop(&mut self, prefix: &Name, face: FaceId) -> bool {
+        let Some(entry) = self.entries.get_mut(prefix) else {
+            return false;
+        };
+        let before = entry.nexthops.len();
+        entry.nexthops.retain(|nh| nh.face != face);
+        let removed = entry.nexthops.len() != before;
+        if entry.nexthops.is_empty() {
+            self.entries.remove(prefix);
+        }
+        removed
+    }
+
+    /// Remove every next hop through `face` (face destruction).
+    pub fn remove_face(&mut self, face: FaceId) {
+        let prefixes: Vec<Name> = self.entries.keys().cloned().collect();
+        for p in prefixes {
+            self.remove_nexthop(&p, face);
+        }
+    }
+
+    /// Remove an entire entry. Returns true if it existed.
+    pub fn remove_entry(&mut self, prefix: &Name) -> bool {
+        self.entries.remove(prefix).is_some()
+    }
+
+    /// Exact-match lookup (management use).
+    pub fn entry(&self, prefix: &Name) -> Option<&FibEntry> {
+        self.entries.get(prefix)
+    }
+
+    /// Longest-prefix-match lookup: the entry with the most components whose
+    /// prefix matches `name`.
+    pub fn lookup(&self, name: &Name) -> Option<&FibEntry> {
+        for k in (0..=name.len()).rev() {
+            let prefix = name.prefix(k);
+            if let Some(entry) = self.entries.get(&prefix) {
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    /// Iterate entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &FibEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(id: u64) -> FaceId {
+        FaceId::from_raw(id)
+    }
+
+    #[test]
+    fn lpm_prefers_longest() {
+        let mut fib = Fib::new();
+        fib.add_nexthop(name!("/ndn"), f(1), 10);
+        fib.add_nexthop(name!("/ndn/k8s"), f(2), 10);
+        fib.add_nexthop(name!("/ndn/k8s/compute"), f(3), 10);
+        let hit = fib.lookup(&name!("/ndn/k8s/compute/mem=4")).unwrap();
+        assert_eq!(hit.prefix, name!("/ndn/k8s/compute"));
+        let hit = fib.lookup(&name!("/ndn/k8s/data/x")).unwrap();
+        assert_eq!(hit.prefix, name!("/ndn/k8s"));
+        let hit = fib.lookup(&name!("/ndn/other")).unwrap();
+        assert_eq!(hit.prefix, name!("/ndn"));
+        assert!(fib.lookup(&name!("/web/x")).is_none());
+    }
+
+    #[test]
+    fn root_prefix_matches_everything() {
+        let mut fib = Fib::new();
+        fib.add_nexthop(Name::root(), f(9), 1);
+        assert_eq!(fib.lookup(&name!("/anything/at/all")).unwrap().prefix, Name::root());
+    }
+
+    #[test]
+    fn nexthops_sorted_by_cost_then_face() {
+        let mut fib = Fib::new();
+        fib.add_nexthop(name!("/a"), f(3), 20);
+        fib.add_nexthop(name!("/a"), f(1), 10);
+        fib.add_nexthop(name!("/a"), f(2), 10);
+        let hops = &fib.entry(&name!("/a")).unwrap().nexthops;
+        assert_eq!(
+            hops.iter().map(|nh| nh.face).collect::<Vec<_>>(),
+            vec![f(1), f(2), f(3)]
+        );
+    }
+
+    #[test]
+    fn add_same_face_updates_cost() {
+        let mut fib = Fib::new();
+        fib.add_nexthop(name!("/a"), f(1), 10);
+        fib.add_nexthop(name!("/a"), f(1), 5);
+        let hops = &fib.entry(&name!("/a")).unwrap().nexthops;
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].cost, 5);
+    }
+
+    #[test]
+    fn remove_last_nexthop_drops_entry() {
+        let mut fib = Fib::new();
+        fib.add_nexthop(name!("/a"), f(1), 10);
+        assert!(fib.remove_nexthop(&name!("/a"), f(1)));
+        assert!(fib.entry(&name!("/a")).is_none());
+        assert!(!fib.remove_nexthop(&name!("/a"), f(1)));
+        assert!(fib.is_empty());
+    }
+
+    #[test]
+    fn remove_face_sweeps_all_entries() {
+        let mut fib = Fib::new();
+        fib.add_nexthop(name!("/a"), f(1), 10);
+        fib.add_nexthop(name!("/a"), f(2), 10);
+        fib.add_nexthop(name!("/b"), f(1), 10);
+        fib.remove_face(f(1));
+        assert_eq!(fib.entry(&name!("/a")).unwrap().nexthops[0].face, f(2));
+        assert!(fib.entry(&name!("/b")).is_none());
+        assert_eq!(fib.len(), 1);
+    }
+
+    /// Naive reference implementation for the property test.
+    fn naive_lpm<'a>(entries: &'a [(Name, FaceId)], lookup: &Name) -> Option<&'a Name> {
+        entries
+            .iter()
+            .filter(|(p, _)| p.is_prefix_of(lookup))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, _)| p)
+    }
+
+    #[test]
+    fn lpm_matches_naive_reference_on_random_tables() {
+        use lidc_simcore::rng::DetRng;
+        let mut rng = DetRng::new(0xF1B);
+        let vocab = ["a", "b", "c", "data", "compute"];
+        for _ in 0..200 {
+            let mut fib = Fib::new();
+            let mut entries: Vec<(Name, FaceId)> = Vec::new();
+            let n_entries = rng.next_below(12) + 1;
+            for i in 0..n_entries {
+                let depth = rng.next_below(4) + 1;
+                let mut n = Name::root();
+                for _ in 0..depth {
+                    n = n.child_str(vocab[rng.next_below(vocab.len() as u64) as usize]);
+                }
+                // Skip duplicate prefixes in the reference to keep it simple.
+                if entries.iter().any(|(p, _)| *p == n) {
+                    continue;
+                }
+                fib.add_nexthop(n.clone(), f(i), 1);
+                entries.push((n, f(i)));
+            }
+            for _ in 0..20 {
+                let depth = rng.next_below(5);
+                let mut lookup = Name::root();
+                for _ in 0..depth {
+                    lookup = lookup.child_str(vocab[rng.next_below(vocab.len() as u64) as usize]);
+                }
+                let got = fib.lookup(&lookup).map(|e| &e.prefix);
+                let want = naive_lpm(&entries, &lookup);
+                assert_eq!(got, want, "lookup {lookup}");
+            }
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Pending Interest Table.
+//!
+//! The PIT is what makes NDN request routing stateful: it aggregates
+//! identical Interests from many consumers (one upstream transmission serves
+//! them all — the `ablate_aggregation` experiment measures this) and routes
+//! returning Data back along the reverse paths.
+
+use std::collections::HashMap;
+
+use crate::face::FaceId;
+use crate::name::Name;
+use crate::packet::Interest;
+use lidc_simcore::time::{SimDuration, SimTime};
+
+/// PIT entries are keyed on the Interest name plus the selectors that change
+/// matching semantics (mirrors NFD, which keys on the whole Interest minus
+/// the nonce).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PitKey {
+    /// Interest name.
+    pub name: Name,
+    /// CanBePrefix selector.
+    pub can_be_prefix: bool,
+    /// MustBeFresh selector.
+    pub must_be_fresh: bool,
+}
+
+impl PitKey {
+    /// Key for an Interest.
+    pub fn of(interest: &Interest) -> Self {
+        PitKey {
+            name: interest.name.clone(),
+            can_be_prefix: interest.can_be_prefix,
+            must_be_fresh: interest.must_be_fresh,
+        }
+    }
+}
+
+/// A downstream (requester) record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InRecord {
+    /// Face the Interest arrived on.
+    pub face: FaceId,
+    /// Its nonce (for loop suppression on the return path).
+    pub nonce: Option<u32>,
+    /// When this record lapses.
+    pub expiry: SimTime,
+}
+
+/// An upstream (forwarded-to) record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutRecord {
+    /// Face the Interest was sent out of.
+    pub face: FaceId,
+    /// When it was sent (for RTT measurement).
+    pub sent_at: SimTime,
+    /// Nonce used upstream.
+    pub nonce: Option<u32>,
+}
+
+/// One pending Interest.
+#[derive(Debug, Clone)]
+pub struct PitEntry {
+    /// Key (name + selectors).
+    pub key: PitKey,
+    /// The representative Interest (first to create the entry).
+    pub interest: Interest,
+    /// Downstream records.
+    pub in_records: Vec<InRecord>,
+    /// Upstream records.
+    pub out_records: Vec<OutRecord>,
+    /// Entry expiry = max over in-record expiries.
+    pub expiry: SimTime,
+    /// Version stamp: incremented on every refresh so stale expiry timers
+    /// can be recognised and ignored.
+    pub version: u64,
+}
+
+impl PitEntry {
+    /// True if `face` already has an in-record with the same nonce (i.e.
+    /// this arrival is a duplicate rather than a retransmission).
+    pub fn is_duplicate_from(&self, face: FaceId, nonce: Option<u32>) -> bool {
+        self.in_records
+            .iter()
+            .any(|r| r.face == face && r.nonce == nonce && nonce.is_some())
+    }
+
+    /// Downstream faces to return Data to (excluding `except`, typically the
+    /// face the Data arrived on).
+    pub fn return_faces(&self, except: FaceId) -> Vec<FaceId> {
+        let mut faces: Vec<FaceId> = self
+            .in_records
+            .iter()
+            .map(|r| r.face)
+            .filter(|f| *f != except)
+            .collect();
+        faces.sort_unstable();
+        faces.dedup();
+        faces
+    }
+
+    /// The out-record for `face`, if any.
+    pub fn out_record(&self, face: FaceId) -> Option<&OutRecord> {
+        self.out_records.iter().find(|r| r.face == face)
+    }
+}
+
+/// Outcome of inserting an Interest.
+#[derive(Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A new entry was created: the Interest should be forwarded.
+    New,
+    /// Aggregated into an existing entry that already has an outstanding
+    /// upstream transmission: do not forward again.
+    Aggregated,
+    /// Same downstream retransmitted (same face, new nonce): the strategy
+    /// may choose to try another upstream.
+    Retransmission,
+    /// Exact duplicate (same face, same nonce): drop / NACK as a loop.
+    DuplicateNonce,
+}
+
+/// The Pending Interest Table.
+#[derive(Debug, Default)]
+pub struct Pit {
+    entries: HashMap<PitKey, PitEntry>,
+}
+
+impl Pit {
+    /// Empty PIT.
+    pub fn new() -> Self {
+        Pit::default()
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record the arrival of `interest` on `face` at `now`.
+    ///
+    /// Returns the outcome plus the entry's new version (for scheduling the
+    /// expiry timer).
+    pub fn insert(
+        &mut self,
+        interest: &Interest,
+        face: FaceId,
+        now: SimTime,
+    ) -> (InsertOutcome, u64) {
+        let key = PitKey::of(interest);
+        let expiry = now + interest.lifetime;
+        match self.entries.get_mut(&key) {
+            None => {
+                let entry = PitEntry {
+                    key: key.clone(),
+                    interest: interest.clone(),
+                    in_records: vec![InRecord {
+                        face,
+                        nonce: interest.nonce,
+                        expiry,
+                    }],
+                    out_records: Vec::new(),
+                    expiry,
+                    version: 0,
+                };
+                self.entries.insert(key, entry);
+                (InsertOutcome::New, 0)
+            }
+            Some(entry) => {
+                if entry.is_duplicate_from(face, interest.nonce) {
+                    return (InsertOutcome::DuplicateNonce, entry.version);
+                }
+                let from_same_face = entry.in_records.iter().any(|r| r.face == face);
+                match entry.in_records.iter_mut().find(|r| r.face == face) {
+                    Some(rec) => {
+                        rec.nonce = interest.nonce;
+                        rec.expiry = expiry;
+                    }
+                    None => entry.in_records.push(InRecord {
+                        face,
+                        nonce: interest.nonce,
+                        expiry,
+                    }),
+                }
+                entry.expiry = entry.expiry.max(expiry);
+                entry.version += 1;
+                if from_same_face {
+                    (InsertOutcome::Retransmission, entry.version)
+                } else {
+                    (InsertOutcome::Aggregated, entry.version)
+                }
+            }
+        }
+    }
+
+    /// Record that the Interest was forwarded out `face`.
+    pub fn add_out_record(&mut self, key: &PitKey, face: FaceId, nonce: Option<u32>, now: SimTime) {
+        if let Some(entry) = self.entries.get_mut(key) {
+            match entry.out_records.iter_mut().find(|r| r.face == face) {
+                Some(rec) => {
+                    rec.sent_at = now;
+                    rec.nonce = nonce;
+                }
+                None => entry.out_records.push(OutRecord {
+                    face,
+                    sent_at: now,
+                    nonce,
+                }),
+            }
+        }
+    }
+
+    /// Find the entry a Data packet satisfies. NDN matching: the Data name
+    /// must equal the Interest name, or extend it when CanBePrefix is set.
+    /// When several entries match, all are returned (e.g. a prefix Interest
+    /// and an exact Interest for the same object).
+    pub fn match_data(&self, data_name: &Name) -> Vec<PitKey> {
+        let mut keys: Vec<PitKey> = self
+            .entries
+            .values()
+            .filter(|e| {
+                if e.key.can_be_prefix {
+                    e.key.name.is_prefix_of(data_name)
+                } else {
+                    &e.key.name == data_name
+                }
+            })
+            .map(|e| e.key.clone())
+            .collect();
+        // Deterministic order: by name, exact matches first.
+        keys.sort_by(|a, b| a.name.cmp(&b.name).then(a.can_be_prefix.cmp(&b.can_be_prefix)));
+        keys
+    }
+
+    /// Look up an entry.
+    pub fn get(&self, key: &PitKey) -> Option<&PitEntry> {
+        self.entries.get(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &PitKey) -> Option<&mut PitEntry> {
+        self.entries.get_mut(key)
+    }
+
+    /// Remove and return an entry (when satisfied by Data or fully NACKed).
+    pub fn take(&mut self, key: &PitKey) -> Option<PitEntry> {
+        self.entries.remove(key)
+    }
+
+    /// Expire the entry if `version` is still current and its expiry has
+    /// passed. Returns the entry when it was expired.
+    pub fn expire_if_stale(&mut self, key: &PitKey, version: u64, now: SimTime) -> Option<PitEntry> {
+        let entry = self.entries.get(key)?;
+        if entry.version != version || entry.expiry > now {
+            return None;
+        }
+        self.entries.remove(key)
+    }
+
+    /// The time until `key`'s entry expires (for scheduling).
+    pub fn time_to_expiry(&self, key: &PitKey, now: SimTime) -> Option<SimDuration> {
+        self.entries.get(key).map(|e| e.expiry.since(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(id: u64) -> FaceId {
+        FaceId::from_raw(id)
+    }
+
+    fn interest(uri: &str, nonce: u32) -> Interest {
+        Interest::new(name!(uri)).with_nonce(nonce)
+    }
+
+    #[test]
+    fn first_arrival_is_new() {
+        let mut pit = Pit::new();
+        let i = interest("/a/b", 1);
+        let (outcome, _) = pit.insert(&i, f(1), SimTime::ZERO);
+        assert_eq!(outcome, InsertOutcome::New);
+        assert_eq!(pit.len(), 1);
+    }
+
+    #[test]
+    fn second_consumer_aggregates() {
+        let mut pit = Pit::new();
+        let now = SimTime::ZERO;
+        pit.insert(&interest("/a/b", 1), f(1), now);
+        let (outcome, _) = pit.insert(&interest("/a/b", 2), f(2), now);
+        assert_eq!(outcome, InsertOutcome::Aggregated);
+        assert_eq!(pit.len(), 1, "one entry for both consumers");
+        let key = PitKey::of(&interest("/a/b", 1));
+        assert_eq!(pit.get(&key).unwrap().in_records.len(), 2);
+    }
+
+    #[test]
+    fn same_face_new_nonce_is_retransmission() {
+        let mut pit = Pit::new();
+        pit.insert(&interest("/a", 1), f(1), SimTime::ZERO);
+        let (outcome, _) = pit.insert(&interest("/a", 99), f(1), SimTime::ZERO);
+        assert_eq!(outcome, InsertOutcome::Retransmission);
+    }
+
+    #[test]
+    fn same_face_same_nonce_is_duplicate() {
+        let mut pit = Pit::new();
+        pit.insert(&interest("/a", 7), f(1), SimTime::ZERO);
+        let (outcome, _) = pit.insert(&interest("/a", 7), f(1), SimTime::ZERO);
+        assert_eq!(outcome, InsertOutcome::DuplicateNonce);
+    }
+
+    #[test]
+    fn selectors_separate_entries() {
+        let mut pit = Pit::new();
+        let exact = interest("/a", 1);
+        let prefix = interest("/a", 2).can_be_prefix(true);
+        pit.insert(&exact, f(1), SimTime::ZERO);
+        pit.insert(&prefix, f(1), SimTime::ZERO);
+        assert_eq!(pit.len(), 2, "different selectors, different entries");
+    }
+
+    #[test]
+    fn data_matching_exact_and_prefix() {
+        let mut pit = Pit::new();
+        pit.insert(&interest("/a/b", 1), f(1), SimTime::ZERO);
+        pit.insert(&interest("/a", 2).can_be_prefix(true), f(2), SimTime::ZERO);
+        pit.insert(&interest("/a", 3), f(3), SimTime::ZERO); // exact /a
+        let matched = pit.match_data(&name!("/a/b"));
+        assert_eq!(matched.len(), 2, "exact /a/b and prefix /a match");
+        assert!(matched.iter().any(|k| k.name == name!("/a/b") && !k.can_be_prefix));
+        assert!(matched.iter().any(|k| k.name == name!("/a") && k.can_be_prefix));
+        let matched = pit.match_data(&name!("/a"));
+        assert_eq!(matched.len(), 2, "exact /a and prefix /a");
+    }
+
+    #[test]
+    fn return_faces_excludes_arrival_face() {
+        let mut pit = Pit::new();
+        pit.insert(&interest("/a", 1), f(1), SimTime::ZERO);
+        pit.insert(&interest("/a", 2), f(2), SimTime::ZERO);
+        let key = PitKey::of(&interest("/a", 1));
+        let entry = pit.get(&key).unwrap();
+        assert_eq!(entry.return_faces(f(2)), vec![f(1)]);
+        assert_eq!(entry.return_faces(f(9)), vec![f(1), f(2)]);
+    }
+
+    #[test]
+    fn out_records_updated_not_duplicated() {
+        let mut pit = Pit::new();
+        let i = interest("/a", 1);
+        pit.insert(&i, f(1), SimTime::ZERO);
+        let key = PitKey::of(&i);
+        pit.add_out_record(&key, f(5), Some(1), SimTime::ZERO);
+        pit.add_out_record(&key, f(5), Some(2), SimTime::ZERO + SimDuration::from_secs(1));
+        let entry = pit.get(&key).unwrap();
+        assert_eq!(entry.out_records.len(), 1);
+        assert_eq!(entry.out_records[0].nonce, Some(2));
+        assert!(entry.out_record(f(5)).is_some());
+        assert!(entry.out_record(f(6)).is_none());
+    }
+
+    #[test]
+    fn expiry_respects_version() {
+        let mut pit = Pit::new();
+        let i = interest("/a", 1);
+        let (_, v0) = pit.insert(&i, f(1), SimTime::ZERO);
+        let key = PitKey::of(&i);
+        let t_exp = SimTime::ZERO + i.lifetime;
+        // A refresh bumps the version; the old timer must not fire.
+        let (_, v1) = pit.insert(&interest("/a", 2), f(2), SimTime::ZERO + SimDuration::from_secs(1));
+        assert_ne!(v0, v1);
+        assert!(pit.expire_if_stale(&key, v0, t_exp).is_none(), "stale timer ignored");
+        // Current-version timer before expiry: also ignored.
+        assert!(pit.expire_if_stale(&key, v1, SimTime::ZERO).is_none());
+        // Current-version timer at/after expiry: entry removed.
+        let t_exp2 = SimTime::ZERO + SimDuration::from_secs(1) + i.lifetime;
+        assert!(pit.expire_if_stale(&key, v1, t_exp2).is_some());
+        assert!(pit.is_empty());
+    }
+
+    #[test]
+    fn take_removes() {
+        let mut pit = Pit::new();
+        let i = interest("/a", 1);
+        pit.insert(&i, f(1), SimTime::ZERO);
+        let key = PitKey::of(&i);
+        assert!(pit.take(&key).is_some());
+        assert!(pit.take(&key).is_none());
+    }
+}

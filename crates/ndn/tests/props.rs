@@ -1,0 +1,334 @@
+//! Property-based tests for the NDN substrate (DESIGN.md §7): codec
+//! round-trips, FIB longest-prefix-match against a naive reference, PIT
+//! aggregation invariants, and Content-Store capacity/LRU invariants.
+
+use bytes::Bytes;
+use lidc_ndn::face::FaceId;
+use lidc_ndn::name::{Name, NameComponent};
+use lidc_ndn::packet::{ContentType, Data, Interest};
+use lidc_ndn::tables::cs::ContentStore;
+use lidc_ndn::tables::fib::Fib;
+use lidc_ndn::tables::pit::{InsertOutcome, Pit};
+use lidc_simcore::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+// --- generators -----------------------------------------------------------
+
+/// Generic-component text that survives the URI round trip unambiguously
+/// (no `=`; never all-periods; nonempty).
+fn component_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9_][a-zA-Z0-9._~+,-]{0,15}").unwrap()
+}
+
+prop_compose! {
+    fn arb_component()(
+        kind in 0u8..4,
+        text in component_text(),
+        n in proptest::num::u64::ANY,
+        digest in proptest::array::uniform32(proptest::num::u8::ANY),
+    ) -> NameComponent {
+        match kind {
+            0 => NameComponent::from_str_generic(&text),
+            1 => NameComponent::segment(n),
+            2 => NameComponent::version(n),
+            _ => NameComponent::implicit_digest(digest),
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_name()(components in proptest::collection::vec(arb_component(), 0..8)) -> Name {
+        let mut name = Name::root();
+        for c in components {
+            name = name.child(c);
+        }
+        name
+    }
+}
+
+prop_compose! {
+    fn arb_text_name()(parts in proptest::collection::vec(component_text(), 1..6)) -> Name {
+        let mut name = Name::root();
+        for p in parts {
+            name = name.child_str(&p);
+        }
+        name
+    }
+}
+
+// --- name properties -------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn name_uri_round_trip(name in arb_name()) {
+        let uri = name.to_uri();
+        let parsed = Name::parse(&uri).unwrap();
+        prop_assert_eq!(parsed, name);
+    }
+
+    #[test]
+    fn prefix_relation_is_reflexive_and_preserved_by_join(
+        a in arb_name(),
+        b in arb_name(),
+    ) {
+        prop_assert!(a.is_prefix_of(&a));
+        let joined = a.join(&b);
+        prop_assert!(a.is_prefix_of(&joined));
+        prop_assert_eq!(joined.len(), a.len() + b.len());
+        prop_assert_eq!(joined.prefix(a.len()), a.clone());
+        // parent() strips exactly one component.
+        if !joined.is_empty() {
+            prop_assert_eq!(joined.parent().len(), joined.len() - 1);
+        }
+    }
+
+    #[test]
+    fn prefix_of_is_antisymmetric_up_to_equality(a in arb_name(), b in arb_name()) {
+        if a.is_prefix_of(&b) && b.is_prefix_of(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+// --- packet codec properties ------------------------------------------------
+
+proptest! {
+    #[test]
+    fn interest_wire_round_trip(
+        name in arb_name(),
+        can_be_prefix in any::<bool>(),
+        must_be_fresh in any::<bool>(),
+        nonce in any::<Option<u32>>(),
+        lifetime_ms in 1u64..120_000,
+        params in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut interest = Interest::new(name)
+            .can_be_prefix(can_be_prefix)
+            .must_be_fresh(must_be_fresh)
+            .with_lifetime(SimDuration::from_millis(lifetime_ms))
+            .with_app_params(Bytes::from(params));
+        interest.nonce = nonce;
+        let wire = interest.encode();
+        prop_assert_eq!(wire.len(), interest.encoded_size());
+        let decoded = Interest::decode(&wire).unwrap();
+        prop_assert_eq!(decoded, interest);
+    }
+
+    #[test]
+    fn data_wire_round_trip_and_signature(
+        name in arb_name(),
+        content in proptest::collection::vec(any::<u8>(), 0..256),
+        freshness_ms in 0u64..600_000,
+        kind in 0u8..3,
+    ) {
+        let content_type = match kind {
+            0 => ContentType::Blob,
+            1 => ContentType::Link,
+            _ => ContentType::Nack,
+        };
+        let data = Data::new(name, content)
+            .with_content_type(content_type)
+            .with_freshness(SimDuration::from_millis(freshness_ms))
+            .sign_digest();
+        let wire = data.encode();
+        prop_assert_eq!(wire.len(), data.encoded_size());
+        let decoded = Data::decode(&wire).unwrap();
+        prop_assert!(decoded.verify(None), "digest signature verifies");
+        prop_assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn data_tamper_detected(
+        name in arb_text_name(),
+        content in proptest::collection::vec(any::<u8>(), 1..128),
+        flip in any::<u8>(),
+    ) {
+        let data = Data::new(name, content.clone()).sign_digest();
+        let mut tampered = data.clone();
+        let idx = (flip as usize) % content.len();
+        let mut bytes = content;
+        bytes[idx] ^= 0x01;
+        tampered.content = Bytes::from(bytes);
+        prop_assert!(data.verify(None));
+        prop_assert!(!tampered.verify(None), "bit flip must break the digest");
+    }
+
+    #[test]
+    fn hmac_signature_requires_right_key(
+        name in arb_text_name(),
+        content in proptest::collection::vec(any::<u8>(), 0..64),
+        key in proptest::collection::vec(any::<u8>(), 1..32),
+        other_key in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let data = Data::new(name, content)
+            .sign_hmac(Name::parse("/keys/k1").unwrap(), &key);
+        prop_assert!(data.verify(Some(&key)));
+        if other_key != key {
+            prop_assert!(!data.verify(Some(&other_key)));
+        }
+    }
+}
+
+// --- FIB: longest-prefix match vs naive reference ---------------------------
+
+proptest! {
+    #[test]
+    fn fib_lpm_matches_naive_reference(
+        routes in proptest::collection::vec((arb_text_name(), 0u64..8, 0u32..100), 1..40),
+        lookup in arb_text_name(),
+        extra in component_text(),
+    ) {
+        let mut fib = Fib::new();
+        let mut table: Vec<(Name, FaceId)> = Vec::new();
+        for (prefix, face, cost) in &routes {
+            let face = FaceId::from_raw(*face);
+            fib.add_nexthop(prefix.clone(), face, *cost);
+            table.push((prefix.clone(), face));
+        }
+        // Look up both an arbitrary name and a guaranteed-matching child.
+        let child = routes[0].0.clone().child_str(&extra);
+        for name in [lookup, child] {
+            let expected_len = table
+                .iter()
+                .filter(|(p, _)| p.is_prefix_of(&name))
+                .map(|(p, _)| p.len())
+                .max();
+            match (fib.lookup(&name), expected_len) {
+                (None, None) => {}
+                (Some(entry), Some(len)) => {
+                    prop_assert_eq!(entry.prefix.len(), len);
+                    prop_assert!(entry.prefix.is_prefix_of(&name));
+                    prop_assert!(!entry.nexthops.is_empty());
+                    // Next hops sorted by ascending cost.
+                    prop_assert!(entry
+                        .nexthops
+                        .windows(2)
+                        .all(|w| w[0].cost <= w[1].cost));
+                }
+                (got, want) => {
+                    return Err(TestCaseError::fail(format!(
+                        "lpm mismatch for {}: fib={:?} naive={:?}",
+                        name.to_uri(),
+                        got.map(|e| e.prefix.to_uri()),
+                        want
+                    )));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fib_remove_face_purges_every_nexthop(
+        routes in proptest::collection::vec((arb_text_name(), 0u64..4), 1..20),
+    ) {
+        let mut fib = Fib::new();
+        for (prefix, face) in &routes {
+            fib.add_nexthop(prefix.clone(), FaceId::from_raw(*face), 0);
+        }
+        let victim = FaceId::from_raw(routes[0].1);
+        fib.remove_face(victim);
+        for entry in fib.iter() {
+            prop_assert!(entry.nexthops.iter().all(|nh| nh.face != victim));
+            prop_assert!(!entry.nexthops.is_empty(), "empty entries are dropped");
+        }
+    }
+}
+
+// --- PIT aggregation invariants ---------------------------------------------
+
+proptest! {
+    #[test]
+    fn pit_aggregates_distinct_faces_once(
+        name in arb_text_name(),
+        faces in proptest::collection::btree_set(0u64..32, 1..10),
+    ) {
+        let mut pit = Pit::new();
+        let now = SimTime::ZERO;
+        let faces: Vec<FaceId> = faces.into_iter().map(FaceId::from_raw).collect();
+        for (i, face) in faces.iter().enumerate() {
+            let interest = Interest::new(name.clone()).with_nonce(i as u32 + 1);
+            let (outcome, _) = pit.insert(&interest, *face, now);
+            if i == 0 {
+                prop_assert_eq!(outcome, InsertOutcome::New);
+            } else {
+                prop_assert_eq!(outcome, InsertOutcome::Aggregated);
+            }
+        }
+        prop_assert_eq!(pit.len(), 1, "one entry regardless of fan-in");
+        let keys = pit.match_data(&name);
+        prop_assert_eq!(keys.len(), 1);
+        let entry = pit.get(&keys[0]).unwrap();
+        // Data returns to every downstream except the one it came from.
+        let back = entry.return_faces(faces[0]);
+        prop_assert_eq!(back.len(), faces.len() - 1);
+        prop_assert!(!back.contains(&faces[0]));
+    }
+
+    #[test]
+    fn pit_duplicate_nonce_detected(
+        name in arb_text_name(),
+        face in 0u64..8,
+        nonce in any::<u32>(),
+    ) {
+        let mut pit = Pit::new();
+        let now = SimTime::ZERO;
+        let face = FaceId::from_raw(face);
+        let interest = Interest::new(name.clone()).with_nonce(nonce);
+        let (first, _) = pit.insert(&interest, face, now);
+        prop_assert_eq!(first, InsertOutcome::New);
+        let (dup, _) = pit.insert(&interest, face, now);
+        prop_assert_eq!(dup, InsertOutcome::DuplicateNonce);
+        // A new nonce from the same face is a retransmission, not a loop.
+        let retx = Interest::new(name).with_nonce(nonce.wrapping_add(1));
+        let (again, _) = pit.insert(&retx, face, now);
+        prop_assert_eq!(again, InsertOutcome::Retransmission);
+    }
+}
+
+// --- Content Store invariants -------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cs_never_exceeds_capacity_and_serves_exact_bytes(
+        capacity in 1usize..32,
+        inserts in proptest::collection::vec(
+            (component_text(), proptest::collection::vec(any::<u8>(), 0..32)),
+            1..64,
+        ),
+    ) {
+        let mut cs = ContentStore::new(capacity);
+        let now = SimTime::ZERO;
+        let mut last: Option<(Name, Vec<u8>)> = None;
+        for (suffix, content) in inserts {
+            let name = Name::parse("/data").unwrap().child_str(&suffix);
+            let data = Data::new(name.clone(), content.clone()).sign_digest();
+            cs.insert(data, now);
+            prop_assert!(cs.len() <= capacity, "len {} > capacity {}", cs.len(), capacity);
+            last = Some((name, content));
+        }
+        // The most recently inserted entry must still be resident (LRU).
+        let (name, content) = last.unwrap();
+        let got = cs.lookup(&Interest::new(name), now).expect("MRU entry resident");
+        prop_assert_eq!(got.content.as_ref(), content.as_slice());
+    }
+
+    #[test]
+    fn cs_must_be_fresh_respects_expiry(
+        fresh_ms in 1u64..10_000,
+        probe_ms in 0u64..20_000,
+    ) {
+        let mut cs = ContentStore::new(8);
+        let name = Name::parse("/data/x").unwrap();
+        let data = Data::new(name.clone(), &b"v"[..])
+            .with_freshness(SimDuration::from_millis(fresh_ms))
+            .sign_digest();
+        cs.insert(data, SimTime::ZERO);
+        let probe_at = SimTime::ZERO + SimDuration::from_millis(probe_ms);
+        let fresh_hit = cs
+            .lookup(&Interest::new(name.clone()).must_be_fresh(true), probe_at)
+            .is_some();
+        prop_assert_eq!(fresh_hit, probe_ms < fresh_ms, "freshness boundary");
+        // Without MustBeFresh the (stale) entry still satisfies.
+        prop_assert!(cs.lookup(&Interest::new(name), probe_at).is_some());
+    }
+}

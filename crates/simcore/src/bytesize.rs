@@ -1,0 +1,204 @@
+//! Byte-size formatting matching the paper's conventions.
+//!
+//! Table I reports output sizes as `941MB` and `2.71GB` — decimal (SI) units,
+//! two decimals at GB scale and integers at MB scale. [`format_bytes`]
+//! reproduces that, and [`parse_bytes`] reads the paper's strings back for
+//! test assertions.
+
+use std::fmt;
+
+/// A byte count with paper-style `Display`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(pub u64);
+
+const KB: u64 = 1_000;
+const MB: u64 = 1_000_000;
+const GB: u64 = 1_000_000_000;
+const TB: u64 = 1_000_000_000_000;
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Construct from a raw byte count.
+    pub const fn new(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// Construct from decimal kilobytes.
+    pub const fn from_kb(v: u64) -> Self {
+        ByteSize(v * KB)
+    }
+
+    /// Construct from decimal megabytes.
+    pub const fn from_mb(v: u64) -> Self {
+        ByteSize(v * MB)
+    }
+
+    /// Construct from decimal gigabytes.
+    pub const fn from_gb(v: u64) -> Self {
+        ByteSize(v * GB)
+    }
+
+    /// Raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional decimal gigabytes.
+    pub fn as_gb_f64(self) -> f64 {
+        self.0 as f64 / GB as f64
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_bytes(self.0))
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteSize({} = {})", self.0, format_bytes(self.0))
+    }
+}
+
+impl std::ops::Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.checked_add(rhs.0).expect("ByteSize overflow"))
+    }
+}
+
+impl std::ops::AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        *self = *self + rhs;
+    }
+}
+
+/// Format a byte count the way the paper's Table I does: `2.71GB`, `941MB`,
+/// `12.3KB`, `512B`.
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= TB {
+        format!("{:.2}TB", bytes as f64 / TB as f64)
+    } else if bytes >= GB {
+        format!("{:.2}GB", bytes as f64 / GB as f64)
+    } else if bytes >= MB {
+        format!("{}MB", (bytes as f64 / MB as f64).round() as u64)
+    } else if bytes >= KB {
+        format!("{:.1}KB", bytes as f64 / KB as f64)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Parse a paper-style size string (`941MB`, `2.71GB`, `512B`, optionally
+/// with a space before the unit). Decimal (SI) units.
+pub fn parse_bytes(s: &str) -> Result<ByteSize, ByteParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(ByteParseError::Empty);
+    }
+    let unit_start = s
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(s.len());
+    let (num, unit) = s.split_at(unit_start);
+    let value: f64 = num.trim().parse().map_err(|_| ByteParseError::BadNumber)?;
+    let mult = match unit.trim().to_ascii_uppercase().as_str() {
+        "" | "B" => 1.0,
+        "KB" => KB as f64,
+        "MB" => MB as f64,
+        "GB" => GB as f64,
+        "TB" => TB as f64,
+        _ => return Err(ByteParseError::BadUnit),
+    };
+    let bytes = value * mult;
+    if !bytes.is_finite() || bytes < 0.0 || bytes > u64::MAX as f64 {
+        return Err(ByteParseError::OutOfRange);
+    }
+    Ok(ByteSize(bytes.round() as u64))
+}
+
+/// Error returned by [`parse_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteParseError {
+    /// Empty input.
+    Empty,
+    /// The numeric prefix did not parse.
+    BadNumber,
+    /// Unrecognised unit suffix.
+    BadUnit,
+    /// Value out of `u64` range.
+    OutOfRange,
+}
+
+impl fmt::Display for ByteParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ByteParseError::Empty => write!(f, "empty size string"),
+            ByteParseError::BadNumber => write!(f, "malformed number in size"),
+            ByteParseError::BadUnit => write!(f, "unknown size unit"),
+            ByteParseError::OutOfRange => write!(f, "size out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ByteParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_round_trip() {
+        // The exact strings from Table I.
+        assert_eq!(format_bytes(941 * MB), "941MB");
+        assert_eq!(format_bytes(2_710_000_000), "2.71GB");
+        assert_eq!(parse_bytes("941MB").unwrap(), ByteSize(941 * MB));
+        assert_eq!(parse_bytes("2.71GB").unwrap(), ByteSize(2_710_000_000));
+    }
+
+    #[test]
+    fn magnitude_boundaries() {
+        assert_eq!(format_bytes(0), "0B");
+        assert_eq!(format_bytes(999), "999B");
+        assert_eq!(format_bytes(1_000), "1.0KB");
+        assert_eq!(format_bytes(999_949), "999.9KB");
+        assert_eq!(format_bytes(1_000_000), "1MB");
+        assert_eq!(format_bytes(1_500_000), "2MB", "rounds at MB scale");
+        assert_eq!(format_bytes(GB), "1.00GB");
+        assert_eq!(format_bytes(TB), "1.00TB");
+    }
+
+    #[test]
+    fn parse_variants() {
+        assert_eq!(parse_bytes("512").unwrap(), ByteSize(512));
+        assert_eq!(parse_bytes("512B").unwrap(), ByteSize(512));
+        assert_eq!(parse_bytes(" 1.5 KB ").unwrap(), ByteSize(1500));
+        assert_eq!(parse_bytes("3gb").unwrap(), ByteSize(3 * GB));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(parse_bytes(""), Err(ByteParseError::Empty));
+        assert_eq!(parse_bytes("abc"), Err(ByteParseError::BadNumber));
+        assert_eq!(parse_bytes("1XB"), Err(ByteParseError::BadUnit));
+        // Exponent notation is not part of the paper's format: the `e` reads
+        // as the start of the unit, which is unknown.
+        assert_eq!(parse_bytes("1e300GB"), Err(ByteParseError::BadUnit));
+        assert_eq!(
+            parse_bytes("99999999999999999999GB"),
+            Err(ByteParseError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn constructors_and_arithmetic() {
+        assert_eq!(ByteSize::from_gb(2).as_u64(), 2 * GB);
+        assert_eq!(ByteSize::from_mb(1) + ByteSize::from_kb(1), ByteSize(1_001_000));
+        let mut b = ByteSize::ZERO;
+        b += ByteSize::from_kb(2);
+        assert_eq!(b, ByteSize(2000));
+        assert!((ByteSize::from_gb(3).as_gb_f64() - 3.0).abs() < 1e-12);
+    }
+}

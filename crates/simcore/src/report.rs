@@ -1,0 +1,258 @@
+//! Experiment report emission: markdown tables, CSV, and JSON artifacts.
+//!
+//! Every experiment binary in `lidc-bench` produces a [`Report`] containing
+//! one or more [`Table`]s; reports render as markdown (for EXPERIMENTS.md and
+//! stdout) and persist as CSV + JSON under `results/` so runs can be diffed.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A titled table of string cells (already formatted by the experiment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table heading.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row data; each row must have `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Panics if the cell count does not match the header.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} != column count {} in table {:?}",
+            cells.len(),
+            self.columns.len(),
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavoured markdown table (with title as a header).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        // Column widths for human-readable alignment.
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(line, " {:width$} |", cell, width = widths[i]);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.columns));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Render as RFC-4180-ish CSV (quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Convert to a JSON value: `{title, columns, rows}`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+        })
+    }
+}
+
+/// A full experiment report: identifying metadata plus one or more tables.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. `table1`, `fig5`); used as the output file stem.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Free-form notes (assumptions, seed, parameters).
+    pub notes: Vec<String>,
+    /// Tables, in presentation order.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// Create an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Append a table.
+    pub fn add_table(&mut self, t: Table) {
+        self.tables.push(t);
+    }
+
+    /// Render the whole report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}\n", self.id, self.title);
+        for note in &self.notes {
+            let _ = writeln!(out, "> {note}");
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Convert to a JSON value.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "notes": self.notes,
+            "tables": self.tables.iter().map(Table::to_json).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Write `<dir>/<id>.md`, `<dir>/<id>.json`, and one CSV per table
+    /// (`<dir>/<id>.<n>.csv`). Creates `dir` if needed.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.md", self.id)), self.to_markdown())?;
+        let json = serde_json::to_string_pretty(&self.to_json())
+            .map_err(io::Error::other)?;
+        fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        for (i, t) in self.tables.iter().enumerate() {
+            fs::write(dir.join(format!("{}.{}.csv", self.id, i)), t.to_csv())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("Computation Performance", &["SRR ID", "CPU", "Run Time"]);
+        t.push_row(vec!["SRR2931415", "2", "8h9m50s"]);
+        t.push_row(vec!["SRR5139395", "2", "24h16m12s"]);
+        t
+    }
+
+    #[test]
+    fn markdown_contains_all_cells_and_separator() {
+        let md = sample_table().to_markdown();
+        assert!(md.contains("### Computation Performance"));
+        assert!(md.contains("| SRR ID"));
+        assert!(md.contains("SRR2931415"));
+        assert!(md.contains("24h16m12s"));
+        assert!(md.lines().any(|l| l.starts_with("|--") || l.starts_with("|-")));
+    }
+
+    #[test]
+    fn markdown_columns_align() {
+        let md = sample_table().to_markdown();
+        let data_lines: Vec<&str> = md.lines().filter(|l| l.starts_with('|')).collect();
+        let widths: Vec<usize> = data_lines.iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all rows equal width: {widths:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn report_writes_files() {
+        let dir = std::env::temp_dir().join(format!("lidc-report-test-{}", std::process::id()));
+        let mut r = Report::new("table1", "Computation Performance");
+        r.note("seed=42");
+        r.add_table(sample_table());
+        r.write_to(&dir).unwrap();
+        assert!(dir.join("table1.md").exists());
+        assert!(dir.join("table1.json").exists());
+        assert!(dir.join("table1.0.csv").exists());
+        let json: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(dir.join("table1.json")).unwrap()).unwrap();
+        assert_eq!(json["id"], "table1");
+        assert_eq!(json["tables"][0]["rows"][0][0], "SRR2931415");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_markdown_includes_notes() {
+        let mut r = Report::new("x", "X");
+        r.note("note-1");
+        let md = r.to_markdown();
+        assert!(md.contains("> note-1"));
+    }
+}

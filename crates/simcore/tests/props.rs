@@ -1,0 +1,153 @@
+//! Property-based tests for the simulation core: time and byte-size codecs,
+//! histogram ordering, RNG determinism, and engine delivery-order
+//! invariants.
+
+use lidc_simcore::bytesize::{format_bytes, parse_bytes};
+use lidc_simcore::engine::{Actor, ActorId, Ctx, Msg, Sim};
+use lidc_simcore::metrics::Histogram;
+use lidc_simcore::rng::DetRng;
+use lidc_simcore::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    // --- time ---------------------------------------------------------------
+
+    #[test]
+    fn duration_display_parse_round_trip(nanos in 0u64..u64::MAX / 4) {
+        let d = SimDuration::from_nanos(nanos);
+        let shown = d.to_string();
+        let parsed = SimDuration::parse(&shown).unwrap();
+        // Display rounds to its unit's printed precision: whole seconds at
+        // minute scale and above, three decimals below that. The round trip
+        // must be exact within that quantum.
+        let quantum = if nanos >= 60_000_000_000 {
+            SimDuration::from_millis(500)
+        } else if nanos >= 1_000_000_000 {
+            SimDuration::from_micros(501)
+        } else if nanos >= 1_000_000 {
+            SimDuration::from_nanos(501)
+        } else {
+            SimDuration::from_nanos(1)
+        };
+        let err = if parsed > d { parsed - d } else { d - parsed };
+        prop_assert!(
+            err <= quantum,
+            "{nanos}ns -> {shown} -> {parsed} (err {err})"
+        );
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!(da + db, SimDuration::from_nanos(a + b));
+        prop_assert_eq!((da + db).saturating_sub(db), da);
+        prop_assert_eq!(da.saturating_sub(da + db), SimDuration::ZERO);
+        let t = SimTime::ZERO + da;
+        prop_assert_eq!(t.since(SimTime::ZERO), da);
+        prop_assert_eq!((t + db).since(t), db);
+    }
+
+    #[test]
+    fn duration_scaling(a in 0u64..1 << 30, k in 1u64..16) {
+        let d = SimDuration::from_nanos(a);
+        prop_assert_eq!(d * k, SimDuration::from_nanos(a * k));
+        prop_assert_eq!((d * k) / k, d);
+    }
+
+    // --- bytesize -------------------------------------------------------------
+
+    #[test]
+    fn format_bytes_parses_back_within_rounding(n in 0u64..1 << 50) {
+        let shown = format_bytes(n);
+        let parsed = parse_bytes(&shown).unwrap().0;
+        // format_bytes prints 3 significant decimals per unit; accept the
+        // corresponding relative error.
+        let err = parsed.abs_diff(n) as f64;
+        prop_assert!(
+            err <= (n as f64) * 0.005 + 1.0,
+            "{n} -> {shown} -> {parsed}"
+        );
+    }
+
+    // --- histogram -------------------------------------------------------------
+
+    #[test]
+    fn histogram_percentiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0.0f64..1e9, 1..200),
+    ) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let min = h.min();
+        let max = h.max();
+        let p25 = h.percentile(25.0);
+        let p50 = h.percentile(50.0);
+        let p95 = h.percentile(95.0);
+        prop_assert!(min <= p25 && p25 <= p50 && p50 <= p95 && p95 <= max);
+        prop_assert!(h.mean() >= min && h.mean() <= max);
+        prop_assert_eq!(h.count(), values.len());
+    }
+
+    // --- rng ---------------------------------------------------------------------
+
+    #[test]
+    fn rng_streams_deterministic_and_derive_independent(seed in any::<u64>()) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Derived streams differ from the parent and from each other.
+        let mut d1 = DetRng::new(seed).derive(1);
+        let mut d2 = DetRng::new(seed).derive(2);
+        let same = (0..64).filter(|_| d1.next_u64() == d2.next_u64()).count();
+        prop_assert!(same < 8, "derived streams look identical");
+    }
+
+    #[test]
+    fn rng_next_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.next_below(n) < n);
+        }
+    }
+
+    // --- engine ------------------------------------------------------------------
+
+    #[test]
+    fn engine_delivers_in_nondecreasing_time_order(
+        seed in any::<u64>(),
+        delays in proptest::collection::vec(0u64..10_000, 1..50),
+    ) {
+        struct Recorder {
+            stamps: Vec<SimTime>,
+        }
+        struct Tick;
+        impl Actor for Recorder {
+            fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+                if msg.downcast::<Tick>().is_ok() {
+                    self.stamps.push(ctx.now());
+                }
+            }
+        }
+        let mut sim = Sim::new(seed);
+        let r: ActorId = sim.spawn("rec", Recorder { stamps: vec![] });
+        let n = delays.len();
+        for d in &delays {
+            sim.send_after(SimDuration::from_micros(*d), r, Tick);
+        }
+        sim.run();
+        let stamps = &sim.actor::<Recorder>(r).unwrap().stamps;
+        prop_assert_eq!(stamps.len(), n);
+        prop_assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+        let mut expect: Vec<u64> = delays;
+        expect.sort_unstable();
+        let got: Vec<u64> = stamps
+            .iter()
+            .map(|t| t.since(SimTime::ZERO).as_nanos() / 1_000)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}

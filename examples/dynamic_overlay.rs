@@ -1,0 +1,85 @@
+//! Dynamic overlay membership and result caching: clusters join and leave a
+//! running overlay while unmodified clients keep submitting, and identical
+//! requests are answered from the gateway result cache (paper §VII, both
+//! implemented as extensions per DESIGN.md §6).
+//!
+//! ```text
+//! cargo run --release --example dynamic_overlay
+//! ```
+
+use lidc::prelude::*;
+
+fn blast(tag: u32) -> ComputeRequest {
+    ComputeRequest::new("BLAST", 2, 4)
+        .with_param("srr", PAPER_RICE_SRR)
+        .with_param("ref", "HUMAN")
+        .with_param("tag", &tag.to_string())
+}
+
+fn main() {
+    let mut sim = Sim::new(77);
+    // Start with a single, distant cluster. Result caching is enabled
+    // (capacity 64 entries) so repeated identical names short-circuit.
+    let mut overlay = Overlay::build(&mut sim, OverlayConfig {
+        placement: PlacementPolicy::Nearest,
+        clusters: vec![
+            ClusterSpec::new("faraway", SimDuration::from_millis(80)).with_cache(64, SimDuration::ZERO),
+        ],
+        ..Default::default()
+    });
+    let alloc = overlay.alloc.clone();
+    let client = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        overlay.router,
+        &alloc,
+        "alice",
+    );
+
+    // Phase 1: only "faraway" exists; the job must land there.
+    sim.send(client, Submit(blast(1)));
+    sim.run();
+    report(&sim, client, 0, "only member");
+
+    // Phase 2: a nearby cluster joins the overlay — no client changes.
+    let near = ClusterSpec::new("nearby", SimDuration::from_millis(3)).with_cache(64, SimDuration::ZERO);
+    overlay.add_cluster(&mut sim, near);
+    sim.send(client, Submit(blast(2)));
+    sim.run();
+    report(&sim, client, 1, "joined mid-run, immediately preferred");
+
+    // Phase 3: identical request as phase 2 — served from the result cache
+    // without spawning a second Kubernetes job.
+    sim.send(client, Submit(blast(2)));
+    sim.run();
+    report(&sim, client, 2, "identical name; result cache hit");
+
+    // Phase 4: the nearby cluster leaves; traffic transparently returns to
+    // the remaining member.
+    overlay.remove_cluster(&mut sim, "nearby");
+    sim.send(client, Submit(blast(3)));
+    sim.run();
+    report(&sim, client, 3, "member left; fallback member serves");
+
+    println!();
+    for c in &overlay.clusters {
+        let s = c.gateway_stats(&sim);
+        println!(
+            "cluster {:8} jobs_created={} cache_hits={} results_published={}",
+            c.name, s.jobs_created, s.cache_hits, s.results_published
+        );
+    }
+}
+
+fn report(sim: &Sim, client: ActorId, idx: usize, note: &str) {
+    let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[idx];
+    assert!(run.is_success(), "run {idx} failed: {:?}", run.error);
+    println!(
+        "run {}: cluster={:8} turnaround={:>12} cached={:5}  <- {}",
+        idx + 1,
+        run.cluster.as_deref().unwrap_or("?"),
+        run.turnaround().unwrap().to_string(),
+        run.served_from_cache,
+        note
+    );
+}

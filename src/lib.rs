@@ -1,0 +1,119 @@
+//! # LIDC — Location Independent Data and Compute
+//!
+//! A from-scratch Rust reproduction of *"LIDC: A Location Independent
+//! Multi-Cluster Computing Framework for Data Intensive Science"*
+//! (Timilsina & Shannigrahi, SC-W 2024, DOI 10.1109/SCW63240.2024.00108).
+//!
+//! LIDC is a **decentralized control plane** that places computational jobs
+//! on geographically dispersed Kubernetes clusters using *semantic names*
+//! instead of a logically centralized controller. A science user expresses
+//! a computation as a name such as
+//!
+//! ```text
+//! /ndn/k8s/compute/mem=4&cpu=2&app=BLAST&srr=SRR2931415&ref=HUMAN
+//! ```
+//!
+//! and the network — not a central scheduler — carries the request to a
+//! cluster that advertises the named service. The gateway on that cluster
+//! parses the request, validates it with application-specific checks, spawns
+//! a Kubernetes job with the requested resources, publishes the result into
+//! a named data lake, and answers `/ndn/k8s/status/<job-id>` queries while
+//! the job runs.
+//!
+//! ## Workspace layout
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`simcore`] | `lidc-simcore` | Deterministic discrete-event engine, virtual time, metrics, reports |
+//! | [`ndn`] | `lidc-ndn` | Named Data Networking substrate: TLV wire format, Interest/Data, FIB/PIT/CS forwarder (NFD-equivalent) |
+//! | [`k8s`] | `lidc-k8s` | Kubernetes control-plane simulator: pods, services, DNS, scheduler, jobs, deployments, PV/PVC |
+//! | [`datalake`] | `lidc-datalake` | Named data lake: segmentation, repos, file server, catalog, loader |
+//! | [`genomics`] | `lidc-genomics` | Synthetic genomics workload: sequence synthesis, mini-aligner, Table-I-calibrated cost model |
+//! | [`core`] | `lidc-core` | **The paper's contribution**: naming grammar, gateway, validation, status protocol, multi-cluster overlay, placement, caching, prediction |
+//! | [`baseline`] | `lidc-baseline` | Centralized & manual-configuration comparators |
+//!
+//! ## Quickstart
+//!
+//! Deploy one simulated LIDC cluster, submit a named BLAST computation and
+//! watch the full Fig. 5 protocol run in virtual time:
+//!
+//! ```
+//! use lidc::prelude::*;
+//!
+//! // A deterministic world: same seed ⇒ identical run.
+//! let mut sim = Sim::new(42);
+//! let alloc = FaceIdAlloc::new();
+//!
+//! // One LIDC cluster: gateway NFD + K8s control plane + named data lake.
+//! let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("edge-a"));
+//!
+//! // A science user. It knows *names*, not cluster locations.
+//! let client = ScienceClient::deploy(
+//!     ClientConfig::default(), &mut sim, cluster.gateway_fwd, &alloc, "alice");
+//!
+//! // "/ndn/k8s/compute/mem=4&cpu=2&app=BLAST&srr=SRR2931415&ref=HUMAN"
+//! let request = ComputeRequest::new("BLAST", 2, 4)
+//!     .with_param("srr", "SRR2931415")
+//!     .with_param("ref", "HUMAN");
+//! sim.send(client, Submit(request));
+//! sim.run();
+//!
+//! let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+//! assert!(run.is_success());
+//! assert_eq!(run.cluster.as_deref(), Some("edge-a"));
+//! ```
+//!
+//! Multi-cluster placement needs no client changes — build an
+//! [`core::overlay::Overlay`] and point the client at its router instead:
+//!
+//! ```
+//! use lidc::prelude::*;
+//!
+//! let mut sim = Sim::new(7);
+//! let overlay = Overlay::build(&mut sim, OverlayConfig {
+//!     placement: PlacementPolicy::Nearest,
+//!     clusters: vec![
+//!         ClusterSpec::new("tennessee", SimDuration::from_millis(5)),
+//!         ClusterSpec::new("chicago",   SimDuration::from_millis(24)),
+//!         ClusterSpec::new("geneva",    SimDuration::from_millis(95)),
+//!     ],
+//!     ..Default::default()
+//! });
+//! let client = ScienceClient::deploy(
+//!     ClientConfig::default(), &mut sim, overlay.router, &overlay.alloc.clone(), "alice");
+//! sim.send(client, Submit(ComputeRequest::new("BLAST", 2, 4)
+//!     .with_param("srr", "SRR2931415").with_param("ref", "HUMAN")));
+//! sim.run();
+//! let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+//! assert_eq!(run.cluster.as_deref(), Some("tennessee"), "nearest cluster won");
+//! ```
+//!
+//! ## Reproducing the paper's evaluation
+//!
+//! Every table and figure has a harness binary in `crates/bench`
+//! (`cargo run -p lidc-bench --release --bin table1`, `fig1_location_independence`,
+//! …) plus criterion microbenches. See `DESIGN.md` §5 for the experiment
+//! index and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use lidc_baseline as baseline;
+pub use lidc_core as core;
+pub use lidc_datalake as datalake;
+pub use lidc_genomics as genomics;
+pub use lidc_k8s as k8s;
+pub use lidc_ndn as ndn;
+pub use lidc_simcore as simcore;
+
+/// One-stop convenience imports for examples, tests and downstream users.
+pub mod prelude {
+    pub use lidc_core::prelude::*;
+    pub use lidc_datalake::prelude::*;
+    pub use lidc_genomics::prelude::*;
+    pub use lidc_k8s::prelude::*;
+    pub use lidc_ndn::prelude::*;
+    pub use lidc_simcore::prelude::*;
+}

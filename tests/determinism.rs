@@ -1,0 +1,94 @@
+//! Whole-stack determinism (DESIGN.md §8): identical seeds reproduce
+//! identical traces through the full overlay — event counts, placements,
+//! timings, and report bytes — including property-based sweeps over seeds.
+
+use lidc::prelude::*;
+use proptest::prelude::*;
+
+fn blast(tag: u64) -> ComputeRequest {
+    ComputeRequest::new("BLAST", 2, 4)
+        .with_param("srr", "SRR2931415")
+        .with_param("ref", "HUMAN")
+        .with_param("tag", &tag.to_string())
+}
+
+/// One fixed scenario: 3 sites, 6 jobs, a mid-run partition.
+fn scenario(seed: u64) -> (u64, String) {
+    let mut sim = Sim::new(seed);
+    let overlay = Overlay::build(&mut sim, OverlayConfig {
+        placement: PlacementPolicy::RoundRobin,
+        clusters: vec![
+            ClusterSpec::new("a", SimDuration::from_millis(7)),
+            ClusterSpec::new("b", SimDuration::from_millis(23)),
+            ClusterSpec::new("c", SimDuration::from_millis(41)),
+        ],
+        ..Default::default()
+    });
+    let alloc = overlay.alloc.clone();
+    let client = ScienceClient::deploy(ClientConfig::default(), &mut sim, overlay.router, &alloc, "u");
+    for tag in 0..6 {
+        sim.send_after(SimDuration::from_secs(tag * 11), client, Submit(blast(tag)));
+    }
+    sim.run_for(SimDuration::from_mins(7));
+    overlay.fail_cluster(&mut sim, "b");
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs();
+    let trace: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{}@{}:{:?}:{}",
+                r.request.param("tag").unwrap_or("-"),
+                r.cluster.as_deref().unwrap_or("-"),
+                r.turnaround(),
+                r.resubmits
+            )
+        })
+        .collect();
+    (sim.events_processed(), trace.join("|"))
+}
+
+#[test]
+fn identical_seed_identical_full_trace() {
+    assert_eq!(scenario(424_242), scenario(424_242));
+}
+
+#[test]
+fn different_seeds_still_complete_but_may_differ_in_event_count() {
+    let (e1, t1) = scenario(1);
+    let (e2, _t2) = scenario(2);
+    // Same logical outcome (all jobs complete)...
+    assert_eq!(t1.matches('|').count(), 5);
+    // ...and the traces are produced independently (event streams differ in
+    // general; equality here would be a seed-ignoring bug unless nonces
+    // never influenced ordering).
+    assert!(e1 > 0 && e2 > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed: the single-cluster Fig. 5 workflow completes with the
+    /// Table-I-calibrated runtime, regardless of nonce/jitter draws.
+    #[test]
+    fn any_seed_completes_fig5(seed in 0u64..10_000) {
+        let mut sim = Sim::new(seed);
+        let alloc = FaceIdAlloc::new();
+        let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("edge"));
+        let client = ScienceClient::deploy(
+            ClientConfig::default(), &mut sim, cluster.gateway_fwd, &alloc, "u");
+        sim.send(client, Submit(blast(seed)));
+        sim.run();
+        let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+        prop_assert!(run.is_success(), "{:?}", run.error);
+        let api = cluster.k8s.api.read();
+        let job = api.jobs.values().next().unwrap();
+        prop_assert_eq!(job.run_time().unwrap().to_string(), "8h9m50s");
+    }
+
+    /// Any seed, twice: byte-identical traces (replayability).
+    #[test]
+    fn any_seed_replays_identically(seed in 0u64..1_000_000) {
+        prop_assert_eq!(scenario(seed), scenario(seed));
+    }
+}

@@ -1,0 +1,144 @@
+//! Facade-level end-to-end tests: the workflows a downstream user of the
+//! `lidc` crate would run, exercised through `lidc::prelude` only.
+
+use lidc::prelude::*;
+
+fn blast(cpu: u64, mem: u64, srr: &str) -> ComputeRequest {
+    ComputeRequest::new("BLAST", cpu, mem)
+        .with_param("srr", srr)
+        .with_param("ref", "HUMAN")
+}
+
+fn single_cluster(seed: u64, name: &str) -> (Sim, LidcCluster, ActorId) {
+    let mut sim = Sim::new(seed);
+    let alloc = FaceIdAlloc::new();
+    let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named(name));
+    let client = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        cluster.gateway_fwd,
+        &alloc,
+        "user",
+    );
+    (sim, cluster, client)
+}
+
+#[test]
+fn table1_all_four_rows_through_the_facade() {
+    let rows: [(&str, u64, u64, &str, u64); 4] = [
+        ("SRR2931415", 2, 4, "8h9m50s", 941_000_000),
+        ("SRR2931415", 4, 4, "8h7m10s", 941_000_000),
+        ("SRR5139395", 2, 4, "24h16m12s", 2_710_000_000),
+        ("SRR5139395", 2, 6, "24h2m47s", 2_710_000_000),
+    ];
+    for (i, &(srr, cpu, mem, expect_rt, expect_bytes)) in rows.iter().enumerate() {
+        let (mut sim, cluster, client) = single_cluster(1000 + i as u64, "edge");
+        sim.send(client, Submit(blast(cpu, mem, srr)));
+        sim.run();
+        let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+        assert!(run.is_success(), "row {i}: {:?}", run.error);
+        assert_eq!(run.result_size, expect_bytes, "row {i} output size");
+        let api = cluster.k8s.api.read();
+        let job = api.jobs.values().next().unwrap();
+        assert_eq!(job.run_time().unwrap().to_string(), expect_rt, "row {i} run time");
+    }
+}
+
+#[test]
+fn result_object_lands_in_lake_and_is_fetchable() {
+    let (mut sim, cluster, client) = single_cluster(2, "edge");
+    sim.send(client, Submit(blast(2, 4, "SRR2931415")));
+    sim.run();
+    let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+    let result = run.result_name.clone().expect("result name");
+    // The object exists in the PVC-backed repo under the results namespace.
+    assert!(result
+        .to_uri()
+        .starts_with("/ndn/k8s/data/results/edge/"));
+    let content = cluster.repo.get(&result).expect("published object");
+    assert_eq!(content.len(), run.result_size);
+    // And the client really fetched it over NDN.
+    assert!(run.fetched_at.is_some());
+}
+
+#[test]
+fn generic_app_runs_via_unknown_app_policy() {
+    let (mut sim, _cluster, client) = single_cluster(3, "edge");
+    let req = ComputeRequest::new("FOLD", 4, 8).with_param("size", "500000000");
+    sim.send(client, Submit(req));
+    sim.run();
+    let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+    assert!(run.is_success(), "{:?}", run.error);
+    assert!(run.result_name.as_ref().unwrap().to_uri().contains("fold"));
+}
+
+#[test]
+fn http_and_ndn_naming_reach_identical_outcomes() {
+    // §II: the framework is not tied to NDN naming.
+    let url = "https://lidc.example/compute?mem=4&cpu=2&app=BLAST&srr=SRR2931415&ref=HUMAN";
+    let from_url = ComputeRequest::from_http_url(url).unwrap();
+    assert_eq!(from_url, blast(2, 4, "SRR2931415"));
+
+    let (mut sim, _cluster, client) = single_cluster(4, "edge");
+    sim.send(client, Submit(from_url));
+    sim.run();
+    let run = &sim.actor::<ScienceClient>(client).unwrap().runs()[0];
+    assert!(run.is_success());
+}
+
+#[test]
+fn kubernetes_event_log_tells_the_fig5_story_in_order() {
+    let (mut sim, cluster, client) = single_cluster(5, "edge");
+    sim.send(client, Submit(blast(2, 4, "SRR2931415")));
+    sim.run();
+    let api = cluster.k8s.api.read();
+    let kinds: Vec<&str> = api.events.iter().map(|e| e.kind.as_str()).collect();
+    let pos = |k: &str| kinds.iter().position(|x| *x == k).unwrap_or_else(|| panic!("missing {k}"));
+    assert!(pos("JobCreated") < pos("PodScheduled"));
+    assert!(pos("PodScheduled") < pos("PodStarted"));
+    assert!(pos("PodStarted") < pos("PodSucceeded"));
+    assert!(pos("PodSucceeded") < pos("JobCompleted"));
+    assert!(pos("JobCompleted") < pos("ResultPublished"));
+}
+
+#[test]
+fn catalog_published_and_loadable_through_facade() {
+    let (sim, cluster, _client) = single_cluster(6, "edge");
+    let catalog = Catalog::load(cluster.repo.as_ref(), &data_prefix()).expect("catalog");
+    // Human reference + 2 paper runs + 99 rice + 36 kidney.
+    assert_eq!(catalog.entries.len(), 138);
+    assert!(catalog.total_bytes() > 200_000_000_000);
+    let human = data_prefix().child_str("ref").child_str("HUMAN");
+    assert!(catalog.find(&human).is_some());
+    drop(sim);
+}
+
+#[test]
+fn two_tenants_share_one_cluster_without_interference() {
+    let mut sim = Sim::new(7);
+    let alloc = FaceIdAlloc::new();
+    let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig::named("shared"));
+    let alice = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        cluster.gateway_fwd,
+        &alloc,
+        "alice",
+    );
+    let bob = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        cluster.gateway_fwd,
+        &alloc,
+        "bob",
+    );
+    sim.send(alice, Submit(blast(2, 4, "SRR2931415").with_param("tag", "a")));
+    sim.send(bob, Submit(blast(2, 4, "SRR5139395").with_param("tag", "b")));
+    sim.run();
+    let a = &sim.actor::<ScienceClient>(alice).unwrap().runs()[0];
+    let b = &sim.actor::<ScienceClient>(bob).unwrap().runs()[0];
+    assert!(a.is_success() && b.is_success());
+    assert_ne!(a.job_id, b.job_id, "distinct jobs");
+    assert_ne!(a.result_name, b.result_name, "distinct results");
+    assert_eq!(cluster.gateway_stats(&sim).jobs_created, 2);
+}

@@ -1,0 +1,193 @@
+//! Multi-cluster overlay integration tests: placement policies, membership
+//! churn, failover, and scale — the paper's §I/§VII claims end to end.
+
+use lidc::prelude::*;
+
+fn blast(tag: u64) -> ComputeRequest {
+    ComputeRequest::new("BLAST", 2, 4)
+        .with_param("srr", "SRR2931415")
+        .with_param("ref", "HUMAN")
+        .with_param("tag", &tag.to_string())
+}
+
+fn overlay(seed: u64, placement: PlacementPolicy, specs: Vec<ClusterSpec>) -> (Sim, Overlay, ActorId) {
+    let mut sim = Sim::new(seed);
+    let overlay = Overlay::build(&mut sim, OverlayConfig {
+        placement,
+        clusters: specs,
+        ..Default::default()
+    });
+    let alloc = overlay.alloc.clone();
+    let client = ScienceClient::deploy(
+        ClientConfig::default(),
+        &mut sim,
+        overlay.router,
+        &alloc,
+        "user",
+    );
+    (sim, overlay, client)
+}
+
+fn three_sites() -> Vec<ClusterSpec> {
+    vec![
+        ClusterSpec::new("near", SimDuration::from_millis(5)),
+        ClusterSpec::new("mid", SimDuration::from_millis(25)),
+        ClusterSpec::new("far", SimDuration::from_millis(70)),
+    ]
+}
+
+#[test]
+fn nearest_policy_always_picks_lowest_latency() {
+    let (mut sim, _o, client) = overlay(1, PlacementPolicy::Nearest, three_sites());
+    for tag in 0..5 {
+        sim.send(client, Submit(blast(tag)));
+    }
+    sim.run();
+    for run in sim.actor::<ScienceClient>(client).unwrap().runs() {
+        assert!(run.is_success());
+        assert_eq!(run.cluster.as_deref(), Some("near"));
+    }
+}
+
+#[test]
+fn least_loaded_overflows_to_other_sites_under_burst() {
+    // One 16-core site fills up after ~8 two-core jobs; a burst of 18 must
+    // spill to the other members.
+    let (mut sim, o, client) = overlay(2, PlacementPolicy::LeastLoaded, three_sites());
+    for tag in 0..18 {
+        sim.send_after(SimDuration::from_secs(10) * tag, client, Submit(blast(tag)));
+    }
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs();
+    assert!(runs.iter().all(|r| r.is_success()));
+    let mut used: Vec<&str> = runs.iter().filter_map(|r| r.cluster.as_deref()).collect();
+    used.sort();
+    used.dedup();
+    assert!(used.len() >= 2, "burst stayed on one site: {used:?}");
+    drop(o);
+}
+
+#[test]
+fn graceful_leave_reroutes_new_work() {
+    let (mut sim, mut o, client) = overlay(3, PlacementPolicy::Nearest, three_sites());
+    sim.send(client, Submit(blast(0)));
+    sim.run();
+    assert_eq!(
+        sim.actor::<ScienceClient>(client).unwrap().runs()[0].cluster.as_deref(),
+        Some("near")
+    );
+    // "near" leaves gracefully (unregisters its prefixes).
+    o.remove_cluster(&mut sim, "near");
+    sim.send(client, Submit(blast(1)));
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs();
+    assert!(runs[1].is_success());
+    assert_eq!(runs[1].cluster.as_deref(), Some("mid"));
+}
+
+#[test]
+fn restore_after_partition_brings_traffic_back() {
+    let (mut sim, o, client) = overlay(4, PlacementPolicy::Nearest, three_sites());
+    o.fail_cluster(&mut sim, "near");
+    sim.send(client, Submit(blast(0)));
+    sim.run();
+    let first = sim.actor::<ScienceClient>(client).unwrap().runs()[0].clone();
+    assert!(first.is_success());
+    assert_eq!(first.cluster.as_deref(), Some("mid"), "partitioned site skipped");
+
+    o.restore_cluster(&mut sim, "near");
+    sim.send(client, Submit(blast(1)));
+    sim.run();
+    let second = &sim.actor::<ScienceClient>(client).unwrap().runs()[1];
+    assert!(second.is_success());
+    assert_eq!(second.cluster.as_deref(), Some("near"), "healed site preferred again");
+}
+
+#[test]
+fn mid_run_failover_preserves_every_job() {
+    let (mut sim, o, client) = overlay(5, PlacementPolicy::Nearest, three_sites());
+    for tag in 0..4 {
+        sim.send(client, Submit(blast(tag)));
+    }
+    // Let them land and start on "near", then cut it off.
+    sim.run_for(SimDuration::from_mins(15));
+    o.fail_cluster(&mut sim, "near");
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs();
+    assert_eq!(runs.len(), 4);
+    for run in runs {
+        assert!(run.is_success(), "{:?}", run.error);
+        assert_eq!(run.cluster.as_deref(), Some("mid"), "resubmitted next-nearest");
+        assert!(run.resubmits >= 1);
+    }
+}
+
+#[test]
+fn status_queries_route_to_the_owning_cluster() {
+    // Status names carry the cluster segment; with several members the
+    // query must reach the one that owns the job, not just any member.
+    let (mut sim, o, client) = overlay(6, PlacementPolicy::RoundRobin, three_sites());
+    for tag in 0..6 {
+        sim.send(client, Submit(blast(tag)));
+    }
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs();
+    assert!(runs.iter().all(|r| r.is_success()));
+    // Every member served some status queries for its own jobs.
+    for c in &o.clusters {
+        let stats = c.gateway_stats(&sim);
+        assert!(stats.jobs_created >= 1);
+        assert!(
+            stats.status_queries >= stats.jobs_created,
+            "{}: {} status < {} jobs",
+            c.name,
+            stats.status_queries,
+            stats.jobs_created
+        );
+    }
+}
+
+#[test]
+fn eight_site_overlay_completes_a_wave() {
+    let specs: Vec<ClusterSpec> = (0..8)
+        .map(|i| ClusterSpec::new(format!("s{i}"), SimDuration::from_millis(5 + 10 * i as u64)))
+        .collect();
+    let (mut sim, _o, client) = overlay(7, PlacementPolicy::RoundRobin, specs);
+    for tag in 0..16 {
+        sim.send_after(SimDuration::from_secs(tag), client, Submit(blast(tag)));
+    }
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs();
+    assert_eq!(runs.iter().filter(|r| r.is_success()).count(), 16);
+    let mut clusters: Vec<&str> = runs.iter().filter_map(|r| r.cluster.as_deref()).collect();
+    clusters.sort();
+    clusters.dedup();
+    assert_eq!(clusters.len(), 8, "round robin used every member: {clusters:?}");
+}
+
+#[test]
+fn cache_hit_skips_wan_and_cluster_on_second_identical_request() {
+    let mut sim = Sim::new(8);
+    let o = Overlay::build(&mut sim, OverlayConfig {
+        placement: PlacementPolicy::Nearest,
+        clusters: vec![
+            ClusterSpec::new("solo", SimDuration::from_millis(50)).with_cache(16, SimDuration::ZERO),
+        ],
+        ..Default::default()
+    });
+    let alloc = o.alloc.clone();
+    let client = ScienceClient::deploy(ClientConfig::default(), &mut sim, o.router, &alloc, "u");
+    let req = ComputeRequest::new("BLAST", 2, 4)
+        .with_param("srr", "SRR2931415")
+        .with_param("ref", "HUMAN");
+    sim.send(client, Submit(req.clone()));
+    sim.run();
+    sim.send(client, Submit(req));
+    sim.run();
+    let runs = sim.actor::<ScienceClient>(client).unwrap().runs();
+    assert!(runs[1].served_from_cache);
+    // Identical result object, no second job.
+    assert_eq!(runs[0].result_name, runs[1].result_name);
+    assert_eq!(runs[0].result_size, runs[1].result_size);
+    assert_eq!(o.clusters[0].gateway_stats(&sim).jobs_created, 1);
+}

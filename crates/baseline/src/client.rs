@@ -366,7 +366,7 @@ mod tests {
             // them into one request.
             sim.send(
                 client,
-                SubmitCentral(blast().with_param("tag", &i.to_string())),
+                SubmitCentral(blast().with_param("tag", i.to_string())),
             );
         }
         sim.run();

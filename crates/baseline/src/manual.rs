@@ -138,7 +138,7 @@ mod tests {
         ComputeRequest::new("BLAST", 2, 4)
             .with_param("srr", "SRR2931415")
             .with_param("ref", "HUMAN")
-            .with_param("tag", &tag.to_string())
+            .with_param("tag", tag.to_string())
     }
 
     #[test]

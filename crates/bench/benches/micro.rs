@@ -111,17 +111,19 @@ fn bench_tables(c: &mut Criterion) {
         });
     }
 
-    // PIT insert + consume cycle.
+    // PIT insert + consume cycle (scratch-buffer matching, as the
+    // forwarder's Data path uses it).
     g.bench_function("pit_insert_match_take", |b| {
         let mut pit = Pit::new();
         let now = SimTime::ZERO;
         let mut n = 0u32;
+        let mut keys = Vec::with_capacity(4);
         b.iter(|| {
             n = n.wrapping_add(1);
             let name = Name::parse(&format!("/svc/job{}", n % 1024)).unwrap();
             let interest = Interest::new(name.clone()).with_nonce(n);
             let (_, _) = pit.insert(&interest, FaceId::from_raw(1), now);
-            let keys = pit.match_data(&name);
+            pit.match_data_into(&name, &mut keys);
             for k in &keys {
                 pit.take(k);
             }

@@ -46,7 +46,7 @@ fn bench_mapping(c: &mut Criterion) {
         let names: Vec<Name> = (0..256)
             .map(|i| {
                 ComputeRequest::new(format!("app-{}", i % n_apps), 2, 4)
-                    .with_param("tag", &i.to_string())
+                    .with_param("tag", i.to_string())
                     .to_name()
             })
             .collect();

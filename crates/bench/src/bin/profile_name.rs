@@ -1,0 +1,144 @@
+//! Ad-hoc decomposition of the name-parse / interest-decode hot paths
+//! (`cargo run --release -p lidc-bench --bin profile_name`). Times each
+//! phase separately so perf work can aim at the real cost centers.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use lidc_ndn::name::Name;
+use lidc_ndn::packet::Interest;
+
+fn time(label: &str, iters: u64, mut f: impl FnMut()) {
+    // Warmup.
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{label:<44} {per:>9.1} ns/iter");
+}
+
+fn main() {
+    let uri = "/ndn/k8s/compute/mem=4&cpu=2&app=BLAST&ref=HUMAN&srr=SRR2931415&tag=17";
+    let n = 200_000;
+
+    time("Name::parse", n, || {
+        black_box(Name::parse(black_box(uri)).unwrap());
+    });
+
+    time("split+scan only (no alloc)", n, || {
+        let path = black_box(uri).trim_start_matches('/');
+        let mut total = 0usize;
+        for part in path.split('/') {
+            for &b in part.as_bytes() {
+                if b == b'%' {
+                    total += 1;
+                }
+            }
+            total += part.len();
+        }
+        black_box(total);
+    });
+
+    time("arena fill (BytesMut put_slice)", n, || {
+        let path = black_box(uri).trim_start_matches('/');
+        let mut arena = bytes::BytesMut::with_capacity(path.len());
+        for part in path.split('/') {
+            arena.put_slice(part.as_bytes());
+        }
+        black_box(arena.freeze());
+    });
+
+    let name = Name::parse(uri).unwrap();
+    time("Name::clone", n, || {
+        black_box(black_box(&name).clone());
+    });
+
+    time("4x component clone", n, || {
+        let c = black_box(&name).get(3).unwrap();
+        for _ in 0..4 {
+            black_box(c.clone());
+        }
+    });
+
+    time("Vec<NameComponent>(4) + Arc::new", n, || {
+        let v: Vec<_> = black_box(&name).components().to_vec();
+        black_box(std::sync::Arc::new(v));
+    });
+
+    let interest = Interest::new(name.clone())
+        .with_nonce(0xDEAD_BEEF)
+        .with_lifetime(lidc_simcore::time::SimDuration::from_secs(4));
+    let wire = interest.encode();
+    time("Interest::encode", n, || {
+        black_box(black_box(&interest).encode());
+    });
+    time("Interest::decode", n, || {
+        black_box(Interest::decode(black_box(&wire)).unwrap());
+    });
+    time("Interest::clone", n, || {
+        black_box(black_box(&interest).clone());
+    });
+
+    // Decode sub-phases.
+    use lidc_ndn::tlv::{types, TlvReader};
+    time("decode: outer+elements scan only", n, || {
+        let wire = black_box(&wire);
+        let mut outer = TlvReader::new(wire);
+        let body = outer.read_expected(types::INTEREST).unwrap();
+        let mut r = TlvReader::new(body);
+        let mut total = 0usize;
+        while !r.is_empty() {
+            let (_, v) = r.read_tlv().unwrap();
+            total += v.len();
+        }
+        black_box(total);
+    });
+
+    time("decode: name only", n, || {
+        let wire = black_box(&wire);
+        let mut outer = TlvReader::new(wire);
+        let body = outer.read_expected(types::INTEREST).unwrap();
+        let mut r = TlvReader::new(body);
+        let name_body = r.read_expected(types::NAME).unwrap();
+        black_box(lidc_ndn::packet::decode_name_from(wire, name_body).unwrap());
+    });
+
+    time("Name::root + 4 pushes (inline comps)", n, || {
+        let mut nm = Name::root();
+        for c in name.components() {
+            nm.push(black_box(c.clone()));
+        }
+        black_box(nm);
+    });
+
+    // Finer decode grain: locate the name TLV body inside the wire buffer.
+    let name_body: &[u8] = {
+        let mut outer = TlvReader::new(&wire);
+        let body = outer.read_expected(types::INTEREST).unwrap();
+        let mut r = TlvReader::new(body);
+        r.read_expected(types::NAME).unwrap()
+    };
+    let wire2 = &wire;
+    time("name body: read_tlv loop only", n, || {
+        let mut r = TlvReader::new(black_box(name_body));
+        let mut t = 0;
+        while !r.is_empty() {
+            let (ty, v) = r.read_tlv().unwrap();
+            t += ty as usize + v.len();
+        }
+        black_box(t);
+    });
+    time("name body: decode_name_from", n, || {
+        black_box(
+            lidc_ndn::packet::decode_name_from(black_box(wire2), black_box(name_body))
+                .unwrap(),
+        );
+    });
+    time("clone all-inline 3-comp name", n, || {
+        black_box(black_box(&name).prefix(3).clone());
+    });
+}

@@ -15,23 +15,28 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use lidc_ndn::name::Name;
 use lidc_ndn::name;
 
-/// The compute prefix.
+/// The compute prefix. Parsed once per process; this returns an O(1)
+/// refcounted clone, so prefix checks on the request path never allocate.
 pub fn compute_prefix() -> Name {
-    name!("/ndn/k8s/compute")
+    static PREFIX: OnceLock<Name> = OnceLock::new();
+    PREFIX.get_or_init(|| name!("/ndn/k8s/compute")).clone()
 }
 
-/// The data prefix.
+/// The data prefix (cached; O(1) clone).
 pub fn data_prefix() -> Name {
-    name!("/ndn/k8s/data")
+    static PREFIX: OnceLock<Name> = OnceLock::new();
+    PREFIX.get_or_init(|| name!("/ndn/k8s/data")).clone()
 }
 
-/// The status prefix.
+/// The status prefix (cached; O(1) clone).
 pub fn status_prefix() -> Name {
-    name!("/ndn/k8s/status")
+    static PREFIX: OnceLock<Name> = OnceLock::new();
+    PREFIX.get_or_init(|| name!("/ndn/k8s/status")).clone()
 }
 
 /// A semantic compute request: application, resources, and free-form
@@ -108,9 +113,19 @@ impl ComputeRequest {
     /// Render the parameter component in canonical order
     /// (`mem`, `cpu`, `app`, then sorted params) — the paper's example order.
     pub fn to_param_component(&self) -> String {
-        let mut out = format!("mem={}&cpu={}&app={}", self.mem_gib, self.cpu_cores, self.app);
+        use std::fmt::Write as _;
+        let extra: usize = self
+            .params
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 2)
+            .sum();
+        let mut out = String::with_capacity(16 + self.app.len() + extra);
+        let _ = write!(out, "mem={}&cpu={}&app={}", self.mem_gib, self.cpu_cores, self.app);
         for (k, v) in &self.params {
-            out.push_str(&format!("&{k}={v}"));
+            out.push('&');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
         }
         out
     }
@@ -125,12 +140,12 @@ impl ComputeRequest {
     pub fn from_name(name: &Name) -> Result<ComputeRequest, NamingError> {
         let prefix = compute_prefix();
         if !prefix.is_prefix_of(name) || name.len() != prefix.len() + 1 {
-            return Err(NamingError::NotAComputeName(name.clone()));
+            return Err(NamingError::NotAComputeName(Box::new(name.clone())));
         }
         let component = name
             .get(prefix.len())
             .and_then(|c| c.as_str())
-            .ok_or_else(|| NamingError::NotAComputeName(name.clone()))?;
+            .ok_or_else(|| NamingError::NotAComputeName(Box::new(name.clone())))?;
         ComputeRequest::from_param_component(component)
     }
 
@@ -174,7 +189,7 @@ impl JobId {
     pub fn status_name(&self) -> Name {
         let mut name = status_prefix();
         for segment in self.0.split('/').filter(|s| !s.is_empty()) {
-            name = name.child_str(segment);
+            name.push(lidc_ndn::name::NameComponent::from_str_generic(segment));
         }
         name
     }
@@ -200,6 +215,7 @@ impl fmt::Display for JobId {
 }
 
 /// What an incoming Interest is asking for.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestKind {
     /// A compute placement request.
@@ -244,7 +260,8 @@ pub enum NamingError {
     /// No `app=` parameter.
     MissingApp,
     /// The name is not under `/ndn/k8s/compute` with one parameter component.
-    NotAComputeName(Name),
+    /// Boxed: `Name` is a large inline struct, and errors are the cold path.
+    NotAComputeName(Box<Name>),
     /// Not an `http(s)://…/compute?…` URL.
     NotHttp,
 }

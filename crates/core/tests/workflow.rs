@@ -7,7 +7,7 @@
 
 use lidc_core::client::{ClientConfig, ScienceClient, Submit};
 use lidc_core::cluster::{LidcCluster, LidcClusterConfig};
-use lidc_core::naming::{data_prefix, ComputeRequest};
+use lidc_core::naming::ComputeRequest;
 use lidc_core::overlay::{ClusterSpec, Overlay, OverlayConfig};
 use lidc_core::placement::PlacementPolicy;
 use lidc_k8s::job::JobCondition;
@@ -146,7 +146,7 @@ fn compress_app_runs_on_lake_object() {
 #[test]
 fn status_query_for_unknown_job_nacks() {
     use lidc_core::naming::JobId;
-    use lidc_ndn::app::{Consumer, ConsumerEvent, RetxTimer};
+    use lidc_ndn::app::{Consumer, RetxTimer};
     use lidc_ndn::forwarder::AppRx;
     use lidc_ndn::net::attach_app;
     use lidc_ndn::packet::{ContentType, Interest, Packet};
@@ -229,7 +229,7 @@ fn nearest_placement_without_any_location_config() {
     let (mut sim, overlay, client) = overlay_world(7, PlacementPolicy::Nearest);
     // The client names only the computation — no cluster, no address.
     for i in 0..4 {
-        let req = blast_request("SRR2931415", 2, 4).with_param("tag", &i.to_string());
+        let req = blast_request("SRR2931415", 2, 4).with_param("tag", i.to_string());
         sim.send(client, Submit(req));
     }
     sim.run();
@@ -246,7 +246,7 @@ fn nearest_placement_without_any_location_config() {
 fn round_robin_spreads_jobs() {
     let (mut sim, overlay, client) = overlay_world(8, PlacementPolicy::RoundRobin);
     for i in 0..6 {
-        let req = blast_request("SRR2931415", 2, 4).with_param("tag", &i.to_string());
+        let req = blast_request("SRR2931415", 2, 4).with_param("tag", i.to_string());
         sim.send(client, Submit(req));
     }
     sim.run();

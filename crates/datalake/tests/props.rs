@@ -4,7 +4,7 @@
 use bytes::Bytes;
 use lidc_datalake::catalog::Catalog;
 use lidc_datalake::content::Content;
-use lidc_datalake::repo::{MemRepo, Repo};
+use lidc_datalake::repo::MemRepo;
 use lidc_datalake::segment::{segment_count, segment_data, FetchProgress, SegmentFetch};
 use lidc_ndn::name::Name;
 use lidc_simcore::time::SimDuration;
@@ -84,7 +84,7 @@ proptest! {
         prop_assert_eq!(a.len(), size);
         let off = offset.min(size);
         prop_assert_eq!(a.slice(off, len), b.slice(off, len));
-        prop_assert!(a.slice(off, len).len() as u64 <= size.saturating_sub(off).min(len as u64).max(0));
+        prop_assert!(a.slice(off, len).len() as u64 <= size.saturating_sub(off).min(len as u64));
         // Different seeds diverge (over non-trivial sizes).
         if size >= 16 {
             let c = Content::synthetic(size, seed.wrapping_add(1));
@@ -102,11 +102,11 @@ proptest! {
     ) {
         let repo = MemRepo::shared();
         for (k, v) in &entries {
-            let name = lake_name(&[k.clone()]);
+            let name = lake_name(std::slice::from_ref(k));
             repo.put(&name, Content::bytes(Bytes::from(v.clone())));
         }
         for (k, v) in &entries {
-            let name = lake_name(&[k.clone()]);
+            let name = lake_name(std::slice::from_ref(k));
             prop_assert!(repo.contains(&name));
             let got = repo.get(&name).expect("present");
             prop_assert_eq!(got.len(), v.len() as u64);
@@ -115,7 +115,7 @@ proptest! {
         }
         // Overwrite keeps the newest bytes.
         let (k0, _) = entries.iter().next().unwrap();
-        let name = lake_name(&[k0.clone()]);
+        let name = lake_name(std::slice::from_ref(k0));
         repo.put(&name, Content::bytes(&b"replaced"[..]));
         let bytes = repo.get(&name).unwrap().slice(0, 8);
         prop_assert_eq!(bytes.as_ref(), b"replaced");
@@ -131,7 +131,7 @@ proptest! {
     ) {
         let mut catalog = Catalog::new();
         for (k, (size, desc)) in &entries {
-            catalog.add(lake_name(&[k.clone()]), *size, desc.clone());
+            catalog.add(lake_name(std::slice::from_ref(k)), *size, desc.clone());
         }
         let text = catalog.to_text();
         let parsed = Catalog::from_text(&text).expect("parses back");

@@ -16,6 +16,7 @@ use crate::name::Name;
 use crate::packet::{Data, Interest, Nack, NackReason, Packet};
 
 /// What a consumer learns about an expressed Interest.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum ConsumerEvent {
     /// Data arrived.

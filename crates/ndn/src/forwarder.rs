@@ -7,11 +7,12 @@
 //! loss) or to local application actors (producers, consumers, the LIDC
 //! gateway).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use lidc_simcore::engine::{Actor, Ctx, Msg};
 
 use crate::face::{Face, FaceId, FaceKind};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::name::Name;
 use crate::packet::{Data, Interest, Nack, NackReason, Packet};
 use crate::strategy::{BestRoute, Strategy, StrategyCtx};
@@ -130,7 +131,7 @@ impl Default for ForwarderConfig {
 /// Interests so late loops are detected. FIFO-bounded.
 #[derive(Debug, Default)]
 struct DeadNonceList {
-    set: HashSet<(Name, u32)>,
+    set: FxHashSet<(Name, u32)>,
     order: VecDeque<(Name, u32)>,
     capacity: usize,
 }
@@ -138,7 +139,7 @@ struct DeadNonceList {
 impl DeadNonceList {
     fn new(capacity: usize) -> Self {
         DeadNonceList {
-            set: HashSet::new(),
+            set: FxHashSet::default(),
             order: VecDeque::new(),
             capacity,
         }
@@ -160,9 +161,9 @@ impl DeadNonceList {
     }
 
     fn contains(&self, name: &Name, nonce: u32) -> bool {
-        // Avoid cloning on the hot path: HashSet<(Name,u32)> requires an
-        // owned key for lookup unless we use a borrowed wrapper; names are
-        // small (Arc'd bytes), so the clone is acceptable here.
+        // HashSet<(Name, u32)> needs an owned-typed key to probe, but a
+        // `Name` clone is an O(1) refcount bump (no heap allocation) under
+        // the arena representation, so this probe is allocation-free.
         self.set.contains(&(name.clone(), nonce))
     }
 }
@@ -171,7 +172,7 @@ impl DeadNonceList {
 pub struct Forwarder {
     label: String,
     config: ForwarderConfig,
-    faces: HashMap<FaceId, Face>,
+    faces: FxHashMap<FaceId, Face>,
     fib: Fib,
     pit: Pit,
     cs: ContentStore,
@@ -179,6 +180,9 @@ pub struct Forwarder {
     /// Per-prefix strategies; longest-prefix-match choice with the root
     /// prefix always present (BestRoute by default).
     strategies: Vec<(Name, Box<dyn Strategy>)>,
+    /// Reused buffer for PIT data-match results: Data arrivals fill this in
+    /// place instead of allocating a fresh Vec per packet.
+    pit_match_scratch: Vec<PitKey>,
 }
 
 impl Forwarder {
@@ -186,12 +190,13 @@ impl Forwarder {
     pub fn new(label: impl Into<String>, config: ForwarderConfig) -> Self {
         Forwarder {
             label: label.into(),
-            faces: HashMap::new(),
+            faces: FxHashMap::default(),
             fib: Fib::new(),
             pit: Pit::new(),
             cs: ContentStore::new(config.cs_capacity),
             dnl: DeadNonceList::new(config.dnl_capacity),
             strategies: vec![(Name::root(), Box::new(BestRoute::new()))],
+            pit_match_scratch: Vec::new(),
             config,
         }
     }
@@ -444,13 +449,15 @@ impl Forwarder {
         if let Some(face) = self.faces.get_mut(&in_face) {
             face.counters.in_data += 1;
         }
-        let keys = self.pit.match_data(&data.name);
+        let mut keys = std::mem::take(&mut self.pit_match_scratch);
+        self.pit.match_data_into(&data.name, &mut keys);
         if keys.is_empty() {
+            self.pit_match_scratch = keys;
             ctx.metrics().incr("ndn.unsolicited_data", 1);
             return;
         }
         self.cs.insert(data.clone(), now);
-        for key in keys {
+        for key in keys.drain(..) {
             let Some(entry) = self.pit.take(&key) else {
                 continue;
             };
@@ -466,12 +473,12 @@ impl Forwarder {
             // Retire nonces.
             for rec in &entry.in_records {
                 if let Some(n) = rec.nonce {
-                    self.dnl.insert(entry.key.name.clone(), n);
+                    self.dnl.insert(entry.interest.name.clone(), n);
                 }
             }
             for rec in &entry.out_records {
                 if let Some(n) = rec.nonce {
-                    self.dnl.insert(entry.key.name.clone(), n);
+                    self.dnl.insert(entry.interest.name.clone(), n);
                 }
             }
             for face in entry.return_faces(in_face) {
@@ -479,6 +486,7 @@ impl Forwarder {
             }
             ctx.metrics().incr("ndn.pit_satisfied", 1);
         }
+        self.pit_match_scratch = keys;
     }
 
     fn on_nack(&mut self, in_face: FaceId, nack: Nack, ctx: &mut Ctx<'_>) {

@@ -41,6 +41,7 @@ pub mod app;
 pub mod crypto;
 pub mod face;
 pub mod forwarder;
+pub mod fxhash;
 #[macro_use]
 pub mod name;
 pub mod net;

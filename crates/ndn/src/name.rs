@@ -1,17 +1,65 @@
-//! Hierarchical NDN names.
+//! Hierarchical NDN names, allocation-free on the request path.
 //!
 //! A [`Name`] is a sequence of typed [`NameComponent`]s, printed and parsed
 //! in URI form (`/ndn/k8s/compute/mem=4&cpu=6&app=BLAST`). LIDC's semantic
 //! job names are ordinary generic components; the `&`-separated parameter
 //! grammar is layered on top by `lidc-core::naming`.
 //!
-//! Component ordering follows the NDN canonical order (type, then length,
-//! then lexicographic bytes), and names order component-wise with shorter
-//! prefixes first — the order the Content Store and FIB rely on.
+//! # Representation
+//!
+//! Both layers of the name plane use small-buffer hybrids tuned for LIDC's
+//! short names:
+//!
+//! * A component value up to [`INLINE_VALUE_CAP`] bytes is stored **inline**
+//!   in the `NameComponent` (no heap, no refcounts). Longer values hold a
+//!   refcounted [`Bytes`] — in packets decoded from the wire this is a
+//!   zero-copy **view into the shared receive buffer** (the wire arena),
+//!   never a copy.
+//! * A name with up to [`SMALL_NAME_CAP`] components stores its component
+//!   table **inline** in the `Name` (no heap). Longer names spill to a
+//!   shared `Arc<Vec<NameComponent>>` table plus a visible-prefix length.
+//!
+//! Consequences:
+//!
+//! * [`Name::parse`] of a typical LIDC name (≤ [`SMALL_NAME_CAP`]
+//!   components, each ≤ [`INLINE_VALUE_CAP`] bytes decoded) performs zero
+//!   heap allocations.
+//! * [`Name::clone`], [`Name::prefix`], and [`Name::parent`] are O(1):
+//!   a fixed-size copy for small names (with refcount bumps only for
+//!   spilled values), one `Arc` bump for large ones. No `Vec` is ever
+//!   materialized per step.
+//! * [`Name::child`] / [`Name::push`] write in place while the name is
+//!   small or uniquely owned; otherwise they copy component *handles*
+//!   (inline bytes / refcount bumps), never long value bytes.
+//!
+//! # Invariants
+//!
+//! * The visible length never exceeds the stored table's length; hidden
+//!   components past it (shared tables only) **must never** participate in
+//!   equality, hashing, ordering, display, or iteration. Every observer
+//!   goes through [`Name::components`], which enforces this.
+//! * `Hash`/`Eq`/`Ord` are defined over the visible component slice, so a
+//!   `Name` and the `&[NameComponent]` returned by [`Name::components`]
+//!   (or by [`NameSlice::components`]) hash and compare identically. This
+//!   is what makes borrowed-prefix map probes sound:
+//!   `HashMap<Name, T>::get(&name.components()[..k])` finds exactly the
+//!   entry that `get(&name.prefix(k))` would — with zero allocation. The
+//!   `Borrow<[NameComponent]>` impl advertises this contract.
+//! * Component ordering follows the NDN canonical order (type, then
+//!   length, then lexicographic bytes), and names order component-wise
+//!   with shorter prefixes first — the order the Content Store and FIB
+//!   rely on; it coincides with the std lexicographic order on the visible
+//!   component slices, so `BTreeMap<Name, _>` range scans can be driven by
+//!   borrowed slices too.
+//!
+//! [`NameSlice`] is the borrowed view type for walking prefixes without
+//! copying anything at all; `slice.components()` is the key to use for map
+//! probes.
 
 use std::borrow::Borrow;
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -24,11 +72,132 @@ pub const TT_SEGMENT: u16 = 0x32;
 /// TLV-TYPE of a version component (NDN naming conventions rev-3).
 pub const TT_VERSION: u16 = 0x36;
 
-/// One component of a [`Name`]: a TLV type plus an opaque byte value.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// Component values at or below this many bytes are stored inline in the
+/// component (no heap, no refcounting).
+pub const INLINE_VALUE_CAP: usize = 56;
+
+/// Names with at most this many components keep their component table
+/// inline in the `Name` (no heap).
+pub const SMALL_NAME_CAP: usize = 4;
+
+/// A component value: inline small buffer or shared refcounted bytes.
+// The size gap between variants is the design: the large inline variant
+// avoids refcount traffic for typical LIDC component values.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+enum CompValue {
+    Inline { len: u8, buf: [u8; INLINE_VALUE_CAP] },
+    Shared(Bytes),
+}
+
+impl CompValue {
+    const EMPTY: CompValue = CompValue::Inline {
+        len: 0,
+        buf: [0; INLINE_VALUE_CAP],
+    };
+
+    #[inline(always)]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            CompValue::Inline { len, buf } => &buf[..*len as usize],
+            CompValue::Shared(b) => b,
+        }
+    }
+
+    /// Copy from a borrowed slice: inline when it fits, owned bytes
+    /// otherwise.
+    #[inline(always)]
+    fn from_slice(s: &[u8]) -> CompValue {
+        if s.len() <= INLINE_VALUE_CAP {
+            let mut buf = [0u8; INLINE_VALUE_CAP];
+            buf[..s.len()].copy_from_slice(s);
+            CompValue::Inline {
+                len: s.len() as u8,
+                buf,
+            }
+        } else {
+            CompValue::Shared(Bytes::copy_from_slice(s))
+        }
+    }
+
+    /// Take ownership of `b`: inlined when small (dropping the refcount),
+    /// shared otherwise.
+    #[inline]
+    fn from_bytes(b: Bytes) -> CompValue {
+        if b.len() <= INLINE_VALUE_CAP {
+            CompValue::from_slice(&b)
+        } else {
+            CompValue::Shared(b)
+        }
+    }
+
+    /// A value for `sub`, which must lie inside `owner`: inlined when
+    /// small, otherwise a zero-copy view into `owner` (the wire arena).
+    #[inline(always)]
+    fn view_of(owner: &Bytes, sub: &[u8]) -> CompValue {
+        if sub.len() <= INLINE_VALUE_CAP {
+            CompValue::from_slice(sub)
+        } else {
+            CompValue::Shared(owner.slice_ref(sub))
+        }
+    }
+
+    /// Overwrite in place from a borrowed slice. When `self` is already an
+    /// inline value and the new one fits, this is a plain byte copy into
+    /// the existing buffer — no temporaries, no enum rebuild. The in-place
+    /// fast path of the parser and wire decoder.
+    #[inline(always)]
+    fn set_from_slice(&mut self, s: &[u8]) {
+        if s.len() <= INLINE_VALUE_CAP {
+            if let CompValue::Inline { len, buf } = self {
+                // Byte loop for short values: beats a libc memcpy call at
+                // typical component sizes and vectorizes fine.
+                if s.len() <= 16 {
+                    for (d, &b) in buf.iter_mut().zip(s) {
+                        *d = b;
+                    }
+                } else {
+                    buf[..s.len()].copy_from_slice(s);
+                }
+                *len = s.len() as u8;
+                return;
+            }
+            *self = CompValue::from_slice(s);
+        } else {
+            *self = CompValue::Shared(Bytes::copy_from_slice(s));
+        }
+    }
+
+    /// Overwrite in place with a view of `sub` inside `owner` (see
+    /// [`CompValue::view_of`]).
+    #[inline(always)]
+    fn set_view_of(&mut self, owner: &Bytes, sub: &[u8]) {
+        if sub.len() <= INLINE_VALUE_CAP {
+            self.set_from_slice(sub);
+        } else {
+            *self = CompValue::Shared(owner.slice_ref(sub));
+        }
+    }
+}
+
+/// One component of a [`Name`]: a TLV type plus an opaque byte value (see
+/// the module docs for the inline/shared value representation).
+#[derive(Clone)]
 pub struct NameComponent {
     typ: u16,
-    value: Bytes,
+    value: CompValue,
+}
+
+/// The empty generic component (used to fill inline tables).
+const EMPTY_COMPONENT: NameComponent = NameComponent {
+    typ: TT_GENERIC_COMPONENT,
+    value: CompValue::EMPTY,
+};
+
+impl Default for NameComponent {
+    fn default() -> Self {
+        EMPTY_COMPONENT
+    }
 }
 
 impl NameComponent {
@@ -36,56 +205,89 @@ impl NameComponent {
     pub fn generic(value: impl Into<Bytes>) -> Self {
         NameComponent {
             typ: TT_GENERIC_COMPONENT,
-            value: value.into(),
+            value: CompValue::from_bytes(value.into()),
         }
     }
 
     /// A generic component from UTF-8 text.
     pub fn from_str_generic(s: &str) -> Self {
-        NameComponent::generic(Bytes::copy_from_slice(s.as_bytes()))
+        NameComponent {
+            typ: TT_GENERIC_COMPONENT,
+            value: CompValue::from_slice(s.as_bytes()),
+        }
     }
 
     /// A typed component.
     pub fn typed(typ: u16, value: impl Into<Bytes>) -> Self {
         NameComponent {
             typ,
-            value: value.into(),
+            value: CompValue::from_bytes(value.into()),
         }
+    }
+
+    /// A typed component borrowing its value from `owner` (zero-copy for
+    /// long values; used by the wire decoder).
+    #[inline(always)]
+    pub(crate) fn view_of(typ: u16, owner: &Bytes, sub: &[u8]) -> Self {
+        NameComponent {
+            typ,
+            value: CompValue::view_of(owner, sub),
+        }
+    }
+
+    /// Overwrite this component in place (type + value view). Used by the
+    /// wire decoder to fill a name's inline slots without temporaries.
+    #[inline(always)]
+    pub(crate) fn set_view_of(&mut self, typ: u16, owner: &Bytes, sub: &[u8]) {
+        self.typ = typ;
+        self.value.set_view_of(owner, sub);
     }
 
     /// A segment-number component (`seg=<n>` in URI form).
     pub fn segment(n: u64) -> Self {
-        NameComponent::typed(TT_SEGMENT, encode_nonneg(n))
+        NameComponent {
+            typ: TT_SEGMENT,
+            value: nonneg_value(n),
+        }
     }
 
     /// A version component (`v=<n>` in URI form).
     pub fn version(n: u64) -> Self {
-        NameComponent::typed(TT_VERSION, encode_nonneg(n))
+        NameComponent {
+            typ: TT_VERSION,
+            value: nonneg_value(n),
+        }
     }
 
     /// An implicit SHA-256 digest component (32 bytes).
     pub fn implicit_digest(digest: [u8; 32]) -> Self {
-        NameComponent::typed(TT_IMPLICIT_DIGEST, Bytes::copy_from_slice(&digest))
+        NameComponent {
+            typ: TT_IMPLICIT_DIGEST,
+            value: CompValue::from_slice(&digest),
+        }
     }
 
     /// The TLV type of this component.
+    #[inline]
     pub fn typ(&self) -> u16 {
         self.typ
     }
 
     /// The raw value bytes.
+    #[inline]
     pub fn value(&self) -> &[u8] {
-        &self.value
+        self.value.as_slice()
     }
 
     /// Interpret the value as a non-negative integer (for segment/version
     /// components). Returns `None` when longer than 8 bytes.
     pub fn as_number(&self) -> Option<u64> {
-        if self.value.len() > 8 {
+        let v = self.value();
+        if v.len() > 8 {
             return None;
         }
         let mut n: u64 = 0;
-        for &b in self.value.iter() {
+        for &b in v {
             n = (n << 8) | u64::from(b);
         }
         Some(n)
@@ -93,28 +295,109 @@ impl NameComponent {
 
     /// The value as UTF-8 text, if valid.
     pub fn as_str(&self) -> Option<&str> {
-        std::str::from_utf8(&self.value).ok()
+        std::str::from_utf8(self.value()).ok()
     }
 
     /// Canonical NDN component ordering: type, then length, then bytes.
     pub fn canonical_cmp(&self, other: &Self) -> Ordering {
+        let (a, b) = (self.value(), other.value());
         self.typ
             .cmp(&other.typ)
-            .then_with(|| self.value.len().cmp(&other.value.len()))
-            .then_with(|| self.value.cmp(&other.value))
+            .then_with(|| a.len().cmp(&b.len()))
+            .then_with(|| a.cmp(b))
+    }
+
+    /// Write the URI form of this component into `out` (no intermediate
+    /// allocations; the fast path behind `to_uri`/`Display`).
+    fn write_uri(&self, out: &mut String) {
+        let value = self.value();
+        match self.typ {
+            TT_GENERIC_COMPONENT => {
+                // A component that is all periods must be escaped to avoid
+                // colliding with relative-path syntax.
+                if !value.is_empty() && value.iter().all(|&b| b == b'.') {
+                    out.push_str("...");
+                }
+                escape_into(out, value);
+            }
+            TT_SEGMENT => {
+                out.push_str("seg=");
+                push_u64(out, self.as_number().unwrap_or(0));
+            }
+            TT_VERSION => {
+                out.push_str("v=");
+                push_u64(out, self.as_number().unwrap_or(0));
+            }
+            TT_IMPLICIT_DIGEST => {
+                out.push_str("sha256digest=");
+                for &b in value {
+                    out.push(HEX_LOWER[(b >> 4) as usize] as char);
+                    out.push(HEX_LOWER[(b & 0xF) as usize] as char);
+                }
+            }
+            t => {
+                push_u64(out, u64::from(t));
+                out.push('=');
+                escape_into(out, value);
+            }
+        }
+    }
+
+    /// Worst-case URI length of this component (used to pre-size buffers).
+    fn uri_len_upper_bound(&self) -> usize {
+        match self.typ {
+            TT_SEGMENT | TT_VERSION => 24,
+            TT_IMPLICIT_DIGEST => 13 + 2 * self.value().len(),
+            // Every byte may need a %XX escape; generic all-period names
+            // add a 3-byte prefix; typed components add "NNNNN=".
+            _ => 6 + 3 * self.value().len(),
+        }
     }
 }
 
-/// Encode a non-negative integer as the shortest big-endian byte string
-/// (NDN's NonNegativeInteger, minus the 1/2/4/8 padding requirement, which
-/// applies to TLV values but the conventions use shortest form in names).
-fn encode_nonneg(n: u64) -> Bytes {
-    if n == 0 {
-        return Bytes::copy_from_slice(&[0]);
+impl PartialEq for NameComponent {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.typ == other.typ && self.value() == other.value()
     }
+}
+
+impl Eq for NameComponent {}
+
+impl std::hash::Hash for NameComponent {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.typ.hash(state);
+        self.value().hash(state);
+    }
+}
+
+const HEX_UPPER: &[u8; 16] = b"0123456789ABCDEF";
+const HEX_LOWER: &[u8; 16] = b"0123456789abcdef";
+
+/// Append the decimal form of `n` without going through `format!`.
+fn push_u64(out: &mut String, mut n: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    // The buffer holds ASCII digits only.
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+}
+
+/// The shortest big-endian form of `n` (NDN's NonNegativeInteger, minus the
+/// 1/2/4/8 padding requirement, which applies to TLV values but the
+/// conventions use shortest form in names). Always inline — 8 bytes max.
+fn nonneg_value(n: u64) -> CompValue {
     let bytes = n.to_be_bytes();
-    let skip = bytes.iter().take_while(|&&b| b == 0).count();
-    Bytes::copy_from_slice(&bytes[skip..])
+    let skip = bytes.iter().take_while(|&&b| b == 0).count().min(7);
+    CompValue::from_slice(&bytes[skip..])
 }
 
 impl PartialOrd for NameComponent {
@@ -141,40 +424,17 @@ fn escape_into(out: &mut String, bytes: &[u8]) {
             out.push(b as char);
         } else {
             out.push('%');
-            out.push_str(&format!("{b:02X}"));
+            out.push(HEX_UPPER[(b >> 4) as usize] as char);
+            out.push(HEX_UPPER[(b & 0xF) as usize] as char);
         }
     }
 }
 
 impl fmt::Display for NameComponent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.typ {
-            TT_GENERIC_COMPONENT => {
-                let mut s = String::new();
-                escape_into(&mut s, &self.value);
-                // A component that is all periods must be escaped to avoid
-                // colliding with relative-path syntax.
-                if s.chars().all(|c| c == '.') && !s.is_empty() {
-                    write!(f, "...{s}")
-                } else {
-                    f.write_str(&s)
-                }
-            }
-            TT_SEGMENT => write!(f, "seg={}", self.as_number().unwrap_or(0)),
-            TT_VERSION => write!(f, "v={}", self.as_number().unwrap_or(0)),
-            TT_IMPLICIT_DIGEST => {
-                write!(f, "sha256digest=")?;
-                for b in self.value.iter() {
-                    write!(f, "{b:02x}")?;
-                }
-                Ok(())
-            }
-            t => {
-                let mut s = String::new();
-                escape_into(&mut s, &self.value);
-                write!(f, "{t}={s}")
-            }
-        }
+        let mut s = String::with_capacity(self.uri_len_upper_bound());
+        self.write_uri(&mut s);
+        f.write_str(&s)
     }
 }
 
@@ -184,85 +444,251 @@ impl fmt::Debug for NameComponent {
     }
 }
 
-/// A hierarchical NDN name.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+/// Small-or-shared component table (see the module docs).
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+enum Repr {
+    /// Up to [`SMALL_NAME_CAP`] components inline; `n` are visible.
+    Small {
+        n: u8,
+        comps: [NameComponent; SMALL_NAME_CAP],
+    },
+    /// Shared table; the first `len` components are visible, the rest are
+    /// hidden (they belong to longer names sharing the table).
+    Shared {
+        comps: Arc<Vec<NameComponent>>,
+        len: usize,
+    },
+}
+
+/// A hierarchical NDN name (see the module docs for the representation and
+/// its invariants).
 pub struct Name {
-    components: Vec<NameComponent>,
+    repr: Repr,
+}
+
+impl Clone for Name {
+    /// Clones only the visible components: hidden slots (left behind by
+    /// [`Name::prefix`] / [`Name::parent`] on inline tables) are reset to
+    /// empty rather than copied, which both trims the copy and releases
+    /// any refcounts they held.
+    fn clone(&self) -> Name {
+        match &self.repr {
+            Repr::Small { n, comps } => {
+                let count = *n as usize;
+                let mut out = [EMPTY_COMPONENT; SMALL_NAME_CAP];
+                out[..count].clone_from_slice(&comps[..count]);
+                Name {
+                    repr: Repr::Small { n: *n, comps: out },
+                }
+            }
+            Repr::Shared { comps, len } => Name {
+                repr: Repr::Shared {
+                    comps: comps.clone(),
+                    len: *len,
+                },
+            },
+        }
+    }
+}
+
+impl Default for Name {
+    fn default() -> Self {
+        Name::root()
+    }
 }
 
 impl Name {
-    /// The empty (root) name, printed as `/`.
+    /// The empty (root) name, printed as `/`. Allocation-free.
     pub fn root() -> Self {
-        Name::default()
+        Name {
+            repr: Repr::Small {
+                n: 0,
+                comps: [EMPTY_COMPONENT; SMALL_NAME_CAP],
+            },
+        }
     }
 
-    /// Build from components.
+    /// Decode a Name TLV body (component sequence) found inside `wire`,
+    /// filling the inline slots in place; long component values are
+    /// zero-copy views into `wire` (short ones inline). `body` must be a
+    /// sub-slice of `wire`. Allocation-free for names of up to
+    /// [`SMALL_NAME_CAP`] components.
+    #[inline]
+    pub(crate) fn decode_body_from(wire: &Bytes, body: &[u8]) -> Result<Name, crate::tlv::TlvError> {
+        use crate::tlv::TlvError;
+        let mut name = Name::root();
+        let Repr::Small { n, comps } = &mut name.repr else {
+            unreachable!("root is small");
+        };
+        // Tight index loop over the body: the common case (single-byte
+        // type and length headers, ≤ SMALL_NAME_CAP components) runs with
+        // one bounds check per component and no reader state.
+        let mut i = 0usize;
+        let mut count = 0usize;
+        while i < body.len() {
+            if count == SMALL_NAME_CAP {
+                return decode_name_slow(wire, body, i, std::mem::take(comps), count);
+            }
+            let (t, l) = match &body[i..] {
+                &[t, l, ..] if t < 253 && l < 253 => (u16::from(t), usize::from(l)),
+                _ => return decode_name_slow(wire, body, i, std::mem::take(comps), count),
+            };
+            let start = i + 2;
+            let end = start + l;
+            if end > body.len() {
+                return Err(TlvError::LengthOverrun);
+            }
+            comps[count].set_view_of(t, wire, &body[start..end]);
+            count += 1;
+            i = end;
+        }
+        *n = count as u8;
+        Ok(name)
+    }
+
+    /// Build from components. Small tables stay inline; larger ones are
+    /// shared.
     pub fn from_components(components: Vec<NameComponent>) -> Self {
-        Name { components }
+        if components.len() <= SMALL_NAME_CAP {
+            let n = components.len() as u8;
+            let mut it = components.into_iter();
+            Name {
+                repr: Repr::Small {
+                    n,
+                    comps: std::array::from_fn(|_| it.next().unwrap_or(EMPTY_COMPONENT)),
+                },
+            }
+        } else {
+            Name {
+                repr: Repr::Shared {
+                    len: components.len(),
+                    comps: Arc::new(components),
+                },
+            }
+        }
     }
 
     /// Parse a URI such as `/ndn/k8s/compute/mem=4&cpu=6&app=BLAST`.
     ///
     /// `seg=<n>` and `v=<n>` parse as typed segment/version components;
     /// `%XX` escapes decode to raw bytes; `/` alone is the root name.
+    ///
+    /// Escape-free components are bulk-copied straight out of the URI (the
+    /// common case); short names and values stay entirely on the stack.
     pub fn parse(uri: &str) -> Result<Name, NameParseError> {
         let uri = uri.trim();
+        if !uri.starts_with('/') && !uri.starts_with("ndn:/") {
+            return Err(NameParseError::NotAbsolute);
+        }
         let path = uri
             .strip_prefix("ndn:")
             .unwrap_or(uri)
             .trim_start_matches('/');
-        if !uri.starts_with('/') && !uri.starts_with("ndn:/") {
-            return Err(NameParseError::NotAbsolute);
-        }
-        let mut components = Vec::new();
         if path.is_empty() {
-            return Ok(Name { components });
+            return Ok(Name::root());
         }
-        for part in path.split('/') {
+        // Fill the inline table's slots in place; spill to a Vec only for
+        // deep names. No per-component moves through `push`.
+        let mut name = Name::root();
+        let Repr::Small { n, comps } = &mut name.repr else {
+            unreachable!("root is small");
+        };
+        let mut count = 0usize;
+        let mut parts = path.split('/');
+        for part in parts.by_ref() {
             if part.is_empty() {
                 return Err(NameParseError::EmptyComponent);
             }
-            components.push(parse_component(part)?);
+            if count == SMALL_NAME_CAP {
+                // Deep name: move what we have into a Vec and keep going.
+                let mut v: Vec<NameComponent> = std::mem::take(comps).into_iter().collect();
+                let mut c = NameComponent::default();
+                parse_component_into(part, &mut c)?;
+                v.push(c);
+                for rest in parts {
+                    if rest.is_empty() {
+                        return Err(NameParseError::EmptyComponent);
+                    }
+                    let mut c = NameComponent::default();
+                    parse_component_into(rest, &mut c)?;
+                    v.push(c);
+                }
+                return Ok(Name::from_components(v));
+            }
+            parse_component_into(part, &mut comps[count])?;
+            count += 1;
         }
-        Ok(Name { components })
+        *n = count as u8;
+        Ok(name)
     }
 
     /// URI form; inverse of [`Name::parse`].
     pub fn to_uri(&self) -> String {
-        if self.components.is_empty() {
+        let comps = self.components();
+        if comps.is_empty() {
             return "/".to_owned();
         }
-        let mut out = String::new();
-        for c in &self.components {
+        let cap: usize = comps.iter().map(|c| 1 + c.uri_len_upper_bound()).sum();
+        let mut out = String::with_capacity(cap);
+        for c in comps {
             out.push('/');
-            out.push_str(&c.to_string());
+            c.write_uri(&mut out);
         }
         out
     }
 
     /// Number of components.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.components.len()
+        match &self.repr {
+            Repr::Small { n, .. } => *n as usize,
+            Repr::Shared { len, .. } => *len,
+        }
     }
 
     /// True for the root name.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.components.is_empty()
+        self.len() == 0
     }
 
     /// Component at `i`.
     pub fn get(&self, i: usize) -> Option<&NameComponent> {
-        self.components.get(i)
+        self.components().get(i)
     }
 
-    /// All components.
+    /// All visible components. This slice is also the borrowed map-probe
+    /// key: it hashes and compares identically to the `Name` itself.
+    #[inline]
     pub fn components(&self) -> &[NameComponent] {
-        &self.components
+        match &self.repr {
+            Repr::Small { n, comps } => &comps[..*n as usize],
+            Repr::Shared { comps, len } => &comps[..*len],
+        }
+    }
+
+    /// A borrowed view of this whole name.
+    #[inline]
+    pub fn as_slice(&self) -> NameSlice<'_> {
+        NameSlice {
+            comps: self.components(),
+        }
+    }
+
+    /// A borrowed view of the first `n` components (clamped to `len`) —
+    /// the allocation-free alternative to [`Name::prefix`].
+    #[inline]
+    pub fn prefix_slice(&self, n: usize) -> NameSlice<'_> {
+        let comps = self.components();
+        NameSlice {
+            comps: &comps[..n.min(comps.len())],
+        }
     }
 
     /// Append a component, consuming self (builder style).
     pub fn child(mut self, c: NameComponent) -> Name {
-        self.components.push(c);
+        self.push(c);
         self
     }
 
@@ -271,85 +697,189 @@ impl Name {
         self.child(NameComponent::from_str_generic(s))
     }
 
-    /// Append in place.
+    /// Append in place. Small names write into their inline table; shared
+    /// tables are reused when uniquely owned and otherwise re-built from
+    /// component handles (inline bytes / refcount bumps — long value bytes
+    /// are never copied).
     pub fn push(&mut self, c: NameComponent) {
-        self.components.push(c);
+        match &mut self.repr {
+            Repr::Small { n, comps } => {
+                let count = *n as usize;
+                if count < SMALL_NAME_CAP {
+                    comps[count] = c;
+                    *n += 1;
+                } else {
+                    // Promote to a shared table.
+                    let mut v = Vec::with_capacity(count + 1);
+                    for comp in comps.iter_mut() {
+                        v.push(std::mem::take(comp));
+                    }
+                    v.push(c);
+                    self.repr = Repr::Shared {
+                        len: v.len(),
+                        comps: Arc::new(v),
+                    };
+                }
+            }
+            Repr::Shared { comps, len } => {
+                match Arc::get_mut(comps) {
+                    Some(v) => {
+                        v.truncate(*len);
+                        v.push(c);
+                    }
+                    None => {
+                        let mut v = Vec::with_capacity(*len + 1);
+                        v.extend_from_slice(&comps[..*len]);
+                        v.push(c);
+                        *comps = Arc::new(v);
+                    }
+                }
+                *len += 1;
+            }
+        }
     }
 
-    /// The first `n` components as a new name (clamped to `len`).
+    /// The first `n` components as a new name (clamped to `len`). O(1):
+    /// copies the inline table or bumps the shared table's refcount —
+    /// no `Vec` is materialized.
     pub fn prefix(&self, n: usize) -> Name {
-        Name {
-            components: self.components[..n.min(self.components.len())].to_vec(),
+        let mut out = self.clone();
+        match &mut out.repr {
+            Repr::Small { n: count, comps } => {
+                // Clamp in usize first: casting a large `n` to u8 would wrap.
+                let new = (*count as usize).min(n);
+                // Reset the now-hidden slots so they release any refcounts
+                // (e.g. views pinning a packet's receive buffer).
+                for c in comps[new..*count as usize].iter_mut() {
+                    *c = EMPTY_COMPONENT;
+                }
+                *count = new as u8;
+            }
+            Repr::Shared { len, .. } => *len = (*len).min(n),
         }
+        out
     }
 
     /// Parent name (all but the last component); root's parent is root.
+    /// O(1), like [`Name::prefix`].
     pub fn parent(&self) -> Name {
-        if self.components.is_empty() {
-            Name::root()
-        } else {
-            self.prefix(self.components.len() - 1)
-        }
+        self.prefix(self.len().saturating_sub(1))
     }
 
     /// True if `self` is a prefix of `other` (every name is a prefix of
     /// itself; the root name is a prefix of everything).
     pub fn is_prefix_of(&self, other: &Name) -> bool {
-        self.components.len() <= other.components.len()
-            && self
-                .components
-                .iter()
-                .zip(other.components.iter())
-                .all(|(a, b)| a == b)
+        let a = self.components();
+        let b = other.components();
+        a.len() <= b.len() && a == &b[..a.len()]
     }
 
     /// Concatenate `other` onto `self`.
     pub fn join(&self, other: &Name) -> Name {
-        let mut components = self.components.clone();
-        components.extend(other.components.iter().cloned());
-        Name { components }
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(self.components());
+        v.extend_from_slice(other.components());
+        Name::from_components(v)
     }
 }
 
-fn parse_component(part: &str) -> Result<NameComponent, NameParseError> {
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Out-of-line continuation of [`Name::decode_body_from`] for names that
+/// are deep (more than [`SMALL_NAME_CAP`] components) or use wide TLV
+/// headers: `filled[..count]` holds the components decoded so far, and
+/// decoding resumes at `body[i..]`.
+#[cold]
+fn decode_name_slow(
+    wire: &Bytes,
+    body: &[u8],
+    i: usize,
+    filled: [NameComponent; SMALL_NAME_CAP],
+    count: usize,
+) -> Result<Name, crate::tlv::TlvError> {
+    use crate::tlv::{TlvError, TlvReader};
+    let mut v: Vec<NameComponent> = filled.into_iter().take(count).collect();
+    let mut r = TlvReader::new(&body[i..]);
+    while !r.is_empty() {
+        let (typ, value) = r.read_tlv()?;
+        let typ =
+            u16::try_from(typ).map_err(|_| TlvError::Malformed("component type too large"))?;
+        v.push(NameComponent::view_of(typ, wire, value));
+    }
+    Ok(Name::from_components(v))
+}
+
+/// Parse one URI component into `slot` in place (no temporaries on the
+/// escape-free fast path).
+#[inline]
+fn parse_component_into(part: &str, slot: &mut NameComponent) -> Result<(), NameParseError> {
     if let Some(rest) = part.strip_prefix("seg=") {
         let n: u64 = rest.parse().map_err(|_| NameParseError::BadNumber)?;
-        return Ok(NameComponent::segment(n));
+        slot.typ = TT_SEGMENT;
+        slot.value = nonneg_value(n);
+        return Ok(());
     }
     if let Some(rest) = part.strip_prefix("v=") {
         let n: u64 = rest.parse().map_err(|_| NameParseError::BadNumber)?;
-        return Ok(NameComponent::version(n));
+        slot.typ = TT_VERSION;
+        slot.value = nonneg_value(n);
+        return Ok(());
     }
     if let Some(rest) = part.strip_prefix("sha256digest=") {
-        if rest.len() != 64 {
+        let hex = rest.as_bytes();
+        if hex.len() != 64 {
             return Err(NameParseError::BadDigest);
         }
         let mut digest = [0u8; 32];
-        for (i, chunk) in rest.as_bytes().chunks(2).enumerate() {
-            let hex = std::str::from_utf8(chunk).map_err(|_| NameParseError::BadDigest)?;
-            digest[i] = u8::from_str_radix(hex, 16).map_err(|_| NameParseError::BadDigest)?;
+        for (i, pair) in hex.chunks_exact(2).enumerate() {
+            let hi = hex_val(pair[0]).ok_or(NameParseError::BadDigest)?;
+            let lo = hex_val(pair[1]).ok_or(NameParseError::BadDigest)?;
+            digest[i] = (hi << 4) | lo;
         }
-        return Ok(NameComponent::implicit_digest(digest));
+        slot.typ = TT_IMPLICIT_DIGEST;
+        slot.value.set_from_slice(&digest);
+        return Ok(());
     }
     // `...` prefix escapes an all-period component.
-    let raw = part.strip_prefix("...").unwrap_or(part);
-    let mut bytes = Vec::with_capacity(raw.len());
-    let mut chars = raw.bytes();
-    while let Some(b) = chars.next() {
-        if b == b'%' {
-            let hi = chars.next().ok_or(NameParseError::BadEscape)?;
-            let lo = chars.next().ok_or(NameParseError::BadEscape)?;
-            let hex = [hi, lo];
-            let hex = std::str::from_utf8(&hex).map_err(|_| NameParseError::BadEscape)?;
-            bytes.push(u8::from_str_radix(hex, 16).map_err(|_| NameParseError::BadEscape)?);
-        } else {
-            bytes.push(b);
-        }
-    }
-    if bytes.is_empty() {
+    let raw = part.strip_prefix("...").unwrap_or(part).as_bytes();
+    if raw.is_empty() {
         return Err(NameParseError::EmptyComponent);
     }
-    Ok(NameComponent::generic(bytes))
+    slot.typ = TT_GENERIC_COMPONENT;
+    // Fast path: no escapes — the decoded value IS the URI substring.
+    if !raw.contains(&b'%') {
+        slot.value.set_from_slice(raw);
+        return Ok(());
+    }
+    // Slow path: decode %XX escapes (decoded length <= raw length).
+    let mut bytes = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        let b = raw[i];
+        if b == b'%' {
+            let hi = raw.get(i + 1).copied().and_then(hex_val);
+            let lo = raw.get(i + 2).copied().and_then(hex_val);
+            match (hi, lo) {
+                (Some(hi), Some(lo)) => {
+                    bytes.push((hi << 4) | lo);
+                    i += 3;
+                }
+                _ => return Err(NameParseError::BadEscape),
+            }
+        } else {
+            bytes.push(b);
+            i += 1;
+        }
+    }
+    slot.value = CompValue::from_bytes(Bytes::from(bytes));
+    Ok(())
 }
 
 /// Error from [`Name::parse`].
@@ -381,6 +911,24 @@ impl fmt::Display for NameParseError {
 
 impl std::error::Error for NameParseError {}
 
+impl PartialEq for Name {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.components() == other.components()
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    /// Hashes exactly like `self.components()` (slice hashing), keeping the
+    /// `Borrow<[NameComponent]>` map-probe contract.
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.components().hash(state);
+    }
+}
+
 impl PartialOrd for Name {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -389,15 +937,10 @@ impl PartialOrd for Name {
 
 impl Ord for Name {
     /// NDN canonical order: component-wise canonical comparison, with a
-    /// shorter name ordering before any name it prefixes.
+    /// shorter name ordering before any name it prefixes. Coincides with
+    /// the std lexicographic order on the visible component slices.
     fn cmp(&self, other: &Self) -> Ordering {
-        for (a, b) in self.components.iter().zip(other.components.iter()) {
-            match a.canonical_cmp(b) {
-                Ordering::Equal => continue,
-                o => return o,
-            }
-        }
-        self.components.len().cmp(&other.components.len())
+        self.components().cmp(other.components())
     }
 }
 
@@ -421,8 +964,97 @@ impl std::str::FromStr for Name {
 }
 
 impl Borrow<[NameComponent]> for Name {
+    /// `Name` hashes/compares exactly like its visible component slice, so
+    /// hash maps and btree maps keyed by `Name` can be probed with
+    /// `&name.components()[..k]` — a borrowed prefix — without building an
+    /// owned key.
     fn borrow(&self) -> &[NameComponent] {
-        &self.components
+        self.components()
+    }
+}
+
+/// A borrowed view of a name (or a prefix of one): the allocation-free
+/// currency of FIB/PIT/CS lookups.
+///
+/// `NameSlice` is `Copy`; it hashes and compares exactly like the [`Name`]
+/// it was sliced from (both delegate to the component slice), so a
+/// `HashMap<Name, T>` can be probed with `slice.components()` via the
+/// `Borrow<[NameComponent]>` bridge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameSlice<'a> {
+    comps: &'a [NameComponent],
+}
+
+impl<'a> NameSlice<'a> {
+    /// Wrap a component slice.
+    pub fn new(comps: &'a [NameComponent]) -> Self {
+        NameSlice { comps }
+    }
+
+    /// The underlying components — also the borrowed map-probe key.
+    #[inline]
+    pub fn components(&self) -> &'a [NameComponent] {
+        self.comps
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// True for the root view.
+    pub fn is_empty(&self) -> bool {
+        self.comps.is_empty()
+    }
+
+    /// Component at `i`.
+    pub fn get(&self, i: usize) -> Option<&'a NameComponent> {
+        self.comps.get(i)
+    }
+
+    /// A shorter view of the first `n` components (clamped).
+    pub fn prefix(&self, n: usize) -> NameSlice<'a> {
+        NameSlice {
+            comps: &self.comps[..n.min(self.comps.len())],
+        }
+    }
+
+    /// True if this view is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: NameSlice<'_>) -> bool {
+        self.comps.len() <= other.comps.len() && self.comps == &other.comps[..self.comps.len()]
+    }
+
+    /// True if this view is a prefix of `other`.
+    pub fn is_prefix_of_name(&self, other: &Name) -> bool {
+        self.is_prefix_of(other.as_slice())
+    }
+
+    /// Materialize an owned [`Name`] (copies component handles only).
+    pub fn to_name(&self) -> Name {
+        Name::from_components(self.comps.to_vec())
+    }
+
+    /// URI form.
+    pub fn to_uri(&self) -> String {
+        self.to_name().to_uri()
+    }
+}
+
+impl fmt::Debug for NameSlice<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.comps.is_empty() {
+            return f.write_str("/");
+        }
+        for c in self.comps {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> From<&'a Name> for NameSlice<'a> {
+    fn from(n: &'a Name) -> NameSlice<'a> {
+        n.as_slice()
     }
 }
 
@@ -448,6 +1080,7 @@ mod tests {
             "/ndn/k8s/compute/mem=4&cpu=6&app=BLAST",
             "/ndn/k8s/data/rice-rna/seg=12",
             "/a/v=7/seg=0",
+            "/deep/a/b/c/d/e/f/g/h",
         ] {
             let n = Name::parse(uri).unwrap();
             assert_eq!(n.to_uri(), uri, "round trip {uri}");
@@ -475,6 +1108,16 @@ mod tests {
         let n = Name::root().child(NameComponent::generic(vec![0u8, 1, 254, 255]));
         let parsed = Name::parse(&n.to_uri()).unwrap();
         assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn long_values_round_trip() {
+        // Values beyond INLINE_VALUE_CAP take the shared-bytes path.
+        let long = "x".repeat(INLINE_VALUE_CAP * 3);
+        let n = Name::root().child_str(&long).child_str("short");
+        let parsed = Name::parse(&n.to_uri()).unwrap();
+        assert_eq!(parsed, n);
+        assert_eq!(parsed.get(0).unwrap().as_str(), Some(long.as_str()));
     }
 
     #[test]
@@ -511,6 +1154,8 @@ mod tests {
         let n = name!("/a/b/c");
         assert_eq!(n.prefix(2), name!("/a/b"));
         assert_eq!(n.prefix(10), n);
+        assert_eq!(n.prefix(256), n, "clamp survives u8-wrapping counts");
+        assert_eq!(n.prefix(usize::MAX), n);
         assert_eq!(n.parent(), name!("/a/b"));
         assert_eq!(Name::root().parent(), Name::root());
         assert_eq!(name!("/a").join(&name!("/b/c")), name!("/a/b/c"));
@@ -556,5 +1201,101 @@ mod tests {
     fn as_number_rejects_wide_values() {
         let c = NameComponent::typed(TT_SEGMENT, Bytes::copy_from_slice(&[1u8; 9]));
         assert_eq!(c.as_number(), None);
+    }
+
+    // --- small/shared representation invariants ---------------------------
+
+    #[test]
+    fn prefix_shares_table_and_hides_tail() {
+        for uri in ["/a/b/c/d", "/a/b/c/d/e/f"] {
+            let n = Name::parse(uri).unwrap();
+            let p = n.prefix(2);
+            assert_eq!(p.len(), 2);
+            assert_eq!(p.to_uri(), "/a/b");
+            assert_eq!(p, name!("/a/b"));
+            // Hidden components never leak through any observer.
+            assert_eq!(p.components().len(), 2);
+            assert!(p.get(2).is_none());
+            assert_eq!(format!("{p}"), "/a/b");
+        }
+    }
+
+    #[test]
+    fn push_on_prefix_view_truncates_hidden_tail() {
+        for uri in ["/a/b/c", "/a/b/c/d/e/f"] {
+            let n = Name::parse(uri).unwrap();
+            let mut p = n.prefix(1);
+            p.push(NameComponent::from_str_generic("x"));
+            assert_eq!(p, name!("/a/x"));
+            // The original name is unaffected.
+            assert_eq!(n, Name::parse(uri).unwrap());
+        }
+    }
+
+    #[test]
+    fn small_names_promote_to_shared_and_back_compare_equal() {
+        let mut n = Name::root();
+        for i in 0..SMALL_NAME_CAP + 3 {
+            n.push(NameComponent::from_str_generic(&format!("c{i}")));
+            let reparsed = Name::parse(&n.to_uri()).unwrap();
+            assert_eq!(reparsed, n, "equal across representations at len {}", i + 1);
+            assert_eq!(n.len(), i + 1);
+        }
+    }
+
+    #[test]
+    fn child_on_shared_name_does_not_disturb_siblings() {
+        for base_uri in ["/a/b", "/a/b/c/d/e"] {
+            let base = Name::parse(base_uri).unwrap();
+            let c1 = base.clone().child_str("one");
+            let c2 = base.clone().child_str("two");
+            assert_eq!(c1, base.clone().child_str("one"));
+            assert_eq!(c2.get(base.len()).unwrap().as_str(), Some("two"));
+            assert_eq!(base, Name::parse(base_uri).unwrap());
+        }
+    }
+
+    #[test]
+    fn hash_eq_agree_between_name_and_component_slice() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let n = name!("/ndn/k8s/compute/mem=4&cpu=6&app=BLAST/extra/tail");
+        for k in 0..=n.len() {
+            let owned = n.prefix(k);
+            let borrowed: &[NameComponent] = &n.components()[..k];
+            let mut h1 = DefaultHasher::new();
+            let mut h2 = DefaultHasher::new();
+            owned.hash(&mut h1);
+            borrowed.hash(&mut h2);
+            assert_eq!(h1.finish(), h2.finish(), "hash mismatch at k={k}");
+            let owned_slice: &[NameComponent] = owned.borrow();
+            assert_eq!(owned_slice, borrowed);
+        }
+    }
+
+    #[test]
+    fn borrowed_probe_finds_hashmap_entries() {
+        use std::collections::HashMap;
+        let mut map: HashMap<Name, u32> = HashMap::new();
+        map.insert(name!("/a"), 1);
+        map.insert(name!("/a/b"), 2);
+        map.insert(name!("/a/b/c/d/e"), 5);
+        let lookup = name!("/a/b/c/d/e/f");
+        assert_eq!(map.get(&lookup.components()[..1]), Some(&1));
+        assert_eq!(map.get(&lookup.components()[..2]), Some(&2));
+        assert_eq!(map.get(&lookup.components()[..5]), Some(&5));
+        assert_eq!(map.get(&lookup.components()[..3]), None);
+    }
+
+    #[test]
+    fn name_slice_views() {
+        let n = name!("/a/b/c");
+        let s = n.as_slice();
+        assert_eq!(s.len(), 3);
+        assert!(s.prefix(1).is_prefix_of(s));
+        assert!(s.prefix(2).is_prefix_of_name(&n));
+        assert_eq!(s.prefix(2).to_name(), name!("/a/b"));
+        assert_eq!(n.prefix_slice(2).components(), &n.components()[..2]);
+        assert_eq!(format!("{:?}", s.prefix(0)), "/");
     }
 }

@@ -10,7 +10,8 @@ use bytes::{Bytes, BytesMut};
 use crate::crypto::{hmac_sha256, sha256, DIGEST_LEN};
 use crate::name::{Name, NameComponent};
 use crate::tlv::{
-    encode_tlv, parse_nonneg, put_nonneg_tlv, put_tlv, types, TlvError, TlvReader,
+    nonneg_tlv_size, parse_nonneg, put_nonneg_tlv, put_tlv, put_var_number, tlv_size, types,
+    TlvError, TlvReader,
 };
 use lidc_simcore::time::SimDuration;
 
@@ -82,71 +83,116 @@ impl Interest {
         self
     }
 
-    /// Encode to wire format.
-    pub fn encode(&self) -> Bytes {
-        let mut body = BytesMut::new();
-        put_tlv(&mut body, types::NAME, &encode_name_body(&self.name));
+    /// Encoded length of this Interest's body (everything inside the outer
+    /// INTEREST TLV), computed arithmetically — no buffers.
+    fn body_len(&self) -> usize {
+        let mut len = tlv_size(types::NAME, name_body_len(&self.name));
         if self.can_be_prefix {
-            put_tlv(&mut body, types::CAN_BE_PREFIX, &[]);
+            len += tlv_size(types::CAN_BE_PREFIX, 0);
         }
         if self.must_be_fresh {
-            put_tlv(&mut body, types::MUST_BE_FRESH, &[]);
+            len += tlv_size(types::MUST_BE_FRESH, 0);
         }
-        if let Some(nonce) = self.nonce {
-            put_tlv(&mut body, types::NONCE, &nonce.to_be_bytes());
+        if self.nonce.is_some() {
+            len += tlv_size(types::NONCE, 4);
         }
         if self.lifetime != DEFAULT_INTEREST_LIFETIME {
-            put_nonneg_tlv(&mut body, types::INTEREST_LIFETIME, self.lifetime.as_millis());
+            len += nonneg_tlv_size(types::INTEREST_LIFETIME, self.lifetime.as_millis());
         }
-        if let Some(h) = self.hop_limit {
-            put_tlv(&mut body, types::HOP_LIMIT, &[h]);
+        if self.hop_limit.is_some() {
+            len += tlv_size(types::HOP_LIMIT, 1);
         }
         if let Some(params) = &self.app_params {
-            put_tlv(&mut body, types::APPLICATION_PARAMETERS, params);
+            len += tlv_size(types::APPLICATION_PARAMETERS, params.len());
         }
-        encode_tlv(types::INTEREST, &body)
+        len
     }
 
-    /// Wire size in bytes (used by the link bandwidth model).
+    /// Encode to wire format. The output buffer is pre-sized exactly from
+    /// the TLV size arithmetic, so encoding performs a single allocation.
+    pub fn encode(&self) -> Bytes {
+        let body_len = self.body_len();
+        let mut out = BytesMut::with_capacity(tlv_size(types::INTEREST, body_len));
+        put_var_number(&mut out, types::INTEREST);
+        put_var_number(&mut out, body_len as u64);
+        put_name_tlv(&mut out, &self.name);
+        if self.can_be_prefix {
+            put_tlv(&mut out, types::CAN_BE_PREFIX, &[]);
+        }
+        if self.must_be_fresh {
+            put_tlv(&mut out, types::MUST_BE_FRESH, &[]);
+        }
+        if let Some(nonce) = self.nonce {
+            put_tlv(&mut out, types::NONCE, &nonce.to_be_bytes());
+        }
+        if self.lifetime != DEFAULT_INTEREST_LIFETIME {
+            put_nonneg_tlv(&mut out, types::INTEREST_LIFETIME, self.lifetime.as_millis());
+        }
+        if let Some(h) = self.hop_limit {
+            put_tlv(&mut out, types::HOP_LIMIT, &[h]);
+        }
+        if let Some(params) = &self.app_params {
+            put_tlv(&mut out, types::APPLICATION_PARAMETERS, params);
+        }
+        out.freeze()
+    }
+
+    /// Wire size in bytes (used by the link bandwidth model). Pure
+    /// arithmetic; does not encode.
     pub fn encoded_size(&self) -> usize {
-        self.encode().len()
+        tlv_size(types::INTEREST, self.body_len())
     }
 
-    /// Decode from wire format.
-    pub fn decode(wire: &[u8]) -> Result<Interest, TlvError> {
+    /// Decode from wire format, zero-copy: long name component values and
+    /// application parameters are refcounted views into `wire`, not copies
+    /// (short values inline). The `Interest` is constructed once, at the
+    /// end, from locals — no double-initialization.
+    pub fn decode(wire: &Bytes) -> Result<Interest, TlvError> {
         let mut outer = TlvReader::new(wire);
         let body = outer.read_expected(types::INTEREST)?;
         let mut r = TlvReader::new(body);
-        let name = decode_name(r.read_expected(types::NAME)?)?;
-        let mut interest = Interest::new(name);
+        let name = decode_name_from(wire, r.read_expected(types::NAME)?)?;
+        let mut can_be_prefix = false;
+        let mut must_be_fresh = false;
+        let mut nonce = None;
+        let mut lifetime = DEFAULT_INTEREST_LIFETIME;
+        let mut hop_limit = None;
+        let mut app_params = None;
         while !r.is_empty() {
             let (typ, value) = r.read_tlv()?;
             match typ {
-                types::CAN_BE_PREFIX => interest.can_be_prefix = true,
-                types::MUST_BE_FRESH => interest.must_be_fresh = true,
+                types::CAN_BE_PREFIX => can_be_prefix = true,
+                types::MUST_BE_FRESH => must_be_fresh = true,
                 types::NONCE => {
                     if value.len() != 4 {
                         return Err(TlvError::Malformed("nonce must be 4 bytes"));
                     }
-                    interest.nonce =
-                        Some(u32::from_be_bytes([value[0], value[1], value[2], value[3]]));
+                    nonce = Some(u32::from_be_bytes([value[0], value[1], value[2], value[3]]));
                 }
                 types::INTEREST_LIFETIME => {
-                    interest.lifetime = SimDuration::from_millis(parse_nonneg(value)?);
+                    lifetime = SimDuration::from_millis(parse_nonneg(value)?);
                 }
                 types::HOP_LIMIT => {
                     if value.len() != 1 {
                         return Err(TlvError::Malformed("hop limit must be 1 byte"));
                     }
-                    interest.hop_limit = Some(value[0]);
+                    hop_limit = Some(value[0]);
                 }
                 types::APPLICATION_PARAMETERS => {
-                    interest.app_params = Some(Bytes::copy_from_slice(value));
+                    app_params = Some(wire.slice_ref(value));
                 }
                 _ => { /* ignore unrecognised elements (forward compatibility) */ }
             }
         }
-        Ok(interest)
+        Ok(Interest {
+            name,
+            can_be_prefix,
+            must_be_fresh,
+            nonce,
+            lifetime,
+            hop_limit,
+            app_params,
+        })
     }
 }
 
@@ -208,8 +254,10 @@ impl SignatureType {
 pub struct Signature {
     /// Flavour.
     pub typ: SignatureType,
-    /// Key name for HMAC signatures.
-    pub key_locator: Option<Name>,
+    /// Key name for HMAC signatures. Boxed: key locators are rare, and
+    /// boxing keeps `Data` (which embeds two otherwise-inline `Name`s)
+    /// cheap to move and clone.
+    pub key_locator: Option<Box<Name>>,
     /// Signature bytes.
     pub value: Bytes,
 }
@@ -264,42 +312,93 @@ impl Data {
         self
     }
 
-    fn signed_portion(&self) -> Bytes {
-        // Per spec: Name .. SignatureInfo (exclusive of SignatureValue).
-        let mut body = BytesMut::new();
-        put_tlv(&mut body, types::NAME, &encode_name_body(&self.name));
-        let meta = self.encode_meta_info();
-        if !meta.is_empty() {
-            put_tlv(&mut body, types::META_INFO, &meta);
-        }
-        put_tlv(&mut body, types::CONTENT, &self.content);
-        put_tlv(&mut body, types::SIGNATURE_INFO, &self.encode_signature_info());
-        body.freeze()
-    }
-
-    fn encode_meta_info(&self) -> Bytes {
-        let mut meta = BytesMut::new();
+    /// Encoded length of the MetaInfo body (0 when empty).
+    fn meta_info_len(&self) -> usize {
+        let mut len = 0;
         if self.content_type != ContentType::Blob {
-            put_nonneg_tlv(&mut meta, types::CONTENT_TYPE, self.content_type.code());
+            len += nonneg_tlv_size(types::CONTENT_TYPE, self.content_type.code());
         }
         if let Some(f) = self.freshness {
-            put_nonneg_tlv(&mut meta, types::FRESHNESS_PERIOD, f.as_millis());
+            len += nonneg_tlv_size(types::FRESHNESS_PERIOD, f.as_millis());
         }
         if let Some(fbi) = &self.final_block_id {
-            let comp = encode_component(fbi);
-            put_tlv(&mut meta, types::FINAL_BLOCK_ID, &comp);
+            len += tlv_size(
+                types::FINAL_BLOCK_ID,
+                tlv_size(u64::from(fbi.typ()), fbi.value().len()),
+            );
         }
-        meta.freeze()
+        len
     }
 
-    fn encode_signature_info(&self) -> Bytes {
-        let mut info = BytesMut::new();
-        put_nonneg_tlv(&mut info, types::SIGNATURE_TYPE, self.signature.typ.code());
-        if let Some(kl) = &self.signature.key_locator {
-            let name_tlv = encode_tlv(types::NAME, &encode_name_body(kl));
-            put_tlv(&mut info, types::KEY_LOCATOR, &name_tlv);
+    fn put_meta_info(&self, out: &mut BytesMut) {
+        if self.content_type != ContentType::Blob {
+            put_nonneg_tlv(out, types::CONTENT_TYPE, self.content_type.code());
         }
-        info.freeze()
+        if let Some(f) = self.freshness {
+            put_nonneg_tlv(out, types::FRESHNESS_PERIOD, f.as_millis());
+        }
+        if let Some(fbi) = &self.final_block_id {
+            put_var_number(out, types::FINAL_BLOCK_ID);
+            put_var_number(
+                out,
+                tlv_size(u64::from(fbi.typ()), fbi.value().len()) as u64,
+            );
+            put_tlv(out, u64::from(fbi.typ()), fbi.value());
+        }
+    }
+
+    /// Encoded length of the SignatureInfo body.
+    fn signature_info_len(&self) -> usize {
+        let mut len = nonneg_tlv_size(types::SIGNATURE_TYPE, self.signature.typ.code());
+        if let Some(kl) = &self.signature.key_locator {
+            len += tlv_size(
+                types::KEY_LOCATOR,
+                tlv_size(types::NAME, name_body_len(kl)),
+            );
+        }
+        len
+    }
+
+    fn put_signature_info(&self, out: &mut BytesMut) {
+        put_nonneg_tlv(out, types::SIGNATURE_TYPE, self.signature.typ.code());
+        if let Some(kl) = &self.signature.key_locator {
+            put_var_number(out, types::KEY_LOCATOR);
+            put_var_number(out, tlv_size(types::NAME, name_body_len(kl)) as u64);
+            put_name_tlv(out, kl);
+        }
+    }
+
+    /// Encoded length of the signed portion
+    /// (Name .. SignatureInfo, exclusive of SignatureValue).
+    fn signed_portion_len(&self) -> usize {
+        let mut len = tlv_size(types::NAME, name_body_len(&self.name));
+        let meta_len = self.meta_info_len();
+        if meta_len > 0 {
+            len += tlv_size(types::META_INFO, meta_len);
+        }
+        len += tlv_size(types::CONTENT, self.content.len());
+        len + tlv_size(types::SIGNATURE_INFO, self.signature_info_len())
+    }
+
+    fn put_signed_portion(&self, out: &mut BytesMut) {
+        put_name_tlv(out, &self.name);
+        let meta_len = self.meta_info_len();
+        if meta_len > 0 {
+            put_var_number(out, types::META_INFO);
+            put_var_number(out, meta_len as u64);
+            self.put_meta_info(out);
+        }
+        put_tlv(out, types::CONTENT, &self.content);
+        put_var_number(out, types::SIGNATURE_INFO);
+        put_var_number(out, self.signature_info_len() as u64);
+        self.put_signature_info(out);
+    }
+
+    fn signed_portion(&self) -> Bytes {
+        // Per spec: Name .. SignatureInfo (exclusive of SignatureValue).
+        let mut body = BytesMut::with_capacity(self.signed_portion_len());
+        self.put_signed_portion(&mut body);
+        body.freeze()
     }
 
     /// Sign with `DigestSha256` (integrity only).
@@ -318,7 +417,7 @@ impl Data {
     pub fn sign_hmac(mut self, key_name: Name, key: &[u8]) -> Self {
         self.signature = Signature {
             typ: SignatureType::HmacWithSha256,
-            key_locator: Some(key_name),
+            key_locator: Some(Box::new(key_name)),
             value: Bytes::new(),
         };
         let mac = hmac_sha256(key, &self.signed_portion());
@@ -345,19 +444,44 @@ impl Data {
     }
 
     /// Encode to wire format. Unsigned packets are digest-signed on the fly
-    /// so the wire is always well-formed.
+    /// so the wire is always well-formed. The output buffer is pre-sized
+    /// exactly from the TLV size arithmetic: one allocation.
     pub fn encode(&self) -> Bytes {
         if self.signature.value.is_empty() {
             return self.clone().sign_digest().encode();
         }
-        let mut body = BytesMut::from(&self.signed_portion()[..]);
-        put_tlv(&mut body, types::SIGNATURE_VALUE, &self.signature.value);
-        encode_tlv(types::DATA, &body)
+        let body_len =
+            self.signed_portion_len() + tlv_size(types::SIGNATURE_VALUE, self.signature.value.len());
+        let mut out = BytesMut::with_capacity(tlv_size(types::DATA, body_len));
+        put_var_number(&mut out, types::DATA);
+        put_var_number(&mut out, body_len as u64);
+        self.put_signed_portion(&mut out);
+        put_tlv(&mut out, types::SIGNATURE_VALUE, &self.signature.value);
+        out.freeze()
     }
 
-    /// Wire size in bytes.
+    /// Wire size in bytes. Pure arithmetic; does not encode or hash (an
+    /// unsigned packet is accounted exactly as `encode()` will emit it:
+    /// digest-signed, which replaces the whole signature — type and key
+    /// locator included).
     pub fn encoded_size(&self) -> usize {
-        self.encode().len()
+        let body_len = if self.signature.value.is_empty() {
+            // Mirror the sign_digest() path: DigestSha256, no key locator.
+            let mut signed = tlv_size(types::NAME, name_body_len(&self.name));
+            let meta_len = self.meta_info_len();
+            if meta_len > 0 {
+                signed += tlv_size(types::META_INFO, meta_len);
+            }
+            signed += tlv_size(types::CONTENT, self.content.len());
+            signed += tlv_size(
+                types::SIGNATURE_INFO,
+                nonneg_tlv_size(types::SIGNATURE_TYPE, SignatureType::DigestSha256.code()),
+            );
+            signed + tlv_size(types::SIGNATURE_VALUE, DIGEST_LEN)
+        } else {
+            self.signed_portion_len() + tlv_size(types::SIGNATURE_VALUE, self.signature.value.len())
+        };
+        tlv_size(types::DATA, body_len)
     }
 
     /// The implicit SHA-256 digest of the whole encoded packet.
@@ -372,12 +496,13 @@ impl Data {
             .child(NameComponent::implicit_digest(self.implicit_digest()))
     }
 
-    /// Decode from wire format.
-    pub fn decode(wire: &[u8]) -> Result<Data, TlvError> {
+    /// Decode from wire format, zero-copy: the content, signature value,
+    /// and every name component are refcounted views into `wire`.
+    pub fn decode(wire: &Bytes) -> Result<Data, TlvError> {
         let mut outer = TlvReader::new(wire);
         let body = outer.read_expected(types::DATA)?;
         let mut r = TlvReader::new(body);
-        let name = decode_name(r.read_expected(types::NAME)?)?;
+        let name = decode_name_from(wire, r.read_expected(types::NAME)?)?;
         let mut data = Data::new(name, Bytes::new());
         if let Some(meta) = r.read_optional(types::META_INFO)? {
             let mut m = TlvReader::new(meta);
@@ -392,14 +517,14 @@ impl Data {
                     }
                     types::FINAL_BLOCK_ID => {
                         let mut c = TlvReader::new(value);
-                        data.final_block_id = Some(decode_component(&mut c)?);
+                        data.final_block_id = Some(decode_component_from(wire, &mut c)?);
                     }
                     _ => {}
                 }
             }
         }
         if let Some(content) = r.read_optional(types::CONTENT)? {
-            data.content = Bytes::copy_from_slice(content);
+            data.content = wire.slice_ref(content);
         }
         let sig_info = r.read_expected(types::SIGNATURE_INFO)?;
         let mut si = TlvReader::new(sig_info);
@@ -412,10 +537,10 @@ impl Data {
         if let Some(kl) = si.read_optional(types::KEY_LOCATOR)? {
             let mut klr = TlvReader::new(kl);
             let name_body = klr.read_expected(types::NAME)?;
-            data.signature.key_locator = Some(decode_name(name_body)?);
+            data.signature.key_locator = Some(Box::new(decode_name_from(wire, name_body)?));
         }
         let sig_value = r.read_expected(types::SIGNATURE_VALUE)?;
-        data.signature.value = Bytes::copy_from_slice(sig_value);
+        data.signature.value = wire.slice_ref(sig_value);
         Ok(data)
     }
 }
@@ -475,6 +600,9 @@ impl Nack {
 }
 
 /// Any NDN packet moving across a link.
+// Variant sizes differ by design: packets move boxed through actor
+// mailboxes, so the large `Data` variant is not copied around by value.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Packet {
     /// An Interest.
@@ -505,38 +633,60 @@ impl Packet {
     }
 }
 
-/// Encode the body (component sequence) of a Name TLV.
-pub fn encode_name_body(name: &Name) -> Bytes {
-    let mut body = BytesMut::new();
+/// Encoded length of the body (component sequence) of a Name TLV.
+pub fn name_body_len(name: &Name) -> usize {
+    name.components()
+        .iter()
+        .map(|c| tlv_size(u64::from(c.typ()), c.value().len()))
+        .sum()
+}
+
+/// Append the body (component sequence) of a Name TLV.
+pub fn put_name_body(out: &mut BytesMut, name: &Name) {
     for c in name.components() {
-        put_tlv(&mut body, u64::from(c.typ()), c.value());
+        put_tlv(out, u64::from(c.typ()), c.value());
     }
+}
+
+/// Append a complete Name TLV (header + component sequence).
+pub fn put_name_tlv(out: &mut BytesMut, name: &Name) {
+    put_var_number(out, types::NAME);
+    put_var_number(out, name_body_len(name) as u64);
+    put_name_body(out, name);
+}
+
+/// Encode the body (component sequence) of a Name TLV into a fresh,
+/// exactly-sized buffer.
+pub fn encode_name_body(name: &Name) -> Bytes {
+    let mut body = BytesMut::with_capacity(name_body_len(name));
+    put_name_body(&mut body, name);
     body.freeze()
 }
 
-fn encode_component(c: &NameComponent) -> Bytes {
-    encode_tlv(u64::from(c.typ()), c.value())
-}
-
-fn decode_component(r: &mut TlvReader<'_>) -> Result<NameComponent, TlvError> {
+#[inline(always)]
+fn decode_component_from(wire: &Bytes, r: &mut TlvReader<'_>) -> Result<NameComponent, TlvError> {
     let (typ, value) = r.read_tlv()?;
     let typ = u16::try_from(typ).map_err(|_| TlvError::Malformed("component type too large"))?;
-    Ok(NameComponent::typed(typ, Bytes::copy_from_slice(value)))
+    Ok(NameComponent::view_of(typ, wire, value))
 }
 
-/// Decode a Name TLV body (component sequence).
-pub fn decode_name(body: &[u8]) -> Result<Name, TlvError> {
-    let mut r = TlvReader::new(body);
-    let mut components = Vec::new();
-    while !r.is_empty() {
-        components.push(decode_component(&mut r)?);
-    }
-    Ok(Name::from_components(components))
+/// Decode a Name TLV body (component sequence) found inside `wire`; long
+/// component values are zero-copy views into `wire` (short ones inline).
+/// `body` must be a sub-slice of `wire`. Allocation-free for names of up to
+/// `SMALL_NAME_CAP` components.
+pub fn decode_name_from(wire: &Bytes, body: &[u8]) -> Result<Name, TlvError> {
+    Name::decode_body_from(wire, body)
+}
+
+/// Decode a standalone Name TLV body (component sequence).
+pub fn decode_name(body: &Bytes) -> Result<Name, TlvError> {
+    decode_name_from(body, body)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tlv::encode_tlv;
 
     #[test]
     fn interest_round_trip_minimal() {
@@ -582,7 +732,7 @@ mod tests {
         assert!(!d.verify(Some(b"wrong-key")));
         assert!(!d.verify(None), "HMAC without key fails closed");
         let decoded = Data::decode(&d.encode()).unwrap();
-        assert_eq!(decoded.signature.key_locator, Some(name!("/keys/cluster-a")));
+        assert_eq!(decoded.signature.key_locator, Some(Box::new(name!("/keys/cluster-a"))));
         assert!(decoded.verify(Some(key)));
     }
 
@@ -592,6 +742,24 @@ mod tests {
         let mut tampered = d.clone();
         tampered.content = Bytes::copy_from_slice(b"PAYLOAD");
         assert!(!tampered.verify(None));
+    }
+
+    #[test]
+    fn encoded_size_matches_encode_for_partial_signatures() {
+        // A hand-built signature with an empty value is re-signed by
+        // encode() (digest, no key locator); encoded_size must mirror that.
+        let mut d = Data::new(name!("/a/b"), &b"payload"[..]);
+        d.signature = Signature {
+            typ: SignatureType::HmacWithSha256,
+            key_locator: Some(Box::new(name!("/keys/k"))),
+            value: Bytes::new(),
+        };
+        assert_eq!(d.encoded_size(), d.encode().len());
+        // And the fully-signed forms stay exact too.
+        let signed = Data::new(name!("/a/b"), &b"payload"[..])
+            .with_freshness(SimDuration::from_secs(1))
+            .sign_hmac(name!("/keys/k"), b"secret");
+        assert_eq!(signed.encoded_size(), signed.encode().len());
     }
 
     #[test]
@@ -637,7 +805,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(Interest::decode(b"garbage").is_err());
+        assert!(Interest::decode(&Bytes::from_static(b"garbage")).is_err());
         assert!(Data::decode(&Interest::new(name!("/a")).encode()).is_err());
         // Bad nonce width.
         let mut body = BytesMut::new();

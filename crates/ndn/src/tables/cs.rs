@@ -4,20 +4,39 @@
 //! prefix matching for `CanBePrefix` Interests. The store is one of the two
 //! layers behind LIDC's future-work result caching (the other is the
 //! gateway-level result cache in `lidc-core::cache`).
+//!
+//! The probe path is allocation-free: exact lookups hit the name-ordered
+//! `BTreeMap` directly, prefix lookups range-scan it with a **borrowed**
+//! component slice (no owned `Name` is built), and recency is tracked by an
+//! intrusive doubly-linked LRU list over a slab of reusable slots — a cache
+//! hit relinks indices instead of allocating.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::ops::Bound;
 
-use crate::name::Name;
+use crate::name::{Name, NameComponent};
 use crate::packet::{Data, Interest};
 use lidc_simcore::time::SimTime;
+
+/// Slab slot index; `NONE` marks list ends and free slots.
+const NONE: usize = usize::MAX;
 
 #[derive(Debug, Clone)]
 struct CsRecord {
     data: Data,
     /// Instant after which this record no longer satisfies MustBeFresh.
     fresh_until: Option<SimTime>,
-    /// LRU tick of the last use.
-    last_used: u64,
+    /// Index of this record's slot in the LRU slab.
+    slot: usize,
+}
+
+/// One slab slot: a doubly-linked LRU list node. Freed slots are recycled
+/// through a free list, so steady-state churn allocates nothing.
+#[derive(Debug, Clone)]
+struct Slot {
+    name: Name,
+    prev: usize,
+    next: usize,
 }
 
 /// The Content Store.
@@ -26,11 +45,11 @@ pub struct ContentStore {
     capacity: usize,
     /// Name-ordered records (canonical order enables prefix range scans).
     records: BTreeMap<Name, CsRecord>,
-    /// Reverse LRU index: tick → name.
-    lru: BTreeMap<u64, Name>,
-    /// Fast tick lookup per name (avoids storing the tick twice).
-    ticks: HashMap<Name, u64>,
-    tick: u64,
+    /// LRU slab; `head` is most-recent, `tail` least-recent.
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
     hits: u64,
     misses: u64,
 }
@@ -42,9 +61,10 @@ impl ContentStore {
         ContentStore {
             capacity,
             records: BTreeMap::new(),
-            lru: BTreeMap::new(),
-            ticks: HashMap::new(),
-            tick: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
             hits: 0,
             misses: 0,
         }
@@ -70,6 +90,53 @@ impl ContentStore {
         self.misses
     }
 
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NONE {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn link_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NONE;
+        self.slots[slot].next = self.head;
+        if self.head != NONE {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+
+    fn alloc_slot(&mut self, name: Name) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    name,
+                    prev: NONE,
+                    next: NONE,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    name,
+                    prev: NONE,
+                    next: NONE,
+                });
+                self.slots.len() - 1
+            }
+        }
+    }
+
     /// Insert a Data packet observed at `now`.
     pub fn insert(&mut self, data: Data, now: SimTime) {
         if self.capacity == 0 {
@@ -77,47 +144,47 @@ impl ContentStore {
         }
         let name = data.name.clone();
         let fresh_until = data.freshness.map(|f| now + f);
-        self.touch(&name);
-        let tick = self.tick;
-        if let Some(old_tick) = self.ticks.insert(name.clone(), tick) {
-            self.lru.remove(&old_tick);
-        }
-        self.lru.insert(tick, name.clone());
-        self.records.insert(
-            name,
-            CsRecord {
-                data,
-                fresh_until,
-                last_used: tick,
-            },
-        );
-        while self.records.len() > self.capacity {
-            self.evict_lru();
-        }
-    }
-
-    fn touch(&mut self, _name: &Name) {
-        self.tick += 1;
-    }
-
-    fn evict_lru(&mut self) {
-        if let Some((&tick, _)) = self.lru.iter().next() {
-            if let Some(name) = self.lru.remove(&tick) {
-                self.records.remove(&name);
-                self.ticks.remove(&name);
+        match self.records.get_mut(&name) {
+            Some(rec) => {
+                let slot = rec.slot;
+                rec.data = data;
+                rec.fresh_until = fresh_until;
+                self.unlink(slot);
+                self.link_front(slot);
+            }
+            None => {
+                let slot = self.alloc_slot(name.clone());
+                self.link_front(slot);
+                self.records.insert(
+                    name,
+                    CsRecord {
+                        data,
+                        fresh_until,
+                        slot,
+                    },
+                );
+                while self.records.len() > self.capacity {
+                    self.evict_lru();
+                }
             }
         }
     }
 
-    fn mark_used(&mut self, name: &Name) {
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(old) = self.ticks.insert(name.clone(), tick) {
-            self.lru.remove(&old);
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        if victim == NONE {
+            return;
         }
-        self.lru.insert(tick, name.clone());
-        if let Some(rec) = self.records.get_mut(name) {
-            rec.last_used = tick;
+        self.unlink(victim);
+        let name = std::mem::take(&mut self.slots[victim].name);
+        self.records.remove(&name);
+        self.free.push(victim);
+    }
+
+    fn mark_used(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.link_front(slot);
         }
     }
 
@@ -125,25 +192,32 @@ impl ContentStore {
     ///
     /// Exact-name match unless `CanBePrefix`; `MustBeFresh` filters records
     /// past their freshness period. The leftmost (canonical-order) match
-    /// wins, as in NFD.
+    /// wins, as in NFD. The probe itself performs no heap allocation; a hit
+    /// returns an O(1) clone of the cached packet (refcount bumps).
     pub fn lookup(&mut self, interest: &Interest, now: SimTime) -> Option<Data> {
-        let found: Option<Name> = if interest.can_be_prefix {
+        let must_be_fresh = interest.must_be_fresh;
+        // Capture the packet clone (O(1) refcount bumps) during the probe:
+        // one map traversal per hit, no re-find.
+        let found: Option<(usize, Data)> = if interest.can_be_prefix {
+            // Range-scan from the prefix using the borrowed component
+            // slice; `Name: Borrow<[NameComponent]>` makes this key-free.
+            let prefix: &[NameComponent] = interest.name.components();
             self.records
-                .range(interest.name.clone()..)
-                .take_while(|(name, _)| interest.name.is_prefix_of(name))
-                .find(|(_, rec)| Self::satisfies_freshness(rec, interest.must_be_fresh, now))
-                .map(|(name, _)| name.clone())
+                .range::<[NameComponent], _>((Bound::Included(prefix), Bound::Unbounded))
+                .take_while(|(name, _)| prefix.len() <= name.len() && *prefix == name.components()[..prefix.len()])
+                .find(|(_, rec)| Self::satisfies_freshness(rec, must_be_fresh, now))
+                .map(|(_, rec)| (rec.slot, rec.data.clone()))
         } else {
             self.records
                 .get(&interest.name)
-                .filter(|rec| Self::satisfies_freshness(rec, interest.must_be_fresh, now))
-                .map(|_| interest.name.clone())
+                .filter(|rec| Self::satisfies_freshness(rec, must_be_fresh, now))
+                .map(|rec| (rec.slot, rec.data.clone()))
         };
         match found {
-            Some(name) => {
-                self.mark_used(&name);
+            Some((slot, data)) => {
+                self.mark_used(slot);
                 self.hits += 1;
-                Some(self.records[&name].data.clone())
+                Some(data)
             }
             None => {
                 self.misses += 1;
@@ -167,8 +241,10 @@ impl ContentStore {
     /// Drop every record (management/diagnostics).
     pub fn clear(&mut self) {
         self.records.clear();
-        self.lru.clear();
-        self.ticks.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NONE;
+        self.tail = NONE;
     }
 
     /// Iterate cached names in canonical order (diagnostics).
@@ -291,10 +367,27 @@ mod tests {
         assert_eq!(cs.names().count(), 0);
     }
 
+    /// Walk the LRU list front-to-back, returning the names in recency
+    /// order and checking the back-links along the way.
+    fn lru_order(cs: &ContentStore) -> Vec<Name> {
+        let mut out = Vec::new();
+        let mut prev = NONE;
+        let mut cur = cs.head;
+        while cur != NONE {
+            assert_eq!(cs.slots[cur].prev, prev, "back-link consistent");
+            out.push(cs.slots[cur].name.clone());
+            prev = cur;
+            cur = cs.slots[cur].next;
+        }
+        assert_eq!(cs.tail, prev, "tail is the last reachable slot");
+        out
+    }
+
     #[test]
-    fn lru_invariant_indices_consistent() {
-        // Property-style check: after a mixed workload, every record has a
-        // tick entry and vice versa.
+    fn lru_invariant_slab_consistent() {
+        // Property-style check: after a mixed workload, the linked list
+        // visits exactly the resident records, slots recycle through the
+        // free list, and every record's slot points back at its name.
         use lidc_simcore::rng::DetRng;
         let mut rng = DetRng::new(5);
         let mut cs = ContentStore::new(8);
@@ -307,11 +400,28 @@ mod tests {
                 let _ = cs.lookup(&Interest::new(Name::parse(&uri).unwrap()), T0);
             }
             assert!(cs.len() <= 8, "capacity respected at step {step}");
-            assert_eq!(cs.records.len(), cs.ticks.len());
-            assert_eq!(cs.records.len(), cs.lru.len());
-            for (tick, name) in &cs.lru {
-                assert_eq!(cs.ticks.get(name), Some(tick));
+            let order = lru_order(&cs);
+            assert_eq!(order.len(), cs.records.len(), "list covers all records");
+            for name in &order {
+                let rec = &cs.records[name];
+                assert_eq!(&cs.slots[rec.slot].name, name, "slot back-pointer");
             }
+            assert_eq!(
+                cs.slots.len(),
+                cs.records.len() + cs.free.len(),
+                "every slot is either live or free"
+            );
         }
+    }
+
+    #[test]
+    fn mru_is_list_head_after_hit() {
+        let mut cs = ContentStore::new(3);
+        cs.insert(data("/a"), T0);
+        cs.insert(data("/b"), T0);
+        cs.insert(data("/c"), T0);
+        let _ = cs.lookup(&Interest::new(name!("/a")), T0);
+        assert_eq!(lru_order(&cs)[0], name!("/a"));
+        assert_eq!(*lru_order(&cs).last().unwrap(), name!("/b"));
     }
 }

@@ -6,11 +6,14 @@
 //! probes for a k-component name, which beats a trie for the short names
 //! LIDC uses while staying trivially correct (property-tested against a
 //! naive reference in this module).
-
-use std::collections::HashMap;
+//!
+//! The walk probes with **borrowed prefix views** (`&name.components()[..k]`
+//! through `Name`'s `Borrow<[NameComponent]>` bridge), so a lookup performs
+//! zero heap allocations regardless of the name's depth.
 
 use crate::face::FaceId;
-use crate::name::Name;
+use crate::fxhash::FxHashMap;
+use crate::name::{Name, NameComponent, NameSlice};
 
 /// One candidate next hop for a prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +36,13 @@ pub struct FibEntry {
 /// The forwarding table.
 #[derive(Debug, Default)]
 pub struct Fib {
-    entries: HashMap<Name, FibEntry>,
+    entries: FxHashMap<Name, FibEntry>,
+    /// Shortest registered prefix length (valid while non-empty): the LPM
+    /// walk never probes below it.
+    min_len: usize,
+    /// Longest registered prefix length (valid while non-empty): the LPM
+    /// walk never probes above it.
+    max_len: usize,
 }
 
 impl Fib {
@@ -54,6 +63,13 @@ impl Fib {
 
     /// Add (or update the cost of) a next hop for `prefix`.
     pub fn add_nexthop(&mut self, prefix: Name, face: FaceId, cost: u32) {
+        if self.entries.is_empty() {
+            self.min_len = prefix.len();
+            self.max_len = prefix.len();
+        } else {
+            self.min_len = self.min_len.min(prefix.len());
+            self.max_len = self.max_len.max(prefix.len());
+        }
         let entry = self.entries.entry(prefix.clone()).or_insert_with(|| FibEntry {
             prefix,
             nexthops: Vec::new(),
@@ -78,8 +94,29 @@ impl Fib {
         let removed = entry.nexthops.len() != before;
         if entry.nexthops.is_empty() {
             self.entries.remove(prefix);
+            self.recompute_len_bounds(prefix.len());
         }
         removed
+    }
+
+    /// Refresh `min_len`/`max_len` after removing an entry of length
+    /// `removed_len` (only scans when the removed entry was extremal).
+    fn recompute_len_bounds(&mut self, removed_len: usize) {
+        if self.entries.is_empty() {
+            self.min_len = 0;
+            self.max_len = 0;
+            return;
+        }
+        if removed_len == self.min_len || removed_len == self.max_len {
+            let mut min = usize::MAX;
+            let mut max = 0;
+            for k in self.entries.keys() {
+                min = min.min(k.len());
+                max = max.max(k.len());
+            }
+            self.min_len = min;
+            self.max_len = max;
+        }
     }
 
     /// Remove every next hop through `face` (face destruction).
@@ -92,7 +129,11 @@ impl Fib {
 
     /// Remove an entire entry. Returns true if it existed.
     pub fn remove_entry(&mut self, prefix: &Name) -> bool {
-        self.entries.remove(prefix).is_some()
+        let removed = self.entries.remove(prefix).is_some();
+        if removed {
+            self.recompute_len_bounds(prefix.len());
+        }
+        removed
     }
 
     /// Exact-match lookup (management use).
@@ -101,11 +142,27 @@ impl Fib {
     }
 
     /// Longest-prefix-match lookup: the entry with the most components whose
-    /// prefix matches `name`.
+    /// prefix matches `name`. Allocation-free: probes with borrowed prefix
+    /// slices of `name`, never materializing owned prefixes.
     pub fn lookup(&self, name: &Name) -> Option<&FibEntry> {
-        for k in (0..=name.len()).rev() {
-            let prefix = name.prefix(k);
-            if let Some(entry) = self.entries.get(&prefix) {
+        self.lookup_components(name.components())
+    }
+
+    /// Longest-prefix-match over a borrowed view (see [`NameSlice`]).
+    pub fn lookup_slice(&self, name: NameSlice<'_>) -> Option<&FibEntry> {
+        self.lookup_components(name.components())
+    }
+
+    /// Longest-prefix-match over a raw component slice. The walk is bounded
+    /// by the shortest/longest registered prefix lengths, so only prefixes
+    /// that could possibly match are hashed.
+    pub fn lookup_components(&self, comps: &[NameComponent]) -> Option<&FibEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let hi = self.max_len.min(comps.len());
+        for k in (self.min_len..=hi).rev() {
+            if let Some(entry) = self.entries.get(&comps[..k]) {
                 return Some(entry);
             }
         }
@@ -200,6 +257,80 @@ mod tests {
             .filter(|(p, _)| p.is_prefix_of(lookup))
             .max_by_key(|(p, _)| p.len())
             .map(|(p, _)| p)
+    }
+
+    #[test]
+    fn lookup_slice_and_components_agree_with_lookup() {
+        let mut fib = Fib::new();
+        fib.add_nexthop(name!("/ndn"), f(1), 10);
+        fib.add_nexthop(name!("/ndn/k8s/compute"), f(3), 10);
+        let lookup = name!("/ndn/k8s/compute/mem=4/extra");
+        let by_name = fib.lookup(&lookup).map(|e| &e.prefix);
+        let by_slice = fib.lookup_slice(lookup.as_slice()).map(|e| &e.prefix);
+        let by_comps = fib.lookup_components(lookup.components()).map(|e| &e.prefix);
+        assert_eq!(by_name, by_slice);
+        assert_eq!(by_name, by_comps);
+        assert_eq!(by_name, Some(&name!("/ndn/k8s/compute")));
+        // Borrowed-view lookups on truncated slices match owned-prefix
+        // lookups at every depth.
+        for k in 0..=lookup.len() {
+            assert_eq!(
+                fib.lookup_components(&lookup.components()[..k]).map(|e| &e.prefix),
+                fib.lookup(&lookup.prefix(k)).map(|e| &e.prefix),
+                "depth {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_components_route_correctly() {
+        // Non-UTF-8 components: prefixes and lookups must match on raw
+        // bytes, not on any text interpretation.
+        let bin_a = NameComponent::generic(vec![0u8, 159, 146, 150]); // invalid UTF-8
+        let bin_b = NameComponent::generic(vec![255u8, 0, 254]);
+        let long_bin = NameComponent::generic(vec![0xEEu8; 200]); // spills inline cap
+        let p1 = Name::root().child(bin_a.clone());
+        let p2 = Name::root().child(bin_a.clone()).child(bin_b.clone());
+        let p3 = Name::root().child(long_bin.clone());
+        let mut fib = Fib::new();
+        fib.add_nexthop(p1.clone(), f(1), 1);
+        fib.add_nexthop(p2.clone(), f(2), 1);
+        fib.add_nexthop(p3.clone(), f(3), 1);
+        assert!(bin_a.as_str().is_none(), "component is genuinely non-UTF-8");
+
+        let deep = p2.clone().child(NameComponent::generic(vec![9u8]));
+        assert_eq!(fib.lookup(&deep).unwrap().prefix, p2, "longest binary prefix wins");
+        let sibling = p1.clone().child(NameComponent::generic(vec![255u8, 0, 255]));
+        assert_eq!(fib.lookup(&sibling).unwrap().prefix, p1, "near-miss byte falls back");
+        let long_child = p3.clone().child(bin_b.clone());
+        assert_eq!(fib.lookup(&long_child).unwrap().prefix, p3, "spilled values match by content");
+        // A name sharing no prefix does not match.
+        assert!(fib.lookup(&Name::root().child(bin_b)).is_none());
+        // Borrowed views agree on binary names too.
+        for probe in [&deep, &sibling, &long_child] {
+            assert_eq!(
+                fib.lookup(probe).map(|e| &e.prefix),
+                fib.lookup_components(probe.components()).map(|e| &e.prefix),
+            );
+        }
+    }
+
+    #[test]
+    fn length_bounds_track_removals() {
+        let mut fib = Fib::new();
+        fib.add_nexthop(name!("/a"), f(1), 1);
+        fib.add_nexthop(name!("/a/b/c/d/e"), f(2), 1);
+        let deep = name!("/a/b/c/d/e/f/g");
+        assert_eq!(fib.lookup(&deep).unwrap().prefix, name!("/a/b/c/d/e"));
+        fib.remove_nexthop(&name!("/a/b/c/d/e"), f(2));
+        assert_eq!(fib.lookup(&deep).unwrap().prefix, name!("/a"));
+        fib.remove_entry(&name!("/a"));
+        assert!(fib.lookup(&deep).is_none());
+        assert!(fib.is_empty());
+        // Re-adding after emptiness resets the bounds.
+        fib.add_nexthop(name!("/x/y"), f(3), 1);
+        assert_eq!(fib.lookup(&name!("/x/y/z")).unwrap().prefix, name!("/x/y"));
+        assert!(fib.lookup(&name!("/x")).is_none());
     }
 
     #[test]

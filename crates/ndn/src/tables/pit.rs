@@ -5,9 +5,8 @@
 //! them all — the `ablate_aggregation` experiment measures this) and routes
 //! returning Data back along the reverse paths.
 
-use std::collections::HashMap;
-
 use crate::face::FaceId;
+use crate::fxhash::FxHashMap;
 use crate::name::Name;
 use crate::packet::Interest;
 use lidc_simcore::time::{SimDuration, SimTime};
@@ -61,9 +60,8 @@ pub struct OutRecord {
 /// One pending Interest.
 #[derive(Debug, Clone)]
 pub struct PitEntry {
-    /// Key (name + selectors).
-    pub key: PitKey,
-    /// The representative Interest (first to create the entry).
+    /// The representative Interest (first to create the entry). Its name
+    /// and selectors are the entry's key — see [`PitEntry::key`].
     pub interest: Interest,
     /// Downstream records.
     pub in_records: Vec<InRecord>,
@@ -103,6 +101,11 @@ impl PitEntry {
     pub fn out_record(&self, face: FaceId) -> Option<&OutRecord> {
         self.out_records.iter().find(|r| r.face == face)
     }
+
+    /// This entry's key (constructed on demand; an O(1) name clone).
+    pub fn key(&self) -> PitKey {
+        PitKey::of(&self.interest)
+    }
 }
 
 /// Outcome of inserting an Interest.
@@ -121,9 +124,17 @@ pub enum InsertOutcome {
 }
 
 /// The Pending Interest Table.
+///
+/// Data matching is split by selector: exact-name entries are found with
+/// two O(1) map probes (cheap `Name` clones — refcount bumps, no heap
+/// allocation), and only the usually-tiny population of `CanBePrefix`
+/// entries is scanned.
 #[derive(Debug, Default)]
 pub struct Pit {
-    entries: HashMap<PitKey, PitEntry>,
+    entries: FxHashMap<PitKey, PitEntry>,
+    /// Keys of entries with `can_be_prefix` set — the only ones that need a
+    /// scan on Data arrival. Kept in sync by insert/take/expire.
+    prefix_keys: Vec<PitKey>,
 }
 
 impl Pit {
@@ -154,10 +165,14 @@ impl Pit {
     ) -> (InsertOutcome, u64) {
         let key = PitKey::of(interest);
         let expiry = now + interest.lifetime;
-        match self.entries.get_mut(&key) {
-            None => {
-                let entry = PitEntry {
-                    key: key.clone(),
+        // Entry API: the probe key is moved into the map on the New path,
+        // so insertion costs exactly one key construction.
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                if interest.can_be_prefix {
+                    self.prefix_keys.push(slot.key().clone());
+                }
+                slot.insert(PitEntry {
                     interest: interest.clone(),
                     in_records: vec![InRecord {
                         face,
@@ -167,11 +182,11 @@ impl Pit {
                     out_records: Vec::new(),
                     expiry,
                     version: 0,
-                };
-                self.entries.insert(key, entry);
+                });
                 (InsertOutcome::New, 0)
             }
-            Some(entry) => {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                let entry = slot.into_mut();
                 if entry.is_duplicate_from(face, interest.nonce) {
                     return (InsertOutcome::DuplicateNonce, entry.version);
                 }
@@ -220,21 +235,50 @@ impl Pit {
     /// When several entries match, all are returned (e.g. a prefix Interest
     /// and an exact Interest for the same object).
     pub fn match_data(&self, data_name: &Name) -> Vec<PitKey> {
-        let mut keys: Vec<PitKey> = self
-            .entries
-            .values()
-            .filter(|e| {
-                if e.key.can_be_prefix {
-                    e.key.name.is_prefix_of(data_name)
-                } else {
-                    &e.key.name == data_name
-                }
-            })
-            .map(|e| e.key.clone())
-            .collect();
-        // Deterministic order: by name, exact matches first.
-        keys.sort_by(|a, b| a.name.cmp(&b.name).then(a.can_be_prefix.cmp(&b.can_be_prefix)));
+        let mut keys = Vec::new();
+        self.match_data_into(data_name, &mut keys);
         keys
+    }
+
+    /// [`Pit::match_data`] into a caller-owned buffer (cleared first), so a
+    /// steady-state forwarder reuses one allocation across all Data
+    /// arrivals. Exact entries cost two hash probes (the key holds an O(1)
+    /// `Name` clone); only `CanBePrefix` entries are scanned.
+    pub fn match_data_into(&self, data_name: &Name, out: &mut Vec<PitKey>) {
+        out.clear();
+        // One probe key serves both selector variants (flip the bool
+        // between probes) — a single O(1) Name clone for the common case.
+        let mut probe = PitKey {
+            name: data_name.clone(),
+            can_be_prefix: false,
+            must_be_fresh: false,
+        };
+        let hit_plain = self.entries.contains_key(&probe);
+        probe.must_be_fresh = true;
+        let hit_fresh = self.entries.contains_key(&probe);
+        if hit_plain && hit_fresh {
+            let mut plain = probe.clone();
+            plain.must_be_fresh = false;
+            out.push(plain);
+            out.push(probe);
+        } else if hit_plain {
+            probe.must_be_fresh = false;
+            out.push(probe);
+        } else if hit_fresh {
+            out.push(probe);
+        }
+        for key in &self.prefix_keys {
+            if key.name.is_prefix_of(data_name) {
+                out.push(key.clone());
+            }
+        }
+        // Deterministic order: by name, exact matches first.
+        out.sort_by(|a, b| {
+            a.name
+                .cmp(&b.name)
+                .then(a.can_be_prefix.cmp(&b.can_be_prefix))
+                .then(a.must_be_fresh.cmp(&b.must_be_fresh))
+        });
     }
 
     /// Look up an entry.
@@ -249,7 +293,9 @@ impl Pit {
 
     /// Remove and return an entry (when satisfied by Data or fully NACKed).
     pub fn take(&mut self, key: &PitKey) -> Option<PitEntry> {
-        self.entries.remove(key)
+        let entry = self.entries.remove(key)?;
+        self.forget_prefix_key(key);
+        Some(entry)
     }
 
     /// Expire the entry if `version` is still current and its expiry has
@@ -259,7 +305,17 @@ impl Pit {
         if entry.version != version || entry.expiry > now {
             return None;
         }
-        self.entries.remove(key)
+        let entry = self.entries.remove(key);
+        self.forget_prefix_key(key);
+        entry
+    }
+
+    fn forget_prefix_key(&mut self, key: &PitKey) {
+        if key.can_be_prefix {
+            if let Some(pos) = self.prefix_keys.iter().position(|k| k == key) {
+                self.prefix_keys.swap_remove(pos);
+            }
+        }
     }
 
     /// The time until `key`'s entry expires (for scheduling).

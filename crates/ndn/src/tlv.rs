@@ -5,7 +5,7 @@
 //! big-endian number, `254` a 4-byte, `255` an 8-byte. Both TLV-TYPE and
 //! TLV-LENGTH use this scheme.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{Bytes, BytesMut};
 use std::fmt;
 
 /// TLV-TYPE assignments used by this implementation (NDN packet spec v0.3).
@@ -176,6 +176,7 @@ impl<'a> TlvReader<'a> {
     }
 
     /// True when all input is consumed.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.pos >= self.input.len()
     }
@@ -186,6 +187,7 @@ impl<'a> TlvReader<'a> {
     }
 
     /// Read one var-number.
+    #[inline]
     pub fn read_var_number(&mut self) -> Result<u64, TlvError> {
         let first = *self.input.get(self.pos).ok_or(TlvError::Truncated)?;
         self.pos += 1;
@@ -212,7 +214,29 @@ impl<'a> TlvReader<'a> {
     }
 
     /// Read the next element header and return `(type, value)`.
+    ///
+    /// Fast path: both TLV-TYPE and TLV-LENGTH fit one byte (every element
+    /// this codebase emits below 253 bytes), decoded with a single bounds
+    /// check.
+    #[inline]
     pub fn read_tlv(&mut self) -> Result<(u64, &'a [u8]), TlvError> {
+        if let [t, l, ..] = &self.input[self.pos..] {
+            let (t, l) = (*t, *l);
+            if t < 253 && l < 253 {
+                let start = self.pos + 2;
+                let end = start + l as usize;
+                if end > self.input.len() {
+                    return Err(TlvError::LengthOverrun);
+                }
+                self.pos = end;
+                return Ok((u64::from(t), &self.input[start..end]));
+            }
+        }
+        self.read_tlv_slow()
+    }
+
+    #[cold]
+    fn read_tlv_slow(&mut self) -> Result<(u64, &'a [u8]), TlvError> {
         let typ = self.read_var_number()?;
         let len = self.read_var_number()? as usize;
         if self.pos + len > self.input.len() {

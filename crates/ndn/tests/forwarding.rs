@@ -10,7 +10,7 @@ use lidc_ndn::face::{FaceIdAlloc, LinkProps};
 use lidc_ndn::forwarder::{AppRx, Forwarder, ForwarderConfig};
 use lidc_ndn::name::Name;
 use lidc_ndn::net::{attach_app, connect};
-use lidc_ndn::packet::{Data, Interest, NackReason, Packet};
+use lidc_ndn::packet::{Data, Interest, Packet};
 use lidc_ndn::strategy::Multicast;
 use lidc_ndn::name;
 use lidc_simcore::engine::{Actor, ActorId, Ctx, Msg, Sim};

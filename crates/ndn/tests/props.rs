@@ -332,3 +332,162 @@ proptest! {
         prop_assert!(cs.lookup(&Interest::new(name), probe_at).is_some());
     }
 }
+
+// --- arena/small-name representation properties ------------------------------
+
+proptest! {
+    /// The hybrid (inline/shared) representation round-trips through URI
+    /// form for arbitrary component mixes, including deep names that spill
+    /// past the inline table and long values that spill past the inline
+    /// buffer.
+    #[test]
+    fn representation_uri_round_trip(
+        components in proptest::collection::vec(arb_component(), 0..12),
+        long_tail in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut name = Name::from_components(components);
+        if !long_tail.is_empty() {
+            name = name.child(NameComponent::generic(long_tail));
+        }
+        let parsed = Name::parse(&name.to_uri()).unwrap();
+        prop_assert_eq!(parsed, name);
+    }
+
+    /// Hash/Eq agreement between owned prefixes and borrowed component
+    /// slices — the contract that makes allocation-free FIB/PIT/CS probes
+    /// sound. This must hold across representations (small names, shared
+    /// tables, prefix views of both).
+    #[test]
+    fn owned_prefix_and_borrowed_slice_agree(
+        name in arb_name(),
+        extra in proptest::collection::vec(arb_component(), 0..6),
+    ) {
+        use std::borrow::Borrow;
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut deep = name;
+        for c in extra {
+            deep = deep.child(c);
+        }
+        for k in 0..=deep.len() {
+            let owned = deep.prefix(k);
+            let borrowed = &deep.components()[..k];
+            // Eq agreement.
+            let owned_slice: &[NameComponent] = owned.borrow();
+            prop_assert_eq!(owned_slice, borrowed);
+            // Hash agreement.
+            let mut h1 = DefaultHasher::new();
+            let mut h2 = DefaultHasher::new();
+            owned.hash(&mut h1);
+            borrowed.hash(&mut h2);
+            prop_assert_eq!(h1.finish(), h2.finish(), "hash mismatch at k={}", k);
+            // The slice probes a map keyed by owned names.
+            let mut map = std::collections::HashMap::new();
+            map.insert(owned.clone(), k);
+            prop_assert_eq!(map.get(borrowed), Some(&k));
+        }
+    }
+
+    /// NDN canonical ordering is preserved by the new representation: it
+    /// equals the reference component-wise comparison (type, then value
+    /// length, then value bytes; shorter name first on ties), and agrees
+    /// with the std lexicographic order on component slices that BTreeMap
+    /// range scans rely on.
+    #[test]
+    fn canonical_order_matches_reference(a in arb_name(), b in arb_name()) {
+        use std::cmp::Ordering;
+        let reference = a
+            .components()
+            .iter()
+            .zip(b.components())
+            .map(|(x, y)| x.canonical_cmp(y))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or_else(|| a.len().cmp(&b.len()));
+        prop_assert_eq!(a.cmp(&b), reference);
+        prop_assert_eq!(a.components().cmp(b.components()), reference);
+        // Hash/Eq consistency: equal names hash equal.
+        if reference == Ordering::Equal {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// prefix()/parent()/push() interactions preserve value semantics even
+    /// when tables are shared between clones (hidden-tail hygiene).
+    #[test]
+    fn prefix_views_are_isolated(
+        name in arb_name(),
+        cut in 0usize..12,
+        tail in component_text(),
+    ) {
+        let original = name.clone();
+        let k = cut.min(name.len());
+        let mut p = name.prefix(k);
+        p.push(NameComponent::from_str_generic(&tail));
+        // The original is untouched by edits to the prefix view.
+        prop_assert_eq!(&name, &original);
+        prop_assert_eq!(p.len(), k + 1);
+        prop_assert_eq!(p.parent(), original.prefix(k));
+        prop_assert_eq!(p.get(k).unwrap().as_str(), Some(tail.as_str()));
+    }
+}
+
+// --- FIB: borrowed prefix views and binary components -----------------------
+
+prop_compose! {
+    fn arb_binary_name()(
+        comps in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..80),
+            1..6,
+        ),
+    ) -> Name {
+        let mut name = Name::root();
+        for bytes in comps {
+            name = name.child(NameComponent::generic(bytes));
+        }
+        name
+    }
+}
+
+proptest! {
+    /// FIB longest-prefix match over borrowed views agrees with the naive
+    /// reference and with owned-prefix lookups, for arbitrary binary
+    /// (non-UTF-8) components spanning the inline/shared value boundary.
+    #[test]
+    fn fib_lpm_borrowed_views_match_naive_on_binary_names(
+        routes in proptest::collection::vec((arb_binary_name(), 0u64..8), 1..20),
+        probe in arb_binary_name(),
+        extra in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let mut fib = Fib::new();
+        let mut table: Vec<Name> = Vec::new();
+        for (prefix, face) in &routes {
+            fib.add_nexthop(prefix.clone(), FaceId::from_raw(*face), 1);
+            if !table.contains(prefix) {
+                table.push(prefix.clone());
+            }
+        }
+        // Probe an arbitrary name and a guaranteed-matching child.
+        let child = routes[0].0.clone().child(NameComponent::generic(extra));
+        for name in [probe, child] {
+            let naive: Option<&Name> = table
+                .iter()
+                .filter(|p| p.is_prefix_of(&name))
+                .max_by_key(|p| p.len());
+            let owned = fib.lookup(&name).map(|e| &e.prefix);
+            let borrowed = fib.lookup_components(name.components()).map(|e| &e.prefix);
+            let sliced = fib.lookup_slice(name.as_slice()).map(|e| &e.prefix);
+            prop_assert_eq!(owned, naive);
+            prop_assert_eq!(borrowed, naive);
+            prop_assert_eq!(sliced, naive);
+            // Borrowed-view lookups on truncated prefixes agree with
+            // owned-prefix lookups at every depth.
+            for k in 0..=name.len() {
+                prop_assert_eq!(
+                    fib.lookup_components(&name.components()[..k]).map(|e| &e.prefix),
+                    fib.lookup(&name.prefix(k)).map(|e| &e.prefix),
+                    "depth {}", k
+                );
+            }
+        }
+    }
+}

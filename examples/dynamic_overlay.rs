@@ -13,7 +13,7 @@ fn blast(tag: u32) -> ComputeRequest {
     ComputeRequest::new("BLAST", 2, 4)
         .with_param("srr", PAPER_RICE_SRR)
         .with_param("ref", "HUMAN")
-        .with_param("tag", &tag.to_string())
+        .with_param("tag", tag.to_string())
 }
 
 fn main() {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the `micro` criterion bench suite and persist the numbers as JSON.
+#
+#   ./scripts/bench_micro.sh [output.json] [filter]
+#
+# Defaults to BENCH_micro.json in the repo root. The local criterion
+# stand-in (vendor/criterion) honours BENCH_JSON and writes one record per
+# benchmark: {id, median_ns, iters_per_sample, samples}. Pass a filter
+# (e.g. "naming") to run a subset — note the JSON then only contains that
+# subset.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_micro.json}"
+FILTER="${2:-}"
+
+BENCH_JSON="$OUT" cargo bench --bench micro -- --noplot ${FILTER:+"$FILTER"}
+echo "wrote $OUT"

@@ -9,7 +9,7 @@ fn blast(tag: u64) -> ComputeRequest {
     ComputeRequest::new("BLAST", 2, 4)
         .with_param("srr", "SRR2931415")
         .with_param("ref", "HUMAN")
-        .with_param("tag", &tag.to_string())
+        .with_param("tag", tag.to_string())
 }
 
 /// One fixed scenario: 3 sites, 6 jobs, a mid-run partition.

@@ -8,7 +8,7 @@ fn blast(tag: u64) -> ComputeRequest {
     ComputeRequest::new("BLAST", 2, 4)
         .with_param("srr", "SRR2931415")
         .with_param("ref", "HUMAN")
-        .with_param("tag", &tag.to_string())
+        .with_param("tag", tag.to_string())
 }
 
 /// A lossy WAN between the client's edge forwarder and the cluster: the

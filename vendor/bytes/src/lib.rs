@@ -1,0 +1,463 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate, built for
+//! offline workspaces. It implements the subset of the API this repository
+//! uses with the same semantics that matter here:
+//!
+//! * [`Bytes`] is a refcounted view into a shared buffer: `clone()` and
+//!   [`Bytes::slice`] / [`Bytes::slice_ref`] are O(1) and allocation-free.
+//! * [`BytesMut`] is a growable buffer with big-endian put helpers (via the
+//!   [`BufMut`] trait) that [`BytesMut::freeze`]s into a `Bytes` without
+//!   copying.
+//!
+//! Equality, ordering, and hashing are by byte content, so `Bytes` values
+//! slicing different arenas compare like plain `[u8]`.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::{Arc, OnceLock};
+
+fn empty_arc() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+/// A cheaply cloneable, immutable view into a shared byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    buf: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty `Bytes` (no allocation).
+    pub fn new() -> Bytes {
+        Bytes {
+            buf: empty_arc(),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Copy `data` into a fresh owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// A `Bytes` over static data (copies here; the real crate borrows).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Number of bytes in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// O(1) sub-view sharing the same underlying buffer.
+    ///
+    /// Panics when the range is out of bounds, matching the real crate.
+    #[inline]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds of {}",
+            self.len
+        );
+        Bytes {
+            buf: self.buf.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// O(1) view of `subset`, which must lie inside `self` (same buffer).
+    ///
+    /// This is the zero-copy hook the TLV decoder uses: decode hands out
+    /// `&[u8]` slices of the wire buffer, and `slice_ref` turns them back
+    /// into refcounted views without copying.
+    #[inline]
+    pub fn slice_ref(&self, subset: &[u8]) -> Bytes {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let whole = self.as_ref().as_ptr() as usize;
+        let sub = subset.as_ptr() as usize;
+        assert!(
+            sub >= whole && sub + subset.len() <= whole + self.len,
+            "slice_ref subset is not inside this Bytes"
+        );
+        let start = sub - whole;
+        self.slice(start..start + subset.len())
+    }
+
+    /// Iterate the bytes.
+    pub fn iter(&self) -> std::slice::Iter<'_, u8> {
+        self.as_ref().iter()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.off..self.off + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            buf: Arc::new(v),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(m: BytesMut) -> Bytes {
+        m.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    #[inline]
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            if (b' '..=b'~').contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_ref().iter()
+    }
+}
+
+/// Growable byte buffer with big-endian put helpers.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// Empty buffer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Reserve space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Append a byte slice.
+    #[inline]
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.vec.extend_from_slice(data);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    // Inherent put helpers shadow the `BufMut` defaults with faster
+    // implementations (`put_u8` is a plain `Vec::push`, not a 1-byte
+    // memcpy) — they are the hot path of the TLV encoder and the name
+    // parser's arena fill.
+
+    /// Append one byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.vec.push(v);
+    }
+
+    /// Append a slice.
+    #[inline]
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.vec.extend_from_slice(data);
+    }
+
+    /// Append a big-endian u16.
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> BytesMut {
+        BytesMut {
+            vec: data.to_vec(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> BytesMut {
+        BytesMut { vec }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Bytes::copy_from_slice(&self.vec).fmt(f)
+    }
+}
+
+/// Write-side trait: the subset of `bytes::BufMut` used here.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.vec.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_buffer() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        let s2 = s.slice(1..2);
+        assert_eq!(s2.as_ref(), &[3]);
+    }
+
+    #[test]
+    fn slice_ref_zero_copy() {
+        let b = Bytes::from(vec![9u8; 32]);
+        let sub = &b[4..12];
+        let v = b.slice_ref(sub);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.as_ref(), sub);
+    }
+
+    #[test]
+    fn bytes_mut_put_and_freeze() {
+        let mut m = BytesMut::new();
+        m.put_u8(1);
+        m.put_u16(0x0203);
+        m.put_u32(0x04050607);
+        m.put_u64(0x08090A0B0C0D0E0F);
+        m.put_slice(b"xy");
+        let b = m.freeze();
+        assert_eq!(b.len(), 17);
+        assert_eq!(&b[..3], &[1, 2, 3]);
+        assert_eq!(&b[15..], b"xy");
+    }
+
+    #[test]
+    fn eq_hash_by_content() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4]).slice(1..4);
+        assert_eq!(a, b);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

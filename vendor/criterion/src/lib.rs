@@ -1,0 +1,346 @@
+//! Minimal, dependency-free stand-in for `criterion`, built for offline
+//! workspaces. Benches written against the criterion API run unmodified:
+//! each routine is warmed up, the per-iteration cost is calibrated, and the
+//! median over a fixed sample count is reported as `ns/iter`.
+//!
+//! Output goes to stdout in a stable `group/name  median_ns` format. When
+//! the `BENCH_JSON` environment variable names a file, a JSON document with
+//! every measurement is also written there (the repo's bench scripts use
+//! this to persist `BENCH_micro.json`).
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/benchmark` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter) — the noise-robust statistic on shared
+    /// hosts, where slow samples reflect neighbor load, not the code.
+    pub min_ns: f64,
+    /// Iterations per sample used after calibration.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+/// Throughput annotation (reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterised benchmark id, rendered as `name/param`.
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            rendered: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// Parameter-only id (used inside `bench_with_input` groups).
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            rendered: param.to_string(),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    results: Rc<RefCell<Vec<Measurement>>>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Accept and ignore criterion's CLI surface; honour a positional
+        // filter string (`cargo bench -- name`) like the real crate.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg.starts_with('-') {
+                continue; // --bench, --noplot, --save-baseline, ...
+            }
+            filter = Some(arg);
+        }
+        Criterion {
+            filter,
+            results: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a standalone (ungrouped) benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+    }
+
+    fn record(&self, m: Measurement) {
+        let line = match m.throughput {
+            Some(Throughput::Bytes(b)) => {
+                let gib = (b as f64) / m.median_ns; // bytes/ns == GB/s
+                format!("{:<44} {:>12.1} ns/iter  ({:.2} GB/s)", m.id, m.median_ns, gib)
+            }
+            Some(Throughput::Elements(e)) => {
+                let meps = (e as f64) / m.median_ns * 1000.0; // elems/us
+                format!("{:<44} {:>12.1} ns/iter  ({:.1} Kelem/s)", m.id, m.median_ns, meps * 1000.0)
+            }
+            None => format!(
+                "{:<44} {:>12.1} ns/iter  (min {:.1})",
+                m.id, m.median_ns, m.min_ns
+            ),
+        };
+        println!("{line}");
+        self.results.borrow_mut().push(m);
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Write the JSON report if `BENCH_JSON` is set. Called by
+    /// `criterion_main!` after all groups run.
+    pub fn final_summary(&self) {
+        let Some(path) = std::env::var_os("BENCH_JSON") else {
+            return;
+        };
+        let results = self.results.borrow();
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in results.iter().enumerate() {
+            let sep = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}{sep}\n",
+                m.id, m.median_ns, m.min_ns, m.iters_per_sample, m.samples
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion-shim: could not write {path:?}: {e}");
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (also scales measurement time down for slow
+    /// routines, mirroring how criterion uses it).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Annotate following benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = self.qualified(&name.into_bench_id());
+        if self.criterion.matches(&id) {
+            let m = run_bench(&id, self.sample_size, self.throughput, |b| f(b));
+            self.criterion.record(m);
+        }
+        self
+    }
+
+    /// Run one benchmark with an input parameter.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = self.qualified(&id.rendered);
+        if self.criterion.matches(&id) {
+            let m = run_bench(&id, self.sample_size, self.throughput, |b| f(b, input));
+            self.criterion.record(m);
+        }
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+
+    fn qualified(&self, name: &str) -> String {
+        if self.name.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}/{name}", self.name)
+        }
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] benchmark names.
+pub trait IntoBenchId {
+    /// Render to the flat id string.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.rendered
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    sample_medians_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate: target ~2ms per sample, capped batches.
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed();
+        let target = Duration::from_millis(2);
+        let iters = if first.is_zero() {
+            1024
+        } else {
+            (target.as_nanos() / first.as_nanos().max(1)).clamp(1, 100_000) as u64
+        };
+        self.iters_per_sample = iters;
+        self.sample_medians_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.sample_medians_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn run_bench(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) -> Measurement {
+    let mut b = Bencher {
+        iters_per_sample: 0,
+        samples: sample_size,
+        sample_medians_ns: Vec::new(),
+    };
+    f(&mut b);
+    let mut xs = b.sample_medians_ns.clone();
+    let (median, min) = if xs.is_empty() {
+        (0.0, 0.0)
+    } else {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        (xs[xs.len() / 2], xs[0])
+    };
+    Measurement {
+        id: id.to_owned(),
+        median_ns: median,
+        min_ns: min,
+        iters_per_sample: b.iters_per_sample,
+        samples: b.sample_medians_ns.len(),
+        throughput,
+    }
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declare the bench `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let m = run_bench("t/x", 5, None, |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert!(m.median_ns > 0.0);
+        assert_eq!(m.samples, 5);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("fib", 42).rendered, "fib/42");
+    }
+}

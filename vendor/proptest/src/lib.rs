@@ -1,0 +1,968 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate, built for
+//! offline workspaces. It keeps the same *testing model* — strategies
+//! generate random inputs, `proptest!` runs a case budget, `prop_assert*`
+//! failures report the failing case — but with a much smaller engine:
+//!
+//! * generation is deterministic (seeded from the test name + case index),
+//!   so failures reproduce across runs and machines;
+//! * there is no shrinking — the failing inputs are printed as generated;
+//! * the regex strategy supports the character-class subset this
+//!   workspace's patterns use (classes, ranges, `{m,n}` repeats, literals,
+//!   `&&[^…]` class intersection).
+//!
+//! Covered API: `proptest!`, `prop_compose!`, `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, `any::<T>()`,
+//! integer-range strategies, `Just`, tuple strategies, string-literal regex
+//! strategies, `collection::{vec, btree_map, btree_set}`,
+//! `string::string_regex`, `num::*::ANY`, `array::uniform32`,
+//! `ProptestConfig::with_cases`, and `TestCaseError`.
+
+#![forbid(unsafe_code)]
+
+/// The conventional glob-import surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest};
+}
+
+pub mod test_runner {
+    //! Case scheduling, deterministic seeding, and failure reporting.
+
+    use std::fmt;
+
+    /// Per-test configuration (only the case budget is modelled).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Config { cases }
+        }
+    }
+
+    /// A property failure (no reject/filter machinery — just failure text).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Construct a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+
+        /// Alias used by some call styles.
+        #[allow(non_snake_case)]
+        pub fn Fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::fail(msg)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic generator handed to strategies (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded generator.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            // Multiply-shift bounded draw (bias is irrelevant for tests).
+            (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+        }
+
+        /// Uniform draw in `[lo, hi]` inclusive.
+        pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+            if lo >= hi {
+                return lo;
+            }
+            let span = hi - lo;
+            if span == u64::MAX {
+                return self.next_u64();
+            }
+            lo + self.below(span + 1)
+        }
+
+        /// Bernoulli(1/2).
+        pub fn flip(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// Drives the cases of one property.
+    pub struct TestRunner {
+        base_seed: u64,
+        cases: u32,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Runner for the property called `name`.
+        pub fn new(config: Config, name: &'static str) -> TestRunner {
+            // FNV-1a of the property name: deterministic per-test streams.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                base_seed: h,
+                cases: config.cases.max(1),
+                name,
+            }
+        }
+
+        /// The case budget.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The property name (for failure messages).
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+
+        /// The generator for case `case`.
+        pub fn rng_for(&self, case: u32) -> TestRng {
+            TestRng::new(self.base_seed.wrapping_add(0x1000_0000_0000_0001u64.wrapping_mul(u64::from(case) + 1)))
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and basic combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// Generates values of `Self::Value` from a deterministic RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A strategy backed by a generation closure (used by `prop_compose!`).
+    pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T>(pub F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice among boxed strategies (used by `prop_oneof!`).
+    pub struct OneOf<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// An empty option set (must gain at least one option before use).
+        pub fn empty() -> OneOf<V> {
+            OneOf {
+                options: Vec::new(),
+            }
+        }
+
+        /// Builder: add one option (lets `prop_oneof!` infer `V` from the
+        /// first strategy without naming it).
+        pub fn with<S: Strategy<Value = V> + 'static>(mut self, s: S) -> OneOf<V> {
+            self.options.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            assert!(!self.options.is_empty(), "prop_oneof! needs at least one option");
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.range_inclusive(self.start as u64, (self.end - 1) as u64) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.range_inclusive(*self.start() as u64, *self.end() as u64) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategies!(i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    /// String literals act as regex strategies, as in real proptest.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::Regex::compile(self)
+                .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+                .generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(pub PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Any<T> {}
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias towards small values and boundaries, like real
+                    // proptest's binary-search-friendly distributions.
+                    match rng.below(8) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => (rng.next_u64() % 16) as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.flip()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Option<T> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(T::arbitrary(rng))
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// An inclusive size window for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            rng.range_inclusive(self.min as u64, self.max as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector of `elem` values with a size drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// A map with up to the drawn number of entries (duplicate keys merge).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A set with up to the drawn number of elements (duplicates merge).
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            for _ in 0..n {
+                out.insert(self.elem.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-shaped string strategies (character-class subset).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error from [`string_regex`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One regex atom plus its repeat window.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        /// Candidate characters (singleton for literals).
+        chars: Vec<char>,
+        min: u32,
+        max: u32,
+    }
+
+    /// A compiled pattern: a sequence of repeated character choices.
+    #[derive(Debug, Clone)]
+    pub struct Regex {
+        atoms: Vec<Atom>,
+    }
+
+    impl Regex {
+        /// Compile the supported subset: literals, escapes, `[...]` classes
+        /// (ranges, negation via `&&[^...]` intersection), `{n}` / `{m,n}`.
+        pub fn compile(pattern: &str) -> Result<Regex, Error> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut i = 0;
+            let mut atoms = Vec::new();
+            while i < chars.len() {
+                let set: Vec<char> = match chars[i] {
+                    '[' => {
+                        let (set, next) = parse_class(&chars, i + 1, pattern)?;
+                        i = next;
+                        set
+                    }
+                    '\\' => {
+                        let c = *chars
+                            .get(i + 1)
+                            .ok_or_else(|| Error(pattern.to_owned()))?;
+                        i += 2;
+                        vec![unescape(c)]
+                    }
+                    '.' => {
+                        i += 1;
+                        (' '..='~').collect()
+                    }
+                    '(' | ')' | '|' | '*' | '+' | '?' => {
+                        return Err(Error(format!("{pattern}: unsupported operator {:?}", chars[i])));
+                    }
+                    c => {
+                        i += 1;
+                        vec![c]
+                    }
+                };
+                let (min, max) = if chars.get(i) == Some(&'{') {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .ok_or_else(|| Error(pattern.to_owned()))?;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().map_err(|_| Error(pattern.to_owned()))?,
+                            hi.trim().parse().map_err(|_| Error(pattern.to_owned()))?,
+                        ),
+                        None => {
+                            let n: u32 = body.trim().parse().map_err(|_| Error(pattern.to_owned()))?;
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                if set.is_empty() {
+                    return Err(Error(format!("{pattern}: empty character class")));
+                }
+                atoms.push(Atom {
+                    chars: set,
+                    min,
+                    max,
+                });
+            }
+            Ok(Regex { atoms })
+        }
+
+        /// Generate one matching string.
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.range_inclusive(u64::from(atom.min), u64::from(atom.max));
+                for _ in 0..n {
+                    let i = rng.below(atom.chars.len() as u64) as usize;
+                    out.push(atom.chars[i]);
+                }
+            }
+            out
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Parse a `[...]` class starting just past the `[`. Returns the
+    /// candidate set and the index one past the closing `]`. Supports
+    /// leading `^` negation (over printable ASCII) and `&&[^...]`
+    /// intersection-with-negation.
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> Result<(Vec<char>, usize), Error> {
+        let mut include: Vec<char> = Vec::new();
+        let mut exclude: Vec<char> = Vec::new();
+        let negated = chars.get(i) == Some(&'^');
+        if negated {
+            i += 1;
+        }
+        let mut first = true;
+        loop {
+            let c = *chars.get(i).ok_or_else(|| Error(pattern.to_owned()))?;
+            match c {
+                ']' if !first => {
+                    i += 1;
+                    break;
+                }
+                '&' if chars.get(i + 1) == Some(&'&') => {
+                    // `&&[^...]`: subtract the nested negated class.
+                    if chars.get(i + 2) != Some(&'[') || chars.get(i + 3) != Some(&'^') {
+                        return Err(Error(format!("{pattern}: only &&[^...] intersections supported")));
+                    }
+                    let (sub, next) = parse_class(chars, i + 4, pattern)?;
+                    exclude.extend(sub);
+                    i = next;
+                }
+                '\\' => {
+                    let e = *chars.get(i + 1).ok_or_else(|| Error(pattern.to_owned()))?;
+                    include.push(unescape(e));
+                    i += 2;
+                }
+                lo => {
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                        let hi = chars[i + 2];
+                        if hi < lo {
+                            return Err(Error(format!("{pattern}: inverted range {lo}-{hi}")));
+                        }
+                        include.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        include.push(lo);
+                        i += 1;
+                    }
+                }
+            }
+            first = false;
+        }
+        let mut set: Vec<char> = if negated {
+            (' '..='~').filter(|c| !include.contains(c)).collect()
+        } else {
+            include
+        };
+        set.retain(|c| !exclude.contains(c));
+        Ok((set, i))
+    }
+
+    /// The strategy form of [`Regex::compile`].
+    pub fn string_regex(pattern: &str) -> Result<Regex, Error> {
+        Regex::compile(pattern)
+    }
+
+    impl Strategy for Regex {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            Regex::generate(self, rng)
+        }
+    }
+}
+
+pub mod num {
+    //! `proptest::num::<type>::ANY` constants.
+
+    macro_rules! any_mods {
+        ($($m:ident => $t:ty),*) => {$(
+            pub mod $m {
+                //! Canonical full-range strategy for this integer type.
+                use std::marker::PhantomData;
+                /// Any value of this type.
+                pub const ANY: crate::arbitrary::Any<$t> = crate::arbitrary::Any(PhantomData);
+            }
+        )*};
+    }
+
+    any_mods!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize, i64 => i64);
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; 32]`.
+    pub struct Uniform32<S>(S);
+
+    /// 32 independent draws from `elem`.
+    pub fn uniform32<S: Strategy>(elem: S) -> Uniform32<S> {
+        Uniform32(elem)
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+/// Assert inside a property; failures abort only the current case with a
+/// report instead of panicking the whole process (as in real proptest, the
+/// enclosing generated test then panics with context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va == vb,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), va, vb
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va == vb,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), va, vb
+        );
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va != vb,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), va
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va != vb,
+            "{}\n  both: {:?}",
+            format!($($fmt)*), va
+        );
+    }};
+}
+
+/// Uniform choice among same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::empty()$(.with($s))+
+    };
+}
+
+/// Define a named composite strategy:
+/// `prop_compose! { fn name()(a in s1, b in s2) -> T { body } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$attr:meta])*
+        $vis:vis fn $name:ident($($fnarg:ident: $fnty:ty),* $(,)?)
+        ($($arg:ident in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$attr])*
+        $vis fn $name($($fnarg: $fnty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(move |rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Run properties over generated inputs:
+/// `proptest! { #[test] fn prop(x in strat) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        cfg = ($cfg:expr);
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let runner = $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut rng = runner.rng_for(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{} (deterministic seed; rerun reproduces):\n{}",
+                            runner.name(), case + 1, runner.cases(), e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u8..10, y in 1u64..=4, z in 0usize..100) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!(z < 100);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn regex_shapes(s in "[a-z][a-z0-9-]{0,5}") {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+
+        #[test]
+        fn oneof_picks_members(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+
+    prop_compose! {
+        fn pair()(a in 0u8..4, b in 0u8..4) -> (u8, u8) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed(p in pair()) {
+            prop_assert!(p.0 < 4 && p.1 < 4);
+        }
+    }
+
+    #[test]
+    fn intersection_class_excludes() {
+        let r = crate::string::string_regex("[ -~&&[^\\n]]{0,40}").unwrap();
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..50 {
+            let s = r.generate(&mut rng);
+            assert!(!s.contains('\n'));
+            assert!(s.len() <= 40);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::Config::with_cases(4),
+            "stable",
+        );
+        let a: Vec<u64> = (0..4).map(|c| runner.rng_for(c).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|c| runner.rng_for(c).next_u64()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,37 @@
+//! Minimal stand-in for `rand`: only the [`RngCore`] trait (and its error
+//! type), which is all this workspace uses — the deterministic generator in
+//! `lidc-simcore` implements the trait itself.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Random-generator error (never produced by infallible generators).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random-generator interface (API-compatible subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fallible fill (infallible here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

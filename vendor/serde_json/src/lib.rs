@@ -1,0 +1,537 @@
+//! Minimal, dependency-free stand-in for `serde_json`: a [`Value`] tree,
+//! the [`json!`] constructor macro, a strict parser ([`from_str`]), and a
+//! pretty printer ([`to_string_pretty`]). No serde trait machinery — values
+//! convert through `From` impls for the types this workspace feeds in.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document tree. Objects keep sorted key order (BTreeMap), which is
+/// deterministic across runs — good for diffable artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; integers print without decimals).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as f64, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as u64, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if pretty {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    item.write(out, indent + 1, pretty);
+                    if i + 1 != items.len() {
+                        out.push(',');
+                        if !pretty {
+                            out.push(' ');
+                        }
+                    }
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if pretty {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1, pretty);
+                    if i + 1 != map.len() {
+                        out.push(',');
+                        if !pretty {
+                            out.push(' ');
+                        }
+                    }
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, 0, false);
+        f.write_str(&s)
+    }
+}
+
+// --- conversions ------------------------------------------------------------
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(s: &&str) -> Value {
+        Value::String((*s).to_owned())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+macro_rules! number_from {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::Number(n as f64)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(n: &$t) -> Value {
+                Value::Number(*n as f64)
+            }
+        }
+    )*};
+}
+
+number_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! array_from {
+    ($($t:ty => |$x:ident| $conv:expr),* $(,)?) => {$(
+        impl From<Vec<$t>> for Value {
+            fn from(items: Vec<$t>) -> Value {
+                Value::Array(items.iter().map(|$x| $conv).collect())
+            }
+        }
+        impl From<&Vec<$t>> for Value {
+            fn from(items: &Vec<$t>) -> Value {
+                Value::Array(items.iter().map(|$x| $conv).collect())
+            }
+        }
+        impl From<&[$t]> for Value {
+            fn from(items: &[$t]) -> Value {
+                Value::Array(items.iter().map(|$x| $conv).collect())
+            }
+        }
+    )*};
+}
+
+array_from! {
+    String => |x| Value::String(x.clone()),
+    Vec<String> => |x| Value::from(x),
+    Value => |x| x.clone(),
+    u64 => |x| Value::Number(*x as f64),
+    f64 => |x| Value::Number(*x),
+}
+
+// --- indexing ----------------------------------------------------------------
+
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+// --- ser/de ------------------------------------------------------------------
+
+/// Serialization/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-print with two-space indentation.
+pub fn to_string_pretty<V: Into<Value> + Clone>(value: &V) -> Result<String, Error> {
+    let v: Value = value.clone().into();
+    let mut out = String::new();
+    v.write(&mut out, 0, true);
+    Ok(out)
+}
+
+/// Compact print.
+pub fn to_string<V: Into<Value> + Clone>(value: &V) -> Result<String, Error> {
+    Ok(value.clone().into().to_string())
+}
+
+/// Parse a JSON document.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut p = Parser { chars: &bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(Error(format!("trailing characters at {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Result<char, Error> {
+        self.chars
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), Error> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected {:?} at {}", c, self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek()? {
+            '{' => self.object(),
+            '[' => self.array(),
+            '"' => Ok(Value::String(self.string()?)),
+            't' => self.literal("true", Value::Bool(true)),
+            'f' => self.literal("false", Value::Bool(false)),
+            'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Value) -> Result<Value, Error> {
+        for c in text.chars() {
+            self.expect(c)?;
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek()? == '}' {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek()? {
+                ',' => {
+                    self.pos += 1;
+                }
+                '}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                c => return Err(Error(format!("expected ',' or '}}', found {c:?}"))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == ']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                ',' => {
+                    self.pos += 1;
+                }
+                ']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                c => return Err(Error(format!("expected ',' or ']', found {c:?}"))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek()?;
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let e = self.peek()?;
+                    self.pos += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{0008}'),
+                        'f' => out.push('\u{000C}'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let h = self.peek()?;
+                                self.pos += 1;
+                                code = code * 16
+                                    + h.to_digit(16)
+                                        .ok_or_else(|| Error("bad \\u escape".into()))?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                        }
+                        other => return Err(Error(format!("bad escape \\{other}"))),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(|c| {
+            c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+        }) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error(format!("bad number {text:?}")))
+    }
+}
+
+/// Build a [`Value`] from JSON-looking syntax. Field values are converted
+/// through `Into<Value>` on a reference, so borrowed fields work.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert($key.to_string(), $crate::Value::from(&$val)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from(&$item) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let v = json!({
+            "id": "table1",
+            "n": 3u32,
+            "tags": vec!["a".to_string(), "b".to_string()],
+        });
+        let pretty = to_string_pretty(&v).unwrap();
+        let back = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["id"], "table1");
+        assert_eq!(back["tags"][1], "b");
+        assert_eq!(back["missing"], Value::Null);
+    }
+
+    #[test]
+    fn escapes() {
+        let v = Value::String("a\"b\\c\nd".into());
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_vec_of_vec() {
+        let rows = vec![vec!["a".to_string()], vec!["b".to_string()]];
+        let v = json!({ "rows": rows });
+        assert_eq!(v["rows"][1][0], "b");
+    }
+}

@@ -3,6 +3,7 @@
 //! classification — plus the real (rayon-parallel) alignment kernel.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lidc_core::cluster::{LidcCluster, LidcClusterConfig};
 use lidc_core::naming::{classify, ComputeRequest, RequestKind};
 use lidc_genomics::aligner::{align_parallel, align_sequential, Reference};
 use lidc_genomics::sequence::sample_reads;
@@ -147,6 +148,90 @@ fn bench_tables(c: &mut Criterion) {
     g.finish();
 }
 
+/// Burst dispatch: N same-instant compute Interests traverse a client
+/// forwarder, a WAN link, the gateway forwarder, and the gateway app, and
+/// the submit-acks return. This is the paper's fan-in scenario (§V–§VII):
+/// the 1024-point is what gateway dispatch batching and the wire-batch link
+/// model exist for.
+fn bench_burst(c: &mut Criterion) {
+    use lidc_ndn::face::{FaceIdAlloc, LinkProps};
+    use lidc_ndn::forwarder::{AppRx, Forwarder, ForwarderConfig, Rx};
+    use lidc_ndn::net::{attach_app, connect};
+    use lidc_ndn::packet::{ContentType, Packet};
+    use lidc_simcore::engine::{Actor, Ctx, Msg, Sim};
+
+    /// Counts successful acks only — a NACKed or nack-bodied reply must
+    /// fail the bench's completeness assert, not masquerade as the (much
+    /// cheaper) job-creation path and corrupt the pre/post comparison.
+    struct Sink {
+        acks: u64,
+    }
+    impl Actor for Sink {
+        fn on_message(&mut self, msg: Msg, _ctx: &mut Ctx<'_>) {
+            if let Ok(rx) = msg.downcast::<AppRx>() {
+                if let Packet::Data(d) = &rx.packet {
+                    if d.content_type != ContentType::Nack {
+                        self.acks += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_burst(n: usize) -> u64 {
+        let mut sim = Sim::new(42);
+        let alloc = FaceIdAlloc::new();
+        let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig {
+            nodes: 4,
+            load_datasets: false,
+            ..LidcClusterConfig::named("burst")
+        });
+        let client_fwd = sim.spawn(
+            "client-fwd",
+            Forwarder::new("client-fwd", ForwarderConfig::default()),
+        );
+        let (to_gw, _from_gw) = connect(
+            &mut sim,
+            client_fwd,
+            cluster.gateway_fwd,
+            &alloc,
+            LinkProps::with_latency(SimDuration::from_millis(1)),
+        );
+        cluster.register_on(&mut sim, client_fwd, to_gw, 0);
+        let sink = sim.spawn("sink", Sink { acks: 0 });
+        let sink_face = attach_app(&mut sim, client_fwd, sink, &alloc);
+        for i in 0..n {
+            let name = Name::parse(&format!(
+                "/ndn/k8s/compute/mem=1&cpu=1&app=BURST&size=1000000&tag={i}"
+            ))
+            .unwrap();
+            let interest = Interest::new(name)
+                .must_be_fresh(true)
+                .with_nonce(i as u32 + 1);
+            sim.send(client_fwd, Rx {
+                face: sink_face,
+                packet: Packet::Interest(interest),
+            });
+        }
+        sim.run_until(sim.now() + SimDuration::from_millis(100));
+        sim.actor::<Sink>(sink).unwrap().acks
+    }
+
+    let mut g = c.benchmark_group("burst");
+    g.sample_size(10);
+    for &n in &[1usize, 64, 1024] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("gateway_link_dispatch", n), &n, |b, &n| {
+            b.iter(|| {
+                let acks = run_burst(black_box(n));
+                assert_eq!(acks, n as u64, "every Interest acked in-horizon");
+                acks
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_aligner(c: &mut Criterion) {
     let mut g = c.benchmark_group("aligner");
     g.sample_size(10);
@@ -162,5 +247,5 @@ fn bench_aligner(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_naming, bench_tlv, bench_tables, bench_aligner);
+criterion_group!(benches, bench_naming, bench_tlv, bench_tables, bench_burst, bench_aligner);
 criterion_main!(benches);

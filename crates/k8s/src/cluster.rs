@@ -8,7 +8,7 @@
 //! after `pod_start_latency` (image pull + container start) and finishes
 //! according to its [`crate::pod::WorkloadSpec`] timer.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use lidc_simcore::engine::{Actor, ActorId, Ctx, Msg, Sim};
 use lidc_simcore::time::{SimDuration, SimTime};
@@ -525,21 +525,26 @@ fn reconcile_replicasets(api: &mut ApiServer, now: SimTime) -> bool {
 fn reconcile_jobs(api: &mut ApiServer, now: SimTime) -> bool {
     let mut changed = false;
     let job_keys: Vec<ObjectKey> = api.jobs.keys().cloned().collect();
+    // Group pods by owning job in one O(pods) sweep (insertion keeps the
+    // pod map's canonical order). A job burst would otherwise rescan every
+    // pod once per job — quadratic exactly when the gateway batch-creates
+    // hundreds of jobs at one instant.
+    let mut owned_by_job: HashMap<String, Vec<ObjectKey>> = HashMap::new();
+    for (k, p) in api.pods.iter() {
+        if let Some(job) = p.meta.labels.get("job") {
+            owned_by_job.entry(job.clone()).or_default().push(k.clone());
+        }
+    }
     for key in job_keys {
         if api.jobs[&key].is_finished() {
             continue;
         }
-        let (template, backoff_limit) = {
-            let j = &api.jobs[&key];
-            (j.spec.template.clone(), j.spec.backoff_limit)
-        };
+        let backoff_limit = api.jobs[&key].spec.backoff_limit;
         // Pods owned by this job.
-        let owned: Vec<ObjectKey> = api
-            .pods
-            .iter()
-            .filter(|(_, p)| p.meta.labels.get("job") == Some(&key.name))
-            .map(|(k, _)| k.clone())
-            .collect();
+        let owned: Vec<ObjectKey> = owned_by_job
+            .get(key.name.as_str())
+            .cloned()
+            .unwrap_or_default();
         let succeeded = owned
             .iter()
             .find(|k| api.pods[*k].status.phase == PodPhase::Succeeded)
@@ -603,7 +608,8 @@ fn reconcile_jobs(api: &mut ApiServer, now: SimTime) -> bool {
             let mut meta = ObjectMeta::named(&name).in_namespace(&key.namespace);
             meta.labels.insert("job".to_owned(), key.name.clone());
             meta.labels.insert("attempt".to_owned(), attempt.to_string());
-            let pod = Pod::new(meta, template.clone());
+            let template = api.jobs[&key].spec.template.clone();
+            let pod = Pod::new(meta, template);
             let pod_key = pod.meta.key().to_string();
             if api.create_pod(pod, now).is_ok() {
                 let job = api.jobs.get_mut(&key).unwrap();

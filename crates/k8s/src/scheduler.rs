@@ -5,6 +5,8 @@
 //! resources for the pod's requests. Scoring ranks the survivors by the
 //! configured policy. Binding writes `status.node`.
 
+use std::collections::BTreeMap;
+
 use crate::apiserver::ApiServer;
 use crate::meta::ObjectKey;
 use crate::resources::Resources;
@@ -46,13 +48,37 @@ impl Scheduler {
             })
             .map(|(k, p)| (k.clone(), p.spec.total_requests(), p.spec.node_name.clone()))
             .collect();
+        if pending.is_empty() {
+            return Vec::new();
+        }
         pending.sort_by_key(|(k, _, _)| api.pods[k].meta.uid);
+
+        // Per-node usage in one O(pods) sweep, updated incrementally as pods
+        // bind — a job burst would otherwise rescan every pod per candidate
+        // node (filter + score) per pending pod.
+        let mut used: BTreeMap<String, Resources> = api
+            .nodes
+            .keys()
+            .map(|n| (n.clone(), Resources::ZERO))
+            .collect();
+        for p in api.pods.values() {
+            if p.holds_resources() {
+                if let Some(node) = p.status.node.as_deref() {
+                    if let Some(slot) = used.get_mut(node) {
+                        *slot += p.spec.total_requests();
+                    }
+                }
+            }
+        }
 
         let mut bound = Vec::new();
         for (key, requests, node_constraint) in pending {
-            let Some(node) = self.pick_node(api, &requests, node_constraint.as_deref()) else {
+            let Some(node) = self.pick_node(api, &used, &requests, node_constraint.as_deref())
+            else {
                 continue; // stays pending; retried next reconcile
             };
+            let slot = used.get_mut(&node).expect("node tracked");
+            *slot += requests;
             let ip = api.alloc_pod_ip();
             let pod = api.pods.get_mut(&key).expect("pod exists");
             pod.status.node = Some(node.clone());
@@ -67,6 +93,7 @@ impl Scheduler {
     fn pick_node(
         &self,
         api: &ApiServer,
+        used: &BTreeMap<String, Resources>,
         requests: &Resources,
         constraint: Option<&str>,
     ) -> Option<String> {
@@ -75,12 +102,15 @@ impl Scheduler {
             .values()
             .filter(|n| n.ready)
             .filter(|n| constraint.is_none_or(|c| c == n.meta.name))
-            .filter(|n| requests.fits_in(&api.node_free(&n.meta.name)));
+            .filter(|n| {
+                let free = n.allocatable.saturating_sub(&used[&n.meta.name]);
+                requests.fits_in(&free)
+            });
         // Deterministic tie-break by node name via max_by with name-reversed
         // comparison: take the best score, then lexicographically smallest.
         let mut best: Option<(f64, &str)> = None;
         for n in candidates {
-            let score = self.score(api, &n.meta.name, requests);
+            let score = self.score(api, used, &n.meta.name, requests);
             let better = match best {
                 None => true,
                 Some((bs, bn)) => {
@@ -95,9 +125,15 @@ impl Scheduler {
     }
 
     /// Higher is better.
-    fn score(&self, api: &ApiServer, node: &str, requests: &Resources) -> f64 {
+    fn score(
+        &self,
+        api: &ApiServer,
+        used: &BTreeMap<String, Resources>,
+        node: &str,
+        requests: &Resources,
+    ) -> f64 {
         let allocatable = api.nodes[node].allocatable;
-        let used_after = api.node_usage(node) + *requests;
+        let used_after = used[node] + *requests;
         let util = used_after.dominant_utilisation(&allocatable);
         match self.policy {
             ScorePolicy::LeastAllocated => 1.0 - util,

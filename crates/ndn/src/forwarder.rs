@@ -6,6 +6,21 @@
 //! expiry. Faces connect either to peer forwarders (with latency/bandwidth/
 //! loss) or to local application actors (producers, consumers, the LIDC
 //! gateway).
+//!
+//! # Wire batching
+//!
+//! Outbound link transmissions are *staged* during a handler invocation and
+//! flushed once at the end: every packet bound for the same link face with
+//! the same computed arrival instant travels in a single scheduler event (a
+//! [`RxBatch`]) instead of one event per packet. Per-packet semantics —
+//! loss draws, serialisation delay, `busy_until` FIFO queueing, counters —
+//! are computed at staging time, so timing and state are bit-identical to
+//! per-packet delivery; only the number of scheduler events shrinks. The
+//! forwarder's batched ingress ([`Actor::on_batch`]) processes a coalesced
+//! burst of [`Rx`]/[`RxBatch`] messages in arrival order, reusing the
+//! PIT/CS scratch buffers across the whole burst, and flushes staged
+//! transmissions once per burst. This is what keeps the 4096-node scaling
+//! runs out of scheduler churn.
 
 use std::collections::VecDeque;
 
@@ -28,6 +43,17 @@ pub struct Rx {
     pub face: FaceId,
     /// The packet.
     pub packet: Packet,
+}
+
+/// A burst of packets crossing one link in a single scheduler event: they
+/// all arrive on `face` at the same instant, in transmission order. Sent by
+/// peer forwarders' wire-batch flush (see the module docs).
+#[derive(Debug)]
+pub struct RxBatch {
+    /// The receiving face (from this forwarder's perspective).
+    pub face: FaceId,
+    /// The packets, in the order they were transmitted.
+    pub packets: Vec<Packet>,
 }
 
 /// A packet the forwarder delivers to a local application actor.
@@ -168,6 +194,28 @@ impl DeadNonceList {
     }
 }
 
+/// One staged link transmission (wire batching; see the module docs).
+#[derive(Debug)]
+struct StagedTx {
+    /// The peer forwarder.
+    peer: lidc_simcore::engine::ActorId,
+    /// The peer's face for this link.
+    peer_face: FaceId,
+    /// Absolute arrival instant (propagation + serialisation, FIFO-queued).
+    arrival: lidc_simcore::time::SimTime,
+    /// The packet.
+    packet: Packet,
+}
+
+/// A flush group: every staged packet bound for one link arriving at one
+/// instant.
+struct StagedGroup {
+    peer: lidc_simcore::engine::ActorId,
+    peer_face: FaceId,
+    arrival: lidc_simcore::time::SimTime,
+    packets: Vec<Packet>,
+}
+
 /// The forwarder actor.
 pub struct Forwarder {
     label: String,
@@ -183,6 +231,8 @@ pub struct Forwarder {
     /// Reused buffer for PIT data-match results: Data arrivals fill this in
     /// place instead of allocating a fresh Vec per packet.
     pit_match_scratch: Vec<PitKey>,
+    /// Link transmissions staged during the current handler invocation.
+    tx_staged: Vec<StagedTx>,
 }
 
 impl Forwarder {
@@ -197,6 +247,7 @@ impl Forwarder {
             dnl: DeadNonceList::new(config.dnl_capacity),
             strategies: vec![(Name::root(), Box::new(BestRoute::new()))],
             pit_match_scratch: Vec::new(),
+            tx_staged: Vec::new(),
             config,
         }
     }
@@ -311,12 +362,80 @@ impl Forwarder {
                 let face = self.faces.get_mut(&face_id).expect("face exists");
                 let start = face.busy_until.max(now);
                 face.busy_until = start + transmit;
-                let delay = (face.busy_until + props.latency).since(now);
-                ctx.send_after(delay, peer, Rx {
-                    face: peer_face,
+                let arrival = face.busy_until + props.latency;
+                // Stage instead of scheduling: the end-of-handler flush
+                // merges same-(link, arrival) packets into one event.
+                self.tx_staged.push(StagedTx {
+                    peer,
+                    peer_face,
+                    arrival,
                     packet,
                 });
             }
+        }
+    }
+
+    /// Emit every staged link transmission, one scheduler event per
+    /// `(link, arrival instant)` group, in first-staged order. Called once
+    /// at the end of each handler invocation (per message when the engine
+    /// delivers singly, per burst under batched dispatch). Grouping is a
+    /// single O(n) hash pass — on bandwidth-limited links every packet has
+    /// a distinct arrival and degenerates to singleton groups, which must
+    /// not cost quadratic scans.
+    fn flush_tx(&mut self, ctx: &mut Ctx<'_>) {
+        if self.tx_staged.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let mut staged = std::mem::take(&mut self.tx_staged);
+        if staged.len() == 1 {
+            let s = staged.pop().expect("one entry");
+            ctx.send_after(s.arrival.since(now), s.peer, Rx {
+                face: s.peer_face,
+                packet: s.packet,
+            });
+            self.tx_staged = staged;
+            return;
+        }
+        let mut index: FxHashMap<(FaceId, lidc_simcore::time::SimTime), usize> =
+            FxHashMap::default();
+        let mut groups: Vec<StagedGroup> = Vec::new();
+        for s in staged.drain(..) {
+            match index.entry((s.peer_face, s.arrival)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    groups[*e.get()].packets.push(s.packet);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push(StagedGroup {
+                        peer: s.peer,
+                        peer_face: s.peer_face,
+                        arrival: s.arrival,
+                        packets: vec![s.packet],
+                    });
+                }
+            }
+        }
+        for mut group in groups {
+            let delay = group.arrival.since(now);
+            if group.packets.len() == 1 {
+                ctx.send_after(delay, group.peer, Rx {
+                    face: group.peer_face,
+                    packet: group.packets.pop().expect("one packet"),
+                });
+            } else {
+                ctx.metrics().incr("ndn.batch.link_flushes", 1);
+                ctx.metrics()
+                    .incr("ndn.batch.link_packets", group.packets.len() as u64);
+                ctx.send_after(delay, group.peer, RxBatch {
+                    face: group.peer_face,
+                    packets: group.packets,
+                });
+            }
+        }
+        // Reclaim the staging buffer unless a nested path repopulated it.
+        if self.tx_staged.is_empty() {
+            self.tx_staged = staged;
         }
     }
 
@@ -529,24 +648,43 @@ impl Forwarder {
     }
 }
 
-impl Actor for Forwarder {
-    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+impl Forwarder {
+    /// Ingest one packet that arrived on `face` (shared by [`Rx`] and
+    /// [`RxBatch`] handling).
+    fn on_packet(&mut self, face: FaceId, packet: Packet, ctx: &mut Ctx<'_>) {
+        if let Some(f) = self.faces.get(&face) {
+            if !f.up {
+                ctx.metrics().incr("ndn.rx_face_down", 1);
+                return;
+            }
+        } else {
+            ctx.metrics().incr("ndn.rx_no_such_face", 1);
+            return;
+        }
+        match packet {
+            Packet::Interest(i) => self.on_interest(face, i, ctx),
+            Packet::Data(d) => self.on_data(face, d, ctx),
+            Packet::Nack(n) => self.on_nack(face, n, ctx),
+        }
+    }
+
+    /// Dispatch one message, *without* flushing staged transmissions — the
+    /// `Actor` impl flushes once per handler invocation so a batched burst
+    /// shares one flush.
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
         let msg = match msg.downcast::<Rx>() {
             Ok(rx) => {
                 let rx = *rx;
-                if let Some(face) = self.faces.get(&rx.face) {
-                    if !face.up {
-                        ctx.metrics().incr("ndn.rx_face_down", 1);
-                        return;
-                    }
-                } else {
-                    ctx.metrics().incr("ndn.rx_no_such_face", 1);
-                    return;
-                }
-                match rx.packet {
-                    Packet::Interest(i) => self.on_interest(rx.face, i, ctx),
-                    Packet::Data(d) => self.on_data(rx.face, d, ctx),
-                    Packet::Nack(n) => self.on_nack(rx.face, n, ctx),
+                self.on_packet(rx.face, rx.packet, ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RxBatch>() {
+            Ok(batch) => {
+                let batch = *batch;
+                for packet in batch.packets {
+                    self.on_packet(batch.face, packet, ctx);
                 }
                 return;
             }
@@ -606,5 +744,23 @@ impl Actor for Forwarder {
                 ctx.metrics().incr("ndn.unknown_message", 1);
             }
         }
+    }
+}
+
+impl Actor for Forwarder {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        self.handle(msg, ctx);
+        self.flush_tx(ctx);
+    }
+
+    /// Batched ingress: a same-instant burst of messages is processed in
+    /// arrival order with the PIT/CS scratch buffers warm, and all staged
+    /// link transmissions leave in one flush (one scheduler event per link
+    /// and arrival instant).
+    fn on_batch(&mut self, msgs: &mut Vec<Msg>, ctx: &mut Ctx<'_>) {
+        for msg in msgs.drain(..) {
+            self.handle(msg, ctx);
+        }
+        self.flush_tx(ctx);
     }
 }

@@ -5,11 +5,17 @@
 //! attach through [`attach_app`], which creates the app's face on the
 //! forwarder (the application addresses the forwarder with [`Rx`] messages
 //! tagged with that face id, and receives [`crate::forwarder::AppRx`]).
+//!
+//! Links are **wire-batched**: a forwarder stages every outbound packet
+//! during a handler invocation and flushes same-(link, arrival) groups as
+//! single [`RxBatch`] scheduler events (see `forwarder.rs` module docs).
+//! Burst injectors should use [`inject_batch`]/[`inject_burst`] so a whole
+//! same-instant burst costs one event on the ingress side too.
 
 use lidc_simcore::engine::{ActorId, Ctx, Sim};
 
 use crate::face::{Face, FaceId, FaceIdAlloc, FaceKind, LinkProps};
-use crate::forwarder::{AddFace, Forwarder, Rx};
+use crate::forwarder::{AddFace, Forwarder, Rx, RxBatch};
 use crate::packet::Packet;
 
 /// Connect two forwarders with a symmetric link (pre-run, by direct state
@@ -115,6 +121,23 @@ pub fn attach_app_runtime(
 /// send path).
 pub fn inject(ctx: &mut Ctx<'_>, fwd: ActorId, face: FaceId, packet: Packet) {
     ctx.send(fwd, Rx { face, packet });
+}
+
+/// Inject a same-instant burst of packets as one scheduler event (the
+/// wire-batch ingress path). No-op for an empty burst.
+pub fn inject_batch(ctx: &mut Ctx<'_>, fwd: ActorId, face: FaceId, packets: Vec<Packet>) {
+    if packets.is_empty() {
+        return;
+    }
+    ctx.send(fwd, RxBatch { face, packets });
+}
+
+/// [`inject_batch`] from outside a handler (harness/bench use).
+pub fn inject_burst(sim: &mut Sim, fwd: ActorId, face: FaceId, packets: Vec<Packet>) {
+    if packets.is_empty() {
+        return;
+    }
+    sim.send(fwd, RxBatch { face, packets });
 }
 
 #[cfg(test)]

@@ -52,6 +52,12 @@ pub struct ContentStore {
     tail: usize,
     hits: u64,
     misses: u64,
+    /// Slots observed stale during the current MustBeFresh probe; reused
+    /// across lookups so eviction stays allocation-free in steady state.
+    stale_scratch: Vec<usize>,
+    /// Lifetime count of records evicted because a MustBeFresh probe
+    /// observed them stale (diagnostics).
+    stale_evictions: u64,
 }
 
 impl ContentStore {
@@ -67,6 +73,8 @@ impl ContentStore {
             tail: NONE,
             hits: 0,
             misses: 0,
+            stale_scratch: Vec::new(),
+            stale_evictions: 0,
         }
     }
 
@@ -175,10 +183,15 @@ impl ContentStore {
         if victim == NONE {
             return;
         }
-        self.unlink(victim);
-        let name = std::mem::take(&mut self.slots[victim].name);
+        self.evict_slot(victim);
+    }
+
+    /// Remove the record occupying `slot` and recycle the slot.
+    fn evict_slot(&mut self, slot: usize) {
+        self.unlink(slot);
+        let name = std::mem::take(&mut self.slots[slot].name);
         self.records.remove(&name);
-        self.free.push(victim);
+        self.free.push(slot);
     }
 
     fn mark_used(&mut self, slot: usize) {
@@ -194,25 +207,55 @@ impl ContentStore {
     /// past their freshness period. The leftmost (canonical-order) match
     /// wins, as in NFD. The probe itself performs no heap allocation; a hit
     /// returns an O(1) clone of the cached packet (refcount bumps).
+    ///
+    /// Records a `MustBeFresh` probe observes stale are **evicted**: stale
+    /// Data can never satisfy a fresh Interest again, and leaving it
+    /// resident would pin an LRU slot and lengthen every CanBePrefix range
+    /// scan over it until capacity pressure finally wins (the stale-pinning
+    /// bug). Eviction frees the slot for live content immediately.
     pub fn lookup(&mut self, interest: &Interest, now: SimTime) -> Option<Data> {
         let must_be_fresh = interest.must_be_fresh;
+        let mut stale = std::mem::take(&mut self.stale_scratch);
+        stale.clear();
         // Capture the packet clone (O(1) refcount bumps) during the probe:
         // one map traversal per hit, no re-find.
         let found: Option<(usize, Data)> = if interest.can_be_prefix {
             // Range-scan from the prefix using the borrowed component
             // slice; `Name: Borrow<[NameComponent]>` makes this key-free.
             let prefix: &[NameComponent] = interest.name.components();
-            self.records
+            let mut hit = None;
+            for (name, rec) in self
+                .records
                 .range::<[NameComponent], _>((Bound::Included(prefix), Bound::Unbounded))
-                .take_while(|(name, _)| prefix.len() <= name.len() && *prefix == name.components()[..prefix.len()])
-                .find(|(_, rec)| Self::satisfies_freshness(rec, must_be_fresh, now))
-                .map(|(_, rec)| (rec.slot, rec.data.clone()))
+            {
+                if prefix.len() > name.len() || *prefix != name.components()[..prefix.len()] {
+                    break;
+                }
+                if Self::satisfies_freshness(rec, must_be_fresh, now) {
+                    hit = Some((rec.slot, rec.data.clone()));
+                    break;
+                }
+                // Only reachable under MustBeFresh: the record is stale.
+                stale.push(rec.slot);
+            }
+            hit
         } else {
-            self.records
-                .get(&interest.name)
-                .filter(|rec| Self::satisfies_freshness(rec, must_be_fresh, now))
-                .map(|rec| (rec.slot, rec.data.clone()))
+            match self.records.get(&interest.name) {
+                Some(rec) if Self::satisfies_freshness(rec, must_be_fresh, now) => {
+                    Some((rec.slot, rec.data.clone()))
+                }
+                Some(rec) => {
+                    stale.push(rec.slot);
+                    None
+                }
+                None => None,
+            }
         };
+        for slot in stale.drain(..) {
+            self.evict_slot(slot);
+            self.stale_evictions += 1;
+        }
+        self.stale_scratch = stale;
         match found {
             Some((slot, data)) => {
                 self.mark_used(slot);
@@ -224,6 +267,12 @@ impl ContentStore {
                 None
             }
         }
+    }
+
+    /// Lifetime count of records evicted by stale-observing MustBeFresh
+    /// probes.
+    pub fn stale_evictions(&self) -> u64 {
+        self.stale_evictions
     }
 
     fn satisfies_freshness(rec: &CsRecord, must_be_fresh: bool, now: SimTime) -> bool {
@@ -312,16 +361,67 @@ mod tests {
         assert!(cs
             .lookup(&fresh_interest("/f"), T0 + SimDuration::from_secs(5))
             .is_some());
-        // Past it.
-        assert!(cs
-            .lookup(&fresh_interest("/f"), T0 + SimDuration::from_secs(10))
-            .is_none());
-        // Data without FreshnessPeriod is never fresh…
-        assert!(cs.lookup(&fresh_interest("/stale"), T0).is_none());
-        // …but still matches without MustBeFresh.
+        // Data without FreshnessPeriod is never fresh under MustBeFresh, but
+        // matches a plain Interest (probed first: a MustBeFresh miss evicts).
         assert!(cs
             .lookup(&Interest::new(name!("/stale")), T0 + SimDuration::from_hours(1))
             .is_some());
+        assert!(cs.lookup(&fresh_interest("/stale"), T0).is_none());
+        // Past the freshness window: a MustBeFresh probe misses and evicts
+        // the stale record (see `stale_probe_evicts_record`).
+        assert!(cs
+            .lookup(&fresh_interest("/f"), T0 + SimDuration::from_secs(10))
+            .is_none());
+        assert_eq!(cs.stale_evictions(), 2);
+    }
+
+    #[test]
+    fn stale_probe_evicts_record() {
+        // Regression (stale pinning): a MustBeFresh probe that observes a
+        // stale record must evict it — otherwise the dead entry occupies an
+        // LRU slot and is re-walked by every CanBePrefix scan until
+        // capacity pressure finally reclaims it.
+        let mut cs = ContentStore::new(2);
+        cs.insert(fresh_data("/a", SimDuration::from_secs(1)), T0);
+        cs.insert(data("/b"), T0);
+        assert_eq!(cs.len(), 2);
+        // Probe /a after its freshness lapsed: miss, and the slot frees.
+        let t = T0 + SimDuration::from_secs(5);
+        assert!(cs.lookup(&Interest::new(name!("/a")).must_be_fresh(true), t).is_none());
+        assert_eq!(cs.len(), 1, "stale record no longer occupies capacity");
+        assert_eq!(cs.stale_evictions(), 1);
+        // The freed slot admits new content without evicting live /b.
+        cs.insert(fresh_data("/c", SimDuration::from_secs(60)), t);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.lookup(&Interest::new(name!("/b")), t).is_some(), "/b survived");
+        assert!(cs.lookup(&Interest::new(name!("/c")), t).is_some());
+        // A later exact lookup for /a misses outright (it was evicted).
+        assert!(cs.lookup(&Interest::new(name!("/a")), t).is_none());
+    }
+
+    #[test]
+    fn prefix_scan_evicts_every_stale_record_it_walks() {
+        let mut cs = ContentStore::new(10);
+        // Three stale-by-then segments plus one fresh one under /a.
+        for seg in 0..3 {
+            cs.insert(
+                fresh_data(&format!("/a/seg={seg}"), SimDuration::from_secs(1)),
+                T0,
+            );
+        }
+        let t = T0 + SimDuration::from_secs(5);
+        cs.insert(fresh_data("/a/seg=3", SimDuration::from_secs(60)), t);
+        cs.insert(data("/z"), T0);
+        // The fresh prefix probe walks the three stale records (canonical
+        // order) before hitting seg=3; all three are evicted.
+        let i = Interest::new(name!("/a")).can_be_prefix(true).must_be_fresh(true);
+        let hit = cs.lookup(&i, t).unwrap();
+        assert_eq!(hit.name, name!("/a/seg=3"));
+        assert_eq!(cs.len(), 2, "stale seg=0..2 evicted, seg=3 and /z remain");
+        assert_eq!(cs.stale_evictions(), 3);
+        // A second identical probe walks nothing stale.
+        assert!(cs.lookup(&i, t).is_some());
+        assert_eq!(cs.stale_evictions(), 3);
     }
 
     #[test]

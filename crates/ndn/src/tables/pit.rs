@@ -57,6 +57,9 @@ pub struct OutRecord {
     pub nonce: Option<u32>,
 }
 
+/// Marker for "this entry is not in `prefix_keys`".
+const NO_PREFIX_IDX: usize = usize::MAX;
+
 /// One pending Interest.
 #[derive(Debug, Clone)]
 pub struct PitEntry {
@@ -72,6 +75,10 @@ pub struct PitEntry {
     /// Version stamp: incremented on every refresh so stale expiry timers
     /// can be recognised and ignored.
     pub version: u64,
+    /// This entry's position in the PIT's `prefix_keys` list
+    /// ([`NO_PREFIX_IDX`] for exact-match entries), maintained via
+    /// `swap_remove` fix-up so removal is O(1) instead of an O(n) scan.
+    prefix_idx: usize,
 }
 
 impl PitEntry {
@@ -169,9 +176,12 @@ impl Pit {
         // so insertion costs exactly one key construction.
         match self.entries.entry(key) {
             std::collections::hash_map::Entry::Vacant(slot) => {
-                if interest.can_be_prefix {
+                let prefix_idx = if interest.can_be_prefix {
                     self.prefix_keys.push(slot.key().clone());
-                }
+                    self.prefix_keys.len() - 1
+                } else {
+                    NO_PREFIX_IDX
+                };
                 slot.insert(PitEntry {
                     interest: interest.clone(),
                     in_records: vec![InRecord {
@@ -182,6 +192,7 @@ impl Pit {
                     out_records: Vec::new(),
                     expiry,
                     version: 0,
+                    prefix_idx,
                 });
                 (InsertOutcome::New, 0)
             }
@@ -294,7 +305,7 @@ impl Pit {
     /// Remove and return an entry (when satisfied by Data or fully NACKed).
     pub fn take(&mut self, key: &PitKey) -> Option<PitEntry> {
         let entry = self.entries.remove(key)?;
-        self.forget_prefix_key(key);
+        self.forget_prefix_key(&entry);
         Some(entry)
     }
 
@@ -305,17 +316,67 @@ impl Pit {
         if entry.version != version || entry.expiry > now {
             return None;
         }
-        let entry = self.entries.remove(key);
-        self.forget_prefix_key(key);
-        entry
+        let entry = self.entries.remove(key)?;
+        self.forget_prefix_key(&entry);
+        Some(entry)
     }
 
-    fn forget_prefix_key(&mut self, key: &PitKey) {
-        if key.can_be_prefix {
-            if let Some(pos) = self.prefix_keys.iter().position(|k| k == key) {
-                self.prefix_keys.swap_remove(pos);
+    /// Drop the removed entry's `prefix_keys` slot in O(1): `swap_remove`
+    /// at its recorded index, then repoint the entry whose key was swapped
+    /// into that index. (The old implementation `position()`-scanned the
+    /// whole list per removal, turning Data arrival handling quadratic
+    /// under prefix-heavy workloads.)
+    fn forget_prefix_key(&mut self, removed: &PitEntry) {
+        let idx = removed.prefix_idx;
+        if idx == NO_PREFIX_IDX {
+            return;
+        }
+        debug_assert!(removed.interest.can_be_prefix);
+        self.prefix_keys.swap_remove(idx);
+        if let Some(moved_key) = self.prefix_keys.get(idx) {
+            // O(1) Name clone; the moved entry must still exist.
+            let moved_key = moved_key.clone();
+            if let Some(entry) = self.entries.get_mut(&moved_key) {
+                entry.prefix_idx = idx;
+            } else {
+                debug_assert!(false, "prefix_keys points at a live entry");
             }
         }
+    }
+
+    /// Check the `prefix_keys` ↔ entry index invariant (test support).
+    #[doc(hidden)]
+    pub fn debug_check_prefix_invariant(&self) -> Result<(), String> {
+        let prefix_entries = self
+            .entries
+            .values()
+            .filter(|e| e.interest.can_be_prefix)
+            .count();
+        if prefix_entries != self.prefix_keys.len() {
+            return Err(format!(
+                "{} CanBePrefix entries but {} prefix keys",
+                prefix_entries,
+                self.prefix_keys.len()
+            ));
+        }
+        for (i, key) in self.prefix_keys.iter().enumerate() {
+            match self.entries.get(key) {
+                None => return Err(format!("prefix_keys[{i}] has no entry: {key:?}")),
+                Some(entry) if entry.prefix_idx != i => {
+                    return Err(format!(
+                        "prefix_keys[{i}] entry records index {}",
+                        entry.prefix_idx
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        for entry in self.entries.values() {
+            if !entry.interest.can_be_prefix && entry.prefix_idx != NO_PREFIX_IDX {
+                return Err("exact entry carries a prefix index".to_owned());
+            }
+        }
+        Ok(())
     }
 
     /// The time until `key`'s entry expires (for scheduling).
@@ -440,6 +501,56 @@ mod tests {
         let t_exp2 = SimTime::ZERO + SimDuration::from_secs(1) + i.lifetime;
         assert!(pit.expire_if_stale(&key, v1, t_exp2).is_some());
         assert!(pit.is_empty());
+    }
+
+    #[test]
+    fn prefix_index_invariant_across_churn() {
+        // Interleave inserts (mixed selectors), takes, and expiries and
+        // assert the prefix_keys ↔ entry index bookkeeping stays exact —
+        // the swap_remove fix-up must repoint the moved key every time.
+        use lidc_simcore::rng::DetRng;
+        let mut rng = DetRng::new(11);
+        let mut pit = Pit::new();
+        let mut step_time = SimTime::ZERO;
+        for step in 0..2000u64 {
+            let id = rng.next_below(24);
+            let prefixy = rng.next_bool(0.5);
+            let uri = format!("/churn/{id}");
+            let i = Interest::new(Name::parse(&uri).unwrap())
+                .with_nonce(step as u32)
+                .can_be_prefix(prefixy);
+            let key = PitKey::of(&i);
+            match rng.next_below(4) {
+                0 | 1 => {
+                    let (_, _) = pit.insert(&i, f(rng.next_below(4)), step_time);
+                }
+                2 => {
+                    let _ = pit.take(&key);
+                }
+                _ => {
+                    // Expire with the entry's current version (if present);
+                    // far-future `now` guarantees the expiry has passed.
+                    if let Some(version) = pit.get(&key).map(|e| e.version) {
+                        let far = step_time + SimDuration::from_secs(3600);
+                        let _ = pit.expire_if_stale(&key, version, far);
+                    }
+                }
+            }
+            // Matching must agree with the invariant at every step.
+            pit.debug_check_prefix_invariant()
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
+            if step % 7 == 0 {
+                step_time += SimDuration::from_millis(250);
+            }
+        }
+        // Drain everything through take and re-check.
+        let keys: Vec<PitKey> = pit.entries.keys().cloned().collect();
+        for key in keys {
+            pit.take(&key);
+            pit.debug_check_prefix_invariant().unwrap();
+        }
+        assert!(pit.is_empty());
+        assert!(pit.prefix_keys.is_empty());
     }
 
     #[test]

@@ -8,16 +8,30 @@
 //! of small packets, `clone`/`prefix`/`parent`, and dead-nonce probes.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
-/// System allocator wrapper that counts allocation calls.
+/// System allocator wrapper that counts allocation calls **per thread** —
+/// the test harness runs tests concurrently, so a process-global counter
+/// would charge one test's setup allocations to another test's measured
+/// window (a real flake observed in CI).
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with`: the allocator can be called during TLS teardown.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn current() -> u64 {
+    ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
 
@@ -26,7 +40,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -34,11 +48,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Allocation calls made while running `f`.
+/// Allocation calls made by this thread while running `f`.
 fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = current();
     let out = f();
-    (ALLOCS.load(Ordering::Relaxed) - before, out)
+    (current() - before, out)
 }
 
 use lidc_ndn::face::FaceId;

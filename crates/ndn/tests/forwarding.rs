@@ -551,3 +551,87 @@ fn deterministic_replay_same_seed() {
     assert_eq!(run(42), run(42));
     assert_ne!(run(42).0, run(43).0);
 }
+
+#[test]
+fn same_instant_burst_travels_as_wire_batches() {
+    // A 32-Interest same-instant burst crosses the edge→core link. With
+    // wire batching the forwarder flushes the whole burst as one RxBatch
+    // per direction instead of 32 events each way.
+    let mut w = World::new(7);
+    let edge = w.forwarder("edge");
+    let core = w.forwarder("core");
+    let (edge_to_core, _) = connect(&mut w.sim, edge, core, &w.alloc, LinkProps::with_latency(MS(5)));
+    let p = w.producer(core, "/d", "x", SimDuration::ZERO);
+    w.sim
+        .actor_mut::<Forwarder>(edge)
+        .unwrap()
+        .register_prefix(name!("/d"), edge_to_core, 0);
+    let c = w.consumer(edge);
+    for i in 0..32 {
+        let interest = Interest::new(name!("/d").child_str(&format!("obj{i}")));
+        w.sim.send(c, Fetch(interest, 0));
+    }
+    w.sim.run();
+    assert_eq!(w.events(c).len(), 32, "every Interest satisfied");
+    assert_eq!(w.served(p), 32);
+    // Interests went out in one flush; Data came back in one flush.
+    let m = w.sim.metrics_ref();
+    assert_eq!(m.counter("ndn.batch.link_flushes"), 2);
+    assert_eq!(m.counter("ndn.batch.link_packets"), 64);
+}
+
+#[test]
+fn rx_batch_ingress_matches_per_packet_ingress() {
+    // Injecting a burst through one RxBatch event produces the same
+    // forwarder end-state as per-packet Rx events.
+    fn run(batched: bool) -> (u64, u64, usize) {
+        let mut w = World::new(3);
+        let edge = w.forwarder("edge");
+        let core = w.forwarder("core");
+        let (edge_to_core, _) =
+            connect(&mut w.sim, edge, core, &w.alloc, LinkProps::with_latency(MS(2)));
+        let _p = w.producer(core, "/d", "x", SimDuration::ZERO);
+        w.sim
+            .actor_mut::<Forwarder>(edge)
+            .unwrap()
+            .register_prefix(name!("/d"), edge_to_core, 0);
+        let c = w.consumer(edge);
+        let face = w
+            .sim
+            .actor::<ConsumerApp>(c)
+            .unwrap()
+            .consumer
+            .as_ref()
+            .unwrap()
+            .face();
+        let packets: Vec<Packet> = (0..8)
+            .map(|i| {
+                Packet::Interest(
+                    Interest::new(name!("/d").child_str(&format!("obj{i}")))
+                        .with_nonce(1000 + i as u32),
+                )
+            })
+            .collect();
+        if batched {
+            lidc_ndn::net::inject_burst(&mut w.sim, edge, face, packets);
+        } else {
+            for packet in packets {
+                w.sim.send(edge, lidc_ndn::forwarder::Rx { face, packet });
+            }
+        }
+        w.sim.run();
+        let m = w.sim.metrics_ref();
+        (
+            m.counter("ndn.rx_interests"),
+            m.counter("ndn.pit_satisfied"),
+            w.sim
+                .actor::<Forwarder>(edge)
+                .unwrap()
+                .cs()
+                .len(),
+        )
+    }
+    assert_eq!(run(true), run(false));
+    // 8 entries satisfied on each of the two forwarders.
+    assert_eq!(run(true).1, 16);
+}

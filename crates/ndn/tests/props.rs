@@ -328,8 +328,18 @@ proptest! {
             .lookup(&Interest::new(name.clone()).must_be_fresh(true), probe_at)
             .is_some();
         prop_assert_eq!(fresh_hit, probe_ms < fresh_ms, "freshness boundary");
-        // Without MustBeFresh the (stale) entry still satisfies.
-        prop_assert!(cs.lookup(&Interest::new(name), probe_at).is_some());
+        if fresh_hit {
+            // Still fresh: a plain probe also hits.
+            prop_assert!(cs.lookup(&Interest::new(name), probe_at).is_some());
+            prop_assert_eq!(cs.stale_evictions(), 0);
+        } else {
+            // Observed stale: the MustBeFresh probe evicted the record, so
+            // it no longer occupies capacity (stale-pinning fix) and even a
+            // plain probe misses.
+            prop_assert!(cs.lookup(&Interest::new(name), probe_at).is_none());
+            prop_assert_eq!(cs.len(), 0);
+            prop_assert_eq!(cs.stale_evictions(), 1);
+        }
     }
 }
 

@@ -15,6 +15,23 @@
 //!   applies them after the handler returns. This sidesteps aliasing issues
 //!   without `RefCell` gymnastics and keeps handler execution atomic in
 //!   virtual time.
+//! * **Batched dispatch.** A maximal run of *consecutive* (in `(time, seq)`
+//!   order) events addressed to the same actor at the same instant is
+//!   delivered as one [`Actor::on_batch`] call instead of one handler
+//!   invocation per message. The default `on_batch` loops [`Actor::on_message`],
+//!   so untouched actors behave exactly as before; actors on burst-heavy
+//!   paths (the LIDC gateway, the NDN forwarder) override it to amortize
+//!   per-delivery work. The contract:
+//!
+//!   * messages within a batch are in their original FIFO (`seq`) order;
+//!   * only *consecutive* same-destination events coalesce — an interleaved
+//!     event for another actor ends the batch, so cross-actor delivery
+//!     order is exactly what sequential dispatch would produce;
+//!   * effects recorded while handling a batch are applied after the whole
+//!     batch, which yields the same queue contents as per-message dispatch
+//!     (same-instant effects always sort after already-queued events);
+//!   * batching can be disabled with [`Sim::set_batching`] (equivalence
+//!     tests run both modes and compare end states).
 
 use std::any::Any;
 use std::cmp::Reverse;
@@ -57,6 +74,17 @@ impl fmt::Display for ActorId {
 pub trait Actor: Send + 'static {
     /// Handle one message delivered at the current virtual time.
     fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>);
+
+    /// Handle a coalesced burst of messages, all addressed to this actor at
+    /// the same virtual instant, in FIFO order (see the module docs for the
+    /// full contract). Implementations must consume every message in
+    /// `msgs`. The default drains the buffer through [`Actor::on_message`],
+    /// preserving per-message behavior for actors that don't opt in.
+    fn on_batch(&mut self, msgs: &mut Vec<Msg>, ctx: &mut Ctx<'_>) {
+        for msg in msgs.drain(..) {
+            self.on_message(msg, ctx);
+        }
+    }
 
     /// Called once when the actor is registered, before any message.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
@@ -219,9 +247,32 @@ impl Ord for Scheduled {
     }
 }
 
+/// Per-actor message-drain statistics (batched-dispatch observability).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Messages delivered to this actor.
+    pub messages: u64,
+    /// Handler invocations (each serving one batch of ≥ 1 messages).
+    pub batches: u64,
+    /// Largest single batch delivered.
+    pub max_batch: u64,
+}
+
+impl DrainStats {
+    /// Mean messages per handler invocation (0 when never delivered).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.batches as f64
+        }
+    }
+}
+
 struct Slot {
     actor: Option<Box<dyn AnyActor>>,
     label: String,
+    drain: DrainStats,
 }
 
 /// The discrete-event simulator.
@@ -238,6 +289,10 @@ pub struct Sim {
     metrics: Metrics,
     halted: bool,
     events_processed: u64,
+    /// Same-instant coalescing switch (see module docs); on by default.
+    batching: bool,
+    /// Reused delivery buffer for batched dispatch.
+    batch_buf: Vec<Msg>,
 }
 
 impl Sim {
@@ -254,7 +309,17 @@ impl Sim {
             metrics: Metrics::new(),
             halted: false,
             events_processed: 0,
+            batching: true,
+            batch_buf: Vec::new(),
         }
+    }
+
+    /// Enable or disable same-instant batch coalescing (on by default).
+    /// With batching off every message is delivered through
+    /// [`Actor::on_message`] individually — the pre-batching behavior,
+    /// kept for batch/sequential equivalence testing.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
     }
 
     /// Current virtual time.
@@ -299,6 +364,7 @@ impl Sim {
             self.slots.push(Slot {
                 actor: None,
                 label: String::new(),
+                drain: DrainStats::default(),
             });
         }
     }
@@ -310,6 +376,7 @@ impl Sim {
         self.slots[idx] = Slot {
             actor: Some(actor),
             label,
+            drain: DrainStats::default(),
         };
         self.run_start_hook(id);
     }
@@ -424,8 +491,10 @@ impl Sim {
         }
     }
 
-    /// Dispatch the next event. Returns `false` when the queue is empty or
-    /// the simulation has been halted.
+    /// Dispatch the next event — plus, when batching is enabled, every
+    /// consecutively-queued event for the same actor at the same instant
+    /// (delivered as one [`Actor::on_batch`] call). Returns `false` when the
+    /// queue is empty or the simulation has been halted.
     pub fn step(&mut self) -> bool {
         if self.halted {
             return false;
@@ -438,25 +507,66 @@ impl Sim {
             self.foreground_queued -= 1;
         }
         self.now = ev.time;
-        self.events_processed += 1;
-        let idx = ev.to.0 as usize;
+        let to = ev.to;
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        batch.clear();
+        batch.push(ev.msg);
+        if self.batching {
+            // Coalesce the maximal run of consecutive (seq-order) events for
+            // the same destination at this instant. Stopping at the first
+            // event for another actor preserves cross-actor delivery order.
+            while let Some(Reverse(head)) = self.queue.peek() {
+                if head.time != ev.time || head.to != to {
+                    break;
+                }
+                let Reverse(next) = self.queue.pop().expect("peeked");
+                if !next.background {
+                    self.foreground_queued -= 1;
+                }
+                batch.push(next.msg);
+            }
+        }
+        self.events_processed += batch.len() as u64;
+        let idx = to.0 as usize;
         let taken = self.slots.get_mut(idx).and_then(|s| s.actor.take());
         let Some(mut actor) = taken else {
-            self.metrics.incr("sim.dropped_messages", 1);
+            self.metrics.incr("sim.dropped_messages", batch.len() as u64);
+            batch.clear();
+            self.batch_buf = batch;
             return true;
         };
+        {
+            let slot = &mut self.slots[idx];
+            slot.drain.messages += batch.len() as u64;
+            slot.drain.batches += 1;
+            slot.drain.max_batch = slot.drain.max_batch.max(batch.len() as u64);
+        }
+        if batch.len() > 1 {
+            self.metrics.incr("sim.batch.bursts", 1);
+            self.metrics
+                .incr("sim.batch.coalesced_messages", batch.len() as u64 - 1);
+            self.metrics.set_max("sim.batch.max_size", batch.len() as u64);
+        }
         let mut effects = Vec::new();
         {
             let mut ctx = Ctx {
-                self_id: ev.to,
+                self_id: to,
                 now: self.now,
                 rng: &mut self.rng,
                 metrics: &mut self.metrics,
                 next_actor_id: &mut self.next_actor_id,
                 effects: &mut effects,
             };
-            actor.on_message(ev.msg, &mut ctx);
+            if batch.len() == 1 {
+                let msg = batch.pop().expect("one message");
+                actor.on_message(msg, &mut ctx);
+            } else {
+                actor.on_batch(&mut batch, &mut ctx);
+                debug_assert!(batch.is_empty(), "on_batch must drain its input");
+            }
         }
+        batch.clear();
+        self.batch_buf = batch;
         // The actor may have killed itself via ctx.kill(self_id); only put it
         // back if nothing reclaimed the slot meanwhile.
         if self.slots[idx].actor.is_none() {
@@ -503,6 +613,52 @@ impl Sim {
     pub fn run_for(&mut self, dur: SimDuration) -> u64 {
         let deadline = self.now + dur;
         self.run_until(deadline)
+    }
+
+    /// Per-actor drain statistics (messages, handler invocations, largest
+    /// batch). Zeroes for ids never delivered to.
+    pub fn drain_stats(&self, id: ActorId) -> DrainStats {
+        self.slots
+            .get(id.0 as usize)
+            .map(|s| s.drain)
+            .unwrap_or_default()
+    }
+
+    /// Aggregate drain statistics over every actor.
+    pub fn drain_stats_total(&self) -> DrainStats {
+        let mut total = DrainStats::default();
+        for slot in &self.slots {
+            total.messages += slot.drain.messages;
+            total.batches += slot.drain.batches;
+            total.max_batch = total.max_batch.max(slot.drain.max_batch);
+        }
+        total
+    }
+
+    /// Per-actor drain stats as a report table (busiest actors first),
+    /// for experiment artifacts and diagnostics.
+    pub fn dispatch_report(&self) -> crate::report::Table {
+        let mut table = crate::report::Table::new(
+            "Dispatch drain stats",
+            &["actor", "messages", "batches", "mean batch", "max batch"],
+        );
+        let mut rows: Vec<(usize, &Slot)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.drain.batches > 0)
+            .collect();
+        rows.sort_by(|a, b| b.1.drain.messages.cmp(&a.1.drain.messages).then(a.0.cmp(&b.0)));
+        for (idx, slot) in rows {
+            table.push_row(vec![
+                format!("{} (#{idx})", slot.label),
+                slot.drain.messages.to_string(),
+                slot.drain.batches.to_string(),
+                format!("{:.2}", slot.drain.mean_batch()),
+                slot.drain.max_batch.to_string(),
+            ]);
+        }
+        table
     }
 
     /// Number of queued (undelivered) events, background timers included.
@@ -787,6 +943,136 @@ mod tests {
         // run_until *does* drive background time forward.
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(31));
         assert_eq!(sim.actor::<Beacon>(b).unwrap().ticks, 6);
+    }
+
+    #[test]
+    fn same_instant_burst_coalesces_into_one_batch() {
+        struct Batcher {
+            batches: Vec<usize>,
+        }
+        struct Tag(#[allow(dead_code)] u64);
+        impl Actor for Batcher {
+            fn on_message(&mut self, _msg: Msg, _ctx: &mut Ctx<'_>) {
+                self.batches.push(1);
+            }
+            fn on_batch(&mut self, msgs: &mut Vec<Msg>, _ctx: &mut Ctx<'_>) {
+                self.batches.push(msgs.len());
+                msgs.clear();
+            }
+        }
+        let mut sim = Sim::new(0);
+        let b = sim.spawn("batcher", Batcher { batches: vec![] });
+        for i in 0..10 {
+            sim.send(b, Tag(i));
+        }
+        sim.send_after(SimDuration::from_secs(1), b, Tag(99));
+        sim.run();
+        // 10 same-instant messages → one batch; the later singleton goes
+        // through on_message.
+        assert_eq!(sim.actor::<Batcher>(b).unwrap().batches, vec![10, 1]);
+        assert_eq!(sim.events_processed(), 11);
+        assert_eq!(sim.metrics_ref().counter("sim.batch.bursts"), 1);
+        assert_eq!(sim.metrics_ref().counter("sim.batch.coalesced_messages"), 9);
+        assert_eq!(sim.metrics_ref().counter("sim.batch.max_size"), 10);
+        let stats = sim.drain_stats(b);
+        assert_eq!(stats.messages, 11);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.max_batch, 10);
+    }
+
+    #[test]
+    fn interleaved_destinations_split_batches() {
+        struct Recorder {
+            seen: Vec<u64>,
+        }
+        struct Tag(u64);
+        impl Actor for Recorder {
+            fn on_message(&mut self, msg: Msg, _ctx: &mut Ctx<'_>) {
+                self.seen.push(msg.downcast::<Tag>().unwrap().0);
+            }
+            fn on_batch(&mut self, msgs: &mut Vec<Msg>, _ctx: &mut Ctx<'_>) {
+                for msg in msgs.drain(..) {
+                    self.seen.push(msg.downcast::<Tag>().unwrap().0);
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let a = sim.spawn("a", Recorder { seen: vec![] });
+        let b = sim.spawn("b", Recorder { seen: vec![] });
+        // a a b a: only the leading `a a` run coalesces.
+        sim.send(a, Tag(0));
+        sim.send(a, Tag(1));
+        sim.send(b, Tag(2));
+        sim.send(a, Tag(3));
+        sim.run();
+        assert_eq!(sim.actor::<Recorder>(a).unwrap().seen, vec![0, 1, 3]);
+        assert_eq!(sim.actor::<Recorder>(b).unwrap().seen, vec![2]);
+        assert_eq!(sim.drain_stats(a).batches, 2, "run split by b's event");
+        assert_eq!(sim.drain_stats(a).max_batch, 2);
+    }
+
+    #[test]
+    fn batching_off_restores_per_message_delivery() {
+        struct Batcher {
+            calls: Vec<usize>,
+        }
+        struct Tag;
+        impl Actor for Batcher {
+            fn on_message(&mut self, _msg: Msg, _ctx: &mut Ctx<'_>) {
+                self.calls.push(1);
+            }
+            fn on_batch(&mut self, msgs: &mut Vec<Msg>, _ctx: &mut Ctx<'_>) {
+                self.calls.push(msgs.len());
+                msgs.clear();
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.set_batching(false);
+        let b = sim.spawn("b", Batcher { calls: vec![] });
+        for _ in 0..5 {
+            sim.send(b, Tag);
+        }
+        sim.run();
+        assert_eq!(sim.actor::<Batcher>(b).unwrap().calls, vec![1; 5]);
+        assert_eq!(sim.metrics_ref().counter("sim.batch.bursts"), 0);
+    }
+
+    #[test]
+    fn batched_messages_to_dead_actor_all_counted_dropped() {
+        let mut sim = Sim::new(0);
+        let a = sim.spawn(
+            "a",
+            Counter {
+                count: 0,
+                echo_to: None,
+            },
+        );
+        for _ in 0..4 {
+            sim.send_after(SimDuration::from_secs(1), a, Bump(1));
+        }
+        sim.kill(a);
+        sim.run();
+        assert_eq!(sim.metrics_ref().counter("sim.dropped_messages"), 4);
+    }
+
+    #[test]
+    fn dispatch_report_lists_busy_actors() {
+        let mut sim = Sim::new(0);
+        let a = sim.spawn(
+            "busy",
+            Counter {
+                count: 0,
+                echo_to: None,
+            },
+        );
+        for _ in 0..3 {
+            sim.send(a, Bump(1));
+        }
+        sim.run();
+        let table = sim.dispatch_report();
+        assert_eq!(table.rows.len(), 1);
+        assert!(table.rows[0][0].starts_with("busy"));
+        assert_eq!(table.rows[0][1], "3");
     }
 
     #[test]

@@ -162,6 +162,13 @@ impl Metrics {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Raise counter `name` to `v` if `v` exceeds its current value
+    /// (high-water marks, e.g. the engine's largest dispatch batch).
+    pub fn set_max(&mut self, name: &str, v: u64) {
+        let slot = self.counters.entry(name.to_owned()).or_insert(0);
+        *slot = (*slot).max(v);
+    }
+
     /// Record a sample into histogram `name`.
     pub fn record(&mut self, name: &str, v: f64) {
         self.histograms.entry(name.to_owned()).or_default().record(v);

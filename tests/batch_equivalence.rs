@@ -1,0 +1,229 @@
+//! Batch/sequential dispatch equivalence: a same-instant burst delivered
+//! through the batched path (engine `on_batch` coalescing + the forwarder's
+//! wire batching + the gateway's amortized batch handlers) must produce the
+//! same replies, the same domain metrics, and the same CS/PIT end-state as
+//! one-at-a-time delivery (`Sim::set_batching(false)`).
+//!
+//! This is the safety net for the batching refactor: any ordering bug in
+//! burst coalescing, the per-link flush, or the gateway's grouped plan work
+//! shows up as a divergence here.
+
+use std::collections::BTreeMap;
+
+use lidc_core::cluster::{LidcCluster, LidcClusterConfig};
+use lidc_ndn::face::{FaceIdAlloc, LinkProps};
+use lidc_ndn::forwarder::{AppRx, Forwarder, ForwarderConfig, Rx};
+use lidc_ndn::name::Name;
+use lidc_ndn::net::{attach_app, connect};
+use lidc_ndn::packet::{ContentType, Interest, Packet};
+use lidc_simcore::engine::{Actor, Ctx, Msg, Sim};
+use lidc_simcore::time::SimDuration;
+
+/// Records every reply the burst produces (name, content-type, payload).
+struct Sink {
+    replies: Vec<(String, String, Vec<u8>)>,
+}
+
+impl Actor for Sink {
+    fn on_message(&mut self, msg: Msg, _ctx: &mut Ctx<'_>) {
+        if let Ok(rx) = msg.downcast::<AppRx>() {
+            match rx.packet {
+                Packet::Data(d) => self.replies.push((
+                    d.name.to_uri(),
+                    format!("{:?}", d.content_type),
+                    d.content.to_vec(),
+                )),
+                Packet::Nack(n) => {
+                    self.replies
+                        .push((n.interest.name.to_uri(), format!("nack:{:?}", n.reason), vec![]))
+                }
+                Packet::Interest(_) => {}
+            }
+        }
+    }
+}
+
+/// End-state fingerprint of one run.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    /// Sorted replies (ordering within one instant is not part of the
+    /// equivalence contract; the *set* of replies is).
+    replies: Vec<(String, String, Vec<u8>)>,
+    /// Every non-batching metrics counter (`*batch*` counters exist only on
+    /// the batched side by construction).
+    counters: BTreeMap<String, u64>,
+    /// (cached names, PIT size) per forwarder, client then gateway then lake.
+    tables: Vec<(Vec<String>, usize)>,
+    /// Gateway statistics struct.
+    gateway_stats: String,
+}
+
+fn run(batching: bool) -> Fingerprint {
+    let mut sim = Sim::new(99);
+    sim.set_batching(batching);
+    let alloc = FaceIdAlloc::new();
+    let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig {
+        nodes: 2,
+        load_datasets: false,
+        // Result cache on: a compute whose key a same-instant neighbor
+        // populated must hit (or miss) identically in both modes.
+        result_cache_capacity: 8,
+        ..LidcClusterConfig::named("eq")
+    });
+    let client_fwd = sim.spawn(
+        "client-fwd",
+        Forwarder::new("client-fwd", ForwarderConfig::default()),
+    );
+    let (to_gw, _) = connect(
+        &mut sim,
+        client_fwd,
+        cluster.gateway_fwd,
+        &alloc,
+        LinkProps::with_latency(SimDuration::from_millis(2)),
+    );
+    cluster.register_on(&mut sim, client_fwd, to_gw, 0);
+    let sink = sim.spawn("sink", Sink { replies: vec![] });
+    let sink_face = attach_app(&mut sim, client_fwd, sink, &alloc);
+
+    let send = |sim: &mut Sim, interest: Interest| {
+        sim.send(client_fwd, Rx {
+            face: sink_face,
+            packet: Packet::Interest(interest),
+        });
+    };
+    // One same-instant burst mixing every request kind the gateway serves:
+    // 24 compute requests across two apps with status checks *interleaved*
+    // (so the batch path must segment the burst into same-kind runs to
+    // keep side effects in arrival order), plus a malformed compute.
+    for i in 0..24 {
+        let app = if i % 3 == 0 { "EQAPP" } else { "EQOTHER" };
+        let name = Name::parse(&format!(
+            "/ndn/k8s/compute/mem=1&cpu=1&app={app}&size=500000&tag={i}"
+        ))
+        .unwrap();
+        send(&mut sim, Interest::new(name).must_be_fresh(true).with_nonce(100 + i));
+        if i % 6 == 0 {
+            let name = Name::parse(&format!("/ndn/k8s/status/eq/job-{}", 9000 + i)).unwrap();
+            send(&mut sim, Interest::new(name).must_be_fresh(true).with_nonce(200 + i));
+        }
+    }
+    send(
+        &mut sim,
+        Interest::new(Name::parse("/ndn/k8s/compute/mem=broken").unwrap())
+            .must_be_fresh(true)
+            .with_nonce(300),
+    );
+    sim.run_until(sim.now() + SimDuration::from_millis(100));
+
+    // Second wave, also same-instant: status checks for the jobs the acks
+    // named (the ack body carries `job: <cluster>/job-<n>`), exercising the
+    // batched status path against live jobs.
+    let job_ids: Vec<String> = sim
+        .actor::<Sink>(sink)
+        .unwrap()
+        .replies
+        .iter()
+        .filter_map(|(_, _, content)| {
+            let text = String::from_utf8_lossy(content);
+            text.lines()
+                .find_map(|l| l.strip_prefix("job-id=").map(|s| s.to_owned()))
+        })
+        .collect();
+    assert!(!job_ids.is_empty(), "acks carried job ids");
+    for (i, job) in job_ids.iter().enumerate() {
+        let name = Name::parse(&format!("/ndn/k8s/status/{job}")).unwrap();
+        send(&mut sim, Interest::new(name).must_be_fresh(true).with_nonce(400 + i as u32));
+    }
+    sim.run_until(sim.now() + SimDuration::from_millis(100));
+
+    let mut replies = sim.actor::<Sink>(sink).unwrap().replies.clone();
+    replies.sort();
+    let counters: BTreeMap<String, u64> = sim
+        .metrics_ref()
+        .counter_names()
+        .filter(|name| !name.contains("batch"))
+        .map(|name| (name.to_owned(), sim.metrics_ref().counter(name)))
+        .collect();
+    let tables = [client_fwd, cluster.gateway_fwd, cluster.dl_fwd]
+        .iter()
+        .map(|&fwd| {
+            let f = sim.actor::<Forwarder>(fwd).unwrap();
+            (
+                f.cs().names().map(|n| n.to_uri()).collect::<Vec<_>>(),
+                f.pit().len(),
+            )
+        })
+        .collect();
+    Fingerprint {
+        replies,
+        counters,
+        tables,
+        gateway_stats: format!("{:?}", cluster.gateway_stats(&sim)),
+    }
+}
+
+#[test]
+fn batched_and_sequential_dispatch_agree() {
+    let batched = run(true);
+    let sequential = run(false);
+    assert_eq!(
+        batched.replies.len(),
+        // 24 acks + 4 unknown-job nacks + 1 malformed nack + per-job status
+        // replies (one per created job).
+        sequential.replies.len(),
+    );
+    assert_eq!(batched.replies, sequential.replies, "reply sets diverge");
+    assert_eq!(batched.counters, sequential.counters, "metrics diverge");
+    assert_eq!(batched.tables, sequential.tables, "CS/PIT end-state diverges");
+    assert_eq!(batched.gateway_stats, sequential.gateway_stats);
+    // Sanity: the burst really exercised the batched paths.
+    assert!(!batched.replies.is_empty());
+}
+
+#[test]
+fn batched_path_actually_batched() {
+    // Guard against the equivalence test silently testing nothing: the
+    // batched run must register engine bursts and link flushes.
+    let mut sim = Sim::new(5);
+    let alloc = FaceIdAlloc::new();
+    let cluster = LidcCluster::deploy(&mut sim, &alloc, LidcClusterConfig {
+        nodes: 2,
+        load_datasets: false,
+        ..LidcClusterConfig::named("eq2")
+    });
+    let client_fwd = sim.spawn(
+        "client-fwd",
+        Forwarder::new("client-fwd", ForwarderConfig::default()),
+    );
+    let (to_gw, _) = connect(
+        &mut sim,
+        client_fwd,
+        cluster.gateway_fwd,
+        &alloc,
+        LinkProps::with_latency(SimDuration::from_millis(2)),
+    );
+    cluster.register_on(&mut sim, client_fwd, to_gw, 0);
+    let sink = sim.spawn("sink", Sink { replies: vec![] });
+    let sink_face = attach_app(&mut sim, client_fwd, sink, &alloc);
+    for i in 0..16 {
+        let name = Name::parse(&format!(
+            "/ndn/k8s/compute/mem=1&cpu=1&app=EQAPP&size=500000&tag={i}"
+        ))
+        .unwrap();
+        sim.send(client_fwd, Rx {
+            face: sink_face,
+            packet: Packet::Interest(Interest::new(name).must_be_fresh(true).with_nonce(1 + i)),
+        });
+    }
+    sim.run_until(sim.now() + SimDuration::from_millis(100));
+    assert_eq!(sim.actor::<Sink>(sink).unwrap().replies.len(), 16);
+    let m = sim.metrics_ref();
+    assert!(m.counter("sim.batch.bursts") > 0, "engine coalesced bursts");
+    assert!(m.counter("ndn.batch.link_flushes") > 0, "links flushed batches");
+    assert!(m.counter("gateway.batch.bursts") > 0, "gateway saw a burst");
+    assert!(m.counter("sim.batch.max_size") >= 16);
+    let drained = sim.drain_stats(cluster.gateway_app);
+    assert!(drained.max_batch >= 16, "gateway drained the burst in one call");
+    // ContentType unused warning guard.
+    let _ = ContentType::Blob;
+}

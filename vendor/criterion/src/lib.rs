@@ -3,6 +3,15 @@
 //! each routine is warmed up, the per-iteration cost is calibrated, and the
 //! median over a fixed sample count is reported as `ns/iter`.
 //!
+//! Samples pass through **MAD outlier rejection** before the median is
+//! taken: on shared hosts, slow samples reflect neighbor load rather than
+//! the code under test, so samples more than `MAD_REJECT_K` median absolute
+//! deviations *above* the raw median are discarded (low samples are signal
+//! and always kept). The reported statistics are the post-rejection median,
+//! the overall minimum, the MAD itself, and how many samples were dropped —
+//! making `BENCH_micro.json` deltas much harder to fake out with a noisy
+//! neighbor.
+//!
 //! Output goes to stdout in a stable `group/name  median_ns` format. When
 //! the `BENCH_JSON` environment variable names a file, a JSON document with
 //! every measurement is also written there (the repo's bench scripts use
@@ -16,19 +25,28 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// High-outlier rejection threshold: samples above
+/// `median + MAD_REJECT_K × MAD` are discarded as neighbor noise.
+pub const MAD_REJECT_K: f64 = 5.0;
+
 /// One finished measurement.
 #[derive(Debug, Clone)]
 pub struct Measurement {
     /// `group/benchmark` identifier.
     pub id: String,
-    /// Median nanoseconds per iteration.
+    /// Median nanoseconds per iteration, after MAD outlier rejection.
     pub median_ns: f64,
     /// Fastest sample (ns/iter) — the noise-robust statistic on shared
     /// hosts, where slow samples reflect neighbor load, not the code.
     pub min_ns: f64,
+    /// Median absolute deviation of all samples around the raw median
+    /// (ns/iter) — the spread estimate the rejection threshold uses.
+    pub mad_ns: f64,
+    /// Samples discarded as high outliers (`> median + MAD_REJECT_K × MAD`).
+    pub outliers_rejected: usize,
     /// Iterations per sample used after calibration.
     pub iters_per_sample: u64,
-    /// Number of samples taken.
+    /// Number of samples taken (before rejection).
     pub samples: usize,
     /// Optional throughput annotation.
     pub throughput: Option<Throughput>,
@@ -120,8 +138,16 @@ impl Criterion {
                 format!("{:<44} {:>12.1} ns/iter  ({:.1} Kelem/s)", m.id, m.median_ns, meps * 1000.0)
             }
             None => format!(
-                "{:<44} {:>12.1} ns/iter  (min {:.1})",
-                m.id, m.median_ns, m.min_ns
+                "{:<44} {:>12.1} ns/iter  (min {:.1}, ±{:.1} mad{})",
+                m.id,
+                m.median_ns,
+                m.min_ns,
+                m.mad_ns,
+                if m.outliers_rejected > 0 {
+                    format!(", {} outliers dropped", m.outliers_rejected)
+                } else {
+                    String::new()
+                },
             ),
         };
         println!("{line}");
@@ -146,8 +172,8 @@ impl Criterion {
         for (i, m) in results.iter().enumerate() {
             let sep = if i + 1 == results.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}{sep}\n",
-                m.id, m.median_ns, m.min_ns, m.iters_per_sample, m.samples
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mad_ns\": {:.1}, \"outliers_rejected\": {}, \"iters_per_sample\": {}, \"samples\": {}}}{sep}\n",
+                m.id, m.median_ns, m.min_ns, m.mad_ns, m.outliers_rejected, m.iters_per_sample, m.samples
             ));
         }
         out.push_str("  ]\n}\n");
@@ -275,6 +301,30 @@ impl Bencher {
     }
 }
 
+/// Robust statistics over raw samples: `(median, min, mad, rejected)`.
+/// The median is taken after dropping samples more than [`MAD_REJECT_K`]
+/// MADs *above* the raw median; low samples are never rejected (on a
+/// shared host, fast is signal and slow is neighbors).
+fn robust_stats(xs: &mut [f64]) -> (f64, f64, f64, usize) {
+    if xs.is_empty() {
+        return (0.0, 0.0, 0.0, 0);
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let raw_median = xs[xs.len() / 2];
+    let mut deviations: Vec<f64> = xs.iter().map(|x| (x - raw_median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite deviations"));
+    let mad = deviations[deviations.len() / 2];
+    // MAD of 0 (over half the samples identical) keeps everything at or
+    // below the median and rejects anything above it only if strictly
+    // greater — use the threshold as-is; cutoff == median in that case.
+    let cutoff = raw_median + MAD_REJECT_K * mad;
+    let kept = xs.partition_point(|x| *x <= cutoff);
+    let rejected = xs.len() - kept;
+    let retained = &xs[..kept];
+    let median = retained[retained.len() / 2];
+    (median, xs[0], mad, rejected)
+}
+
 fn run_bench(
     id: &str,
     sample_size: usize,
@@ -288,16 +338,13 @@ fn run_bench(
     };
     f(&mut b);
     let mut xs = b.sample_medians_ns.clone();
-    let (median, min) = if xs.is_empty() {
-        (0.0, 0.0)
-    } else {
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-        (xs[xs.len() / 2], xs[0])
-    };
+    let (median, min, mad, rejected) = robust_stats(&mut xs);
     Measurement {
         id: id.to_owned(),
         median_ns: median,
         min_ns: min,
+        mad_ns: mad,
+        outliers_rejected: rejected,
         iters_per_sample: b.iters_per_sample,
         samples: b.sample_medians_ns.len(),
         throughput,
@@ -342,5 +389,37 @@ mod tests {
     #[test]
     fn ids_render() {
         assert_eq!(BenchmarkId::new("fib", 42).rendered, "fib/42");
+    }
+
+    #[test]
+    fn mad_rejects_high_outliers_only() {
+        // 9 tight samples plus one 50× neighbor-noise spike: the spike is
+        // dropped, the median stays in the tight cluster, the min survives.
+        let mut xs = vec![10.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9, 10.3, 9.7, 500.0];
+        let (median, min, mad, rejected) = robust_stats(&mut xs);
+        assert_eq!(rejected, 1, "spike rejected");
+        assert!((9.5..=10.5).contains(&median), "median in cluster: {median}");
+        assert_eq!(min, 9.5);
+        assert!(mad > 0.0 && mad < 1.0, "tight spread: {mad}");
+        // Low samples are never rejected: fast is signal.
+        let mut xs = vec![10.0, 10.0, 10.0, 10.0, 1.0];
+        let (_, min, _, rejected) = robust_stats(&mut xs);
+        assert_eq!(rejected, 0);
+        assert_eq!(min, 1.0);
+    }
+
+    #[test]
+    fn mad_zero_spread_keeps_everything() {
+        let mut xs = vec![7.0; 12];
+        let (median, min, mad, rejected) = robust_stats(&mut xs);
+        assert_eq!((median, min, mad, rejected), (7.0, 7.0, 0.0, 0));
+    }
+
+    #[test]
+    fn robust_stats_empty_and_singleton() {
+        let (median, min, mad, rejected) = robust_stats(&mut []);
+        assert_eq!((median, min, mad, rejected), (0.0, 0.0, 0.0, 0));
+        let mut one = [42.0];
+        assert_eq!(robust_stats(&mut one), (42.0, 42.0, 0.0, 0));
     }
 }

@@ -148,6 +148,137 @@ fn bench_tables(c: &mut Criterion) {
     g.finish();
 }
 
+/// Content Store eviction and admission under the two-tier budget.
+///
+/// `cs_evict/count` churns a full store so every insert evicts one LRU
+/// entry by *entry capacity*; `cs_evict/bytes` does the same with the
+/// *byte budget* as the binding constraint (capacity far away). Both
+/// measure the per-insert eviction cost the forwarder pays under sustained
+/// Data arrival.
+fn bench_cs_eviction(c: &mut Criterion) {
+    use lidc_ndn::tables::cs::CsConfig;
+
+    let now = SimTime::ZERO;
+    let mut g = c.benchmark_group("cs_evict");
+
+    g.bench_function("count", |b| {
+        // 2048 names cycling through 1024 slots: steady-state count-driven
+        // eviction on every insert. Packets are pre-built (unsigned — the
+        // CS neither verifies nor hashes) so the loop measures the store.
+        let packets: Vec<Data> = (0..2048)
+            .map(|i| Data::new(Name::parse(&format!("/data/obj{i}")).unwrap(), vec![7u8; 64]))
+            .collect();
+        let mut cs = ContentStore::new(1024);
+        let mut n = 0usize;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            cs.insert(black_box(&packets[n % packets.len()]).clone(), now);
+            cs.len()
+        })
+    });
+
+    g.bench_function("bytes", |b| {
+        // 4 KiB entries against a 1 MiB budget (~250 resident): every
+        // insert evicts by bytes while the entry capacity never binds.
+        let payload = bytes::Bytes::from(vec![7u8; 4096]);
+        let packets: Vec<Data> = (0..512)
+            .map(|i| {
+                Data::new(
+                    Name::parse(&format!("/data/blob{i}")).unwrap(),
+                    payload.clone(),
+                )
+            })
+            .collect();
+        let mut cs = ContentStore::with_config(CsConfig {
+            capacity: 1 << 20,
+            budget_bytes: 1 << 20,
+            ..CsConfig::default()
+        });
+        let mut n = 0usize;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            cs.insert(black_box(&packets[n % packets.len()]).clone(), now);
+            cs.bytes_used()
+        })
+    });
+    g.finish();
+}
+
+/// Mixed-size churn: a bulk segment stream (16 × 1 MiB segments per step)
+/// interleaved with probes of 64 hot small results, the workload the
+/// paper's data-intensive transfers inflict on gateway-path caches. The
+/// count-only store lets the stream flush the hot set (hit rate collapses
+/// toward 0); the byte-budgeted, segment-aware store confines the stream
+/// to the bulk class share and keeps serving the hot set. Each bench
+/// asserts its regime's hit rate so a policy regression fails loudly
+/// instead of skewing the timing comparison.
+fn bench_cs_churn(c: &mut Criterion) {
+    use lidc_ndn::tables::cs::{ContentStore, CsConfig};
+
+    const HOT: usize = 64;
+    const STEPS: usize = 512;
+    const BULK_PER_STEP: usize = 16;
+
+    let now = SimTime::ZERO;
+    let segment = bytes::Bytes::from(vec![7u8; 1 << 20]);
+    let bulk: Vec<Data> = (0..STEPS * BULK_PER_STEP)
+        .map(|i| {
+            Data::new(
+                Name::parse(&format!("/lake/run{}/seg={}", i / 256, i % 256)).unwrap(),
+                segment.clone(),
+            )
+        })
+        .collect();
+    let hot: Vec<Data> = (0..HOT)
+        .map(|i| Data::new(Name::parse(&format!("/hot/result{i}")).unwrap(), vec![1u8; 512]))
+        .collect();
+
+    // One churn pass: returns the small-object hit rate over all probes.
+    let run = |config: CsConfig| -> f64 {
+        let mut cs = ContentStore::with_config(config);
+        for (step, chunk) in bulk.chunks(BULK_PER_STEP).enumerate() {
+            for seg in chunk {
+                cs.insert(seg.clone(), now);
+            }
+            let probe = &hot[step % HOT];
+            if cs.lookup(&Interest::new(probe.name.clone()), now).is_none() {
+                cs.insert(probe.clone(), now);
+            }
+        }
+        cs.hits() as f64 / STEPS as f64
+    };
+
+    let mut g = c.benchmark_group("cs_churn");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((STEPS * (BULK_PER_STEP + 1)) as u64));
+
+    g.bench_function("mixed_count_only", |b| {
+        b.iter(|| {
+            let rate = run(CsConfig::count_only(1024));
+            assert!(
+                rate < 0.3,
+                "count-only hit rate {rate:.2}: the collapse this bench documents vanished"
+            );
+            rate
+        })
+    });
+    g.bench_function("mixed_budgeted", |b| {
+        b.iter(|| {
+            let rate = run(CsConfig {
+                capacity: 1024,
+                budget_bytes: 64 << 20,
+                ..CsConfig::default()
+            });
+            assert!(
+                rate > 0.7,
+                "budgeted hit rate {rate:.2}: small objects flushed by bulk traffic"
+            );
+            rate
+        })
+    });
+    g.finish();
+}
+
 /// Burst dispatch: N same-instant compute Interests traverse a client
 /// forwarder, a WAN link, the gateway forwarder, and the gateway app, and
 /// the submit-acks return. This is the paper's fan-in scenario (§V–§VII):
@@ -247,5 +378,14 @@ fn bench_aligner(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_naming, bench_tlv, bench_tables, bench_burst, bench_aligner);
+criterion_group!(
+    benches,
+    bench_naming,
+    bench_tlv,
+    bench_tables,
+    bench_cs_eviction,
+    bench_cs_churn,
+    bench_burst,
+    bench_aligner
+);
 criterion_main!(benches);

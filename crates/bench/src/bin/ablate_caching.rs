@@ -139,6 +139,14 @@ fn main() {
             cs_hits.to_string(),
             mean_duration(&repeat_latencies).to_string(),
         ]);
+        // Content-Store byte-budget counters for the fully-cached variant:
+        // bytes used (peak), byte-evictions, and admission rejections.
+        if v.name == "gateway+cs" {
+            report.add_table(
+                sim.metrics_ref()
+                    .counters_table("Content Store budget (gateway+cs variant)", "ndn.cs_"),
+            );
+        }
     }
     report.add_table(t);
     report.note("Expected shape: off runs 50 jobs; gateway runs 10 and answers 40 from the result cache; gateway+cs additionally short-circuits some repeats in the network before they reach the cluster.");

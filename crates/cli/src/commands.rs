@@ -56,10 +56,21 @@ fn placement(args: &Args) -> Result<PlacementPolicy, String> {
 fn build_world(args: &Args) -> Result<(Sim, Overlay, ActorId), String> {
     let seed = args.get_u64("seed", 42)?;
     let mut sim = Sim::new(seed);
+    let defaults = OverlayConfig::default();
+    // Access-router Content Store shape: entry capacity plus the byte
+    // budget (0 = no byte limit; the default derives one 1 MiB segment per
+    // entry slot from the capacity).
+    let router_cs_capacity = args.get_u64("router-cs-capacity", defaults.router_cs_capacity as u64)? as usize;
+    let router_cs_budget_bytes = args.get_u64(
+        "cs-budget-bytes",
+        lidc_ndn::tables::cs::default_budget_bytes(router_cs_capacity),
+    )?;
     let overlay = Overlay::build(&mut sim, OverlayConfig {
         placement: placement(args)?,
         clusters: cluster_specs(args)?,
-        ..Default::default()
+        router_cs_capacity,
+        router_cs_budget_bytes,
+        ..defaults
     });
     let alloc = overlay.alloc.clone();
     let client = ScienceClient::deploy(
@@ -289,8 +300,11 @@ COMMANDS
   help        this text
 
 COMMON FLAGS
-  --seed N            deterministic world seed (default 42)
-  --clusters SPEC     name:latency[,name:latency...] (default gcp-microk8s:5ms)
-  --placement POLICY  compute-prefix forwarding strategy (default nearest)"
+  --seed N                  deterministic world seed (default 42)
+  --clusters SPEC           name:latency[,name:latency...] (default gcp-microk8s:5ms)
+  --placement POLICY        compute-prefix forwarding strategy (default nearest)
+  --router-cs-capacity N    access-router Content Store entries (default 4096; 0 = off)
+  --cs-budget-bytes N       access-router Content Store byte budget
+                            (default capacity x 1 MiB; 0 = no byte limit)"
     );
 }

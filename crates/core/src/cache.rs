@@ -7,8 +7,19 @@
 //! the canonical request name and stores the mapping to the published
 //! result object. (The second caching layer is the NDN Content Store on
 //! the network path; `ablate_caching` measures both.)
+//!
+//! Eviction is true LRU: recency is a monotonic tick per entry, indexed by
+//! a `BTreeMap<tick, key>`, so evicting the least-recently-used mapping is
+//! an O(log n) `pop_first` instead of the full-map scan (plus key clone)
+//! the seed shipped with — that scan made insert-heavy gateway churn
+//! quadratic. Like the Content Store, the cache can also budget by
+//! **bytes** ([`ResultCache::with_budget`]): each mapping already records
+//! the result object's size, so a byte budget keeps a few huge BLAST
+//! results from squatting on the whole cache. A `budget_bytes` of 0 means
+//! no byte limit, and a single result larger than the whole budget is
+//! refused without evicting live mappings.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use lidc_ndn::name::Name;
 
@@ -27,21 +38,42 @@ pub struct CachedResult {
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
+    /// Byte budget over `CachedResult::size` (0 = no byte limit).
+    budget_bytes: u64,
     entries: HashMap<String, (CachedResult, u64)>,
+    /// Recency index: tick → key. Ticks are unique, so `pop_first` is the
+    /// exact LRU victim.
+    lru: BTreeMap<u64, String>,
+    bytes_used: u64,
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    /// Results refused because they exceed the whole byte budget.
+    admission_rejections: u64,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` mappings (0 disables it).
+    /// A cache holding at most `capacity` mappings (0 disables it), with
+    /// no byte limit.
     pub fn new(capacity: usize) -> Self {
+        Self::with_budget(capacity, 0)
+    }
+
+    /// A cache bounded by both a mapping count and a byte budget over the
+    /// cached results' sizes (`budget_bytes` 0 = no byte limit).
+    pub fn with_budget(capacity: usize, budget_bytes: u64) -> Self {
         ResultCache {
             capacity,
+            budget_bytes,
             entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            bytes_used: 0,
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
+            admission_rejections: 0,
         }
     }
 
@@ -70,12 +102,34 @@ impl ResultCache {
         self.misses
     }
 
+    /// Sum of the cached results' sizes.
+    pub fn bytes_used(&self) -> u64 {
+        self.bytes_used
+    }
+
+    /// The configured byte budget (0 = no byte limit).
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Lifetime LRU evictions (count- or byte-driven).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Lifetime results refused for exceeding the whole byte budget.
+    pub fn admission_rejections(&self) -> u64 {
+        self.admission_rejections
+    }
+
     /// Look up a canonical request key.
     pub fn get(&mut self, key: &str) -> Option<CachedResult> {
         self.tick += 1;
         match self.entries.get_mut(key) {
             Some((result, last_used)) => {
+                self.lru.remove(last_used);
                 *last_used = self.tick;
+                self.lru.insert(self.tick, key.to_owned());
                 self.hits += 1;
                 Some(result.clone())
             }
@@ -91,24 +145,45 @@ impl ResultCache {
         if self.capacity == 0 {
             return;
         }
+        if self.budget_bytes > 0 && result.size > self.budget_bytes {
+            // A result the budget can never hold: refuse it instead of
+            // flushing every live mapping (any resident entry under this
+            // key stays).
+            self.admission_rejections += 1;
+            return;
+        }
         self.tick += 1;
-        self.entries.insert(key.into(), (result, self.tick));
-        while self.entries.len() > self.capacity {
-            // Evict the least-recently-used entry (deterministic: the
-            // smallest tick; ties impossible since ticks are unique).
-            let lru = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(k, _)| k.clone())
-                .expect("nonempty");
-            self.entries.remove(&lru);
+        let key = key.into();
+        let size = result.size;
+        if let Some((old, old_tick)) = self.entries.insert(key.clone(), (result, self.tick)) {
+            self.lru.remove(&old_tick);
+            self.bytes_used -= old.size;
+        }
+        self.bytes_used += size;
+        self.lru.insert(self.tick, key);
+        while self.entries.len() > self.capacity
+            || (self.budget_bytes > 0 && self.bytes_used > self.budget_bytes)
+        {
+            let Some((_, victim)) = self.lru.pop_first() else {
+                break;
+            };
+            if let Some((old, _)) = self.entries.remove(&victim) {
+                self.bytes_used -= old.size;
+                self.evictions += 1;
+            }
         }
     }
 
     /// Drop a mapping (e.g. when the result object is deleted).
     pub fn invalidate(&mut self, key: &str) -> bool {
-        self.entries.remove(key).is_some()
+        match self.entries.remove(key) {
+            Some((old, tick)) => {
+                self.lru.remove(&tick);
+                self.bytes_used -= old.size;
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -122,6 +197,13 @@ mod tests {
             result: name!("/ndn/k8s/data/results/x"),
             size: 941,
             job_id: job.to_owned(),
+        }
+    }
+
+    fn sized_result(job: &str, size: u64) -> CachedResult {
+        CachedResult {
+            size,
+            ..result(job)
         }
     }
 
@@ -145,6 +227,7 @@ mod tests {
         assert!(c.get("b").is_none());
         assert!(c.get("c").is_some());
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]
@@ -163,6 +246,7 @@ mod tests {
         assert!(c.invalidate("a"));
         assert!(!c.invalidate("a"));
         assert_eq!(c.get("a"), None);
+        assert_eq!(c.bytes_used(), 0);
     }
 
     #[test]
@@ -172,5 +256,50 @@ mod tests {
         c.insert("a", result("2"));
         assert_eq!(c.len(), 1);
         assert_eq!(c.get("a").unwrap().job_id, "2");
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let mut c = ResultCache::with_budget(16, 1000);
+        c.insert("a", sized_result("1", 400));
+        c.insert("b", sized_result("2", 400));
+        let _ = c.get("a"); // "b" becomes LRU
+        c.insert("c", sized_result("3", 400)); // 1200 > 1000: evict "b"
+        assert_eq!(c.bytes_used(), 800);
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none(), "LRU evicted by byte pressure");
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_budget_means_no_byte_limit() {
+        let mut c = ResultCache::new(3);
+        assert_eq!(c.budget_bytes(), 0);
+        for i in 0..3 {
+            c.insert(format!("k{i}"), sized_result("big", u64::MAX / 8));
+        }
+        assert_eq!(c.len(), 3, "huge results admitted without a budget");
+        assert_eq!(c.admission_rejections(), 0);
+    }
+
+    #[test]
+    fn oversized_result_refused_without_flushing() {
+        let mut c = ResultCache::with_budget(16, 1000);
+        c.insert("a", sized_result("1", 300));
+        c.insert("huge", sized_result("2", 5000));
+        assert_eq!(c.admission_rejections(), 1);
+        assert!(c.get("huge").is_none());
+        assert!(c.get("a").is_some(), "live mapping untouched");
+        assert_eq!(c.bytes_used(), 300);
+    }
+
+    #[test]
+    fn overwrite_reaccounts_bytes() {
+        let mut c = ResultCache::with_budget(4, 1000);
+        c.insert("a", sized_result("1", 600));
+        c.insert("a", sized_result("2", 200));
+        assert_eq!(c.bytes_used(), 200, "overwrite releases the old size");
+        c.insert("b", sized_result("3", 700));
+        assert_eq!(c.len(), 2, "200 + 700 fits after the re-account");
     }
 }

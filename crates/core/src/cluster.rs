@@ -53,6 +53,12 @@ pub struct LidcClusterConfig {
     pub node_mem_gib: u64,
     /// Gateway result-cache capacity (0 = off, the base system).
     pub result_cache_capacity: usize,
+    /// Gateway result-cache byte budget (0 = no byte limit).
+    pub result_cache_budget_bytes: u64,
+    /// Content Store byte budget for the cluster's two NFDs (0 = no byte
+    /// limit; the default derives from the default CS capacity, one 1 MiB
+    /// segment per entry slot).
+    pub cs_budget_bytes: u64,
     /// Submit-ack freshness (see [`GatewayConfig::ack_freshness`]).
     pub ack_freshness: SimDuration,
     /// Whether to run the data-loading tool at deploy time (paper §V-B).
@@ -69,6 +75,8 @@ impl Default for LidcClusterConfig {
             node_cpu_cores: 16,
             node_mem_gib: 64,
             result_cache_capacity: 0,
+            result_cache_budget_bytes: 0,
+            cs_budget_bytes: ForwarderConfig::default().cs_budget_bytes,
             ack_freshness: SimDuration::ZERO,
             load_datasets: true,
             internal_latency: SimDuration::from_micros(200),
@@ -152,13 +160,17 @@ impl LidcCluster {
         );
         k8s.create_deployment(sim, Deployment::new("dl-nfd", "dl-nfd", 1, daemon("dl-nfd")));
         // --- NDN forwarders ---
+        let nfd_config = ForwarderConfig {
+            cs_budget_bytes: config.cs_budget_bytes,
+            ..Default::default()
+        };
         let gateway_fwd = sim.spawn(
             format!("{name}-gw-nfd"),
-            Forwarder::new(format!("{name}-gw-nfd"), ForwarderConfig::default()),
+            Forwarder::new(format!("{name}-gw-nfd"), nfd_config.clone()),
         );
         let dl_fwd = sim.spawn(
             format!("{name}-dl-nfd"),
-            Forwarder::new(format!("{name}-dl-nfd"), ForwarderConfig::default()),
+            Forwarder::new(format!("{name}-dl-nfd"), nfd_config),
         );
         let (gw_to_dl, _dl_to_gw) = connect(
             sim,
@@ -178,6 +190,7 @@ impl LidcCluster {
         let gateway_config = GatewayConfig {
             cluster_name: name.clone(),
             result_cache_capacity: config.result_cache_capacity,
+            result_cache_budget_bytes: config.result_cache_budget_bytes,
             ack_freshness: config.ack_freshness,
             ..Default::default()
         };

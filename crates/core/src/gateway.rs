@@ -82,6 +82,10 @@ pub struct GatewayConfig {
     pub cluster_name: String,
     /// Result-cache capacity (0 = off; the base paper system runs without).
     pub result_cache_capacity: usize,
+    /// Result-cache byte budget over the cached results' sizes (0 = no
+    /// byte limit). Mirrors the Content Store's byte budget so a few huge
+    /// BLAST results cannot squat on the whole cache.
+    pub result_cache_budget_bytes: u64,
     /// Freshness of submit-ack Data. Zero means acks are never "fresh", so
     /// `MustBeFresh` compute Interests always reach the gateway; a long
     /// freshness lets the NDN Content Store answer identical requests (the
@@ -100,6 +104,7 @@ impl Default for GatewayConfig {
         GatewayConfig {
             cluster_name: "cluster".to_owned(),
             result_cache_capacity: 0,
+            result_cache_budget_bytes: 0,
             ack_freshness: SimDuration::ZERO,
             status_freshness: SimDuration::from_millis(100),
             validators: ValidatorRegistry::standard(),
@@ -162,7 +167,10 @@ pub struct Gateway {
 impl Gateway {
     /// Build a gateway for `cluster`, publishing results into `repo`.
     pub fn new(config: GatewayConfig, cluster: Cluster, repo: SharedRepo) -> Self {
-        let cache = ResultCache::new(config.result_cache_capacity);
+        let cache = ResultCache::with_budget(
+            config.result_cache_capacity,
+            config.result_cache_budget_bytes,
+        );
         Gateway {
             producer: None,
             config,

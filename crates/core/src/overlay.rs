@@ -43,6 +43,8 @@ pub struct ClusterSpec {
     pub node_mem_gib: u64,
     /// Gateway result-cache capacity.
     pub cache_capacity: usize,
+    /// Gateway result-cache byte budget (0 = no byte limit).
+    pub cache_budget_bytes: u64,
     /// Submit-ack freshness (network-level caching knob).
     pub ack_freshness: SimDuration,
 }
@@ -58,6 +60,7 @@ impl ClusterSpec {
             node_cpu_cores: 16,
             node_mem_gib: 64,
             cache_capacity: 0,
+            cache_budget_bytes: 0,
             ack_freshness: SimDuration::ZERO,
         }
     }
@@ -76,6 +79,12 @@ impl ClusterSpec {
         self.ack_freshness = ack_freshness;
         self
     }
+
+    /// Builder: byte-budget the gateway result cache (0 = no byte limit).
+    pub fn with_cache_budget(mut self, budget_bytes: u64) -> Self {
+        self.cache_budget_bytes = budget_bytes;
+        self
+    }
 }
 
 /// Overlay-wide parameters.
@@ -91,6 +100,13 @@ pub struct OverlayConfig {
     pub load_datasets: bool,
     /// Access-router Content Store capacity (0 disables network caching).
     pub router_cs_capacity: usize,
+    /// Access-router Content Store byte budget (0 = no byte limit).
+    /// `Default::default()` pairs the default capacity (4096) with its
+    /// derived budget (one 1 MiB segment per slot); when overriding
+    /// `router_cs_capacity` by struct update, set this too (e.g. via
+    /// `lidc_ndn::tables::cs::default_budget_bytes(capacity)`) so the
+    /// budget tracks the new capacity.
+    pub router_cs_budget_bytes: u64,
 }
 
 impl Default for OverlayConfig {
@@ -101,6 +117,7 @@ impl Default for OverlayConfig {
             load_report_interval: SimDuration::from_secs(5),
             load_datasets: true,
             router_cs_capacity: 4096,
+            router_cs_budget_bytes: lidc_ndn::tables::cs::default_budget_bytes(4096),
         }
     }
 }
@@ -130,6 +147,7 @@ impl Overlay {
             "wan-router",
             Forwarder::new("wan-router", ForwarderConfig {
                 cs_capacity: config.router_cs_capacity,
+                cs_budget_bytes: config.router_cs_budget_bytes,
                 ..Default::default()
             }),
         );
@@ -175,6 +193,7 @@ impl Overlay {
             node_cpu_cores: spec.node_cpu_cores,
             node_mem_gib: spec.node_mem_gib,
             result_cache_capacity: spec.cache_capacity,
+            result_cache_budget_bytes: spec.cache_budget_bytes,
             ack_freshness: spec.ack_freshness,
             load_datasets: self.config.load_datasets,
             ..Default::default()

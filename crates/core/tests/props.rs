@@ -162,6 +162,34 @@ proptest! {
         prop_assert!(cache.get(&last).is_some(), "MRU entry survived the refill");
     }
 
+    /// Byte-budgeted result cache: bytes_used never exceeds the budget,
+    /// always equals the sum of resident result sizes, and oversized
+    /// results are refused without touching live mappings.
+    #[test]
+    fn result_cache_byte_budget_invariants(
+        budget in 500u64..5000,
+        ops in proptest::collection::vec(("[a-z]{1,4}", 1u64..2000), 1..64),
+    ) {
+        let mut cache = ResultCache::with_budget(16, budget);
+        for (i, (key, size)) in ops.into_iter().enumerate() {
+            let len_before = cache.len();
+            let rejections_before = cache.admission_rejections();
+            cache.insert(key.clone(), CachedResult {
+                job_id: format!("c/job-{i}"),
+                result: Name::parse("/ndn/k8s/data/results/x").unwrap(),
+                size,
+            });
+            if size > budget {
+                prop_assert_eq!(cache.admission_rejections(), rejections_before + 1);
+                prop_assert_eq!(cache.len(), len_before, "refusal evicted nothing");
+            } else {
+                prop_assert!(cache.get(&key).is_some(), "admitted result resident");
+            }
+            prop_assert!(cache.bytes_used() <= budget);
+            prop_assert!(cache.len() <= 16);
+        }
+    }
+
     // --- predictor -------------------------------------------------------------------
 
     /// Trained on a world inside its hypothesis class

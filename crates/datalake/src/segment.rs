@@ -20,11 +20,16 @@ pub const DEFAULT_SEGMENT_SIZE: usize = 1 << 20;
 
 /// Number of segments an object of `len` bytes needs (at least 1, so empty
 /// objects still produce a single empty segment).
+///
+/// A `segment_size` of 0 is clamped to 1 at this public boundary:
+/// `FileServer::with_segment_size` clamps too, but callers reaching these
+/// functions directly (tests, tools, future producers) must not be able to
+/// trip a division-by-zero panic in `div_ceil`.
 pub fn segment_count(len: u64, segment_size: usize) -> u64 {
     if len == 0 {
         1
     } else {
-        len.div_ceil(segment_size as u64)
+        len.div_ceil(segment_size.max(1) as u64)
     }
 }
 
@@ -38,6 +43,9 @@ pub fn segment_data(
     segment_size: usize,
     freshness: SimDuration,
 ) -> Option<Data> {
+    // Same zero clamp as `segment_count`, and with the same value, so the
+    // per-segment offsets below agree with the advertised segment total.
+    let segment_size = segment_size.max(1);
     let total = segment_count(content.len(), segment_size);
     if seg >= total {
         return None;
@@ -194,6 +202,31 @@ mod tests {
         assert_eq!(segment_count(100, 100), 1);
         assert_eq!(segment_count(101, 100), 2);
         assert_eq!(segment_count(1000, 100), 10);
+    }
+
+    #[test]
+    fn zero_segment_size_clamps_instead_of_panicking() {
+        // Regression: `div_ceil(0)` panics with division by zero; the pub
+        // boundary clamps to 1-byte segments instead.
+        assert_eq!(segment_count(0, 0), 1);
+        assert_eq!(segment_count(5, 0), 5, "clamped to 1-byte segments");
+        let base = name!("/z");
+        let content = Content::bytes(Bytes::from(vec![9u8; 3]));
+        let d0 = segment_data(&base, &content, 0, 0, SimDuration::from_secs(1)).unwrap();
+        assert_eq!(d0.content.len(), 1);
+        assert_eq!(d0.final_block_id.as_ref().unwrap().as_number(), Some(2));
+        assert!(segment_data(&base, &content, 3, 0, SimDuration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn bulk_threshold_matches_default_segment_size() {
+        // The CS's segment-aware admission classifies entries as bulk at
+        // the data lake's default segment payload size; the two constants
+        // must not drift apart.
+        assert_eq!(
+            lidc_ndn::tables::cs::DEFAULT_BULK_THRESHOLD,
+            DEFAULT_SEGMENT_SIZE as u64
+        );
     }
 
     #[test]

@@ -134,6 +134,15 @@ struct PitExpire {
 pub struct ForwarderConfig {
     /// Content Store capacity in packets (0 disables caching).
     pub cs_capacity: usize,
+    /// Content Store byte budget over payload + name cost (0 = no byte
+    /// limit). `Default::default()` pairs the default capacity (4096) with
+    /// its derived budget (one default-sized 1 MiB segment per slot); when
+    /// overriding `cs_capacity` by struct update, use
+    /// [`ForwarderConfig::for_cs_capacity`] (or set this field too) so the
+    /// budget tracks the new capacity instead of staying at 4 GiB. See
+    /// [`crate::tables::cs::CsConfig`] for the segment-aware admission
+    /// policy the budget enables.
+    pub cs_budget_bytes: u64,
     /// Dead nonce list capacity.
     pub dnl_capacity: usize,
     /// Delivery latency to application faces. Real NFD apps sit behind a
@@ -147,8 +156,23 @@ impl Default for ForwarderConfig {
     fn default() -> Self {
         ForwarderConfig {
             cs_capacity: 4096,
+            cs_budget_bytes: crate::tables::cs::default_budget_bytes(4096),
             dnl_capacity: 8192,
             app_face_latency: lidc_simcore::time::SimDuration::from_micros(50),
+        }
+    }
+}
+
+impl ForwarderConfig {
+    /// Defaults with a Content Store of `capacity` entries and the byte
+    /// budget derived from it (one default-sized 1 MiB segment per slot) —
+    /// the coherent way to resize the store, keeping the two tiers of the
+    /// budget coupled.
+    pub fn for_cs_capacity(capacity: usize) -> Self {
+        ForwarderConfig {
+            cs_capacity: capacity,
+            cs_budget_bytes: crate::tables::cs::default_budget_bytes(capacity),
+            ..Default::default()
         }
     }
 }
@@ -243,7 +267,11 @@ impl Forwarder {
             faces: FxHashMap::default(),
             fib: Fib::new(),
             pit: Pit::new(),
-            cs: ContentStore::new(config.cs_capacity),
+            cs: ContentStore::with_config(crate::tables::cs::CsConfig {
+                capacity: config.cs_capacity,
+                budget_bytes: config.cs_budget_bytes,
+                ..Default::default()
+            }),
             dnl: DeadNonceList::new(config.dnl_capacity),
             strategies: vec![(Name::root(), Box::new(BestRoute::new()))],
             pit_match_scratch: Vec::new(),
@@ -575,7 +603,28 @@ impl Forwarder {
             ctx.metrics().incr("ndn.unsolicited_data", 1);
             return;
         }
+        // Insert into the CS, then surface what the two-tier budget did:
+        // eviction counts/bytes and admission rejections are lifetime
+        // counters on the store, so deltas around the insert attribute the
+        // work to metrics without the store knowing about the metrics sink.
+        let (ev0, evb0, rej0) = (
+            self.cs.evictions(),
+            self.cs.evicted_bytes(),
+            self.cs.admission_rejections(),
+        );
         self.cs.insert(data.clone(), now);
+        let evicted = self.cs.evictions() - ev0;
+        if evicted > 0 {
+            ctx.metrics().incr("ndn.cs_evict.count", evicted);
+            ctx.metrics()
+                .incr("ndn.cs_evict.bytes", self.cs.evicted_bytes() - evb0);
+        }
+        let rejected = self.cs.admission_rejections() - rej0;
+        if rejected > 0 {
+            ctx.metrics().incr("ndn.cs_admission_rejected", rejected);
+        }
+        ctx.metrics()
+            .set_max("ndn.cs_bytes_used_peak", self.cs.bytes_used());
         for key in keys.drain(..) {
             let Some(entry) = self.pit.take(&key) else {
                 continue;

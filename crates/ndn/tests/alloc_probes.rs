@@ -125,11 +125,21 @@ fn pit_data_match_into_reused_buffer_allocates_nothing() {
 
 #[test]
 fn cs_probes_allocate_nothing() {
-    let mut cs = ContentStore::new(128);
+    // Byte-budgeted, segment-aware config: probes must stay allocation-free
+    // with the two-tier budget active, not just in count-only mode. Half
+    // the entries land in the bulk class (cost ≥ threshold) so both LRU
+    // lists participate in the probed relinks.
+    let mut cs = ContentStore::with_config(lidc_ndn::tables::cs::CsConfig {
+        capacity: 128,
+        budget_bytes: 1 << 20,
+        bulk_threshold: 64,
+        protected_fraction: 0.25,
+    });
     let now = SimTime::ZERO;
     for i in 0..64 {
         let name = Name::parse(&format!("/data/obj-{i}/seg=0")).unwrap();
-        cs.insert(Data::new(name, vec![7u8; 32]).sign_digest(), now);
+        let size = if i % 2 == 0 { 32 } else { 128 };
+        cs.insert(Data::new(name, vec![7u8; size]).sign_digest(), now);
     }
     let exact = Interest::new(Name::parse("/data/obj-17/seg=0").unwrap());
     let prefix_hit = Interest::new(Name::parse("/data/obj-17").unwrap()).can_be_prefix(true);

@@ -312,6 +312,82 @@ proptest! {
         prop_assert_eq!(got.content.as_ref(), content.as_slice());
     }
 
+    /// Byte-budget invariants: after ANY insert/lookup sequence (lookups
+    /// evict observed-stale records, inserts evict LRU by count, class
+    /// share, and total budget), the store never exceeds `budget_bytes`,
+    /// and `bytes_used` equals the payload+name cost summed over exactly
+    /// the resident entries.
+    #[test]
+    fn cs_bytes_used_never_exceeds_budget_and_is_exact(
+        budget in 300u64..4000,
+        capacity in 2usize..24,
+        ops in proptest::collection::vec(
+            (0u8..24, 0usize..500, any::<bool>(), any::<bool>()),
+            1..120,
+        ),
+    ) {
+        use lidc_ndn::tables::cs::CsConfig;
+        let mut cs = ContentStore::with_config(CsConfig {
+            capacity,
+            budget_bytes: budget,
+            bulk_threshold: 100,
+            protected_fraction: 0.25,
+        });
+        let now = SimTime::ZERO;
+        for (id, size, is_lookup, fresh) in ops {
+            let name = Name::parse(&format!("/data/obj-{id}")).unwrap();
+            if is_lookup {
+                let _ = cs.lookup(&Interest::new(name).must_be_fresh(fresh), now);
+            } else {
+                let mut data = Data::new(name, vec![7u8; size]);
+                if fresh {
+                    data = data.with_freshness(SimDuration::from_secs(60));
+                }
+                cs.insert(data.sign_digest(), now);
+            }
+            prop_assert!(
+                cs.bytes_used() <= budget,
+                "bytes_used {} > budget {budget}",
+                cs.bytes_used()
+            );
+            prop_assert!(cs.len() <= capacity);
+            let expected: u64 = cs.entries().map(|(_, d)| ContentStore::cost_of(d)).sum();
+            prop_assert_eq!(cs.bytes_used(), expected, "byte accounting drifted");
+        }
+    }
+
+    /// Oversized Data (cost beyond what its class may ever hold) is
+    /// refused at admission without evicting a single live entry.
+    #[test]
+    fn cs_oversized_data_rejected_without_flushing(
+        resident in proptest::collection::vec((0u8..8, 1usize..60), 1..8),
+        oversize in 2000usize..4000,
+    ) {
+        use lidc_ndn::tables::cs::CsConfig;
+        let mut cs = ContentStore::with_config(CsConfig {
+            capacity: 32,
+            budget_bytes: 1000,
+            bulk_threshold: 100,
+            protected_fraction: 0.25,
+        });
+        let now = SimTime::ZERO;
+        for (id, size) in resident {
+            let name = Name::parse(&format!("/small/{id}")).unwrap();
+            cs.insert(Data::new(name, vec![1u8; size]).sign_digest(), now);
+        }
+        let before: Vec<Name> = cs.names().cloned().collect();
+        let bytes_before = cs.bytes_used();
+        cs.insert(
+            Data::new(Name::parse("/huge").unwrap(), vec![2u8; oversize]).sign_digest(),
+            now,
+        );
+        prop_assert_eq!(cs.admission_rejections(), 1);
+        prop_assert_eq!(cs.bytes_used(), bytes_before, "no bytes charged");
+        let after: Vec<Name> = cs.names().cloned().collect();
+        prop_assert_eq!(after, before, "resident set untouched");
+        prop_assert!(cs.lookup(&Interest::new(Name::parse("/huge").unwrap()), now).is_none());
+    }
+
     #[test]
     fn cs_must_be_fresh_respects_expiry(
         fresh_ms in 1u64..10_000,

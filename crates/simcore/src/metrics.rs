@@ -194,6 +194,26 @@ impl Metrics {
         self.counters.keys().map(String::as_str)
     }
 
+    /// All counters with their values, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Render the counters matching `prefix` as a report table (sorted by
+    /// name; deterministic). Experiment binaries use this to surface
+    /// subsystem counters — e.g. the Content Store's byte budget
+    /// (`ndn.cs_*`: bytes used, byte-evictions, admission rejections) —
+    /// next to their dispatch reports.
+    pub fn counters_table(&self, title: impl Into<String>, prefix: &str) -> crate::report::Table {
+        let mut table = crate::report::Table::new(title, &["counter", "value"]);
+        for (name, value) in self.counters() {
+            if name.starts_with(prefix) {
+                table.push_row(vec![name.to_owned(), value.to_string()]);
+            }
+        }
+        table
+    }
+
     /// All histogram names, sorted.
     pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
         self.histograms.keys().map(String::as_str)
@@ -279,6 +299,19 @@ mod tests {
         assert_eq!(counters, vec!["alpha", "zeta"]);
         let histos: Vec<_> = m.histogram_names().collect();
         assert_eq!(histos, vec!["m1", "m2"]);
+    }
+
+    #[test]
+    fn counters_table_filters_by_prefix() {
+        let mut m = Metrics::new();
+        m.incr("ndn.cs_evict.count", 3);
+        m.incr("ndn.cs_evict.bytes", 4096);
+        m.incr("gateway.jobs_created", 1);
+        let t = m.counters_table("CS", "ndn.cs_");
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "ndn.cs_evict.bytes");
+        assert_eq!(t.rows[0][1], "4096");
+        assert_eq!(t.rows[1][0], "ndn.cs_evict.count");
     }
 
     #[test]

@@ -5,7 +5,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lidc_core::cluster::{LidcCluster, LidcClusterConfig};
 use lidc_core::naming::{classify, ComputeRequest, RequestKind};
-use lidc_genomics::aligner::{align_parallel, align_sequential, Reference};
+use lidc_genomics::aligner::{
+    align_parallel, align_sequential, extend_diagonal, extend_diagonal_scalar, Reference,
+};
+use lidc_genomics::pack::PackedSeq;
 use lidc_genomics::sequence::sample_reads;
 use lidc_ndn::face::FaceId;
 use lidc_ndn::name::Name;
@@ -363,17 +366,69 @@ fn bench_burst(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_aligner(c: &mut Criterion) {
-    let mut g = c.benchmark_group("aligner");
+/// The alignment kernel. `align/seq` and `align/par` run the full
+/// seed-and-extend pipeline over the same 2k-read workload the seed's
+/// `aligner/{sequential,parallel}_2k_reads` benches used (ids renamed with
+/// the packed-kernel PR; BENCH_micro.json carries the old numbers as the
+/// baseline). `align/extend` is the extension-dominated kernel bench —
+/// long reads on known diagonals, no seeding — and `align/extend_scalar`
+/// is the scalar zip-filter kernel (the seed implementation's extension
+/// loop over the 2-bit alphabet) on the identical workload: the pre/post
+/// pair behind the ≥2× acceptance number.
+fn bench_align(c: &mut Criterion) {
+    let mut g = c.benchmark_group("align");
     g.sample_size(10);
     let reference = Reference::synthesize(200_000, 16, 0xFEED);
     let reads = sample_reads(&reference.seq, 2_000, 100, 0.01, 0xBEEF);
     g.throughput(Throughput::Elements(reads.len() as u64));
-    g.bench_function("sequential_2k_reads", |b| {
+    g.bench_function("seq", |b| {
         b.iter(|| align_sequential(black_box(&reference), black_box(&reads)).len())
     });
-    g.bench_function("parallel_2k_reads", |b| {
+    g.bench_function("par", |b| {
         b.iter(|| align_parallel(black_box(&reference), black_box(&reads)).len())
+    });
+
+    // Extension-dominated: 256 × 4096-base reads. Most score along their
+    // true (fully in-bounds) diagonal; every 16th diagonal is shifted to
+    // hang half off a reference boundary so the clipping branch is part
+    // of the measured kernel. Both benches iterate the identical
+    // (read, diagonal) list.
+    const EXT_READ_LEN: usize = 4096;
+    let ext_reads = sample_reads(&reference.seq, 256, EXT_READ_LEN, 0.01, 0xF00D);
+    let diagonals: Vec<i64> = ext_reads
+        .iter()
+        .enumerate()
+        .map(|(i, r)| match i % 32 {
+            0 => -((EXT_READ_LEN / 2) as i64),
+            16 => (reference.seq.len() - EXT_READ_LEN / 2) as i64,
+            _ => r.true_pos as i64,
+        })
+        .collect();
+    let packed_reads: Vec<(PackedSeq, i64)> = ext_reads
+        .iter()
+        .zip(&diagonals)
+        .map(|(r, &d)| (PackedSeq::from_ascii(&r.seq), d))
+        .collect();
+    g.throughput(Throughput::Bytes((ext_reads.len() * EXT_READ_LEN) as u64));
+    g.bench_function("extend", |b| {
+        let packed_ref = reference.packed();
+        b.iter(|| {
+            packed_reads
+                .iter()
+                .map(|(read, diag)| extend_diagonal(read, black_box(packed_ref), *diag).matches)
+                .sum::<u32>()
+        })
+    });
+    g.bench_function("extend_scalar", |b| {
+        b.iter(|| {
+            ext_reads
+                .iter()
+                .zip(&diagonals)
+                .map(|(r, &d)| {
+                    extend_diagonal_scalar(&r.seq, black_box(&reference.seq), d).matches
+                })
+                .sum::<u32>()
+        })
     });
     g.finish();
 }
@@ -386,6 +441,6 @@ criterion_group!(
     bench_cs_eviction,
     bench_cs_churn,
     bench_burst,
-    bench_aligner
+    bench_align
 );
 criterion_main!(benches);

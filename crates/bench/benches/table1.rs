@@ -2,11 +2,18 @@
 //! workflow (client → NDN → gateway → K8s job → data lake) per iteration,
 //! in virtual time. This measures how fast the *simulator* regenerates a
 //! paper row, and guards the harness against event-count regressions.
+//!
+//! It also surfaces the kernel calibration behind the cost model's scale:
+//! `kernel_calibration` measures the packed extension kernel's per-base
+//! throughput wall-clock and rebuilds the kernel-calibrated model,
+//! asserting the exact Table-I rows are invariant under re-calibration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use lidc_core::client::{ClientConfig, ScienceClient, Submit};
 use lidc_core::cluster::{LidcCluster, LidcClusterConfig};
 use lidc_core::naming::ComputeRequest;
+use lidc_genomics::costmodel::{CostModel, KernelCalibration};
+use lidc_genomics::sra::{PAPER_RICE_BYTES, PAPER_RICE_SRR};
 use lidc_ndn::face::FaceIdAlloc;
 use lidc_simcore::engine::Sim;
 
@@ -49,5 +56,32 @@ fn bench_table1(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_table1);
+/// Measure the packed kernel's throughput and rebuild the cost model from
+/// it. One reading is printed so a bench run records the host's measured
+/// bases/second next to the Table-I numbers it grounds.
+fn bench_calibration(c: &mut Criterion) {
+    let cal = KernelCalibration::measure(1 << 26);
+    eprintln!(
+        "kernel calibration: {:.3} Gbases/s ({:.3e} secs/byte implied)",
+        cal.bases_per_sec / 1e9,
+        cal.secs_per_byte()
+    );
+    // Re-calibration must leave the exact paper rows untouched.
+    let model = CostModel::kernel_calibrated(&cal);
+    let est = model.estimate("BLAST", Some(PAPER_RICE_SRR), PAPER_RICE_BYTES, 2, 4);
+    assert_eq!(est.duration.to_string(), "8h9m50s", "Table I invariant under re-calibration");
+
+    let mut g = c.benchmark_group("table1_end_to_end");
+    g.sample_size(10);
+    g.bench_function("kernel_calibration", |b| {
+        b.iter(|| {
+            let cal = KernelCalibration::measure(black_box(1 << 22));
+            CostModel::kernel_calibrated(&cal);
+            cal.bases_per_sec
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_calibration);
 criterion_main!(benches);

@@ -5,13 +5,27 @@
 //! scoring, parallelised over reads with rayon. It serves two purposes:
 //! the criterion benches measure a *real* HPC kernel (and the sequential vs
 //! parallel speed-up), and its measured per-base throughput grounds the
-//! virtual-time cost model's scale.
+//! virtual-time cost model's scale (see [`crate::costmodel`]).
+//!
+//! The hot path runs on the 2-bit packed representation from
+//! [`crate::pack`]: the reference is indexed through O(1) packed k-mer
+//! windows, reads are seeded the same way, and the ungapped extension XORs
+//! packed read vs reference words and popcounts base mismatches 32 bases
+//! at a time. [`extend_diagonal_scalar`] keeps the byte-wise kernel alive
+//! for differential testing.
+//!
+//! Reads whose best diagonal hangs off either end of the reference are
+//! *clipped* to the read/reference overlap and scored over it — the seed
+//! implementation silently unmapped them, which biased both the mapping
+//! rate and the calibrated throughput at the reference boundaries.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use rayon::prelude::*;
 
-use crate::sequence::{random_sequence, Read};
+use crate::pack::{count_matches, count_matches_scalar, PackedSeq};
+use crate::sequence::{random_sequence, sample_reads, Read};
 
 /// Match reward in the ungapped extension score.
 pub const MATCH_SCORE: i32 = 2;
@@ -23,25 +37,9 @@ pub const MISMATCH_PENALTY: i32 = -3;
 pub struct Reference {
     /// The reference bases.
     pub seq: Vec<u8>,
+    packed: PackedSeq,
     k: usize,
     index: HashMap<u64, Vec<u32>>,
-}
-
-fn encode_base(b: u8) -> u64 {
-    match b {
-        b'A' => 0,
-        b'C' => 1,
-        b'G' => 2,
-        _ => 3,
-    }
-}
-
-fn kmer_at(seq: &[u8], pos: usize, k: usize) -> u64 {
-    let mut v = 0u64;
-    for &b in &seq[pos..pos + k] {
-        v = (v << 2) | encode_base(b);
-    }
-    v
 }
 
 impl Reference {
@@ -49,11 +47,17 @@ impl Reference {
     pub fn index(seq: Vec<u8>, k: usize) -> Reference {
         assert!((1..=31).contains(&k), "k must be in 1..=31");
         assert!(seq.len() >= k, "reference shorter than k");
+        let packed = PackedSeq::from_ascii(&seq);
         let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
         for pos in 0..=(seq.len() - k) {
-            index.entry(kmer_at(&seq, pos, k)).or_default().push(pos as u32);
+            index.entry(packed.kmer(pos, k)).or_default().push(pos as u32);
         }
-        Reference { seq, k, index }
+        Reference {
+            seq,
+            packed,
+            k,
+            index,
+        }
     }
 
     /// Generate and index a synthetic reference of `len` bases.
@@ -70,6 +74,11 @@ impl Reference {
     pub fn distinct_kmers(&self) -> usize {
         self.index.len()
     }
+
+    /// The 2-bit packed reference (the extension kernel's operand).
+    pub fn packed(&self) -> &PackedSeq {
+        &self.packed
+    }
 }
 
 /// The outcome of aligning one read.
@@ -83,28 +92,137 @@ pub struct Alignment {
     pub score: i32,
     /// Matching bases at the best diagonal.
     pub matches: u32,
+    /// Bases scored at the best diagonal — the read/reference overlap,
+    /// shorter than the read when the diagonal hangs off a reference
+    /// boundary; 0 when no diagonal was found. Identity is
+    /// `matches / aligned_len`.
+    pub aligned_len: u32,
 }
 
 /// Minimum fraction of matching bases for a mapping to be reported.
 const MIN_IDENTITY: f64 = 0.8;
 
+/// Minimum fraction of the read that must overlap the reference for a
+/// clipped boundary mapping to be reported. Without this floor, a junk
+/// read whose only index hit is a single seed k-mer at the very edge of
+/// the reference would "map" with identity 1.0 over nothing but the seed
+/// itself.
+const MIN_OVERLAP_FRACTION: f64 = 0.5;
+
+/// One ungapped extension along a diagonal, clipped to the read/reference
+/// overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extension {
+    /// First read base scored (> 0 when the diagonal hangs off the
+    /// reference's left edge).
+    pub read_start: u32,
+    /// First reference base scored.
+    pub ref_start: u32,
+    /// Bases scored (0 when the diagonal has no overlap).
+    pub len: u32,
+    /// Matching bases in the overlap.
+    pub matches: u32,
+    /// `matches · MATCH_SCORE + mismatches · MISMATCH_PENALTY`.
+    pub score: i32,
+}
+
+/// Clip a diagonal to the read/reference overlap. Returns
+/// `(read_start, ref_start, len)`; `len` is 0 when they do not overlap.
+#[inline]
+fn clip_diagonal(read_len: usize, ref_len: usize, diagonal: i64) -> (usize, usize, usize) {
+    let read_start = if diagonal >= 0 {
+        0
+    } else {
+        diagonal.unsigned_abs().min(read_len as u64) as usize
+    };
+    let ref_start = if diagonal >= 0 {
+        (diagonal as u64).min(ref_len as u64) as usize
+    } else {
+        0
+    };
+    let len = (read_len - read_start).min(ref_len - ref_start);
+    (read_start, ref_start, len)
+}
+
+#[inline]
+fn extension(read_start: usize, ref_start: usize, len: usize, matches: u32) -> Extension {
+    let mismatches = len as u32 - matches;
+    Extension {
+        read_start: read_start as u32,
+        ref_start: ref_start as u32,
+        len: len as u32,
+        matches,
+        score: matches as i32 * MATCH_SCORE + mismatches as i32 * MISMATCH_PENALTY,
+    }
+}
+
+/// Ungapped extension of `read` against `reference` along `diagonal`
+/// (`ref_pos − read_offset`), clipped to the overlap: the vectorized
+/// kernel behind [`align_sequential`] / [`align_parallel`] — packed XOR +
+/// popcount, 32 bases per iteration.
+pub fn extend_diagonal(read: &PackedSeq, reference: &PackedSeq, diagonal: i64) -> Extension {
+    let (read_start, ref_start, len) = clip_diagonal(read.len(), reference.len(), diagonal);
+    let matches = count_matches(read, read_start, reference, ref_start, len);
+    extension(read_start, ref_start, len, matches)
+}
+
+/// The scalar (zip-filter over 2-bit base codes) twin of
+/// [`extend_diagonal`], kept as the differential-testing and benchmark
+/// baseline; agrees with the packed kernel on arbitrary byte input
+/// (non-`ACGT` bytes collapse to `T`'s code in both).
+pub fn extend_diagonal_scalar(read: &[u8], reference: &[u8], diagonal: i64) -> Extension {
+    let (read_start, ref_start, len) = clip_diagonal(read.len(), reference.len(), diagonal);
+    let matches = count_matches_scalar(
+        &read[read_start..read_start + len],
+        &reference[ref_start..ref_start + len],
+    );
+    extension(read_start, ref_start, len, matches)
+}
+
+/// Per-thread scratch reused across reads: the packed read buffer and the
+/// diagonal-vote map. Rayon workers each get their own copy, so
+/// [`align_parallel`] stays allocation-light without threading state
+/// through the vendored `par_iter`.
+struct AlignScratch {
+    packed_read: PackedSeq,
+    votes: HashMap<i64, u32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<AlignScratch> = RefCell::new(AlignScratch {
+        packed_read: PackedSeq::default(),
+        votes: HashMap::new(),
+    });
+}
+
 fn align_one(reference: &Reference, read: &Read) -> Alignment {
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        align_one_with(reference, read, scratch)
+    })
+}
+
+fn align_one_with(reference: &Reference, read: &Read, scratch: &mut AlignScratch) -> Alignment {
     let k = reference.k;
     let unmapped = Alignment {
         read_id: read.id,
         ref_pos: None,
         score: 0,
         matches: 0,
+        aligned_len: 0,
     };
     if read.seq.len() < k {
         return unmapped;
     }
+    let packed_read = &mut scratch.packed_read;
+    packed_read.pack(&read.seq);
     // Seed: vote for diagonals (ref_pos - read_offset).
-    let mut votes: HashMap<i64, u32> = HashMap::new();
+    let votes = &mut scratch.votes;
+    votes.clear();
     let stride = (k / 2).max(1);
     let mut offset = 0;
     while offset + k <= read.seq.len() {
-        let kmer = kmer_at(&read.seq, offset, k);
+        let kmer = packed_read.kmer(offset, k);
         if let Some(positions) = reference.index.get(&kmer) {
             // Highly repetitive seeds contribute noise; cap their votes.
             for &pos in positions.iter().take(16) {
@@ -120,33 +238,20 @@ fn align_one(reference: &Reference, read: &Read) -> Alignment {
     else {
         return unmapped;
     };
-    if diagonal < 0 || diagonal as usize + read.seq.len() > reference.seq.len() {
+    // Extend: ungapped comparison along the diagonal, clipped to the
+    // read/reference overlap so boundary reads are scored, not dropped.
+    let ext = extend_diagonal(packed_read, &reference.packed, diagonal);
+    if ext.len == 0 {
         return unmapped;
     }
-    // Extend: ungapped comparison along the diagonal.
-    let start = diagonal as usize;
-    let window = &reference.seq[start..start + read.seq.len()];
-    let matches = read
-        .seq
-        .iter()
-        .zip(window)
-        .filter(|(a, b)| a == b)
-        .count() as u32;
-    let mismatches = read.seq.len() as u32 - matches;
-    let score = matches as i32 * MATCH_SCORE + mismatches as i32 * MISMATCH_PENALTY;
-    if (matches as f64) < MIN_IDENTITY * read.seq.len() as f64 {
-        return Alignment {
-            read_id: read.id,
-            ref_pos: None,
-            score,
-            matches,
-        };
-    }
+    let mapped = ext.matches as f64 >= MIN_IDENTITY * ext.len as f64
+        && ext.len as f64 >= MIN_OVERLAP_FRACTION * read.seq.len() as f64;
     Alignment {
         read_id: read.id,
-        ref_pos: Some(start as u32),
-        score,
-        matches,
+        ref_pos: if mapped { Some(ext.ref_start) } else { None },
+        score: ext.score,
+        matches: ext.matches,
+        aligned_len: ext.len,
     }
 }
 
@@ -167,23 +272,53 @@ pub struct AlignmentStats {
     pub total: usize,
     /// Reads mapped above the identity threshold.
     pub mapped: usize,
-    /// Mean identity of mapped reads (matches / read length).
+    /// Mean identity of mapped reads (matches / aligned bases).
     pub mean_identity: f64,
 }
 
-/// Compute summary statistics.
-pub fn stats(alignments: &[Alignment], read_len: usize) -> AlignmentStats {
-    let mapped: Vec<&Alignment> = alignments.iter().filter(|a| a.ref_pos.is_some()).collect();
-    let mean_identity = if mapped.is_empty() {
-        0.0
-    } else {
-        mapped.iter().map(|a| a.matches as f64 / read_len as f64).sum::<f64>() / mapped.len() as f64
-    };
+/// Compute summary statistics. Identity comes from each alignment's own
+/// `matches / aligned_len`, so variable-length read sets (and clipped
+/// boundary alignments) are summarised correctly.
+pub fn stats(alignments: &[Alignment]) -> AlignmentStats {
+    let mut mapped = 0usize;
+    let mut identity_sum = 0.0;
+    for a in alignments.iter().filter(|a| a.ref_pos.is_some()) {
+        mapped += 1;
+        identity_sum += a.matches as f64 / a.aligned_len as f64;
+    }
     AlignmentStats {
         total: alignments.len(),
-        mapped: mapped.len(),
-        mean_identity,
+        mapped,
+        mean_identity: if mapped == 0 { 0.0 } else { identity_sum / mapped as f64 },
     }
+}
+
+/// Measure the packed extension kernel's single-thread throughput in
+/// bases/second: repeated [`extend_diagonal`] calls over a synthetic
+/// reference until `total_bases` have been scored, timed wall-clock. This
+/// is the measurement [`crate::costmodel::KernelCalibration`] grounds the
+/// cost model's scale constants in.
+pub fn extension_throughput(total_bases: u64, seed: u64) -> f64 {
+    const READ_LEN: usize = 4096;
+    let reference = random_sequence(1 << 16, seed);
+    let packed_ref = PackedSeq::from_ascii(&reference);
+    let reads = sample_reads(&reference, 64, READ_LEN, 0.01, seed ^ 0x51D);
+    let packed: Vec<(PackedSeq, i64)> = reads
+        .iter()
+        .map(|r| (PackedSeq::from_ascii(&r.seq), r.true_pos as i64))
+        .collect();
+    let mut scored = 0u64;
+    let mut sink = 0u32;
+    let start = std::time::Instant::now();
+    while scored < total_bases {
+        for (read, diagonal) in &packed {
+            sink = sink.wrapping_add(extend_diagonal(read, &packed_ref, *diagonal).matches);
+            scored += READ_LEN as u64;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    scored as f64 / secs.max(1e-9)
 }
 
 #[cfg(test)]
@@ -214,7 +349,7 @@ mod tests {
     fn noisy_reads_mostly_map() {
         let (reference, reads) = fixture();
         let alignments = align_sequential(&reference, &reads);
-        let s = stats(&alignments, 100);
+        let s = stats(&alignments);
         assert!(s.mapped as f64 >= 0.95 * s.total as f64, "{s:?}");
         assert!(s.mean_identity > 0.95, "{s:?}");
     }
@@ -259,11 +394,120 @@ mod tests {
         assert_eq!(a[0].ref_pos, None);
     }
 
+    /// The edge-drop regression: reads whose best diagonal hangs off
+    /// either reference boundary must clip to the overlap and map, not
+    /// silently unmap. The seed implementation returned `unmapped` for
+    /// any `diagonal < 0` or window past the reference end.
+    #[test]
+    fn boundary_overhanging_reads_map_clipped() {
+        let reference = Reference::synthesize(20_000, 15, 7);
+        let n = reference.seq.len();
+        // Left overhang: 4 junk bases, then the first 96 reference bases
+        // (junk differs from the reference so the best diagonal is -4).
+        let mut left = Vec::with_capacity(100);
+        for i in 0..4 {
+            let b = reference.seq[i];
+            left.push(if b == b'A' { b'C' } else { b'A' });
+        }
+        left.extend_from_slice(&reference.seq[..96]);
+        // Right overhang: the last 96 reference bases, then 4 junk bases.
+        let mut right = reference.seq[n - 96..].to_vec();
+        for i in 0..4 {
+            let b = reference.seq[n - 4 + i];
+            right.push(if b == b'G' { b'T' } else { b'G' });
+        }
+        let reads = vec![
+            Read { id: 0, seq: left, true_pos: 0 },
+            Read { id: 1, seq: right, true_pos: (n - 96) as u32 },
+        ];
+        let alignments = align_sequential(&reference, &reads);
+        assert_eq!(alignments[0].ref_pos, Some(0), "{:?}", alignments[0]);
+        assert_eq!(alignments[0].aligned_len, 96, "clipped to the overlap");
+        assert_eq!(alignments[0].matches, 96, "overlap is error-free");
+        assert_eq!(
+            alignments[1].ref_pos,
+            Some((n - 96) as u32),
+            "{:?}",
+            alignments[1]
+        );
+        assert_eq!(alignments[1].aligned_len, 96);
+        assert_eq!(alignments[1].matches, 96);
+    }
+
+    /// Reads sampled exactly at position 0 and at the reference tail map
+    /// to their true positions even with boundary-adjacent errors.
+    #[test]
+    fn boundary_pinned_reads_map() {
+        let reference = Reference::synthesize(20_000, 15, 11);
+        let n = reference.seq.len();
+        let mut head = reference.seq[..100].to_vec();
+        head[0] = if head[0] == b'A' { b'C' } else { b'A' };
+        let mut tail = reference.seq[n - 100..].to_vec();
+        tail[99] = if tail[99] == b'A' { b'C' } else { b'A' };
+        let reads = vec![
+            Read { id: 0, seq: head, true_pos: 0 },
+            Read { id: 1, seq: tail, true_pos: (n - 100) as u32 },
+        ];
+        let alignments = align_sequential(&reference, &reads);
+        assert_eq!(alignments[0].ref_pos, Some(0));
+        assert_eq!(alignments[1].ref_pos, Some((n - 100) as u32));
+        let s = stats(&alignments);
+        assert_eq!(s.mapped, 2);
+        assert!(s.mean_identity > 0.98, "{s:?}");
+    }
+
+    /// A junk read sharing only a single seed k-mer with the reference
+    /// tail must NOT map: its clipped overlap (just the seed, identity
+    /// 1.0) is below the minimum-overlap floor.
+    #[test]
+    fn seed_only_boundary_overlap_does_not_map() {
+        let reference = Reference::synthesize(20_000, 15, 3);
+        let n = reference.seq.len();
+        // The reference's last 15 bases, then 85 unrelated bases: the
+        // seed at read offset 0 votes for diagonal n-15, which clips to a
+        // 15-base overlap (the seed itself) at the tail.
+        let mut seq = reference.seq[n - 15..].to_vec();
+        seq.extend_from_slice(&crate::sequence::random_sequence(85, 0xBAD));
+        let read = Read { id: 0, seq, true_pos: 0 };
+        let a = align_sequential(&reference, &[read]);
+        assert_eq!(a[0].ref_pos, None, "{:?}", a[0]);
+        assert_eq!(a[0].aligned_len, 15, "overlap was the seed alone");
+        assert_eq!(a[0].matches, 15);
+    }
+
+    #[test]
+    fn extend_diagonal_clips_and_scores() {
+        let reference = PackedSeq::from_ascii(b"ACGTACGTACGT");
+        let read = PackedSeq::from_ascii(b"GTACGT");
+        // diagonal 2: read aligns fully inside the reference.
+        let full = extend_diagonal(&read, &reference, 2);
+        assert_eq!((full.read_start, full.ref_start, full.len), (0, 2, 6));
+        assert_eq!(full.matches, 6);
+        assert_eq!(full.score, 6 * MATCH_SCORE);
+        // diagonal -2: first two read bases hang off the left edge.
+        let left = extend_diagonal(&read, &reference, -2);
+        assert_eq!((left.read_start, left.ref_start, left.len), (2, 0, 4));
+        // diagonal 10: read overruns the right edge, 2 bases scored.
+        let right = extend_diagonal(&read, &reference, 10);
+        assert_eq!((right.read_start, right.ref_start, right.len), (0, 10, 2));
+        // No overlap at all.
+        assert_eq!(extend_diagonal(&read, &reference, 100).len, 0);
+        assert_eq!(extend_diagonal(&read, &reference, -100).len, 0);
+        assert_eq!(extend_diagonal(&read, &reference, i64::MIN).len, 0);
+    }
+
+    #[test]
+    fn extension_throughput_positive() {
+        let bases_per_sec = extension_throughput(1 << 20, 0xCA11);
+        assert!(bases_per_sec > 0.0, "{bases_per_sec}");
+    }
+
     #[test]
     fn index_invariants() {
         let reference = Reference::synthesize(5_000, 15, 9);
         assert!(reference.distinct_kmers() > 4000, "15-mers nearly unique");
         assert_eq!(reference.k(), 15);
+        assert_eq!(reference.packed().len(), reference.seq.len());
     }
 
     #[test]

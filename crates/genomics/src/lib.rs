@@ -5,10 +5,14 @@
 //! * [`sequence`] — seeded synthetic nucleotide sequences, reads, FASTQ.
 //! * [`sra`] — SRA accession validation and the paper's dataset catalog
 //!   (the Table I samples plus the 99-rice / 36-kidney series).
-//! * [`aligner`] — a real seed-and-extend mini-aligner (rayon-parallel);
-//!   the benches' HPC kernel.
+//! * [`pack`] — 2-bit packed sequences: O(1) k-mer windows and the
+//!   XOR+popcount comparison kernel (32 bases per `u64`).
+//! * [`aligner`] — a real seed-and-extend mini-aligner (rayon-parallel,
+//!   packed hot path with a scalar twin for differential testing); the
+//!   benches' HPC kernel.
 //! * [`costmodel`] — the Table-I-calibrated virtual-time cost model (the
-//!   regenerated table matches the paper's strings exactly).
+//!   regenerated table matches the paper's strings exactly), with its
+//!   scale constants grounded in the measured kernel throughput.
 //! * [`blast`] — the job facade the LIDC gateway plans jobs through.
 
 #![warn(missing_docs)]
@@ -17,16 +21,19 @@
 pub mod aligner;
 pub mod blast;
 pub mod costmodel;
+pub mod pack;
 pub mod sequence;
 pub mod sra;
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::aligner::{
-        align_parallel, align_sequential, stats, Alignment, AlignmentStats, Reference,
+        align_parallel, align_sequential, extend_diagonal, extend_diagonal_scalar, stats,
+        Alignment, AlignmentStats, Extension, Reference,
     };
     pub use crate::blast::{lookup_run, plan_blast, BlastError, BlastPlan, HUMAN_REFERENCE};
-    pub use crate::costmodel::{CostModel, JobEstimate};
+    pub use crate::costmodel::{CostModel, JobEstimate, KernelCalibration};
+    pub use crate::pack::PackedSeq;
     pub use crate::sequence::{random_sequence, sample_reads, to_fastq, Read};
     pub use crate::sra::{
         kidney_series, paper_runs, rice_series, GenomeType, SraAccession, SraError, SraRun,

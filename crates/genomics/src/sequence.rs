@@ -80,18 +80,57 @@ pub fn to_fastq(reads: &[Read], accession: &str) -> String {
 
 /// Parse FASTQ-ish text back into reads (inverse of [`to_fastq`]; origin
 /// positions are lost and set to `u32::MAX`).
+///
+/// Read ids come from the `@accession.id` header, so they survive a
+/// round trip even when upstream filtering left gaps in the sequence of
+/// ids; a record whose header doesn't end in `.<number>` falls back to
+/// its index among the parsed records. A record missing its sequence,
+/// `+` separator, or quality line is skipped and parsing re-synchronises
+/// at the next `@` header instead of mis-framing the rest of the file.
 pub fn from_fastq(text: &str) -> Vec<Read> {
-    let lines: Vec<&str> = text.lines().collect();
-    lines
-        .chunks(4)
-        .filter(|c| c.len() == 4 && c[0].starts_with('@'))
-        .enumerate()
-        .map(|(i, c)| Read {
-            id: i as u32,
-            seq: c[1].as_bytes().to_vec(),
+    let mut reads: Vec<Read> = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        if !line.starts_with('@') {
+            continue;
+        }
+        // Peek the sequence line: if the next line is another `@` header
+        // this record has no sequence — resynchronise on that header.
+        let Some(&seq) = lines.peek() else { break };
+        if seq.starts_with('@') {
+            continue;
+        }
+        lines.next();
+        // The separator must follow; peek so a missing `+` (i.e. the next
+        // record's header, or anything else) is not consumed.
+        if !lines.peek().is_some_and(|l| l.starts_with('+')) {
+            continue;
+        }
+        lines.next();
+        // Quality line, also peeked: if the record was truncated and the
+        // next line is the following record's `@` header, skip only the
+        // damaged record instead of swallowing its intact successor.
+        // (In this FASTQ-ish synthetic format quality lines never start
+        // with `@`, so the header test is unambiguous.)
+        match lines.peek() {
+            None => break, // quality line truncated at EOF: drop the record
+            Some(l) if l.starts_with('@') => continue,
+            Some(_) => {
+                lines.next();
+            }
+        }
+        let id = line[1..]
+            .rsplit('.')
+            .next()
+            .and_then(|tail| tail.parse().ok())
+            .unwrap_or(reads.len() as u32);
+        reads.push(Read {
+            id,
+            seq: seq.as_bytes().to_vec(),
             true_pos: u32::MAX,
-        })
-        .collect()
+        });
+    }
+    reads
 }
 
 #[cfg(test)]
@@ -145,6 +184,65 @@ mod tests {
         for (orig, round) in reads.iter().zip(&parsed) {
             assert_eq!(orig.seq, round.seq);
         }
+    }
+
+    #[test]
+    fn fastq_ids_survive_filtering_gaps() {
+        // Upstream filtering dropped read 1: ids must come from the
+        // headers, not be re-numbered by chunk index.
+        let reads = vec![
+            Read { id: 0, seq: b"ACGT".to_vec(), true_pos: u32::MAX },
+            Read { id: 2, seq: b"GGCC".to_vec(), true_pos: u32::MAX },
+            Read { id: 7, seq: b"TTAA".to_vec(), true_pos: u32::MAX },
+        ];
+        let parsed = from_fastq(&to_fastq(&reads, "SRR1"));
+        assert_eq!(parsed, reads);
+    }
+
+    #[test]
+    fn fastq_malformed_header_falls_back_to_index() {
+        let text = "@weird header no dot id\nACGT\n+\nIIII\n@SRR1.9\nGGGG\n+\nIIII\n";
+        let parsed = from_fastq(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, 0, "fallback: index among parsed records");
+        assert_eq!(parsed[1].id, 9, "well-formed header keeps its id");
+    }
+
+    #[test]
+    fn fastq_missing_separator_skips_record_only() {
+        // Record 5 lost its `+` line; the seed parser mis-framed every
+        // subsequent record. Now only the damaged record is dropped.
+        let text = "@SRR1.4\nAAAA\n+\nIIII\n@SRR1.5\nCCCC\nIIII\n@SRR1.6\nGGGG\n+\nIIII\n";
+        let parsed = from_fastq(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!((parsed[0].id, parsed[0].seq.as_slice()), (4, &b"AAAA"[..]));
+        assert_eq!((parsed[1].id, parsed[1].seq.as_slice()), (6, &b"GGGG"[..]));
+    }
+
+    #[test]
+    fn fastq_missing_sequence_resyncs_on_next_header() {
+        let text = "@SRR1.1\n@SRR1.2\nACGT\n+\nIIII\n";
+        let parsed = from_fastq(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!((parsed[0].id, parsed[0].seq.as_slice()), (2, &b"ACGT"[..]));
+    }
+
+    #[test]
+    fn fastq_truncated_record_dropped() {
+        let text = "@SRR1.0\nACGT\n+\nIIII\n@SRR1.1\nGGGG\n+\n";
+        let parsed = from_fastq(text);
+        assert_eq!(parsed.len(), 1, "record with no quality line dropped");
+        assert_eq!(parsed[0].id, 0);
+    }
+
+    #[test]
+    fn fastq_missing_quality_mid_file_resyncs() {
+        // Record 1 lost its quality line: its successor must still parse
+        // rather than being swallowed as record 1's quality.
+        let text = "@SRR1.1\nACGT\n+\n@SRR1.2\nGGGG\n+\nIIII\n";
+        let parsed = from_fastq(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!((parsed[0].id, parsed[0].seq.as_slice()), (2, &b"GGGG"[..]));
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Property-based tests for the genomics workload: cost-model shape
 //! invariants, accession parsing, and aligner equivalence/accuracy.
 
-use lidc_genomics::aligner::{align_parallel, align_sequential, stats, Reference};
+use lidc_genomics::aligner::{
+    align_parallel, align_sequential, extend_diagonal, extend_diagonal_scalar, stats, Reference,
+};
 use lidc_genomics::costmodel::CostModel;
-use lidc_genomics::sequence::{random_sequence, sample_reads};
+use lidc_genomics::pack::PackedSeq;
+use lidc_genomics::sequence::{from_fastq, random_sequence, sample_reads, to_fastq, Read};
 use lidc_genomics::sra::SraAccession;
 use proptest::prelude::*;
 
@@ -92,10 +95,89 @@ proptest! {
         let reference = Reference::synthesize(20_000, 12, seed);
         let reads = sample_reads(&reference.seq, 100, 64, 0.0, seed ^ 0x1234);
         let alignments = align_sequential(&reference, &reads);
-        let s = stats(&alignments, 64);
+        let s = stats(&alignments);
         prop_assert_eq!(s.mapped, 100, "all error-free reads map");
+        prop_assert!((s.mean_identity - 1.0).abs() < 1e-12, "identity {}", s.mean_identity);
         for (read, alignment) in reads.iter().zip(&alignments) {
             prop_assert_eq!(alignment.ref_pos, Some(read.true_pos));
+        }
+    }
+
+    /// Differential test of the vectorized extension kernel: for any
+    /// reference, read, and diagonal (including diagonals hanging off
+    /// either boundary and fully disjoint ones), the packed XOR+popcount
+    /// kernel returns exactly the scalar zip-filter's clip, matches, and
+    /// score.
+    #[test]
+    fn simd_extend_matches_scalar(
+        ref_len in 1usize..1024,
+        read_len in 1usize..300,
+        diagonal in -400i64..1200,
+        seed in any::<u64>(),
+        from_reference in any::<bool>(),
+    ) {
+        let mut reference = random_sequence(ref_len, seed);
+        // Half the cases read from the reference itself (high-identity
+        // extensions), half from an unrelated sequence (~25% identity).
+        let mut read = if from_reference && ref_len >= read_len {
+            let start = (seed as usize) % (ref_len - read_len + 1);
+            reference[start..start + read_len].to_vec()
+        } else {
+            random_sequence(read_len, seed ^ 0x5EED)
+        };
+        // Sprinkle non-ACGT bytes (ambiguity codes, lowercase) into both
+        // sequences: the kernels must agree on arbitrary input, with
+        // every non-ACGT byte collapsing to T's 2-bit code.
+        read[read_len / 2] = b'N';
+        reference[ref_len / 2] = b"NnxT"[(seed % 4) as usize];
+        let packed = extend_diagonal(
+            &PackedSeq::from_ascii(&read),
+            &PackedSeq::from_ascii(&reference),
+            diagonal,
+        );
+        let scalar = extend_diagonal_scalar(&read, &reference, diagonal);
+        prop_assert_eq!(packed, scalar);
+    }
+
+    /// sample_reads → to_fastq → from_fastq round trip over variable read
+    /// lengths, boundary sampling positions, and filtering gaps: ids and
+    /// sequences survive.
+    #[test]
+    fn fastq_round_trip_variable_reads(
+        seed in any::<u64>(),
+        ref_len in 40usize..400,
+        len_a in 1usize..40,
+        len_b in 1usize..40,
+        drop_mask in any::<u64>(),
+    ) {
+        let reference = random_sequence(ref_len, seed);
+        // Two batches with different read lengths; small references make
+        // position-0 and tail sampling common. Pin one read at each
+        // boundary so every case covers them.
+        let mut reads = sample_reads(&reference, 20, len_a, 0.05, seed ^ 1);
+        let batch_b = sample_reads(&reference, 20, len_b, 0.05, seed ^ 2);
+        reads.extend(batch_b.into_iter().map(|mut r| {
+            r.id += 20;
+            r
+        }));
+        reads[0] = Read { id: 0, seq: reference[..len_a].to_vec(), true_pos: 0 };
+        let tail_start = ref_len - len_b;
+        reads[20] = Read {
+            id: 20,
+            seq: reference[tail_start..].to_vec(),
+            true_pos: tail_start as u32,
+        };
+        // Simulate upstream filtering: drop an arbitrary subset, leaving
+        // gaps in the id sequence.
+        let kept: Vec<Read> = reads
+            .into_iter()
+            .filter(|r| drop_mask & (1u64 << (r.id % 64)) == 0)
+            .collect();
+        let parsed = from_fastq(&to_fastq(&kept, "SRR2931415"));
+        prop_assert_eq!(parsed.len(), kept.len());
+        for (orig, round) in kept.iter().zip(&parsed) {
+            prop_assert_eq!(orig.id, round.id, "ids survive filtering gaps");
+            prop_assert_eq!(&orig.seq, &round.seq);
         }
     }
 }

@@ -56,6 +56,10 @@ fn placement(args: &Args) -> Result<PlacementPolicy, String> {
 fn build_world(args: &Args) -> Result<(Sim, Overlay, ActorId), String> {
     let seed = args.get_u64("seed", 42)?;
     let mut sim = Sim::new(seed);
+    // Parallel same-instant dispatch: worker threads for distinct-actor
+    // waves (1 = serial; results are bit-identical at any count).
+    let threads = args.get_u64("threads", 1)? as usize;
+    sim.set_threads(threads);
     let defaults = OverlayConfig::default();
     // Access-router Content Store shape: entry capacity plus the byte
     // budget (0 = no byte limit; the default derives one 1 MiB segment per
@@ -65,11 +69,14 @@ fn build_world(args: &Args) -> Result<(Sim, Overlay, ActorId), String> {
         "cs-budget-bytes",
         lidc_ndn::tables::cs::default_budget_bytes(router_cs_capacity),
     )?;
+    // Forwarder table sharding (1 = single-shard tables, serial ingress).
+    let forwarder_shards = args.get_u64("forwarder-shards", 1)?.max(1) as usize;
     let overlay = Overlay::build(&mut sim, OverlayConfig {
         placement: placement(args)?,
         clusters: cluster_specs(args)?,
         router_cs_capacity,
         router_cs_budget_bytes,
+        forwarder_shards,
         ..defaults
     });
     let alloc = overlay.alloc.clone();
@@ -305,6 +312,10 @@ COMMON FLAGS
   --placement POLICY        compute-prefix forwarding strategy (default nearest)
   --router-cs-capacity N    access-router Content Store entries (default 4096; 0 = off)
   --cs-budget-bytes N       access-router Content Store byte budget
-                            (default capacity x 1 MiB; 0 = no byte limit)"
+                            (default capacity x 1 MiB; 0 = no byte limit)
+  --threads N               engine workers for parallel same-instant dispatch
+                            (default 1 = serial; results identical at any N)
+  --forwarder-shards N      PIT/CS/DNL shards per forwarder (default 1; >1
+                            enables the two-phase parallel burst ingress)"
     );
 }

@@ -5,8 +5,28 @@
 //! lock is uncontended; it exists to give independent actors safe mutable
 //! access. Every mutation sets a dirty flag that the cluster actor turns
 //! into a (latency-modelled) reconcile pass.
+//!
+//! # Persistent incremental indexes
+//!
+//! Three indexes are maintained *across* reconcile passes instead of being
+//! rebuilt per call, cutting the remaining O(pods) per-pass cost on the
+//! 4096-node runs:
+//!
+//! * **uid → key** — [`ApiServer::pod_by_uid`] is a map probe, not a scan;
+//! * **pods-by-job** — [`ApiServer::pods_of_job`] returns the owned pods of
+//!   a job in creation order (what `reconcile_jobs` walks every pass);
+//! * **per-node usage** — [`ApiServer::node_usage`] reads a running total
+//!   that pod lifecycle transitions update incrementally (what the
+//!   scheduler's filter/score loop probes per candidate node).
+//!
+//! The indexes are kept exact by routing pod lifecycle mutations through
+//! the API server: [`ApiServer::create_pod`], [`ApiServer::bind_pod`],
+//! [`ApiServer::set_pod_phase`], and [`ApiServer::delete_pod`]. Code that
+//! mutates `pods` directly must call [`ApiServer::rebuild_pod_indexes`]
+//! afterwards; [`ApiServer::debug_check_pod_indexes`] verifies the
+//! invariants in tests.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -69,6 +89,13 @@ pub struct ApiServer {
     /// Event log (append-only).
     pub events: Vec<ClusterEvent>,
     dirty: bool,
+    /// Persistent index: pod uid → pod key (O(1) uid lookups).
+    uid_to_pod: HashMap<Uid, ObjectKey>,
+    /// Persistent index: job name → owned pod keys in creation order.
+    pods_by_job: HashMap<String, Vec<ObjectKey>>,
+    /// Persistent index: node name → resources held by scheduled,
+    /// unfinished pods (updated incrementally on bind/finish/delete).
+    node_usage_idx: BTreeMap<String, Resources>,
 }
 
 impl ApiServer {
@@ -127,16 +154,35 @@ impl ApiServer {
         node.meta.uid = self.alloc_uid();
         node.meta.created_at = now;
         self.record_event(now, "NodeAdded", node.meta.name.clone(), node.ip.clone());
+        self.node_usage_idx
+            .entry(node.meta.name.clone())
+            .or_insert(Resources::ZERO);
         self.nodes.insert(node.meta.name.clone(), node);
         self.mark_dirty();
     }
 
-    /// Resources currently reserved on `node` by scheduled, unfinished pods.
+    /// Resources currently reserved on `node` by scheduled, unfinished
+    /// pods. Reads the persistent per-node usage index (O(log nodes), not
+    /// O(pods)); exact as long as pod lifecycle mutations go through the
+    /// API-server methods (see the module docs).
     pub fn node_usage(&self, node: &str) -> Resources {
-        self.pods
-            .values()
-            .filter(|p| p.holds_resources() && p.status.node.as_deref() == Some(node))
-            .fold(Resources::ZERO, |acc, p| acc + p.spec.total_requests())
+        self.node_usage_idx
+            .get(node)
+            .copied()
+            .unwrap_or(Resources::ZERO)
+    }
+
+    /// Charge or release a resource-holding pod against the usage index.
+    fn account_usage(&mut self, node: &str, requests: Resources, charge: bool) {
+        // Pods pinned to unknown nodes hold nothing (mirrors the old
+        // per-pass sweep, which only summed over registered nodes).
+        if let Some(slot) = self.node_usage_idx.get_mut(node) {
+            if charge {
+                *slot += requests;
+            } else {
+                *slot = slot.saturating_sub(&requests);
+            }
+        }
     }
 
     /// Free (allocatable − used) resources on `node`.
@@ -168,6 +214,8 @@ impl ApiServer {
     // ----- pods -----
 
     /// Create a pod (assigns uid + timestamps). Fails if the key exists.
+    /// Maintains the uid, pods-by-job, and (for pods created already bound,
+    /// as tests do) node-usage indexes.
     pub fn create_pod(&mut self, mut pod: Pod, now: SimTime) -> Result<Uid, ApiError> {
         let key = pod.meta.key();
         if self.pods.contains_key(&key) {
@@ -177,25 +225,198 @@ impl ApiServer {
         pod.meta.created_at = now;
         let uid = pod.meta.uid;
         self.record_event(now, "PodCreated", key.to_string(), "");
+        self.uid_to_pod.insert(uid, key.clone());
+        if let Some(job) = pod.meta.labels.get("job") {
+            self.pods_by_job
+                .entry(job.clone())
+                .or_default()
+                .push(key.clone());
+        }
+        if pod.holds_resources() {
+            let (node, requests) = (
+                pod.status.node.clone().expect("holds_resources ⇒ bound"),
+                pod.spec.total_requests(),
+            );
+            self.account_usage(&node, requests, true);
+        }
         self.pods.insert(key, pod);
         self.mark_dirty();
         Ok(uid)
     }
 
-    /// Find a pod by uid.
-    pub fn pod_by_uid(&self, uid: Uid) -> Option<&Pod> {
-        self.pods.values().find(|p| p.meta.uid == uid)
+    /// Bind a pending pod to `node` (scheduler path): assigns its IP, sets
+    /// `status.node`, records the event, and charges the usage index.
+    /// Returns false when the pod is gone or already bound.
+    pub fn bind_pod(&mut self, key: &ObjectKey, node: &str, now: SimTime) -> bool {
+        // Validate before allocating the IP: a refused bind must not
+        // consume an address (it would shift every later pod's IP).
+        match self.pods.get(key) {
+            Some(pod) if pod.status.node.is_none() => {}
+            _ => return false,
+        }
+        let ip = self.alloc_pod_ip();
+        let pod = self.pods.get_mut(key).expect("checked above");
+        pod.status.node = Some(node.to_owned());
+        pod.status.ip = Some(ip);
+        let held = pod.holds_resources();
+        let requests = pod.spec.total_requests();
+        if held {
+            self.account_usage(node, requests, true);
+        }
+        self.record_event(now, "PodScheduled", key.to_string(), node.to_owned());
+        self.mark_dirty();
+        true
     }
 
-    /// Find a pod by uid, mutably.
+    /// Transition a pod's phase, keeping the usage index exact across
+    /// resource acquisition/release boundaries (a bound pod entering
+    /// `Succeeded`/`Failed` releases its node's resources). Timestamps and
+    /// messages stay with the caller via [`ApiServer::pod_by_uid_mut`].
+    /// Returns false when no pod has `uid`.
+    pub fn set_pod_phase(&mut self, uid: Uid, phase: crate::pod::PodPhase) -> bool {
+        let Some(key) = self.uid_to_pod.get(&uid).cloned() else {
+            return false;
+        };
+        let Some(pod) = self.pods.get_mut(&key) else {
+            return false;
+        };
+        let held_before = pod.holds_resources();
+        pod.status.phase = phase;
+        let held_after = pod.holds_resources();
+        if held_before != held_after {
+            let node = pod.status.node.clone().expect("held ⇒ bound");
+            let requests = pod.spec.total_requests();
+            self.account_usage(&node, requests, held_after);
+        }
+        true
+    }
+
+    /// Remove a pod, releasing its resources and index entries.
+    pub fn delete_pod(&mut self, key: &ObjectKey) -> Option<Pod> {
+        let pod = self.pods.remove(key)?;
+        self.uid_to_pod.remove(&pod.meta.uid);
+        if let Some(job) = pod.meta.labels.get("job") {
+            if let Some(list) = self.pods_by_job.get_mut(job) {
+                list.retain(|k| k != key);
+                if list.is_empty() {
+                    self.pods_by_job.remove(job);
+                }
+            }
+        }
+        if pod.holds_resources() {
+            let node = pod.status.node.clone().expect("held ⇒ bound");
+            self.account_usage(&node, pod.spec.total_requests(), false);
+        }
+        Some(pod)
+    }
+
+    /// The pods owned by job `name` (label `job=<name>`), in creation
+    /// order. Reads the persistent pods-by-job index — `reconcile_jobs` no
+    /// longer sweeps every pod per pass.
+    pub fn pods_of_job(&self, name: &str) -> &[ObjectKey] {
+        self.pods_by_job.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Find a pod by uid (persistent-index probe, O(1) + map lookup).
+    pub fn pod_by_uid(&self, uid: Uid) -> Option<&Pod> {
+        self.pods.get(self.uid_to_pod.get(&uid)?)
+    }
+
+    /// Find a pod by uid, mutably. Direct phase/node writes through this
+    /// handle bypass the usage index — use [`ApiServer::set_pod_phase`] /
+    /// [`ApiServer::bind_pod`] for those transitions.
     pub fn pod_by_uid_mut(&mut self, uid: Uid) -> Option<&mut Pod> {
-        self.pods.values_mut().find(|p| p.meta.uid == uid)
+        self.pods.get_mut(self.uid_to_pod.get(&uid)?)
     }
 
     /// Allocate a pod IP.
     pub fn alloc_pod_ip(&mut self) -> String {
         self.next_pod_ip += 1;
         format!("10.244.0.{}", self.next_pod_ip)
+    }
+
+    /// Recompute every pod index from the pod map (escape hatch for code
+    /// that mutated `pods` directly).
+    pub fn rebuild_pod_indexes(&mut self) {
+        self.uid_to_pod.clear();
+        self.pods_by_job.clear();
+        for slot in self.node_usage_idx.values_mut() {
+            *slot = Resources::ZERO;
+        }
+        for (key, pod) in &self.pods {
+            self.uid_to_pod.insert(pod.meta.uid, key.clone());
+            if let Some(job) = pod.meta.labels.get("job") {
+                self.pods_by_job
+                    .entry(job.clone())
+                    .or_default()
+                    .push(key.clone());
+            }
+        }
+        // Creation order, as the incremental index maintains it.
+        for list in self.pods_by_job.values_mut() {
+            list.sort_by_key(|k| self.pods[k].meta.uid);
+        }
+        let charges: Vec<(String, Resources)> = self
+            .pods
+            .values()
+            .filter(|p| p.holds_resources())
+            .map(|p| {
+                (
+                    p.status.node.clone().expect("held ⇒ bound"),
+                    p.spec.total_requests(),
+                )
+            })
+            .collect();
+        for (node, requests) in charges {
+            self.account_usage(&node, requests, true);
+        }
+    }
+
+    /// Verify the persistent pod indexes against a from-scratch sweep
+    /// (test support).
+    #[doc(hidden)]
+    pub fn debug_check_pod_indexes(&self) -> Result<(), String> {
+        for (key, pod) in &self.pods {
+            if self.uid_to_pod.get(&pod.meta.uid) != Some(key) {
+                return Err(format!("uid index wrong for {key}"));
+            }
+            if let Some(job) = pod.meta.labels.get("job") {
+                if !self
+                    .pods_by_job
+                    .get(job)
+                    .map(|l| l.contains(key))
+                    .unwrap_or(false)
+                {
+                    return Err(format!("pods_by_job missing {key} for job {job}"));
+                }
+            }
+        }
+        if self.uid_to_pod.len() != self.pods.len() {
+            return Err("uid index size mismatch".into());
+        }
+        let by_job_total: usize = self.pods_by_job.values().map(Vec::len).sum();
+        let labeled = self
+            .pods
+            .values()
+            .filter(|p| p.meta.labels.contains_key("job"))
+            .count();
+        if by_job_total != labeled {
+            return Err("pods_by_job size mismatch".into());
+        }
+        for node in self.nodes.keys() {
+            let swept = self
+                .pods
+                .values()
+                .filter(|p| p.holds_resources() && p.status.node.as_deref() == Some(node.as_str()))
+                .fold(Resources::ZERO, |acc, p| acc + p.spec.total_requests());
+            if self.node_usage(node) != swept {
+                return Err(format!(
+                    "usage index for {node} is {}, sweep says {swept}",
+                    self.node_usage(node)
+                ));
+            }
+        }
+        Ok(())
     }
 
     // ----- services -----
@@ -419,6 +640,63 @@ mod tests {
         api.add_node(Node::new("n", Resources::new(1, 1)), T0);
         assert!(api.take_dirty());
         assert!(!api.take_dirty());
+    }
+
+    #[test]
+    fn persistent_indexes_track_full_pod_lifecycle() {
+        use crate::pod::PodPhase;
+        let mut api = ApiServer::new("c");
+        api.add_node(Node::new("n1", Resources::new(16, 32)), T0);
+        api.add_node(Node::new("n2", Resources::new(16, 32)), T0);
+        // Create labeled job pods, bind, run, finish, delete — the indexes
+        // must match a from-scratch sweep at every step.
+        let mut uids = Vec::new();
+        for i in 0..6 {
+            let mut p = pod(&format!("job-a-{i}"), 2, 4);
+            p.meta.labels.insert("job".into(), "job-a".into());
+            uids.push(api.create_pod(p, T0).unwrap());
+            api.debug_check_pod_indexes().unwrap();
+        }
+        assert_eq!(api.pods_of_job("job-a").len(), 6);
+        assert_eq!(api.pods_of_job("other"), &[] as &[ObjectKey]);
+        // Bind half to n1, half to n2.
+        let keys: Vec<ObjectKey> = api.pods_of_job("job-a").to_vec();
+        for (i, key) in keys.iter().enumerate() {
+            let node = if i % 2 == 0 { "n1" } else { "n2" };
+            assert!(api.bind_pod(key, node, T0));
+            assert!(!api.bind_pod(key, node, T0), "double bind refused");
+            api.debug_check_pod_indexes().unwrap();
+        }
+        assert_eq!(api.node_usage("n1"), Resources::new(6, 12));
+        assert_eq!(api.node_usage("n2"), Resources::new(6, 12));
+        // Run + finish releases usage incrementally.
+        for (i, uid) in uids.iter().enumerate() {
+            assert!(api.set_pod_phase(*uid, PodPhase::Running));
+            api.debug_check_pod_indexes().unwrap();
+            if i < 3 {
+                assert!(api.set_pod_phase(*uid, PodPhase::Succeeded));
+                api.debug_check_pod_indexes().unwrap();
+            }
+        }
+        assert!(api.node_usage("n1").cpu < Resources::new(6, 12).cpu);
+        // uid probes hit the index.
+        assert!(api.pod_by_uid(uids[0]).is_some());
+        assert!(api.pod_by_uid(Uid(9999)).is_none());
+        assert!(!api.set_pod_phase(Uid(9999), PodPhase::Failed));
+        // Delete everything; indexes drain to empty.
+        for key in keys {
+            assert!(api.delete_pod(&key).is_some());
+            api.debug_check_pod_indexes().unwrap();
+        }
+        assert_eq!(api.pods_of_job("job-a").len(), 0);
+        assert_eq!(api.node_usage("n1"), Resources::ZERO);
+        assert_eq!(api.node_usage("n2"), Resources::ZERO);
+        // rebuild_pod_indexes after a direct mutation restores exactness.
+        api.create_pod(pod("direct", 1, 1), T0).unwrap();
+        api.pods.get_mut(&ObjectKey::named("direct")).unwrap().status.node = Some("n1".into());
+        api.rebuild_pod_indexes();
+        api.debug_check_pod_indexes().unwrap();
+        assert_eq!(api.node_usage("n1"), Resources::new(1, 1));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! after `pod_start_latency` (image pull + container start) and finishes
 //! according to its [`crate::pod::WorkloadSpec`] timer.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use lidc_simcore::engine::{Actor, ActorId, Ctx, Msg, Sim};
 use lidc_simcore::time::{SimDuration, SimTime};
@@ -180,6 +180,8 @@ impl ClusterActor {
             if pod.status.phase != PodPhase::Pending || pod.status.node.is_none() {
                 return;
             }
+            // Pending(bound) → Running: both sides hold resources, so the
+            // usage index is unaffected and a direct write is exact.
             pod.status.phase = PodPhase::Running;
             pod.status.started_at = Some(now);
             let key = pod.meta.key().to_string();
@@ -232,17 +234,23 @@ impl ClusterActor {
         self.finishing.remove(&msg.uid);
         {
             let api = &mut *self.api.write();
-            let Some(pod) = api.pod_by_uid_mut(msg.uid) else {
+            let Some(pod) = api.pod_by_uid(msg.uid) else {
                 return;
             };
             if pod.status.phase != PodPhase::Running {
                 return;
             }
-            pod.status.phase = if msg.ok {
-                PodPhase::Succeeded
-            } else {
-                PodPhase::Failed
-            };
+            // Through the API: leaving Running releases the node's
+            // resources in the persistent usage index.
+            api.set_pod_phase(
+                msg.uid,
+                if msg.ok {
+                    PodPhase::Succeeded
+                } else {
+                    PodPhase::Failed
+                },
+            );
+            let pod = api.pod_by_uid_mut(msg.uid).expect("phase just set");
             pod.status.finished_at = Some(now);
             pod.status.message = msg.message.clone();
             pod.status.output = msg.output.clone();
@@ -350,10 +358,11 @@ fn evict_from_unready_nodes(api: &mut ApiServer, now: SimTime) -> bool {
         .collect();
     let mut changed = false;
     for uid in victims {
-        let Some(pod) = api.pod_by_uid_mut(uid) else {
+        // Through the API so the persistent usage index releases the node.
+        if !api.set_pod_phase(uid, PodPhase::Failed) {
             continue;
-        };
-        pod.status.phase = PodPhase::Failed;
+        }
+        let pod = api.pod_by_uid_mut(uid).expect("phase just set");
         pod.status.finished_at = Some(now);
         pod.status.message = "node lost".to_owned();
         let key = pod.meta.key().to_string();
@@ -508,7 +517,8 @@ fn reconcile_replicasets(api: &mut ApiServer, now: SimTime) -> bool {
             let mut extras = live.clone();
             extras.sort_by_key(|k| std::cmp::Reverse(api.pods[k].meta.uid));
             for key in extras.into_iter().take(live.len() - replicas as usize) {
-                api.pods.remove(&key);
+                // Through the API so the uid/job/usage indexes stay exact.
+                api.delete_pod(&key);
                 api.record_event(now, "ReplicaPodDeleted", key.to_string(), rs_key.to_string());
                 changed = true;
             }
@@ -522,55 +532,70 @@ fn reconcile_replicasets(api: &mut ApiServer, now: SimTime) -> bool {
     changed
 }
 
-fn reconcile_jobs(api: &mut ApiServer, now: SimTime) -> bool {
+/// The Job controller pass. `pub` so the `k8s_reconcile` microbench can
+/// measure a pass in isolation against a large resident pod population.
+///
+/// Pod ownership comes from the API server's **persistent** pods-by-job
+/// index ([`ApiServer::pods_of_job`]), maintained incrementally at pod
+/// create/delete — this pass no longer sweeps every pod (PR 2's per-call
+/// grouping sweep was O(pods) per pass; with thousands of long-running
+/// pods resident on the 4096-node runs, that sweep dominated every
+/// control-loop tick even when one job changed).
+pub fn reconcile_jobs(api: &mut ApiServer, now: SimTime) -> bool {
     let mut changed = false;
     let job_keys: Vec<ObjectKey> = api.jobs.keys().cloned().collect();
-    // Group pods by owning job in one O(pods) sweep (insertion keeps the
-    // pod map's canonical order). A job burst would otherwise rescan every
-    // pod once per job — quadratic exactly when the gateway batch-creates
-    // hundreds of jobs at one instant.
-    let mut owned_by_job: HashMap<String, Vec<ObjectKey>> = HashMap::new();
-    for (k, p) in api.pods.iter() {
-        if let Some(job) = p.meta.labels.get("job") {
-            owned_by_job.entry(job.clone()).or_default().push(k.clone());
-        }
-    }
     for key in job_keys {
         if api.jobs[&key].is_finished() {
             continue;
         }
         let backoff_limit = api.jobs[&key].spec.backoff_limit;
-        // Pods owned by this job.
-        let owned: Vec<ObjectKey> = owned_by_job
-            .get(key.name.as_str())
-            .cloned()
-            .unwrap_or_default();
-        let succeeded = owned
-            .iter()
-            .find(|k| api.pods[*k].status.phase == PodPhase::Succeeded)
-            .cloned();
-        let failures = owned
-            .iter()
-            .filter(|k| api.pods[*k].status.phase == PodPhase::Failed)
-            .count() as u32;
-        let live = owned.iter().any(|k| !api.pods[k].is_finished());
-        let running_pod_start = owned
-            .iter()
-            .filter_map(|k| {
-                let p = &api.pods[k];
-                if p.status.phase == PodPhase::Running {
-                    p.status.started_at
-                } else {
-                    None
-                }
-            })
-            .min();
+        // Pods owned by this job (persistent index, creation order).
+        // Resolve each owned pod exactly once and derive every per-job
+        // aggregate in a single read pass — on a steady-state pass this is
+        // the entire per-job cost.
+        let (owned_count, succeeded, failures, live, running_pod_start, fail_message) = {
+            let owned = api.pods_of_job(&key.name);
+            let pods: Vec<&crate::pod::Pod> = owned.iter().map(|k| &api.pods[k]).collect();
+            let succeeded = pods
+                .iter()
+                .find(|p| p.status.phase == PodPhase::Succeeded)
+                .map(|p| {
+                    (
+                        p.status.finished_at,
+                        p.status.output.clone(),
+                        p.status.started_at,
+                    )
+                });
+            let failures = pods
+                .iter()
+                .filter(|p| p.status.phase == PodPhase::Failed)
+                .count() as u32;
+            let live = pods.iter().any(|p| !p.is_finished());
+            let running_pod_start = pods
+                .iter()
+                .filter_map(|p| {
+                    if p.status.phase == PodPhase::Running {
+                        p.status.started_at
+                    } else {
+                        None
+                    }
+                })
+                .min();
+            let fail_message = pods
+                .iter()
+                .rfind(|p| p.status.phase == PodPhase::Failed)
+                .map(|p| p.status.message.clone());
+            (
+                owned.len(),
+                succeeded,
+                failures,
+                live,
+                running_pod_start,
+                fail_message,
+            )
+        };
 
-        if let Some(winner) = succeeded {
-            let (finished_at, output, started_at) = {
-                let p = &api.pods[&winner];
-                (p.status.finished_at, p.status.output.clone(), p.status.started_at)
-            };
+        if let Some((finished_at, output, started_at)) = succeeded {
             let job = api.jobs.get_mut(&key).unwrap();
             job.status.condition = JobCondition::Completed;
             job.status.finished_at = finished_at;
@@ -582,18 +607,7 @@ fn reconcile_jobs(api: &mut ApiServer, now: SimTime) -> bool {
             api.record_event(now, "JobCompleted", key.to_string(), "");
             changed = true;
         } else if failures > backoff_limit {
-            let message = owned
-                .iter()
-                .filter_map(|k| {
-                    let p = &api.pods[k];
-                    if p.status.phase == PodPhase::Failed {
-                        Some(p.status.message.clone())
-                    } else {
-                        None
-                    }
-                })
-                .next_back()
-                .unwrap_or_default();
+            let message = fail_message.unwrap_or_default();
             let job = api.jobs.get_mut(&key).unwrap();
             job.status.condition = JobCondition::Failed;
             job.status.finished_at = Some(now);
@@ -603,7 +617,7 @@ fn reconcile_jobs(api: &mut ApiServer, now: SimTime) -> bool {
             changed = true;
         } else if !live {
             // Launch the next attempt.
-            let attempt = owned.len() as u32;
+            let attempt = owned_count as u32;
             let name = format!("{}-{}", key.name, attempt);
             let mut meta = ObjectMeta::named(&name).in_namespace(&key.namespace);
             meta.labels.insert("job".to_owned(), key.name.clone());

@@ -5,8 +5,6 @@
 //! resources for the pod's requests. Scoring ranks the survivors by the
 //! configured policy. Binding writes `status.node`.
 
-use std::collections::BTreeMap;
-
 use crate::apiserver::ApiServer;
 use crate::meta::ObjectKey;
 use crate::resources::Resources;
@@ -38,6 +36,11 @@ impl Scheduler {
     }
 
     /// Bind every schedulable pending pod. Returns the bound pod keys.
+    ///
+    /// Per-node usage comes from the API server's **persistent** usage
+    /// index ([`ApiServer::node_usage`]), which [`ApiServer::bind_pod`]
+    /// updates as each pod binds — no per-pass O(pods) sweep remains
+    /// anywhere in this function.
     pub fn schedule(&self, api: &mut ApiServer, now: SimTime) -> Vec<ObjectKey> {
         // Deterministic order: creation uid.
         let mut pending: Vec<(ObjectKey, Resources, Option<String>)> = api
@@ -53,39 +56,15 @@ impl Scheduler {
         }
         pending.sort_by_key(|(k, _, _)| api.pods[k].meta.uid);
 
-        // Per-node usage in one O(pods) sweep, updated incrementally as pods
-        // bind — a job burst would otherwise rescan every pod per candidate
-        // node (filter + score) per pending pod.
-        let mut used: BTreeMap<String, Resources> = api
-            .nodes
-            .keys()
-            .map(|n| (n.clone(), Resources::ZERO))
-            .collect();
-        for p in api.pods.values() {
-            if p.holds_resources() {
-                if let Some(node) = p.status.node.as_deref() {
-                    if let Some(slot) = used.get_mut(node) {
-                        *slot += p.spec.total_requests();
-                    }
-                }
-            }
-        }
-
         let mut bound = Vec::new();
         for (key, requests, node_constraint) in pending {
-            let Some(node) = self.pick_node(api, &used, &requests, node_constraint.as_deref())
-            else {
+            let Some(node) = self.pick_node(api, &requests, node_constraint.as_deref()) else {
                 continue; // stays pending; retried next reconcile
             };
-            let slot = used.get_mut(&node).expect("node tracked");
-            *slot += requests;
-            let ip = api.alloc_pod_ip();
-            let pod = api.pods.get_mut(&key).expect("pod exists");
-            pod.status.node = Some(node.clone());
-            pod.status.ip = Some(ip);
-            api.record_event(now, "PodScheduled", key.to_string(), node);
-            api.mark_dirty();
-            bound.push(key);
+            // bind_pod charges the usage index, so the next pick sees it.
+            if api.bind_pod(&key, &node, now) {
+                bound.push(key);
+            }
         }
         bound
     }
@@ -93,7 +72,6 @@ impl Scheduler {
     fn pick_node(
         &self,
         api: &ApiServer,
-        used: &BTreeMap<String, Resources>,
         requests: &Resources,
         constraint: Option<&str>,
     ) -> Option<String> {
@@ -103,14 +81,14 @@ impl Scheduler {
             .filter(|n| n.ready)
             .filter(|n| constraint.is_none_or(|c| c == n.meta.name))
             .filter(|n| {
-                let free = n.allocatable.saturating_sub(&used[&n.meta.name]);
+                let free = n.allocatable.saturating_sub(&api.node_usage(&n.meta.name));
                 requests.fits_in(&free)
             });
         // Deterministic tie-break by node name via max_by with name-reversed
         // comparison: take the best score, then lexicographically smallest.
         let mut best: Option<(f64, &str)> = None;
         for n in candidates {
-            let score = self.score(api, used, &n.meta.name, requests);
+            let score = self.score(api, &n.meta.name, requests);
             let better = match best {
                 None => true,
                 Some((bs, bn)) => {
@@ -125,15 +103,9 @@ impl Scheduler {
     }
 
     /// Higher is better.
-    fn score(
-        &self,
-        api: &ApiServer,
-        used: &BTreeMap<String, Resources>,
-        node: &str,
-        requests: &Resources,
-    ) -> f64 {
+    fn score(&self, api: &ApiServer, node: &str, requests: &Resources) -> f64 {
         let allocatable = api.nodes[node].allocatable;
-        let used_after = used[node] + *requests;
+        let used_after = api.node_usage(node) + *requests;
         let util = used_after.dominant_utilisation(&allocatable);
         match self.policy {
             ScorePolicy::LeastAllocated => 1.0 - util,
@@ -218,8 +190,10 @@ mod tests {
         let bound = scheduler.schedule(&mut api, T0);
         assert_eq!(bound.len(), 4, "2 fit per node");
         for key in &bound {
-            api.pods.get_mut(key).unwrap().status.phase = PodPhase::Running;
+            let uid = api.pods[key].meta.uid;
+            api.set_pod_phase(uid, PodPhase::Running);
         }
+        api.debug_check_pod_indexes().unwrap();
         for node in ["n1", "n2"] {
             let used = api.node_usage(node);
             assert!(
@@ -229,7 +203,8 @@ mod tests {
         }
         // Releasing one pod frees space for exactly one more.
         let first = bound[0].clone();
-        api.pods.get_mut(&first).unwrap().status.phase = PodPhase::Succeeded;
+        let uid = api.pods[&first].meta.uid;
+        api.set_pod_phase(uid, PodPhase::Succeeded);
         let more = scheduler.schedule(&mut api, T0);
         assert_eq!(more.len(), 1);
     }
@@ -260,7 +235,8 @@ mod tests {
         let s = Scheduler::new(ScorePolicy::LeastAllocated);
         let bound = s.schedule(&mut api, T0);
         for key in &bound {
-            api.pods.get_mut(key).unwrap().status.phase = PodPhase::Running;
+            let uid = api.pods[key].meta.uid;
+            api.set_pod_phase(uid, PodPhase::Running);
         }
         let nodes: Vec<_> = bound
             .iter()
@@ -305,7 +281,8 @@ mod tests {
                     .unwrap();
                 let bound = s.schedule(&mut api, T0);
                 for key in &bound {
-                    api.pods.get_mut(key).unwrap().status.phase = PodPhase::Running;
+                    let uid = api.pods[key].meta.uid;
+                    api.set_pod_phase(uid, PodPhase::Running);
                 }
                 // Occasionally finish a random running pod.
                 if rng.next_bool(0.3) {
@@ -316,9 +293,11 @@ mod tests {
                         .map(|(k, _)| k.clone())
                         .next()
                     {
-                        api.pods.get_mut(&k).unwrap().status.phase = PodPhase::Succeeded;
+                        let uid = api.pods[&k].meta.uid;
+                        api.set_pod_phase(uid, PodPhase::Succeeded);
                     }
                 }
+                api.debug_check_pod_indexes().unwrap();
                 for node in ["a", "b", "c"] {
                     assert!(
                         api.node_usage(node).fits_in(&api.nodes[node].allocatable),

@@ -1,5 +1,7 @@
-//! Forwarder tables: FIB, PIT, and Content Store.
+//! Forwarder tables: FIB, PIT, and Content Store — plus the name-hash
+//! sharded variants one forwarder uses to exploit multiple cores.
 
 pub mod cs;
 pub mod fib;
 pub mod pit;
+pub mod shard;

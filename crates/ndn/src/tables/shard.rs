@@ -1,0 +1,521 @@
+//! Name-hash-sharded PIT and Content Store.
+//!
+//! One forwarder's tables become `N` independent shards keyed by the
+//! forwarder's existing FxHash of the name, so a batched ingress can
+//! partition a burst by shard and probe/mutate the shards concurrently —
+//! every operation on one name lands in one shard, in arrival order.
+//!
+//! # Semantics relative to the single-shard tables
+//!
+//! Probe **results** are identical to the single-shard tables as long as no
+//! capacity or byte budget binds (pinned by proptests in
+//! `crates/ndn/tests/props.rs`):
+//!
+//! * exact-name operations route to `shard(name)` and hit the same
+//!   single-shard code;
+//! * PIT data matching composes per-shard exact probes with a scan of every
+//!   shard's (usually empty) `CanBePrefix` key list and applies the same
+//!   final deterministic sort;
+//! * CS `CanBePrefix` lookups k-way-merge the shards' canonical-order range
+//!   walks, visiting records in exactly the global canonical order — same
+//!   winner, same stale-eviction set as one store.
+//!
+//! What sharding **does** change: eviction locality. Capacity and byte
+//! budgets are split across shards (each shard runs its own LRU), so under
+//! pressure the evicted *victims* can differ from a single global LRU. The
+//! default everywhere remains 1 shard; multi-shard configurations trade
+//! exact global LRU for intra-node parallelism, which is the explicit
+//! point of the configuration.
+//!
+//! The per-probe zero-allocation guarantee carries over per shard: routing
+//! hashes a borrowed name view and delegates to the allocation-free
+//! single-shard probes (`crates/ndn/tests/alloc_probes.rs` runs the same
+//! counting-allocator checks against 4-shard tables).
+
+use std::hash::{Hash, Hasher};
+
+use crate::fxhash::FxHasher;
+use crate::name::Name;
+use crate::packet::{Data, Interest};
+use crate::tables::cs::{ContentStore, CsConfig};
+use crate::tables::pit::{sort_match_keys, InsertOutcome, Pit, PitKey};
+use lidc_simcore::time::{SimDuration, SimTime};
+
+use crate::face::FaceId;
+
+/// The shard an operation on `name` routes to: the forwarder's FxHash of
+/// the name's components, reduced mod `shards`. Allocation-free (hashes the
+/// borrowed component view). With one shard no hash is computed at all.
+#[inline]
+pub fn shard_of(name: &Name, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut hasher = FxHasher::default();
+    name.hash(&mut hasher);
+    (hasher.finish() % shards as u64) as usize
+}
+
+/// Split a total entry capacity into per-shard capacities that sum to the
+/// total, except that a nonzero total never produces a zero shard (a
+/// 0-capacity shard would silently refuse its names' inserts). Shared with
+/// the forwarder's per-shard dead-nonce lists.
+pub(crate) fn split_capacity(total: usize, shards: usize) -> Vec<usize> {
+    (0..shards)
+        .map(|i| {
+            let base = total / shards + usize::from(i < total % shards);
+            if total > 0 {
+                base.max(1)
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Split a byte budget per shard (0 stays 0 = no byte limit).
+fn split_budget(total: u64, shards: u64) -> Vec<u64> {
+    (0..shards)
+        .map(|i| total / shards + u64::from(i < total % shards))
+        .collect()
+}
+
+/// Shard storage that keeps the overwhelmingly common single-shard case
+/// **inline** (no heap indirection on the default configuration's probe
+/// path — the PR-1 zero-alloc fast path must not gain a pointer chase).
+#[derive(Debug)]
+enum Shards<T> {
+    One(T),
+    Many(Vec<T>),
+}
+
+impl<T> Shards<T> {
+    fn build(n: usize, mut make: impl FnMut() -> T) -> Self {
+        if n <= 1 {
+            Shards::One(make())
+        } else {
+            Shards::Many((0..n).map(|_| make()).collect())
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Shards::One(_) => 1,
+            Shards::Many(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &T {
+        match self {
+            Shards::One(t) => t,
+            Shards::Many(v) => &v[i],
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, i: usize) -> &mut T {
+        match self {
+            Shards::One(t) => t,
+            Shards::Many(v) => &mut v[i],
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Shards::One(t) => std::slice::from_ref(t),
+            Shards::Many(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            Shards::One(t) => std::slice::from_mut(t),
+            Shards::Many(v) => v,
+        }
+    }
+}
+
+/// An `N`-way name-hash-sharded Pending Interest Table.
+#[derive(Debug)]
+pub struct ShardedPit {
+    shards: Shards<Pit>,
+}
+
+impl ShardedPit {
+    /// A PIT with `shards` shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedPit {
+            shards: Shards::build(shards.max(1), Pit::new),
+        }
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `name` routes to.
+    #[inline]
+    pub fn shard_of(&self, name: &Name) -> usize {
+        shard_of(name, self.shards.len())
+    }
+
+    /// Borrow all shards (parallel ingress hands disjoint `&mut` shards to
+    /// workers via `iter_mut`).
+    pub fn shards(&self) -> &[Pit] {
+        self.shards.as_slice()
+    }
+
+    /// Mutably borrow all shards.
+    pub fn shards_mut(&mut self) -> &mut [Pit] {
+        self.shards.as_mut_slice()
+    }
+
+    /// Total pending entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.as_slice().iter().map(Pit::len).sum()
+    }
+
+    /// True when nothing is pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.shards.as_slice().iter().all(Pit::is_empty)
+    }
+
+    /// Total `CanBePrefix` entries across shards (0 ⇒ Data matching never
+    /// crosses shards, the precondition for parallel ingress).
+    pub fn prefix_entry_count(&self) -> usize {
+        self.shards.as_slice().iter().map(Pit::prefix_entry_count).sum()
+    }
+
+    /// See [`Pit::insert`]; routes to `shard(interest.name)`.
+    pub fn insert(
+        &mut self,
+        interest: &Interest,
+        face: FaceId,
+        now: SimTime,
+    ) -> (InsertOutcome, u64) {
+        let s = self.shard_of(&interest.name);
+        self.shards.get_mut(s).insert(interest, face, now)
+    }
+
+    /// See [`Pit::add_out_record`].
+    pub fn add_out_record(&mut self, key: &PitKey, face: FaceId, nonce: Option<u32>, now: SimTime) {
+        let s = self.shard_of(&key.name);
+        self.shards.get_mut(s).add_out_record(key, face, nonce, now);
+    }
+
+    /// See [`Pit::match_data_into`]: exact probes in `shard(data_name)`,
+    /// prefix scans over every shard, one final deterministic sort — the
+    /// result is byte-identical to the single-shard match.
+    pub fn match_data_into(&self, data_name: &Name, out: &mut Vec<PitKey>) {
+        out.clear();
+        self.shards
+            .get(self.shard_of(data_name))
+            .match_exact_append(data_name, out);
+        for shard in self.shards.as_slice() {
+            shard.match_prefix_append(data_name, out);
+        }
+        sort_match_keys(out);
+    }
+
+    /// See [`Pit::get`].
+    pub fn get(&self, key: &PitKey) -> Option<&crate::tables::pit::PitEntry> {
+        self.shards.get(self.shard_of(&key.name)).get(key)
+    }
+
+    /// See [`Pit::get_mut`].
+    pub fn get_mut(&mut self, key: &PitKey) -> Option<&mut crate::tables::pit::PitEntry> {
+        let s = self.shard_of(&key.name);
+        self.shards.get_mut(s).get_mut(key)
+    }
+
+    /// See [`Pit::take`].
+    pub fn take(&mut self, key: &PitKey) -> Option<crate::tables::pit::PitEntry> {
+        let s = self.shard_of(&key.name);
+        self.shards.get_mut(s).take(key)
+    }
+
+    /// See [`Pit::expire_if_stale`].
+    pub fn expire_if_stale(
+        &mut self,
+        key: &PitKey,
+        version: u64,
+        now: SimTime,
+    ) -> Option<crate::tables::pit::PitEntry> {
+        let s = self.shard_of(&key.name);
+        self.shards.get_mut(s).expire_if_stale(key, version, now)
+    }
+
+    /// See [`Pit::time_to_expiry`].
+    pub fn time_to_expiry(&self, key: &PitKey, now: SimTime) -> Option<SimDuration> {
+        self.shards.get(self.shard_of(&key.name)).time_to_expiry(key, now)
+    }
+}
+
+/// An `N`-way name-hash-sharded Content Store.
+#[derive(Debug)]
+pub struct ShardedCs {
+    shards: Shards<ContentStore>,
+}
+
+impl ShardedCs {
+    /// A store with `shards` shards splitting `config`'s entry capacity and
+    /// byte budget (each shard keeps the same bulk threshold and protected
+    /// fraction, applied to its share).
+    pub fn with_config(config: CsConfig, shards: usize) -> Self {
+        let n = shards.max(1);
+        if n == 1 {
+            return ShardedCs {
+                shards: Shards::One(ContentStore::with_config(config)),
+            };
+        }
+        let caps = split_capacity(config.capacity, n);
+        let budgets = split_budget(config.budget_bytes, n as u64);
+        ShardedCs {
+            shards: Shards::Many(
+                caps.into_iter()
+                    .zip(budgets)
+                    .map(|(capacity, budget_bytes)| {
+                        ContentStore::with_config(CsConfig {
+                            capacity,
+                            budget_bytes,
+                            ..config.clone()
+                        })
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// A count-only sharded store (no byte limit).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_config(CsConfig::count_only(capacity), shards)
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `name` routes to.
+    #[inline]
+    pub fn shard_of(&self, name: &Name) -> usize {
+        shard_of(name, self.shards.len())
+    }
+
+    /// Borrow all shards.
+    pub fn shards(&self) -> &[ContentStore] {
+        self.shards.as_slice()
+    }
+
+    /// Mutably borrow all shards.
+    pub fn shards_mut(&mut self) -> &mut [ContentStore] {
+        self.shards.as_mut_slice()
+    }
+
+    /// Total cached packets.
+    pub fn len(&self) -> usize {
+        self.shards.as_slice().iter().map(ContentStore::len).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.as_slice().iter().all(ContentStore::is_empty)
+    }
+
+    /// Total bytes held across shards.
+    pub fn bytes_used(&self) -> u64 {
+        self.shards.as_slice().iter().map(ContentStore::bytes_used).sum()
+    }
+
+    /// Lifetime hits across shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.as_slice().iter().map(ContentStore::hits).sum()
+    }
+
+    /// Lifetime misses across shards.
+    pub fn misses(&self) -> u64 {
+        self.shards.as_slice().iter().map(ContentStore::misses).sum()
+    }
+
+    /// Lifetime LRU evictions across shards.
+    pub fn evictions(&self) -> u64 {
+        self.shards.as_slice().iter().map(ContentStore::evictions).sum()
+    }
+
+    /// Bytes reclaimed by LRU evictions across shards.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.shards.as_slice().iter().map(ContentStore::evicted_bytes).sum()
+    }
+
+    /// Byte-budget-driven evictions across shards.
+    pub fn byte_evictions(&self) -> u64 {
+        self.shards.as_slice().iter().map(ContentStore::byte_evictions).sum()
+    }
+
+    /// Admission rejections across shards.
+    pub fn admission_rejections(&self) -> u64 {
+        self.shards.as_slice().iter().map(ContentStore::admission_rejections).sum()
+    }
+
+    /// Stale-probe evictions across shards.
+    pub fn stale_evictions(&self) -> u64 {
+        self.shards.as_slice().iter().map(ContentStore::stale_evictions).sum()
+    }
+
+    /// See [`ContentStore::insert`]; routes to `shard(data.name)`.
+    pub fn insert(&mut self, data: Data, now: SimTime) {
+        let s = self.shard_of(&data.name);
+        self.shards.get_mut(s).insert(data, now);
+    }
+
+    /// See [`ContentStore::lookup`]. Exact probes route to one shard;
+    /// `CanBePrefix` probes k-way-merge the shards' canonical range walks so
+    /// the winner and the stale-eviction side effects are exactly those of a
+    /// single-shard walk.
+    pub fn lookup(&mut self, interest: &Interest, now: SimTime) -> Option<Data> {
+        if self.shards.len() == 1 || !interest.can_be_prefix {
+            let s = self.shard_of(&interest.name);
+            return self.shards.get_mut(s).lookup(interest, now);
+        }
+        let must_be_fresh = interest.must_be_fresh;
+        let mut stale: Vec<(usize, usize)> = Vec::new();
+        let mut winner: Option<(usize, usize, Data)> = None;
+        {
+            let prefix = interest.name.components();
+            let mut walks: Vec<_> = self
+                .shards
+                .as_slice()
+                .iter()
+                .map(|shard| shard.scan_prefix(prefix).peekable())
+                .collect();
+            loop {
+                // The shard whose next record is canonical-least.
+                let mut best: Option<(usize, &Name)> = None;
+                for (i, walk) in walks.iter_mut().enumerate() {
+                    if let Some((name, _, _, _)) = walk.peek() {
+                        if best.map(|(_, b)| *name < b).unwrap_or(true) {
+                            best = Some((i, name));
+                        }
+                    }
+                }
+                let Some((i, _)) = best else {
+                    break;
+                };
+                let (_, slot, fresh_until, data) = walks[i].next().expect("peeked");
+                let fresh = !must_be_fresh || fresh_until.map(|t| now < t).unwrap_or(false);
+                if fresh {
+                    winner = Some((i, slot, data.clone()));
+                    break;
+                }
+                // Only reachable under MustBeFresh: the record is stale.
+                stale.push((i, slot));
+            }
+        }
+        for (i, slot) in stale {
+            self.shards.get_mut(i).evict_stale(slot);
+        }
+        match winner {
+            Some((i, slot, data)) => {
+                self.shards.get_mut(i).record_hit(slot);
+                Some(data)
+            }
+            None => {
+                // Account the miss on the probed prefix's home shard so the
+                // aggregate hit/miss totals match a single store exactly.
+                let s = self.shard_of(&interest.name);
+                self.shards.get_mut(s).record_miss();
+                None
+            }
+        }
+    }
+
+    /// All cached names in canonical order (diagnostics; allocates).
+    pub fn names(&self) -> Vec<Name> {
+        let mut names: Vec<Name> = self
+            .shards
+            .as_slice()
+            .iter()
+            .flat_map(|s| s.names().cloned())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Drop every record in every shard.
+    pub fn clear(&mut self) {
+        for shard in self.shards.as_mut_slice() {
+            shard.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(uri: &str) -> Data {
+        Data::new(Name::parse(uri).unwrap(), &b"content"[..]).sign_digest()
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let n = Name::parse("/ndn/k8s/compute/app=BLAST").unwrap();
+        for shards in [1usize, 2, 4, 7] {
+            let s = shard_of(&n, shards);
+            assert!(s < shards);
+            assert_eq!(s, shard_of(&n, shards), "stable");
+        }
+        assert_eq!(shard_of(&n, 1), 0, "single shard skips hashing");
+    }
+
+    #[test]
+    fn capacity_split_sums_and_never_zeroes_a_shard() {
+        assert_eq!(split_capacity(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(split_capacity(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_capacity(2, 4), vec![1, 1, 1, 1], "floored at 1");
+        assert_eq!(split_capacity(0, 4), vec![0, 0, 0, 0], "0 stays disabled");
+        assert_eq!(split_budget(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_budget(0, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sharded_pit_routes_and_aggregates() {
+        let mut pit = ShardedPit::new(4);
+        let now = SimTime::ZERO;
+        for i in 0..32 {
+            let interest = Interest::new(Name::parse(&format!("/svc/job-{i}")).unwrap())
+                .with_nonce(i);
+            let (outcome, _) = pit.insert(&interest, FaceId::from_raw(1), now);
+            assert_eq!(outcome, InsertOutcome::New);
+        }
+        assert_eq!(pit.len(), 32);
+        assert!(pit.shards().iter().filter(|s| !s.is_empty()).count() > 1, "names spread");
+        let name = Name::parse("/svc/job-7").unwrap();
+        let mut keys = Vec::new();
+        pit.match_data_into(&name, &mut keys);
+        assert_eq!(keys.len(), 1);
+        assert!(pit.take(&keys[0]).is_some());
+        assert_eq!(pit.len(), 31);
+    }
+
+    #[test]
+    fn sharded_cs_prefix_walk_matches_canonical_order() {
+        let now = SimTime::ZERO;
+        let mut cs = ShardedCs::new(64, 4);
+        cs.insert(data("/a/b/seg=1"), now);
+        cs.insert(data("/a/b/seg=0"), now);
+        cs.insert(data("/z/unrelated"), now);
+        let i = Interest::new(Name::parse("/a/b").unwrap()).can_be_prefix(true);
+        let hit = cs.lookup(&i, now).unwrap();
+        assert_eq!(hit.name, Name::parse("/a/b/seg=0").unwrap(), "leftmost wins across shards");
+        assert_eq!(cs.hits(), 1);
+        let miss = Interest::new(Name::parse("/nope").unwrap()).can_be_prefix(true);
+        assert!(cs.lookup(&miss, now).is_none());
+        assert_eq!(cs.misses(), 1);
+    }
+}

@@ -32,11 +32,68 @@
 //!     (same-instant effects always sort after already-queued events);
 //!   * batching can be disabled with [`Sim::set_batching`] (equivalence
 //!     tests run both modes and compare end states).
+//!
+//! # Parallel same-instant dispatch and the determinism contract
+//!
+//! [`Sim::set_threads`] (default 1 = fully serial) lets the engine execute a
+//! **wave** — consecutive same-instant batches addressed to *distinct*
+//! actors — concurrently on a persistent worker pool. Parallel mode is
+//! **bit-identical** to serial mode: the same seed produces the same event
+//! schedule, the same replies, the same metrics readouts (excepting the
+//! `sim.batch.*`/`sim.parallel.*` dispatch-observability counters, whose
+//! batch granularity the corner below can shift), and the same actor end
+//! states at any thread count. That guarantee rests on four mechanisms,
+//! which together define what parallel mode may and may not reorder:
+//!
+//! * **Opt-in concurrency.** Only actors that declare
+//!   [`Concurrency::Concurrent`] via [`Actor::concurrency`] join a wave; an
+//!   [`Concurrency::Exclusive`] actor's batch (the default) always runs
+//!   alone, exactly as in serial mode. A wave is the maximal prefix of
+//!   consecutive same-instant runs for distinct Concurrent actors; a
+//!   repeated destination, an Exclusive actor, or a time change ends it.
+//!   Batch boundaries match serial mode with one exception: when a wave
+//!   member sends a zero-delay message to a *later* member of the same
+//!   wave, serial dispatch would coalesce that message into the later
+//!   actor's batch, while a wave delivers it as a separate follow-up batch
+//!   (the run was already popped). Message *order* and every delivery are
+//!   unchanged — only batch granularity (and thus the `sim.batch.*`
+//!   observability counters and drain stats, which are outside the
+//!   equivalence contract) can differ in that corner.
+//! * **Per-actor RNG streams.** [`Ctx::rng`] draws from a stream derived
+//!   once per actor from the master seed (not from a shared engine stream),
+//!   so the values an actor draws depend only on its own draw history —
+//!   never on which other actors ran before it at the same instant.
+//!   Harness-level draws through [`Sim::rng`] use the master stream and are
+//!   unaffected.
+//! * **Buffered effects, merged in run order.** A wave handler records
+//!   sends/kills into a private buffer; buffers are applied in the wave's
+//!   run order (the `(time, seq)` order of each run's first event), so
+//!   scheduled events receive exactly the sequence numbers serial execution
+//!   would assign.
+//! * **Buffered metrics, merged in run order.** Each wave handler writes a
+//!   private [`Metrics`] buffer; buffers fold into the engine registry via
+//!   [`Metrics::merge`] (counters add, `set_max` keys max, histogram
+//!   samples append in run order), reproducing the serial registry exactly.
+//!
+//! What parallel mode may reorder: the *wall-clock* interleaving of
+//! Concurrent handlers within one wave (invisible by construction, given
+//! the rules below). What it may **not** reorder: anything observable —
+//! cross-actor delivery order, effect sequencing, RNG streams, metrics.
+//!
+//! The rules Concurrent actors must obey (violations panic or race):
+//! handlers must not call [`Ctx::spawn`], [`Ctx::kill`], or [`Ctx::halt`]
+//! (these require the serial effect interlock; all three panic from a wave
+//! worker), and must not write state shared with other Concurrent actors
+//! (reading state that only Exclusive actors write is safe — an Exclusive
+//! writer never overlaps a wave).
 
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 use crate::metrics::Metrics;
 use crate::rng::DetRng;
@@ -69,11 +126,34 @@ impl fmt::Display for ActorId {
     }
 }
 
+/// Whether an actor's handlers may execute concurrently with *other*
+/// actors' handlers at the same virtual instant (see the module docs for
+/// the full determinism contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Concurrency {
+    /// The default: this actor's batches always run alone, exactly as under
+    /// serial dispatch. Safe for every actor.
+    #[default]
+    Exclusive,
+    /// This actor's same-instant batch may run on a worker thread
+    /// concurrently with other Concurrent actors' batches. The actor's
+    /// handlers must not spawn/kill/halt (panics) and must not write state
+    /// shared with other Concurrent actors.
+    Concurrent,
+}
+
 /// A simulated component: it receives messages and reacts by recording
 /// effects on the [`Ctx`].
 pub trait Actor: Send + 'static {
     /// Handle one message delivered at the current virtual time.
     fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>);
+
+    /// Declare whether this actor may join a parallel same-instant wave
+    /// (default: [`Concurrency::Exclusive`] — never). See the module docs
+    /// for the obligations [`Concurrency::Concurrent`] takes on.
+    fn concurrency(&self) -> Concurrency {
+        Concurrency::Exclusive
+    }
 
     /// Handle a coalesced burst of messages, all addressed to this actor at
     /// the same virtual instant, in FIFO order (see the module docs for the
@@ -127,7 +207,10 @@ pub struct Ctx<'a> {
     now: SimTime,
     rng: &'a mut DetRng,
     metrics: &'a mut Metrics,
-    next_actor_id: &'a mut u32,
+    /// `None` when this context belongs to a parallel wave worker: spawn
+    /// (which must allocate from the engine's id counter synchronously) is
+    /// unavailable there, as are kill/halt (see the module docs).
+    next_actor_id: Option<&'a mut u32>,
     effects: &'a mut Vec<Effect>,
 }
 
@@ -142,7 +225,9 @@ impl Ctx<'_> {
         self.now
     }
 
-    /// Deterministic RNG shared by the engine.
+    /// This actor's deterministic RNG stream, derived once from the master
+    /// seed. Draws depend only on the actor's own history, never on what
+    /// other actors ran first — the property parallel dispatch relies on.
     pub fn rng(&mut self) -> &mut DetRng {
         self.rng
     }
@@ -199,9 +284,17 @@ impl Ctx<'_> {
 
     /// Register a new actor; it starts receiving messages immediately.
     /// Returns its id synchronously so the spawner can address it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from a [`Concurrency::Concurrent`] actor's
+    /// handler inside a parallel wave: id allocation is inherently serial.
     pub fn spawn<A: Actor>(&mut self, label: impl Into<String>, actor: A) -> ActorId {
-        let id = ActorId(*self.next_actor_id);
-        *self.next_actor_id += 1;
+        let Some(counter) = self.next_actor_id.as_deref_mut() else {
+            panic!("Ctx::spawn is not available to Concurrent actors in a parallel wave");
+        };
+        let id = ActorId(*counter);
+        *counter += 1;
         self.effects.push(Effect::Spawn {
             id,
             label: label.into(),
@@ -212,12 +305,30 @@ impl Ctx<'_> {
 
     /// Remove an actor. Pending messages to it are silently dropped (the
     /// `sim.dropped_messages` counter records how many).
+    ///
+    /// # Panics
+    ///
+    /// Panics from a parallel-wave worker (a kill applied mid-wave could
+    /// not reproduce serial drop accounting).
     pub fn kill(&mut self, id: ActorId) {
+        assert!(
+            self.next_actor_id.is_some(),
+            "Ctx::kill is not available to Concurrent actors in a parallel wave"
+        );
         self.effects.push(Effect::Kill(id));
     }
 
     /// Stop the simulation after the current handler completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics from a parallel-wave worker (a halt mid-wave could not stop
+    /// runs that already executed concurrently, diverging from serial).
     pub fn halt(&mut self) {
+        assert!(
+            self.next_actor_id.is_some(),
+            "Ctx::halt is not available to Concurrent actors in a parallel wave"
+        );
         self.effects.push(Effect::Halt);
     }
 }
@@ -273,6 +384,8 @@ struct Slot {
     actor: Option<Box<dyn AnyActor>>,
     label: String,
     drain: DrainStats,
+    /// This actor's private RNG stream (see [`Ctx::rng`]).
+    rng: DetRng,
 }
 
 /// The discrete-event simulator.
@@ -293,11 +406,21 @@ pub struct Sim {
     batching: bool,
     /// Reused delivery buffer for batched dispatch.
     batch_buf: Vec<Msg>,
+    /// Root for deriving per-actor RNG streams (never drawn from directly).
+    actor_rng_root: DetRng,
+    /// Worker count for parallel same-instant waves; 1 = fully serial.
+    threads: usize,
+    /// Lazily created worker pool (present only while `threads > 1`).
+    pool: Option<WavePool>,
+    /// Recycled message buffers for wave runs beyond the first.
+    wave_bufs: Vec<Vec<Msg>>,
 }
 
 impl Sim {
     /// Create an engine seeded with `seed` (see DESIGN.md §8).
     pub fn new(seed: u64) -> Self {
+        let rng = DetRng::new(seed);
+        let actor_rng_root = rng.derive_str("actor-streams");
         Sim {
             now: SimTime::ZERO,
             seq: 0,
@@ -305,12 +428,16 @@ impl Sim {
             foreground_queued: 0,
             slots: Vec::new(),
             next_actor_id: 0,
-            rng: DetRng::new(seed),
+            rng,
             metrics: Metrics::new(),
             halted: false,
             events_processed: 0,
             batching: true,
             batch_buf: Vec::new(),
+            actor_rng_root,
+            threads: 1,
+            pool: None,
+            wave_bufs: Vec::new(),
         }
     }
 
@@ -320,6 +447,23 @@ impl Sim {
     /// kept for batch/sequential equivalence testing.
     pub fn set_batching(&mut self, on: bool) {
         self.batching = on;
+    }
+
+    /// Set the worker count for parallel same-instant dispatch (see the
+    /// module docs for the determinism contract). `n <= 1` restores fully
+    /// serial execution and tears down the pool. The schedule, metrics,
+    /// and actor end states are bit-identical at every `n`.
+    pub fn set_threads(&mut self, n: usize) {
+        let n = n.max(1);
+        if n != self.threads {
+            self.threads = n;
+            self.pool = None;
+        }
+    }
+
+    /// The configured parallel-dispatch worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Current virtual time.
@@ -361,10 +505,12 @@ impl Sim {
     /// id→index invariant regardless of installation order.
     fn ensure_slot(&mut self, idx: usize) {
         while self.slots.len() <= idx {
+            let id = self.slots.len() as u64;
             self.slots.push(Slot {
                 actor: None,
                 label: String::new(),
                 drain: DrainStats::default(),
+                rng: self.actor_rng_root.derive(id),
             });
         }
     }
@@ -377,28 +523,32 @@ impl Sim {
             actor: Some(actor),
             label,
             drain: DrainStats::default(),
+            rng: self.actor_rng_root.derive(u64::from(id.0)),
         };
         self.run_start_hook(id);
     }
 
     fn run_start_hook(&mut self, id: ActorId) {
-        let Some(mut actor) = self.slots[id.0 as usize].actor.take() else {
+        let idx = id.0 as usize;
+        let Some(mut actor) = self.slots[idx].actor.take() else {
             return;
         };
+        let mut rng = self.slots[idx].rng.clone();
         let mut effects = Vec::new();
         {
             let mut ctx = Ctx {
                 self_id: id,
                 now: self.now,
-                rng: &mut self.rng,
+                rng: &mut rng,
                 metrics: &mut self.metrics,
-                next_actor_id: &mut self.next_actor_id,
+                next_actor_id: Some(&mut self.next_actor_id),
                 effects: &mut effects,
             };
             actor.on_start(&mut ctx);
         }
-        if self.slots[id.0 as usize].actor.is_none() {
-            self.slots[id.0 as usize].actor = Some(actor);
+        self.slots[idx].rng = rng;
+        if self.slots[idx].actor.is_none() {
+            self.slots[idx].actor = Some(actor);
         }
         self.apply_effects(effects);
     }
@@ -491,10 +641,38 @@ impl Sim {
         }
     }
 
+    /// Pop the maximal run of consecutive (seq-order) events for `to` at
+    /// `time` into `batch`. Stopping at the first event for another actor
+    /// preserves cross-actor delivery order.
+    fn coalesce_run(&mut self, time: SimTime, to: ActorId, batch: &mut Vec<Msg>) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time != time || head.to != to {
+                break;
+            }
+            let Reverse(next) = self.queue.pop().expect("peeked");
+            if !next.background {
+                self.foreground_queued -= 1;
+            }
+            batch.push(next.msg);
+        }
+    }
+
+    /// Whether `to` is alive and has declared [`Concurrency::Concurrent`].
+    fn is_concurrent(&self, to: ActorId) -> bool {
+        self.slots
+            .get(to.0 as usize)
+            .and_then(|s| s.actor.as_deref())
+            .map(|a| a.concurrency() == Concurrency::Concurrent)
+            .unwrap_or(false)
+    }
+
     /// Dispatch the next event — plus, when batching is enabled, every
     /// consecutively-queued event for the same actor at the same instant
-    /// (delivered as one [`Actor::on_batch`] call). Returns `false` when the
-    /// queue is empty or the simulation has been halted.
+    /// (delivered as one [`Actor::on_batch`] call). With
+    /// [`Sim::set_threads`] `> 1`, consecutive same-instant batches for
+    /// distinct [`Concurrency::Concurrent`] actors execute as one parallel
+    /// wave (bit-identical results; see the module docs). Returns `false`
+    /// when the queue is empty or the simulation has been halted.
     pub fn step(&mut self) -> bool {
         if self.halted {
             return false;
@@ -512,20 +690,40 @@ impl Sim {
         batch.clear();
         batch.push(ev.msg);
         if self.batching {
-            // Coalesce the maximal run of consecutive (seq-order) events for
-            // the same destination at this instant. Stopping at the first
-            // event for another actor preserves cross-actor delivery order.
+            self.coalesce_run(ev.time, to, &mut batch);
+        }
+        if self.threads > 1 && self.batching && self.is_concurrent(to) {
+            // Collect the wave: consecutive same-instant runs for distinct
+            // Concurrent actors. A repeated destination, an Exclusive (or
+            // dead) actor, or a time change ends it — exactly the batch
+            // boundaries serial dispatch would produce.
+            let mut runs: Vec<(ActorId, Vec<Msg>)> = vec![(to, batch)];
             while let Some(Reverse(head)) = self.queue.peek() {
-                if head.time != ev.time || head.to != to {
+                if head.time != ev.time {
                     break;
                 }
-                let Reverse(next) = self.queue.pop().expect("peeked");
-                if !next.background {
-                    self.foreground_queued -= 1;
+                let next_to = head.to;
+                if runs.iter().any(|(a, _)| *a == next_to) || !self.is_concurrent(next_to) {
+                    break;
                 }
-                batch.push(next.msg);
+                let mut buf = self.wave_bufs.pop().unwrap_or_default();
+                buf.clear();
+                self.coalesce_run(ev.time, next_to, &mut buf);
+                debug_assert!(!buf.is_empty(), "peeked run is non-empty");
+                runs.push((next_to, buf));
             }
+            if runs.len() > 1 {
+                self.dispatch_wave(runs);
+                return true;
+            }
+            batch = runs.pop().expect("first run").1;
         }
+        self.deliver_serial(to, batch);
+        true
+    }
+
+    /// Deliver one coalesced batch on the caller's thread (serial path).
+    fn deliver_serial(&mut self, to: ActorId, mut batch: Vec<Msg>) {
         self.events_processed += batch.len() as u64;
         let idx = to.0 as usize;
         let taken = self.slots.get_mut(idx).and_then(|s| s.actor.take());
@@ -533,7 +731,7 @@ impl Sim {
             self.metrics.incr("sim.dropped_messages", batch.len() as u64);
             batch.clear();
             self.batch_buf = batch;
-            return true;
+            return;
         };
         {
             let slot = &mut self.slots[idx];
@@ -547,14 +745,15 @@ impl Sim {
                 .incr("sim.batch.coalesced_messages", batch.len() as u64 - 1);
             self.metrics.set_max("sim.batch.max_size", batch.len() as u64);
         }
+        let mut rng = self.slots[idx].rng.clone();
         let mut effects = Vec::new();
         {
             let mut ctx = Ctx {
                 self_id: to,
                 now: self.now,
-                rng: &mut self.rng,
+                rng: &mut rng,
                 metrics: &mut self.metrics,
-                next_actor_id: &mut self.next_actor_id,
+                next_actor_id: Some(&mut self.next_actor_id),
                 effects: &mut effects,
             };
             if batch.len() == 1 {
@@ -567,6 +766,7 @@ impl Sim {
         }
         batch.clear();
         self.batch_buf = batch;
+        self.slots[idx].rng = rng;
         // The actor may have killed itself via ctx.kill(self_id); only put it
         // back if nothing reclaimed the slot meanwhile.
         if self.slots[idx].actor.is_none() {
@@ -574,7 +774,76 @@ impl Sim {
         }
         // A self-kill effect is applied after reinstatement, so it still wins.
         self.apply_effects(effects);
-        true
+    }
+
+    /// Execute a collected wave of ≥ 2 distinct-actor runs concurrently and
+    /// merge the buffered results in run order (see the module docs).
+    fn dispatch_wave(&mut self, runs: Vec<(ActorId, Vec<Msg>)>) {
+        let now = self.now;
+        let jobs: Vec<WaveJob> = runs
+            .into_iter()
+            .enumerate()
+            .map(|(index, (to, msgs))| {
+                let slot = &mut self.slots[to.0 as usize];
+                let actor = slot.actor.take().expect("wave member is alive");
+                let rng = slot.rng.clone();
+                WaveJob {
+                    index,
+                    to,
+                    now,
+                    msgs,
+                    actor,
+                    rng,
+                }
+            })
+            .collect();
+        let outs = if host_parallelism().min(self.threads) > 1 {
+            let pool = self
+                .pool
+                .get_or_insert_with(|| WavePool::new(self.threads));
+            pool.run(jobs)
+        } else {
+            // A single-CPU host can only lose to a pool: execute the wave
+            // inline in run order — same buffered contexts, same merge,
+            // bit-identical results, no thread overhead.
+            jobs.into_iter().map(execute_wave_job).collect()
+        };
+        // Merge in run order: drain stats, engine batch metrics, per-worker
+        // metrics buffers, effects (which assigns the sequence numbers
+        // serial execution would have assigned), and buffer recycling.
+        for out in outs {
+            let idx = out.to.0 as usize;
+            self.events_processed += out.delivered as u64;
+            {
+                let slot = &mut self.slots[idx];
+                slot.drain.messages += out.delivered as u64;
+                slot.drain.batches += 1;
+                slot.drain.max_batch = slot.drain.max_batch.max(out.delivered as u64);
+            }
+            if out.delivered > 1 {
+                self.metrics.incr("sim.batch.bursts", 1);
+                self.metrics
+                    .incr("sim.batch.coalesced_messages", out.delivered as u64 - 1);
+                self.metrics.set_max("sim.batch.max_size", out.delivered as u64);
+            }
+            self.metrics.incr("sim.parallel.wave_runs", 1);
+            self.metrics.merge(out.metrics);
+            self.slots[idx].rng = out.rng;
+            debug_assert!(self.slots[idx].actor.is_none());
+            self.slots[idx].actor = Some(out.actor);
+            self.apply_effects(out.effects);
+            let mut buf = out.msgs;
+            buf.clear();
+            // The first run's buffer came from batch_buf (taken by step);
+            // hand one buffer back there so neither pool grows by one per
+            // wave and the serial path keeps its warmed capacity.
+            if self.batch_buf.capacity() == 0 {
+                self.batch_buf = buf;
+            } else {
+                self.wave_bufs.push(buf);
+            }
+        }
+        self.metrics.incr("sim.parallel.waves", 1);
     }
 
     /// Run until all *foreground* work drains or the simulation halts.
@@ -669,6 +938,173 @@ impl Sim {
     /// Number of queued *foreground* (non-daemon) events.
     pub fn foreground_queue_len(&self) -> usize {
         self.foreground_queued
+    }
+}
+
+/// The host's usable core count (cached): waves execute on the pool only
+/// when real parallelism exists; otherwise they run inline with identical
+/// semantics.
+fn host_parallelism() -> usize {
+    use std::sync::OnceLock;
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+/// One wave run handed to a worker: the actor (taken from its slot), its
+/// RNG stream, and its coalesced batch.
+struct WaveJob {
+    index: usize,
+    to: ActorId,
+    now: SimTime,
+    msgs: Vec<Msg>,
+    actor: Box<dyn AnyActor>,
+    rng: DetRng,
+}
+
+/// A worker's buffered result: everything the merge step folds back into
+/// the engine in run order.
+struct WaveOut {
+    index: usize,
+    to: ActorId,
+    msgs: Vec<Msg>,
+    actor: Box<dyn AnyActor>,
+    rng: DetRng,
+    effects: Vec<Effect>,
+    metrics: Metrics,
+    delivered: usize,
+}
+
+/// Execute one wave run against a private context (no engine access).
+fn execute_wave_job(job: WaveJob) -> WaveOut {
+    let WaveJob {
+        index,
+        to,
+        now,
+        mut msgs,
+        mut actor,
+        mut rng,
+    } = job;
+    let delivered = msgs.len();
+    let mut effects = Vec::new();
+    let mut metrics = Metrics::new();
+    {
+        let mut ctx = Ctx {
+            self_id: to,
+            now,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            next_actor_id: None,
+            effects: &mut effects,
+        };
+        if delivered == 1 {
+            let msg = msgs.pop().expect("one message");
+            actor.on_message(msg, &mut ctx);
+        } else {
+            actor.on_batch(&mut msgs, &mut ctx);
+            debug_assert!(msgs.is_empty(), "on_batch must drain its input");
+        }
+    }
+    msgs.clear();
+    WaveOut {
+        index,
+        to,
+        msgs,
+        actor,
+        rng,
+        effects,
+        metrics,
+        delivered,
+    }
+}
+
+/// A persistent pool of wave workers. Jobs fan out over one shared queue;
+/// results come back tagged with their run index so the coordinator can
+/// merge in run order regardless of completion order. Worker panics are
+/// caught, shipped back, and re-raised on the coordinator thread so a
+/// failing actor behaves like it does under serial dispatch.
+struct WavePool {
+    job_tx: Option<mpsc::Sender<WaveJob>>,
+    out_rx: mpsc::Receiver<std::thread::Result<WaveOut>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WavePool {
+    fn new(threads: usize) -> WavePool {
+        let (job_tx, job_rx) = mpsc::channel::<WaveJob>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (out_tx, out_rx) = mpsc::channel();
+        let handles = (0..threads)
+            .map(|w| {
+                let rx = Arc::clone(&job_rx);
+                let tx = out_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("sim-wave-{w}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        let Ok(job) = job else {
+                            break; // pool dropped
+                        };
+                        let out =
+                            std::panic::catch_unwind(AssertUnwindSafe(|| execute_wave_job(job)));
+                        if tx.send(out).is_err() {
+                            break;
+                        }
+                    })
+                    .expect("spawn wave worker")
+            })
+            .collect();
+        WavePool {
+            job_tx: Some(job_tx),
+            out_rx,
+            handles,
+        }
+    }
+
+    /// Run all jobs to completion; results ordered by run index.
+    fn run(&mut self, jobs: Vec<WaveJob>) -> Vec<WaveOut> {
+        let n = jobs.len();
+        let tx = self.job_tx.as_ref().expect("pool alive");
+        for job in jobs {
+            tx.send(job).expect("wave worker alive");
+        }
+        let mut outs: Vec<Option<WaveOut>> = (0..n).map(|_| None).collect();
+        let mut panic: Option<Box<dyn Any + Send>> = None;
+        for _ in 0..n {
+            match self.out_rx.recv().expect("wave worker alive") {
+                Ok(out) => {
+                    let i = out.index;
+                    outs[i] = Some(out);
+                }
+                Err(p) => {
+                    if panic.is_none() {
+                        panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        outs.into_iter()
+            .map(|o| o.expect("every run reported"))
+            .collect()
+    }
+}
+
+impl Drop for WavePool {
+    fn drop(&mut self) {
+        // Closing the job channel unblocks every worker's recv.
+        self.job_tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -1073,6 +1509,175 @@ mod tests {
         assert_eq!(table.rows.len(), 1);
         assert!(table.rows[0][0].starts_with("busy"));
         assert_eq!(table.rows[0][1], "3");
+    }
+
+    /// A Concurrent actor exercising everything a wave worker buffers:
+    /// RNG draws, counter/histogram metrics, and same-instant sends.
+    struct Worker {
+        sum: u64,
+        peer: Option<ActorId>,
+    }
+    /// `(payload, remaining echo hops)` — hops bound the ring ping-pong.
+    struct Work(u64, u32);
+    impl Actor for Worker {
+        fn concurrency(&self) -> Concurrency {
+            Concurrency::Concurrent
+        }
+        fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+            let w = msg.downcast::<Work>().unwrap();
+            let draw = ctx.rng().next_below(1000);
+            self.sum = self.sum.wrapping_add(w.0).wrapping_add(draw);
+            ctx.metrics().incr("worker.msgs", 1);
+            ctx.metrics().record("worker.draw", draw as f64);
+            if let (Some(p), 1..) = (self.peer, w.1) {
+                ctx.send_after(SimDuration::from_millis(1), p, Work(draw, w.1 - 1));
+            }
+        }
+    }
+
+    /// Run a two-round workload over `k` Concurrent actors (each echoing a
+    /// same-delay follow-up to a ring peer) and fingerprint everything the
+    /// determinism contract covers.
+    fn wave_fingerprint(threads: usize, k: usize) -> (Vec<u64>, Vec<(String, u64)>, u64, SimTime) {
+        let mut sim = Sim::new(7);
+        sim.set_threads(threads);
+        let ids: Vec<ActorId> = (0..k)
+            .map(|i| sim.spawn(format!("w{i}"), Worker { sum: 0, peer: None }))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let peer = ids[(i + 1) % k];
+            sim.actor_mut::<Worker>(*id).unwrap().peer = Some(peer);
+        }
+        // Contiguous same-instant runs per actor: one wave of k runs.
+        for id in &ids {
+            for m in 0..8u64 {
+                sim.send(*id, Work(m, 3));
+            }
+        }
+        sim.run();
+        let sums = ids
+            .iter()
+            .map(|id| sim.actor::<Worker>(*id).unwrap().sum)
+            .collect();
+        let counters = sim
+            .metrics_ref()
+            .counters()
+            .filter(|(name, _)| !name.contains("parallel"))
+            .map(|(n, v)| (n.to_owned(), v))
+            .collect();
+        (sums, counters, sim.events_processed(), sim.now())
+    }
+
+    #[test]
+    fn parallel_wave_bit_identical_to_serial() {
+        let serial = wave_fingerprint(1, 6);
+        for threads in [2, 4] {
+            let parallel = wave_fingerprint(threads, 6);
+            assert_eq!(serial, parallel, "threads={threads} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn parallel_wave_actually_ran_in_wave_mode() {
+        let mut sim = Sim::new(3);
+        sim.set_threads(4);
+        let a = sim.spawn("a", Worker { sum: 0, peer: None });
+        let b = sim.spawn("b", Worker { sum: 0, peer: None });
+        sim.send(a, Work(1, 0));
+        sim.send(b, Work(2, 0));
+        sim.run();
+        assert_eq!(sim.metrics_ref().counter("sim.parallel.waves"), 1);
+        assert_eq!(sim.metrics_ref().counter("sim.parallel.wave_runs"), 2);
+    }
+
+    #[test]
+    fn exclusive_actor_breaks_a_wave() {
+        let mut sim = Sim::new(3);
+        sim.set_threads(4);
+        let a = sim.spawn("a", Worker { sum: 0, peer: None });
+        let x = sim.spawn(
+            "x",
+            Counter {
+                count: 0,
+                echo_to: None,
+            },
+        );
+        let b = sim.spawn("b", Worker { sum: 0, peer: None });
+        // a, then the Exclusive x, then b: no two Concurrent runs are
+        // adjacent, so nothing parallelizes — and ordering is serial.
+        sim.send(a, Work(1, 0));
+        sim.send(x, Bump(1));
+        sim.send(b, Work(2, 0));
+        sim.run();
+        assert_eq!(sim.metrics_ref().counter("sim.parallel.waves"), 0);
+        assert_eq!(sim.actor::<Counter>(x).unwrap().count, 1);
+    }
+
+    #[test]
+    fn repeated_destination_ends_the_wave() {
+        let mut sim = Sim::new(3);
+        sim.set_threads(2);
+        let a = sim.spawn("a", Worker { sum: 0, peer: None });
+        let b = sim.spawn("b", Worker { sum: 0, peer: None });
+        // a a b a: the trailing a-run must not join the wave (its state
+        // depends on the first a-run having completed).
+        sim.send(a, Work(1, 0));
+        sim.send(a, Work(2, 0));
+        sim.send(b, Work(3, 0));
+        sim.send(a, Work(4, 0));
+        sim.run();
+        assert_eq!(sim.metrics_ref().counter("sim.parallel.wave_runs"), 2);
+        assert_eq!(sim.drain_stats(a).batches, 2);
+    }
+
+    #[test]
+    fn spawn_from_wave_worker_panics() {
+        struct Spawner;
+        struct Go;
+        impl Actor for Spawner {
+            fn concurrency(&self) -> Concurrency {
+                Concurrency::Concurrent
+            }
+            fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+                if msg.downcast::<Go>().is_ok() {
+                    ctx.spawn(
+                        "child",
+                        Counter {
+                            count: 0,
+                            echo_to: None,
+                        },
+                    );
+                }
+            }
+        }
+        let mut sim = Sim::new(1);
+        sim.set_threads(2);
+        let a = sim.spawn("a", Spawner);
+        let b = sim.spawn("b", Spawner);
+        sim.send(a, Go);
+        sim.send(b, Go);
+        let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            sim.run();
+        }));
+        assert!(panicked.is_err(), "spawn inside a wave must panic");
+    }
+
+    #[test]
+    fn per_actor_rng_streams_are_insensitive_to_neighbors() {
+        // Actor a's draws must not depend on whether actor b ran first at
+        // the same instant — the property parallel dispatch relies on.
+        fn sum_of(extra_first: bool) -> u64 {
+            let mut sim = Sim::new(11);
+            let b = sim.spawn("b", Worker { sum: 0, peer: None });
+            let a = sim.spawn("a", Worker { sum: 0, peer: None });
+            if extra_first {
+                sim.send(b, Work(0, 0));
+            }
+            sim.send(a, Work(0, 0));
+            sim.run();
+            sim.actor::<Worker>(a).unwrap().sum
+        }
+        assert_eq!(sum_of(false), sum_of(true));
     }
 
     #[test]

@@ -14,10 +14,22 @@
 //!   ([`Table`], [`Report`]) used by the experiment harnesses to regenerate
 //!   the paper's tables.
 //!
-//! The engine is intentionally single-threaded: determinism is a design
-//! requirement (DESIGN.md §8), and the simulated workloads are scheduled in
-//! virtual time, so wall-clock parallelism buys nothing. Real parallelism is
-//! used where real computation happens (the genomics aligner kernel).
+//! The engine is serial by default and **deterministically parallel** on
+//! demand: determinism is a design requirement (DESIGN.md §8), and
+//! [`Sim::set_threads`] may only buy wall-clock speed, never change a
+//! result. The contract (spelled out in [`engine`]'s module docs): at any
+//! thread count the schedule, every metric readout, every reply, and every
+//! actor end state are bit-identical to serial execution. Parallel mode may
+//! reorder only the wall-clock interleaving of same-instant batches for
+//! *distinct* actors that opt in via [`engine::Concurrency::Concurrent`];
+//! it may not reorder anything observable — cross-actor delivery order,
+//! effect sequencing, per-actor RNG streams ([`engine::Ctx::rng`] draws
+//! from a stream derived per actor from the master seed), or metrics
+//! (buffered per worker and folded in run order via [`Metrics::merge`]).
+//! Concurrent actors must not spawn/kill/halt in handlers (panics) nor
+//! write state shared with other Concurrent actors. Real parallelism is
+//! likewise used where real computation happens (the genomics aligner
+//! kernel, the forwarder's sharded burst ingress).
 //!
 //! ## Example
 //!
@@ -58,7 +70,7 @@ pub mod rng;
 pub mod time;
 
 pub use bytesize::{format_bytes, parse_bytes, ByteSize};
-pub use engine::{Actor, ActorId, Ctx, Msg, Sim};
+pub use engine::{Actor, ActorId, Concurrency, Ctx, Msg, Sim};
 pub use metrics::{Histogram, HistogramSummary, Metrics};
 pub use report::{Report, Table};
 pub use rng::{DetRng, SplitMix64};

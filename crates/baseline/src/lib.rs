@@ -19,11 +19,15 @@
 //! * [`manual`] — the per-platform manual configuration workflow
 //!   ([`manual::ManualWorkflow`]): statically attached to one cluster, with
 //!   an explicit operator delay charged for every re-tailoring.
+//! * [`chaos`] — a harness that runs LIDC and the centralized baseline
+//!   under the **same** deterministic fault schedule and compares
+//!   completion rate, tail latency and wasted work.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod central;
+pub mod chaos;
 pub mod client;
 pub mod manual;
 
@@ -31,6 +35,9 @@ pub mod manual;
 pub mod prelude {
     pub use crate::central::{
         central_prefix, status_name, submit_name, CentralController, CentralPolicy,
+    };
+    pub use crate::chaos::{
+        comparison_table, run_baseline_chaos, run_lidc_chaos, ChaosConfig, ChaosOutcome,
     };
     pub use crate::client::{BaselineRun, CentralClient, SubmitCentral};
     pub use crate::manual::{ManualWorkflow, DEFAULT_RECONFIG_DELAY};

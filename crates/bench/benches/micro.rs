@@ -3,6 +3,7 @@
 //! classification — plus the real (rayon-parallel) alignment kernel.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lidc_baseline::chaos::{run_lidc_chaos, ChaosConfig};
 use lidc_core::cluster::{LidcCluster, LidcClusterConfig};
 use lidc_core::naming::{classify, ComputeRequest, RequestKind};
 use lidc_genomics::aligner::{
@@ -686,6 +687,23 @@ fn bench_align(c: &mut Criterion) {
     g.finish();
 }
 
+/// End-to-end recovery cost: a full (small) chaos run — overlay deploy,
+/// job stream, node crash + permanent cluster outage, rerouting, and
+/// completion — measured as wall-clock per simulated recovery.
+fn bench_chaos_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos");
+    g.sample_size(10);
+    g.bench_function("recovery_latency", |b| {
+        b.iter(|| {
+            let mut cfg = ChaosConfig::standard(42);
+            cfg.jobs = 4;
+            cfg.horizon = SimDuration::from_mins(10);
+            black_box(run_lidc_chaos(&cfg).completed)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_naming,
@@ -697,6 +715,7 @@ criterion_group!(
     bench_parallel_ingress,
     bench_parallel_dispatch,
     bench_k8s_reconcile,
-    bench_align
+    bench_align,
+    bench_chaos_recovery
 );
 criterion_main!(benches);

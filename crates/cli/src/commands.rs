@@ -5,6 +5,7 @@
 //! operator would see. The simulated clock makes hours-long genomics jobs
 //! complete in milliseconds of wall time.
 
+use lidc_baseline::chaos::{comparison_table, run_baseline_chaos, run_lidc_chaos, ChaosConfig};
 use lidc_core::client::{ClientConfig, ScienceClient, Submit};
 use lidc_core::cluster::{LidcCluster, LidcClusterConfig};
 use lidc_core::naming::{data_prefix, ComputeRequest};
@@ -287,6 +288,33 @@ pub fn experiment(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `lidc chaos` — run LIDC and the centralized baseline under the *same*
+/// deterministic fault schedule (a permanent cluster outage plus transient
+/// node crashes) and print the side-by-side outcome.
+pub fn chaos(args: &Args) -> CmdResult {
+    let seed = args.get_u64("seed", 42)?;
+    let mut cfg = ChaosConfig::standard(seed);
+    cfg.jobs = u32::try_from(args.get_u64("jobs", u64::from(cfg.jobs))?)
+        .map_err(|_| "--jobs out of range".to_owned())?;
+    cfg.threads = usize::try_from(args.get_u64("threads", 1)?).unwrap_or(1);
+    cfg.shards = usize::try_from(args.get_u64("forwarder-shards", 1)?).unwrap_or(1);
+    println!("fault schedule (seed {seed}):");
+    for event in cfg.schedule.events() {
+        println!("  {event}");
+    }
+    let lidc = run_lidc_chaos(&cfg);
+    let baseline = run_baseline_chaos(&cfg);
+    println!("\n{}", comparison_table(&[&lidc, &baseline]).to_markdown());
+    println!("applied fault timeline (identical in both worlds):");
+    for line in lidc.fault_timeline.lines() {
+        println!("  {line}");
+    }
+    if lidc.fault_timeline != baseline.fault_timeline {
+        return Err("fault timelines diverged between the two worlds".into());
+    }
+    Ok(())
+}
+
 /// `lidc help`.
 pub fn help() {
     println!(
@@ -303,6 +331,8 @@ COMMANDS
   load-data   run the paper's data-loading tool and report what it published
   catalog     list the datasets a deployed cluster publishes [--limit N]
   topology    show overlay members, latencies and routed prefixes
+  chaos       LIDC vs centralized baseline under one deterministic fault
+              schedule [--jobs N] [--threads N] [--forwarder-shards N]
   experiment  list the table/figure reproduction harnesses
   help        this text
 

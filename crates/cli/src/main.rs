@@ -23,6 +23,7 @@ fn main() {
         Some("load-data") => commands::load_data(&parsed),
         Some("catalog") => commands::catalog(&parsed),
         Some("topology") => commands::topology(&parsed),
+        Some("chaos") => commands::chaos(&parsed),
         Some("experiment") => commands::experiment(&parsed),
         Some("help") | None => {
             commands::help();

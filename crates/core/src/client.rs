@@ -38,6 +38,12 @@ pub struct ClientConfig {
     /// Whole-request resubmissions after a lost job or submit NACK
     /// (the overlay then routes to a surviving cluster).
     pub resubmit_attempts: u32,
+    /// Base delay for the resubmission backoff: attempt *n* waits a
+    /// uniformly jittered `backoff_base × 2^(n-1)` (full jitter, so a
+    /// population of clients that failed together does not retry together).
+    pub backoff_base: SimDuration,
+    /// Upper bound on the (pre-jitter) backoff delay.
+    pub backoff_cap: SimDuration,
 }
 
 impl Default for ClientConfig {
@@ -49,6 +55,8 @@ impl Default for ClientConfig {
             retries: 3,
             max_status_failures: 3,
             resubmit_attempts: 2,
+            backoff_base: SimDuration::from_secs(1),
+            backoff_cap: SimDuration::from_secs(30),
         }
     }
 }
@@ -243,11 +251,28 @@ impl ScienceClient {
             run.ack_at = None;
             run.status_failures = 0;
             ctx.metrics().incr("client.resubmissions", 1);
-            ctx.schedule_self(SimDuration::from_secs(1), Resubmit { record });
+            let delay = self.backoff_delay(self.runs[record].resubmits, ctx);
+            ctx.schedule_self(delay, Resubmit { record });
         } else {
             run.error = Some(why.to_owned());
             ctx.metrics().incr("client.failed_runs", 1);
         }
+    }
+
+    /// Full-jitter exponential backoff: attempt `n` draws uniformly from
+    /// `(0, min(backoff_base × 2^(n-1), backoff_cap)]`. A fixed interval
+    /// would make every client that a fault knocked out retry in lock-step
+    /// (a synchronized retry storm); the jitter spreads the retry instants.
+    fn backoff_delay(&self, attempt: u32, ctx: &mut Ctx<'_>) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(30);
+        let ceiling = self
+            .config
+            .backoff_base
+            .mul_f64(f64::from(1u32 << exp))
+            .min(self.config.backoff_cap)
+            .max(SimDuration::from_nanos(1));
+        // Floor at 1% of the ceiling so the delay is never (near) zero.
+        ceiling.mul_f64(ctx.rng().next_f64().max(0.01))
     }
 
     fn on_data(&mut self, data: Data, ctx: &mut Ctx<'_>) {
@@ -255,6 +280,14 @@ impl ScienceClient {
         if let Some(record) = self.active_submits.remove(&name) {
             if data.content_type == ContentType::Nack {
                 let message = String::from_utf8_lossy(&data.content).into_owned();
+                if message.contains("cluster-unavailable") {
+                    // The gateway's cluster has no ready nodes right now;
+                    // that is transient, so back off and resubmit (the
+                    // anycast prefix may route elsewhere) instead of
+                    // treating it as a terminal rejection.
+                    self.maybe_resubmit(record, &message, ctx);
+                    return;
+                }
                 self.runs[record].error = Some(message);
                 ctx.metrics().incr("client.rejected_runs", 1);
                 return;
@@ -407,5 +440,65 @@ impl Actor for ScienceClient {
                 None => {}
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Draws backoff delays through a real actor context (each actor has
+    /// its own derived RNG stream, exactly as a deployed client would).
+    struct BackoffProbe {
+        config: ClientConfig,
+        delays: Vec<SimDuration>,
+    }
+    struct Go;
+    impl Actor for BackoffProbe {
+        fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+            if msg.downcast::<Go>().is_ok() {
+                let client = ScienceClient::new(self.config.clone());
+                for attempt in 1u32..=8 {
+                    self.delays.push(client.backoff_delay(attempt, ctx));
+                }
+            }
+        }
+    }
+
+    /// The resubmission backoff is full-jitter exponential: every delay
+    /// stays inside the `base × 2^(n-1)` (capped) envelope, consecutive
+    /// draws spread out instead of repeating, and two clients that failed
+    /// at the same instant do not retry at the same instants.
+    #[test]
+    fn backoff_is_jittered_exponential() {
+        let mut sim = Sim::new(5);
+        let config = ClientConfig::default();
+        let a = sim.spawn("a", BackoffProbe {
+            config: config.clone(),
+            delays: Vec::new(),
+        });
+        let b = sim.spawn("b", BackoffProbe {
+            config: config.clone(),
+            delays: Vec::new(),
+        });
+        sim.send(a, Go);
+        sim.send(b, Go);
+        sim.run();
+        let da = sim.actor::<BackoffProbe>(a).unwrap().delays.clone();
+        let db = sim.actor::<BackoffProbe>(b).unwrap().delays.clone();
+        for (i, d) in da.iter().enumerate() {
+            let ceiling = config
+                .backoff_base
+                .mul_f64(f64::from(1u32 << i))
+                .min(config.backoff_cap);
+            assert!(
+                *d > SimDuration::ZERO && *d <= ceiling,
+                "attempt {}: {d:?} outside (0, {ceiling:?}]",
+                i + 1
+            );
+        }
+        let distinct: std::collections::BTreeSet<_> = da.iter().collect();
+        assert!(distinct.len() >= 6, "jitter spreads the delays: {da:?}");
+        assert_ne!(da, db, "sibling clients draw from distinct streams");
     }
 }

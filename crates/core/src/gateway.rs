@@ -389,6 +389,14 @@ impl Gateway {
     }
 
     fn plan(&self, request: &ComputeRequest, nodes: &[Resources]) -> Result<PlannedJob, String> {
+        // A cluster with zero ready nodes (outage, mass node failure) must
+        // degrade gracefully: NACK with a retry hint so the client backs
+        // off and resubmits (reaching a healthy cluster via the anycast
+        // prefix) instead of parking the request in a PIT entry that can
+        // only time out.
+        if nodes.is_empty() {
+            return Err("cluster-unavailable retry-after=30s: no ready nodes".to_owned());
+        }
         // Admission: the job's pod must fit on at least one ready node even
         // when empty — otherwise it would sit Pending forever and the
         // client would poll indefinitely. NACK now instead (the overlay

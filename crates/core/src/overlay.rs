@@ -18,7 +18,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use lidc_ndn::face::{FaceId, FaceIdAlloc, LinkProps};
-use lidc_ndn::forwarder::{Forwarder, ForwarderConfig, SetFaceUp};
+use lidc_ndn::forwarder::{DegradeLink, Forwarder, ForwarderConfig, SetFaceUp};
 use lidc_simcore::engine::{ActorId, Sim};
 use lidc_simcore::time::SimDuration;
 
@@ -143,6 +143,7 @@ pub struct Overlay {
     /// by the experiment harness or by gateways feeding observations up).
     pub predictor: SharedPredictor,
     faces: HashMap<String, FaceId>,
+    cluster_faces: HashMap<String, FaceId>,
     config: OverlayConfig,
 }
 
@@ -168,6 +169,7 @@ impl Overlay {
             board,
             predictor,
             faces: HashMap::new(),
+            cluster_faces: HashMap::new(),
             config: config.clone(),
         };
         overlay.apply_placement(sim, config.placement);
@@ -213,7 +215,7 @@ impl Overlay {
         sim.actor_mut::<crate::gateway::Gateway>(cluster.gateway_app)
             .expect("gateway alive")
             .set_predictor(self.predictor.clone());
-        let (router_face, _cluster_face) = lidc_ndn::net::connect(
+        let (router_face, cluster_face) = lidc_ndn::net::connect(
             sim,
             self.router,
             cluster.gateway_fwd,
@@ -233,6 +235,7 @@ impl Overlay {
             self.config.load_report_interval,
         );
         self.faces.insert(spec.name.clone(), router_face);
+        self.cluster_faces.insert(spec.name.clone(), cluster_face);
         self.clusters.push(cluster);
         self.clusters.len() - 1
     }
@@ -240,6 +243,41 @@ impl Overlay {
     /// The router-side face leading to a cluster.
     pub fn face_of(&self, cluster: &str) -> Option<FaceId> {
         self.faces.get(cluster).copied()
+    }
+
+    /// The cluster-side face of a member's WAN link (on its gateway NFD).
+    pub fn cluster_face_of(&self, cluster: &str) -> Option<FaceId> {
+        self.cluster_faces.get(cluster).copied()
+    }
+
+    /// Degrade a member's WAN link in both directions: latency multiplied
+    /// by `latency_factor`, `extra_loss` added to the base loss, and a
+    /// per-packet corruption probability. Use [`Overlay::heal_link`] to
+    /// restore the healthy link.
+    pub fn degrade_link(
+        &self,
+        sim: &mut Sim,
+        name: &str,
+        latency_factor: f64,
+        extra_loss: f64,
+        corrupt: f64,
+    ) {
+        let Some(cluster) = self.cluster(name) else {
+            return;
+        };
+        let gateway_fwd = cluster.gateway_fwd;
+        if let Some(face) = self.face_of(name) {
+            sim.send(self.router, DegradeLink { face, latency_factor, extra_loss, corrupt });
+        }
+        if let Some(face) = self.cluster_face_of(name) {
+            sim.send(gateway_fwd, DegradeLink { face, latency_factor, extra_loss, corrupt });
+        }
+    }
+
+    /// Undo [`Overlay::degrade_link`] on both directions of a member's WAN
+    /// link.
+    pub fn heal_link(&self, sim: &mut Sim, name: &str) {
+        self.degrade_link(sim, name, 1.0, 0.0, 0.0);
     }
 
     /// Find a member by name.
@@ -274,6 +312,7 @@ impl Overlay {
         cluster.unregister_from(sim, self.router, face);
         sim.send(self.router, SetFaceUp { face, up: false });
         self.faces.remove(name);
+        self.cluster_faces.remove(name);
     }
 
     /// Names of currently-registered (joined, not removed) clusters.

@@ -8,7 +8,7 @@
 //!
 //! # Persistent incremental indexes
 //!
-//! Three indexes are maintained *across* reconcile passes instead of being
+//! Four indexes are maintained *across* reconcile passes instead of being
 //! rebuilt per call, cutting the remaining O(pods) per-pass cost on the
 //! 4096-node runs:
 //!
@@ -17,7 +17,10 @@
 //!   a job in creation order (what `reconcile_jobs` walks every pass);
 //! * **per-node usage** — [`ApiServer::node_usage`] reads a running total
 //!   that pod lifecycle transitions update incrementally (what the
-//!   scheduler's filter/score loop probes per candidate node).
+//!   scheduler's filter/score loop probes per candidate node);
+//! * **pending pods** — [`ApiServer::pending_pods`] lists the unbound
+//!   `Pending` pods in creation (uid) order, so the scheduler's pass is
+//!   O(pending), not O(pods).
 //!
 //! The indexes are kept exact by routing pod lifecycle mutations through
 //! the API server: [`ApiServer::create_pod`], [`ApiServer::bind_pod`],
@@ -26,7 +29,7 @@
 //! afterwards; [`ApiServer::debug_check_pod_indexes`] verifies the
 //! invariants in tests.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -96,6 +99,9 @@ pub struct ApiServer {
     /// Persistent index: node name → resources held by scheduled,
     /// unfinished pods (updated incrementally on bind/finish/delete).
     node_usage_idx: BTreeMap<String, Resources>,
+    /// Persistent index: unbound `Pending` pods in creation (uid) order —
+    /// exactly the set the scheduler binds each pass.
+    pending_pods: BTreeSet<(Uid, ObjectKey)>,
 }
 
 impl ApiServer {
@@ -159,6 +165,20 @@ impl ApiServer {
             .or_insert(Resources::ZERO);
         self.nodes.insert(node.meta.name.clone(), node);
         self.mark_dirty();
+    }
+
+    /// Cordon or uncordon a node: a cordoned node keeps its running pods
+    /// but the scheduler places nothing new on it. Returns false when the
+    /// node is unknown.
+    pub fn set_node_cordoned(&mut self, node: &str, cordoned: bool) -> bool {
+        match self.nodes.get_mut(node) {
+            Some(n) => {
+                n.cordoned = cordoned;
+                self.mark_dirty();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Resources currently reserved on `node` by scheduled, unfinished
@@ -239,6 +259,9 @@ impl ApiServer {
             );
             self.account_usage(&node, requests, true);
         }
+        if is_pending_unbound(&pod) {
+            self.pending_pods.insert((uid, key.clone()));
+        }
         self.pods.insert(key, pod);
         self.mark_dirty();
         Ok(uid)
@@ -263,6 +286,8 @@ impl ApiServer {
         if held {
             self.account_usage(node, requests, true);
         }
+        let uid = self.pods[key].meta.uid;
+        self.pending_pods.remove(&(uid, key.clone()));
         self.record_event(now, "PodScheduled", key.to_string(), node.to_owned());
         self.mark_dirty();
         true
@@ -281,12 +306,21 @@ impl ApiServer {
             return false;
         };
         let held_before = pod.holds_resources();
+        let pending_before = is_pending_unbound(pod);
         pod.status.phase = phase;
         let held_after = pod.holds_resources();
+        let pending_after = is_pending_unbound(pod);
         if held_before != held_after {
             let node = pod.status.node.clone().expect("held ⇒ bound");
             let requests = pod.spec.total_requests();
             self.account_usage(&node, requests, held_after);
+        }
+        if pending_before != pending_after {
+            if pending_after {
+                self.pending_pods.insert((uid, key));
+            } else {
+                self.pending_pods.remove(&(uid, key));
+            }
         }
         true
     }
@@ -307,7 +341,14 @@ impl ApiServer {
             let node = pod.status.node.clone().expect("held ⇒ bound");
             self.account_usage(&node, pod.spec.total_requests(), false);
         }
+        self.pending_pods.remove(&(pod.meta.uid, key.clone()));
         Some(pod)
+    }
+
+    /// The unbound `Pending` pods in creation (uid) order — the exact work
+    /// list of a scheduler pass (persistent-index read, O(pending)).
+    pub fn pending_pods(&self) -> impl Iterator<Item = &ObjectKey> {
+        self.pending_pods.iter().map(|(_, key)| key)
     }
 
     /// The pods owned by job `name` (label `job=<name>`), in creation
@@ -340,6 +381,7 @@ impl ApiServer {
     pub fn rebuild_pod_indexes(&mut self) {
         self.uid_to_pod.clear();
         self.pods_by_job.clear();
+        self.pending_pods.clear();
         for slot in self.node_usage_idx.values_mut() {
             *slot = Resources::ZERO;
         }
@@ -350,6 +392,9 @@ impl ApiServer {
                     .entry(job.clone())
                     .or_default()
                     .push(key.clone());
+            }
+            if is_pending_unbound(pod) {
+                self.pending_pods.insert((pod.meta.uid, key.clone()));
             }
         }
         // Creation order, as the incremental index maintains it.
@@ -415,6 +460,19 @@ impl ApiServer {
                     self.node_usage(node)
                 ));
             }
+        }
+        let swept_pending: BTreeSet<(Uid, ObjectKey)> = self
+            .pods
+            .iter()
+            .filter(|(_, p)| is_pending_unbound(p))
+            .map(|(key, p)| (p.meta.uid, key.clone()))
+            .collect();
+        if self.pending_pods != swept_pending {
+            return Err(format!(
+                "pending index has {} entries, sweep says {}",
+                self.pending_pods.len(),
+                swept_pending.len()
+            ));
         }
         Ok(())
     }
@@ -527,6 +585,12 @@ impl ApiServer {
         self.mark_dirty();
         Ok(())
     }
+}
+
+/// Whether a pod belongs in the pending (schedulable-work) index:
+/// `Pending` phase and not yet bound to a node.
+fn is_pending_unbound(pod: &Pod) -> bool {
+    pod.status.phase == crate::pod::PodPhase::Pending && pod.status.node.is_none()
 }
 
 /// API-server errors.

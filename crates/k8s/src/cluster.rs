@@ -36,13 +36,24 @@ pub struct SetHpaLoad {
     pub load: f64,
 }
 
-/// Toggle a node's readiness (cordon / failure injection).
+/// Toggle a node's readiness (crash / failure injection): an unready
+/// node's pods are evicted and respawned elsewhere.
 #[derive(Debug)]
 pub struct SetNodeReady {
     /// Node name.
     pub node: String,
     /// New readiness.
     pub ready: bool,
+}
+
+/// Cordon / uncordon a node (`kubectl cordon`): existing pods keep
+/// running, but the scheduler places nothing new on it.
+#[derive(Debug)]
+pub struct CordonNode {
+    /// Node name.
+    pub node: String,
+    /// New cordon state.
+    pub cordoned: bool,
 }
 
 #[derive(Debug)]
@@ -308,7 +319,7 @@ impl Actor for ClusterActor {
             }
             Err(m) => m,
         };
-        match msg.downcast::<SetNodeReady>() {
+        let msg = match msg.downcast::<SetNodeReady>() {
             Ok(s) => {
                 {
                     let api = &mut *self.api.write();
@@ -317,6 +328,14 @@ impl Actor for ClusterActor {
                         api.mark_dirty();
                     }
                 }
+                self.request_reconcile(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<CordonNode>() {
+            Ok(c) => {
+                self.api.write().set_node_cordoned(&c.node, c.cordoned);
                 self.request_reconcile(ctx);
             }
             Err(_) => {

@@ -56,7 +56,7 @@ pub mod storage;
 pub mod prelude {
     pub use crate::apiserver::{ApiServer, ClusterEvent, SharedApi};
     pub use crate::cluster::{
-        Cluster, ClusterActor, ClusterConfig, Nudge, SetHpaLoad, SetNodeReady,
+        Cluster, ClusterActor, ClusterConfig, CordonNode, Nudge, SetHpaLoad, SetNodeReady,
     };
     pub use crate::deployment::{Deployment, Hpa, ReplicaSet};
     pub use crate::dns::{parse_service_dns, resolve};

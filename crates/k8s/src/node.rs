@@ -12,6 +12,9 @@ pub struct Node {
     pub allocatable: Resources,
     /// Node readiness; unschedulable when false.
     pub ready: bool,
+    /// Administratively cordoned: the node keeps running its pods but the
+    /// scheduler places nothing new on it (`kubectl cordon`).
+    pub cordoned: bool,
     /// Synthetic node IP (NodePort services are reachable at this address).
     pub ip: String,
 }
@@ -23,6 +26,7 @@ impl Node {
             meta: ObjectMeta::named(name).in_namespace(""),
             allocatable,
             ready: true,
+            cordoned: false,
             ip: String::new(),
         }
     }
@@ -36,6 +40,7 @@ mod tests {
     fn node_defaults() {
         let n = Node::new("node-1", Resources::new(8, 32));
         assert!(n.ready);
+        assert!(!n.cordoned);
         assert_eq!(n.meta.name, "node-1");
         assert_eq!(n.allocatable, Resources::new(8, 32));
     }

@@ -39,22 +39,21 @@ impl Scheduler {
     ///
     /// Per-node usage comes from the API server's **persistent** usage
     /// index ([`ApiServer::node_usage`]), which [`ApiServer::bind_pod`]
-    /// updates as each pod binds — no per-pass O(pods) sweep remains
-    /// anywhere in this function.
+    /// updates as each pod binds, and the work list comes from its
+    /// **pending-pod** index ([`ApiServer::pending_pods`], already in
+    /// creation-uid order) — no per-pass O(pods) sweep remains anywhere in
+    /// this function.
     pub fn schedule(&self, api: &mut ApiServer, now: SimTime) -> Vec<ObjectKey> {
-        // Deterministic order: creation uid.
-        let mut pending: Vec<(ObjectKey, Resources, Option<String>)> = api
-            .pods
-            .iter()
-            .filter(|(_, p)| {
-                p.status.phase == crate::pod::PodPhase::Pending && p.status.node.is_none()
+        let pending: Vec<(ObjectKey, Resources, Option<String>)> = api
+            .pending_pods()
+            .map(|k| {
+                let p = &api.pods[k];
+                (k.clone(), p.spec.total_requests(), p.spec.node_name.clone())
             })
-            .map(|(k, p)| (k.clone(), p.spec.total_requests(), p.spec.node_name.clone()))
             .collect();
         if pending.is_empty() {
             return Vec::new();
         }
-        pending.sort_by_key(|(k, _, _)| api.pods[k].meta.uid);
 
         let mut bound = Vec::new();
         for (key, requests, node_constraint) in pending {
@@ -78,7 +77,7 @@ impl Scheduler {
         let candidates = api
             .nodes
             .values()
-            .filter(|n| n.ready)
+            .filter(|n| n.ready && !n.cordoned)
             .filter(|n| constraint.is_none_or(|c| c == n.meta.name))
             .filter(|n| {
                 let free = n.allocatable.saturating_sub(&api.node_usage(&n.meta.name));
@@ -225,6 +224,24 @@ mod tests {
         api.nodes.get_mut("a").unwrap().ready = false;
         api.create_pod(make_pod("p", 1, 1), T0).unwrap();
         assert!(Scheduler::default().schedule(&mut api, T0).is_empty());
+    }
+
+    #[test]
+    fn cordoned_nodes_excluded_until_uncordoned() {
+        let mut api = api_with_nodes(&[("a", 8, 8), ("b", 8, 8)]);
+        // "a" wins the deterministic tie-break, so cordoning it must move
+        // the pod to "b"; cordoning both must leave the pod pending.
+        api.set_node_cordoned("a", true);
+        api.create_pod(make_pod("p1", 1, 1), T0).unwrap();
+        let bound = Scheduler::default().schedule(&mut api, T0);
+        assert_eq!(api.pods[&bound[0]].status.node.as_deref(), Some("b"));
+        api.set_node_cordoned("b", true);
+        api.create_pod(make_pod("p2", 1, 1), T0).unwrap();
+        assert!(Scheduler::default().schedule(&mut api, T0).is_empty());
+        api.debug_check_pod_indexes().unwrap();
+        api.set_node_cordoned("a", false);
+        let bound = Scheduler::default().schedule(&mut api, T0);
+        assert_eq!(api.pods[&bound[0]].status.node.as_deref(), Some("a"));
     }
 
     #[test]

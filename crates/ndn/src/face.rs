@@ -79,6 +79,16 @@ pub struct LinkProps {
     pub bandwidth_bps: Option<u64>,
     /// Independent per-packet loss probability in `[0, 1]`.
     pub loss: f64,
+    /// Runtime degradation: multiplier on `latency` (1.0 = healthy). Fault
+    /// injection flips this mid-run; [`LinkProps::effective_latency`] applies
+    /// it.
+    pub latency_factor: f64,
+    /// Runtime degradation: loss probability *added* to `loss` (0.0 =
+    /// healthy). Applied by [`LinkProps::effective_loss`].
+    pub extra_loss: f64,
+    /// Runtime degradation: per-packet corruption probability. A corrupted
+    /// packet is dropped on send (it would fail its digest on receive).
+    pub corrupt: f64,
 }
 
 impl Default for LinkProps {
@@ -87,6 +97,9 @@ impl Default for LinkProps {
             latency: SimDuration::from_micros(100),
             bandwidth_bps: None,
             loss: 0.0,
+            latency_factor: 1.0,
+            extra_loss: 0.0,
+            corrupt: 0.0,
         }
     }
 }
@@ -109,6 +122,29 @@ impl LinkProps {
                 SimDuration::from_secs_f64(secs)
             }
         }
+    }
+
+    /// Propagation delay with the runtime degradation factor applied.
+    pub fn effective_latency(&self) -> SimDuration {
+        if self.latency_factor == 1.0 {
+            self.latency
+        } else {
+            self.latency.mul_f64(self.latency_factor.max(0.0))
+        }
+    }
+
+    /// Loss probability with the runtime degradation added, clamped to
+    /// `[0, 1]`.
+    pub fn effective_loss(&self) -> f64 {
+        (self.loss + self.extra_loss).clamp(0.0, 1.0)
+    }
+
+    /// Reset all runtime degradation (latency factor, extra loss,
+    /// corruption) to healthy values. Base `latency`/`loss` are untouched.
+    pub fn heal(&mut self) {
+        self.latency_factor = 1.0;
+        self.extra_loss = 0.0;
+        self.corrupt = 0.0;
     }
 }
 
@@ -208,7 +244,7 @@ mod tests {
         let props = LinkProps {
             latency: SimDuration::ZERO,
             bandwidth_bps: Some(8_000_000), // 1 MB/s
-            loss: 0.0,
+            ..Default::default()
         };
         assert_eq!(props.transmit_time(1_000_000), SimDuration::from_secs(1));
         assert_eq!(props.transmit_time(500_000), SimDuration::from_millis(500));

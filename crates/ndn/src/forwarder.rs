@@ -121,6 +121,22 @@ pub struct SetFaceUp {
     pub up: bool,
 }
 
+/// Runtime link degradation (fault injection): rewrites the mutable
+/// degradation fields of a link face's [`LinkProps`](crate::face::LinkProps)
+/// in place. `latency_factor: 1.0, extra_loss: 0.0, corrupt: 0.0` heals the
+/// link; the base latency/bandwidth/loss are never touched.
+#[derive(Debug)]
+pub struct DegradeLink {
+    /// The link face.
+    pub face: FaceId,
+    /// Multiplier applied to the link's propagation latency.
+    pub latency_factor: f64,
+    /// Loss probability added to the link's base loss.
+    pub extra_loss: f64,
+    /// Per-packet corruption probability (corrupted packets are dropped).
+    pub corrupt: f64,
+}
+
 /// Register a route (RIB entry flattened straight into the FIB).
 #[derive(Debug)]
 pub struct RegisterPrefix {
@@ -650,10 +666,20 @@ impl Forwarder {
                 peer_face,
                 props,
             } => {
-                if props.loss > 0.0 && ctx.rng().next_bool(props.loss) {
+                // `effective_loss` folds in fault-injected extra loss; with
+                // no degradation active it equals `loss`, so the RNG draw
+                // count (and thus every seeded run) is unchanged.
+                let loss = props.effective_loss();
+                if loss > 0.0 && ctx.rng().next_bool(loss) {
                     let face = self.faces.get_mut(&face_id).expect("face exists");
                     face.counters.dropped += 1;
                     ctx.metrics().incr("ndn.link_loss_drops", 1);
+                    return;
+                }
+                if props.corrupt > 0.0 && ctx.rng().next_bool(props.corrupt) {
+                    let face = self.faces.get_mut(&face_id).expect("face exists");
+                    face.counters.dropped += 1;
+                    ctx.metrics().incr("ndn.link_corrupt_drops", 1);
                     return;
                 }
                 // Serialisation delay only matters on rate-limited links.
@@ -664,7 +690,7 @@ impl Forwarder {
                 let face = self.faces.get_mut(&face_id).expect("face exists");
                 let start = face.busy_until.max(now);
                 face.busy_until = start + transmit;
-                let arrival = face.busy_until + props.latency;
+                let arrival = face.busy_until + props.effective_latency();
                 // Stage instead of scheduling: the end-of-handler flush
                 // merges same-(link, arrival) packets into one event.
                 self.tx_staged.push(StagedTx {
@@ -957,6 +983,113 @@ impl Forwarder {
         }
     }
 
+    /// A face went down: rescue or terminate every PIT entry referencing it.
+    ///
+    /// Entries whose Interest went upstream over the dead face are retried
+    /// over an alternate next hop (presented to the strategy as a
+    /// retransmission so rotating strategies escape the broken path);
+    /// entries whose only downstream was the dead face are dropped; entries
+    /// with no usable alternate are NACKed to their requesters instead of
+    /// silently timing out.
+    fn on_face_down(&mut self, dead: FaceId, ctx: &mut Ctx<'_>) {
+        // Collect affected keys first (canonically ordered so the rescue
+        // sequence — and thus RNG draws and packet order — is deterministic
+        // regardless of hash-map iteration order).
+        let mut affected: Vec<PitKey> = Vec::new();
+        for shard in self.pit.shards() {
+            for key in shard.keys() {
+                let touches = shard.get(key).is_some_and(|e| {
+                    e.in_records.iter().any(|r| r.face == dead)
+                        || e.out_records.iter().any(|r| r.face == dead)
+                });
+                if touches {
+                    affected.push(key.clone());
+                }
+            }
+        }
+        affected.sort_by(|a, b| {
+            a.name
+                .cmp(&b.name)
+                .then(a.can_be_prefix.cmp(&b.can_be_prefix))
+                .then(a.must_be_fresh.cmp(&b.must_be_fresh))
+        });
+        for key in affected {
+            let Some(entry) = self.pit.get_mut(&key) else {
+                continue;
+            };
+            let went_upstream = entry.out_records.iter().any(|r| r.face == dead);
+            entry.in_records.retain(|r| r.face != dead);
+            entry.out_records.retain(|r| r.face != dead);
+            if entry.in_records.is_empty() {
+                // Nobody is waiting downstream any more.
+                self.pit.take(&key);
+                continue;
+            }
+            if !went_upstream {
+                // Only a downstream requester died; the Interest is still
+                // in flight on live faces.
+                continue;
+            }
+            let interest = entry.interest.clone();
+            let in_faces: Vec<FaceId> = entry.in_records.iter().map(|r| r.face).collect();
+            let out_faces: Vec<FaceId> = entry.out_records.iter().map(|r| r.face).collect();
+            // Tell the strategy the face failed for this prefix.
+            let (prefix, eligible) = match self.fib.lookup(&interest.name) {
+                Some(fib_entry) => {
+                    let prefix = fib_entry.prefix.clone();
+                    let eligible: Vec<NextHop> = fib_entry
+                        .nexthops
+                        .iter()
+                        .filter(|nh| {
+                            nh.face != dead
+                                && !out_faces.contains(&nh.face)
+                                && !in_faces.contains(&nh.face)
+                                && self.faces.get(&nh.face).map(|f| f.up).unwrap_or(false)
+                        })
+                        .copied()
+                        .collect();
+                    (Some(prefix), eligible)
+                }
+                None => (None, Vec::new()),
+            };
+            let sidx = self.strategy_index_for(&interest.name);
+            if let Some(prefix) = &prefix {
+                self.strategies[sidx].1.on_failure(prefix, dead);
+            }
+            let selected = match &prefix {
+                Some(prefix) if !eligible.is_empty() => {
+                    let (_, strategy) = &mut self.strategies[sidx];
+                    let mut sctx = StrategyCtx {
+                        interest: &interest,
+                        nexthops: &eligible,
+                        prefix,
+                        in_face: in_faces[0],
+                        is_retransmission: true,
+                        now: ctx.now(),
+                        rng: ctx.rng(),
+                    };
+                    strategy.select(&mut sctx)
+                }
+                _ => Vec::new(),
+            };
+            if !selected.is_empty() {
+                for out_face in selected {
+                    self.pit.add_out_record(&key, out_face, interest.nonce, ctx.now());
+                    self.send_packet(out_face, Packet::Interest(interest.clone()), ctx);
+                }
+                ctx.metrics().incr("ndn.face_down_rerouted", 1);
+            } else if out_faces.is_empty() {
+                // No surviving upstream and no alternate: terminate the
+                // entry with a NACK to every waiting requester.
+                self.pit.take(&key);
+                for in_face in in_faces {
+                    self.nack_to(in_face, NackReason::NoRoute, interest.clone(), ctx);
+                }
+                ctx.metrics().incr("ndn.face_down_nacked", 1);
+            }
+        }
+    }
+
     fn on_pit_expire(&mut self, key: PitKey, version: u64, ctx: &mut Ctx<'_>) {
         if let Some(entry) = self.pit.expire_if_stale(&key, version, ctx.now()) {
             ctx.metrics().incr("ndn.pit_expired", 1);
@@ -1037,8 +1170,29 @@ impl Forwarder {
         };
         let msg = match msg.downcast::<SetFaceUp>() {
             Ok(s) => {
-                if let Some(face) = self.faces.get_mut(&s.face) {
-                    face.up = s.up;
+                let was_up = match self.faces.get_mut(&s.face) {
+                    Some(face) => {
+                        let was = face.up;
+                        face.up = s.up;
+                        was
+                    }
+                    None => return,
+                };
+                if was_up && !s.up {
+                    self.on_face_down(s.face, ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<DegradeLink>() {
+            Ok(d) => {
+                if let Some(face) = self.faces.get_mut(&d.face) {
+                    if let FaceKind::Link { props, .. } = &mut face.kind {
+                        props.latency_factor = d.latency_factor;
+                        props.extra_loss = d.extra_loss;
+                        props.corrupt = d.corrupt;
+                    }
                 }
                 return;
             }

@@ -55,8 +55,8 @@ pub mod prelude {
     pub use crate::app::{Consumer, ConsumerEvent, Producer, RetxTimer};
     pub use crate::face::{Face, FaceId, FaceIdAlloc, FaceKind, LinkProps};
     pub use crate::forwarder::{
-        AddFace, AppRx, Forwarder, ForwarderConfig, RegisterPrefix, RemoveFace, Rx, SetFaceUp,
-        SetStrategy, UnregisterPrefix,
+        AddFace, AppRx, DegradeLink, Forwarder, ForwarderConfig, RegisterPrefix, RemoveFace, Rx,
+        SetFaceUp, SetStrategy, UnregisterPrefix,
     };
     pub use crate::name::{Name, NameComponent};
     pub use crate::packet::{

@@ -343,8 +343,8 @@ fn lossy_link_recovered_by_retransmission() {
         &w.alloc,
         LinkProps {
             latency: MS(5),
-            bandwidth_bps: None,
             loss: 0.6,
+            ..Default::default()
         },
     );
     let producer = w.producer(core, "/data", "payload", SimDuration::ZERO);
@@ -446,7 +446,7 @@ fn three_hop_chain_with_bandwidth_delay() {
     let props = LinkProps {
         latency: MS(10),
         bandwidth_bps: Some(8_000_000), // 1 MB/s
-        loss: 0.0,
+        ..Default::default()
     };
     let (f1_to_f2, _) = connect(&mut w.sim, f1, f2, &w.alloc, props);
     let (f2_to_f3, _) = connect(&mut w.sim, f2, f3, &w.alloc, props);
@@ -530,8 +530,8 @@ fn deterministic_replay_same_seed() {
             &w.alloc,
             LinkProps {
                 latency: MS(5),
-                bandwidth_bps: None,
                 loss: 0.3,
+                ..Default::default()
             },
         );
         let _p = w.producer(core, "/d", "x", SimDuration::ZERO);

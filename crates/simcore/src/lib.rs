@@ -64,6 +64,7 @@
 
 pub mod bytesize;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod report;
 pub mod rng;
@@ -71,6 +72,10 @@ pub mod time;
 
 pub use bytesize::{format_bytes, parse_bytes, ByteSize};
 pub use engine::{Actor, ActorId, Concurrency, Ctx, Msg, Sim};
+pub use faults::{
+    ChaosProfile, FaultAction, FaultController, FaultEvent, FaultHook, FaultKind, FaultSchedule,
+    StartFaults,
+};
 pub use metrics::{Histogram, HistogramSummary, Metrics};
 pub use report::{Report, Table};
 pub use rng::{DetRng, SplitMix64};
@@ -80,6 +85,9 @@ pub use time::{SimDuration, SimTime};
 pub mod prelude {
     pub use crate::bytesize::{format_bytes, ByteSize};
     pub use crate::engine::{Actor, ActorId, Ctx, Msg, Sim};
+    pub use crate::faults::{
+        FaultAction, FaultController, FaultEvent, FaultKind, FaultSchedule, StartFaults,
+    };
     pub use crate::metrics::{Histogram, Metrics};
     pub use crate::report::{Report, Table};
     pub use crate::rng::DetRng;

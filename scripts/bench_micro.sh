@@ -10,8 +10,9 @@
 # already holds the trajectory format (a "current" map, as BENCH_micro.json
 # does), the raw run is *merged* into it: every measured bench id's
 # median_ns/min_ns refreshes "current" (new ids — e.g. the
-# align/{seq,par,extend,extend_scalar} aligner-kernel group, cs_evict/*
-# and cs_churn/* — are added), and speedups against any recorded
+# align/{seq,par,extend,extend_scalar} aligner-kernel group, cs_evict/*,
+# cs_churn/* and chaos/recovery_latency — are added), and speedups
+# against any recorded
 # "baseline" entry are recomputed. Otherwise the raw shim output is
 # written as-is. Pass a filter (e.g. "cs_" or "align/") to run and
 # refresh only a subset.

@@ -1,0 +1,311 @@
+//! Chaos scenarios: the location-independence claim under adversity.
+//!
+//! Every scenario drives faults through [`FaultController`] — the seeded,
+//! deterministic fault layer — never by ad-hoc test pokes, so the same
+//! schedule replays bit-identically across runs and thread counts:
+//!
+//! 1. a WAN link cut strands an in-flight Interest → the forwarder
+//!    retransmits it over the alternate face (no timeout, no client retry);
+//! 2. the producer cluster crashes → the router's Content Store keeps
+//!    serving the previously fetched result;
+//! 3. a worker node dies mid-job → Kubernetes evicts and reschedules, the
+//!    client still sees the job complete;
+//! 4. LIDC vs the centralized baseline under the *same* fault schedule →
+//!    LIDC completes at least as many jobs;
+//! 5. the whole chaos run is deterministic: same seed + schedule at 1 and
+//!    4 worker threads (and 4-way sharded forwarders) → identical
+//!    outcomes, metrics, and fault timelines.
+
+use lidc::baseline::chaos::{
+    comparison_table, run_baseline_chaos, run_lidc_chaos, ChaosConfig,
+};
+use lidc::ndn::net::attach_app;
+use lidc::prelude::*;
+use lidc::simcore::engine::{Actor, Ctx, Msg};
+
+/// A short generic job (~5 s through the shared cost model).
+fn chaos_req(tag: u64) -> ComputeRequest {
+    ComputeRequest::new("CHAOS", 2, 4).with_param("tag", tag.to_string())
+}
+
+/// Scenario 1: the nearest cluster's WAN face is cut 5 ms after a submit
+/// goes out — while the Interest is still in flight. The forwarder's
+/// face-down sweep must retransmit the stranded PIT entry over the
+/// alternate face; the job lands on the surviving cluster with no
+/// client-side resubmission at all.
+#[test]
+fn link_cut_retransmits_in_flight_interest_over_alternate_face() {
+    let mut sim = Sim::new(42);
+    let overlay = Overlay::build(&mut sim, OverlayConfig {
+        placement: PlacementPolicy::Nearest,
+        clusters: vec![
+            ClusterSpec::new("near", SimDuration::from_millis(10)),
+            ClusterSpec::new("far", SimDuration::from_millis(40)),
+        ],
+        load_datasets: false,
+        ..Default::default()
+    });
+    let alloc = overlay.alloc.clone();
+    let client =
+        ScienceClient::deploy(ClientConfig::default(), &mut sim, overlay.router, &alloc, "u");
+    let router = overlay.router;
+    let face = overlay.face_of("near").expect("near face");
+    let schedule = FaultSchedule::new().with(FaultEvent::permanent(
+        SimDuration::from_millis(5),
+        FaultKind::ClusterOutage {
+            cluster: "near".into(),
+        },
+    ));
+    FaultController::deploy(
+        &mut sim,
+        schedule,
+        Box::new(move |kind, action, ctx| {
+            if matches!(kind, FaultKind::ClusterOutage { .. }) {
+                ctx.send(router, SetFaceUp {
+                    face,
+                    up: action == FaultAction::Heal,
+                });
+            }
+        }),
+    );
+    sim.send(client, Submit(chaos_req(0)));
+    sim.run();
+
+    let runs = sim.actor::<ScienceClient>(client).expect("client").runs();
+    assert!(runs[0].is_success(), "job survived the cut: {:?}", runs[0].error);
+    assert_eq!(
+        runs[0].cluster.as_deref(),
+        Some("far"),
+        "the alternate cluster answered"
+    );
+    assert_eq!(runs[0].resubmits, 0, "rerouted in the network, not by the client");
+    assert!(
+        sim.metrics_ref().counter("ndn.face_down_rerouted") >= 1,
+        "the PIT sweep retransmitted over the alternate face"
+    );
+}
+
+/// Raw-Interest probe used by the Content-Store scenario.
+struct Probe {
+    consumer: Option<Consumer>,
+    target: Name,
+    got: Option<String>,
+}
+struct Go;
+impl Actor for Probe {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        let msg = match msg.downcast::<Go>() {
+            Ok(_) => {
+                let interest = Interest::new(self.target.clone())
+                    .with_lifetime(SimDuration::from_secs(4));
+                self.consumer.as_mut().expect("attached").express(ctx, interest, 0);
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(rx) = msg.downcast::<AppRx>() {
+            if let Some(ConsumerEvent::Data(d)) =
+                self.consumer.as_mut().expect("attached").on_app_rx(&rx)
+            {
+                if d.content_type != ContentType::Nack {
+                    self.got = Some(d.name.to_uri());
+                }
+            }
+        }
+    }
+}
+
+/// Scenario 2: after a client fetched a result through the access router,
+/// the producing cluster is cut off entirely. A second consumer asking for
+/// the same name must be answered from the router's Content Store — data
+/// outlives its producer, which is the point of naming data instead of
+/// hosts.
+#[test]
+fn content_store_serves_result_after_producer_crash() {
+    let mut sim = Sim::new(7);
+    let overlay = Overlay::build(&mut sim, OverlayConfig {
+        placement: PlacementPolicy::Nearest,
+        clusters: vec![ClusterSpec::new("edge", SimDuration::from_millis(10))],
+        load_datasets: false,
+        ..Default::default()
+    });
+    let alloc = overlay.alloc.clone();
+    let client =
+        ScienceClient::deploy(ClientConfig::default(), &mut sim, overlay.router, &alloc, "alice");
+    sim.send(client, Submit(chaos_req(0)));
+    sim.run();
+    let run = &sim.actor::<ScienceClient>(client).expect("client").runs()[0];
+    assert!(run.is_success() && run.fetched_at.is_some(), "warm-up fetch done");
+    let result = run.result_name.clone().expect("result name");
+
+    // The producer cluster dies: its WAN link goes down at both ends.
+    let router = overlay.router;
+    let rf = overlay.face_of("edge").expect("router face");
+    let gw = overlay.clusters[0].gateway_fwd;
+    let gf = overlay.cluster_face_of("edge").expect("cluster face");
+    let schedule = FaultSchedule::new().with(FaultEvent::permanent(
+        SimDuration::from_millis(1),
+        FaultKind::LinkDown { link: "edge".into() },
+    ));
+    FaultController::deploy(
+        &mut sim,
+        schedule,
+        Box::new(move |kind, action, ctx| {
+            if matches!(kind, FaultKind::LinkDown { .. }) {
+                let up = action == FaultAction::Heal;
+                ctx.send(router, SetFaceUp { face: rf, up });
+                ctx.send(gw, SetFaceUp { face: gf, up });
+            }
+        }),
+    );
+
+    let probe = sim.spawn("probe", Probe {
+        consumer: None,
+        target: result.clone(),
+        got: None,
+    });
+    let pface = attach_app(&mut sim, router, probe, &alloc);
+    sim.actor_mut::<Probe>(probe).expect("probe").consumer =
+        Some(Consumer::new(router, pface));
+    let hits_before = sim.metrics_ref().counter("ndn.cs_hits");
+    sim.send_after(SimDuration::from_millis(10), probe, Go);
+    sim.run();
+
+    assert_eq!(
+        sim.actor::<Probe>(probe).expect("probe").got.as_deref(),
+        Some(result.to_uri().as_str()),
+        "the Content Store answered for the dead producer"
+    );
+    assert!(sim.metrics_ref().counter("ndn.cs_hits") > hits_before);
+}
+
+/// Scenario 3: a worker node crashes mid-job. Kubernetes evicts the lost
+/// pod, reschedules on the survivor, and the client — who knows nothing of
+/// nodes — still sees the job complete.
+#[test]
+fn node_crash_mid_job_reschedules_and_completes() {
+    let mut sim = Sim::new(11);
+    let overlay = Overlay::build(&mut sim, OverlayConfig {
+        placement: PlacementPolicy::Nearest,
+        clusters: vec![
+            ClusterSpec::new("solo", SimDuration::from_millis(5)).with_nodes(2, 16, 64),
+        ],
+        load_datasets: false,
+        ..Default::default()
+    });
+    let alloc = overlay.alloc.clone();
+    let client =
+        ScienceClient::deploy(ClientConfig::default(), &mut sim, overlay.router, &alloc, "u");
+    // A ~100 s job so the crash lands mid-run.
+    let req = ComputeRequest::new("CHAOS", 2, 4).with_param("size", "20000000000");
+    sim.send(client, Submit(req));
+    sim.run_for(SimDuration::from_secs(10));
+
+    // Find where the pod landed, then schedule a crash of exactly that
+    // node (transient: it heals 30 s later, after the reschedule).
+    let node = {
+        let api = overlay.clusters[0].k8s.api.read();
+        let pod = api
+            .pods
+            .values()
+            .find(|p| p.status.phase == PodPhase::Running)
+            .expect("pod running by t+10s");
+        pod.status.node.clone().expect("bound")
+    };
+    let k8s_actor = overlay.clusters[0].k8s.actor;
+    let schedule = FaultSchedule::new().with(FaultEvent::transient(
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(30),
+        FaultKind::NodeCrash {
+            cluster: "solo".into(),
+            node: node.clone(),
+        },
+    ));
+    FaultController::deploy(
+        &mut sim,
+        schedule,
+        Box::new(move |kind, action, ctx| {
+            if let FaultKind::NodeCrash { node, .. } = kind {
+                ctx.send(k8s_actor, SetNodeReady {
+                    node: node.clone(),
+                    ready: action == FaultAction::Heal,
+                });
+            }
+        }),
+    );
+    sim.run();
+
+    let runs = sim.actor::<ScienceClient>(client).expect("client").runs();
+    assert!(runs[0].is_success(), "job completed despite the crash: {:?}", runs[0].error);
+    let api = overlay.clusters[0].k8s.api.read();
+    assert!(
+        api.events.iter().any(|e| e.kind == "PodEvicted"),
+        "the lost pod was evicted"
+    );
+    assert!(
+        api.pods
+            .values()
+            .any(|p| p.status.phase == PodPhase::Succeeded
+                && p.status.node.as_deref() != Some(node.as_str())),
+        "the replacement ran on the survivor"
+    );
+    assert_eq!(sim.metrics_ref().counter("fault.injected"), 1);
+    assert_eq!(sim.metrics_ref().counter("fault.healed"), 1);
+    assert_eq!(sim.metrics_ref().counter("fault.node_crash"), 2);
+}
+
+/// Scenario 4: the comparison the paper's argument rests on. Same seed,
+/// same job stream, same fault schedule (a permanent cluster outage plus
+/// two transient node crashes): the baseline's round-robin controller
+/// keeps parking placements on the dead member, LIDC routes around it.
+#[test]
+fn lidc_beats_baseline_under_identical_fault_schedule() {
+    let cfg = ChaosConfig::standard(9001);
+    let lidc = run_lidc_chaos(&cfg);
+    let baseline = run_baseline_chaos(&cfg);
+    println!("{}", comparison_table(&[&lidc, &baseline]).to_markdown());
+
+    assert_eq!(lidc.fault_timeline, baseline.fault_timeline, "same schedule applied");
+    assert_eq!(lidc.submitted, cfg.jobs);
+    assert_eq!(baseline.submitted, cfg.jobs);
+    assert_eq!(
+        lidc.completed, lidc.submitted,
+        "LIDC completed everything despite the outage"
+    );
+    assert!(
+        baseline.completed < baseline.submitted,
+        "the centralized controller parked work on the dead cluster"
+    );
+    assert!(lidc.completed >= baseline.completed);
+    assert!(lidc.completion_rate() > baseline.completion_rate());
+}
+
+/// Scenario 5: chaos is deterministic. The same seed + schedule must
+/// produce byte-identical outcomes (counts, p99, wasted work, fault
+/// timeline) at 1 and 4 worker threads, with 1- and 4-way-sharded
+/// forwarder tables, and across repeat runs.
+#[test]
+fn chaos_outcome_identical_across_threads_shards_and_reruns() {
+    let serial = ChaosConfig::standard(777);
+    let mut wide = serial.clone();
+    wide.threads = 4;
+    wide.shards = 4;
+
+    let lidc_serial = run_lidc_chaos(&serial);
+    let lidc_wide = run_lidc_chaos(&wide);
+    let lidc_again = run_lidc_chaos(&serial);
+    assert_eq!(
+        lidc_serial.fingerprint(),
+        lidc_wide.fingerprint(),
+        "LIDC chaos outcome depends on thread/shard count"
+    );
+    assert_eq!(lidc_serial.fingerprint(), lidc_again.fingerprint());
+
+    let base_serial = run_baseline_chaos(&serial);
+    let base_wide = run_baseline_chaos(&wide);
+    assert_eq!(
+        base_serial.fingerprint(),
+        base_wide.fingerprint(),
+        "baseline chaos outcome depends on thread/shard count"
+    );
+}

@@ -41,6 +41,7 @@ pub type SharedRepo = Arc<dyn Repo>;
 /// In-memory repository.
 #[derive(Debug, Default)]
 pub struct MemRepo {
+    // lidc-lint: allow(actor-isolation) reason="the repo models shared storage (the paper's NFS-backed lake), deliberately visible from every cluster; the BTreeMap keeps listings canonical"
     objects: RwLock<BTreeMap<Name, Content>>,
 }
 

@@ -182,6 +182,7 @@ impl CostModel {
     pub fn kernel_calibrated(cal: &KernelCalibration) -> CostModel {
         let mut m = CostModel::paper_calibrated();
         let scale = cal.secs_per_byte() / KernelCalibration::reference_host().secs_per_byte();
+        // lidc-lint: allow(unordered-iter) reason="independent per-entry scaling; no cross-entry state, so visit order is unobservable"
         for app in m.apps.values_mut() {
             app.secs_per_byte *= scale;
         }

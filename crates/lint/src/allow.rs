@@ -1,0 +1,180 @@
+//! The scoped escape hatch: `// lidc-lint: allow(<rule>) reason="..."`.
+//!
+//! An allow directive suppresses findings of the named rule(s) on the line
+//! it covers: its **own** line when it trails code, otherwise the **next**
+//! line that carries any token. The reason string is mandatory — an allow
+//! is a claim that a human judged the site, and the claim must say why.
+//! Directives are themselves linted: one that matches no finding is an
+//! [`crate::rules::UNUSED_ALLOW`] finding (stale allows rot into blanket
+//! exemptions otherwise), and one that doesn't parse is
+//! [`crate::rules::ALLOW_SYNTAX`].
+
+use crate::lexer::{Comment, Lexed};
+
+/// A parsed allow directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule ids this directive suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// The source line whose findings this directive covers.
+    pub covers: u32,
+    /// Set when the directive suppressed at least one finding.
+    pub used: bool,
+}
+
+/// A directive that failed to parse, with the line and the gripe.
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    pub line: u32,
+    pub message: String,
+}
+
+/// The marker every directive starts with (after comment trimming).
+pub const MARKER: &str = "lidc-lint:";
+
+/// Extract all allow directives (and malformed attempts) from the lexed
+/// file. `covers` resolution needs the token stream: a directive covers
+/// its own line if any token shares it, else the first token line after it.
+pub fn collect(lexed: &Lexed) -> (Vec<Allow>, Vec<BadAllow>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix(MARKER) else {
+            continue;
+        };
+        match parse_directive(rest.trim()) {
+            Ok((rules, reason)) => {
+                let covers = resolve_covers(lexed, c);
+                allows.push(Allow {
+                    rules,
+                    reason,
+                    line: c.line,
+                    covers,
+                    used: false,
+                });
+            }
+            Err(message) => bad.push(BadAllow {
+                line: c.line,
+                message,
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parse `allow(rule[, rule]*) reason="..."` after the marker.
+fn parse_directive(s: &str) -> Result<(Vec<String>, String), String> {
+    let Some(rest) = s.strip_prefix("allow") else {
+        return Err(format!("expected `allow(...)` after `{MARKER}`"));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `(` in allow directive".into());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("allow() names no rule".into());
+    }
+    for r in &rules {
+        if !crate::rules::is_known(r) {
+            return Err(format!("unknown rule `{r}` in allow directive"));
+        }
+    }
+    let rest = rest[close + 1..].trim_start();
+    let Some(rest) = rest.strip_prefix("reason=") else {
+        return Err("allow directive is missing `reason=\"...\"`".into());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('"') else {
+        return Err("reason must be a quoted string".into());
+    };
+    let Some(close) = rest.find('"') else {
+        return Err("unclosed reason string".into());
+    };
+    let reason = rest[..close].trim().to_string();
+    if reason.is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    Ok((rules, reason))
+}
+
+/// A trailing directive covers its own line; a directive on its own line
+/// covers the next line that carries a token.
+fn resolve_covers(lexed: &Lexed, c: &Comment) -> u32 {
+    if lexed.toks.iter().any(|t| t.line == c.line) {
+        return c.line;
+    }
+    lexed
+        .toks
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > c.line)
+        .min()
+        .unwrap_or(c.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_directive_covers_its_own_line() {
+        let src = "let t = now(); // lidc-lint: allow(wall-clock) reason=\"calibration\"";
+        let (allows, bad) = collect(&lex(src));
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].covers, 1);
+        assert_eq!(allows[0].rules, vec!["wall-clock"]);
+        assert_eq!(allows[0].reason, "calibration");
+    }
+
+    #[test]
+    fn own_line_directive_covers_next_token_line() {
+        let src = "\n// lidc-lint: allow(unordered-iter) reason=\"commutative\"\n\nlet x = 1;";
+        let (allows, _) = collect(&lex(src));
+        assert_eq!(allows[0].line, 2);
+        assert_eq!(allows[0].covers, 4);
+    }
+
+    #[test]
+    fn multi_rule_directive() {
+        let src = "// lidc-lint: allow(unordered-iter, float-accum) reason=\"sorted downstream\"\nf();";
+        let (allows, _) = collect(&lex(src));
+        assert_eq!(allows[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn malformed_directives_are_reported() {
+        for src in [
+            "// lidc-lint: allow() reason=\"x\"",
+            "// lidc-lint: allow(wall-clock)",
+            "// lidc-lint: allow(wall-clock) reason=\"\"",
+            "// lidc-lint: allow(not-a-rule) reason=\"x\"",
+            "// lidc-lint: permit(wall-clock) reason=\"x\"",
+        ] {
+            let (allows, bad) = collect(&lex(src));
+            assert!(allows.is_empty(), "{src}");
+            assert_eq!(bad.len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (allows, bad) = collect(&lex("// just a note about lidc-lint rules\nf();"));
+        assert!(allows.is_empty());
+        assert!(bad.is_empty());
+    }
+}

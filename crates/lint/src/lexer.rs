@@ -1,0 +1,385 @@
+//! A hand-rolled Rust lexer, just deep enough for rule matching.
+//!
+//! The linter never needs types or an AST — every rule is a pattern over
+//! identifiers, punctuation, and attribute/brace structure — so the lexer
+//! only has to get the *boundaries* right: comments (line, nested block),
+//! string/char/byte literals (plain and raw), lifetimes vs. char literals,
+//! numbers, identifiers. Everything inside a literal or comment is opaque
+//! to the rules, which is what makes it safe for the linter to scan its
+//! own sources (rule names appear there only as string constants).
+
+/// Token classes. Punctuation stays one character per token; rules that
+/// need `::` or `#[` match adjacent tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `in`, `let`, `static`, `mut`, ...).
+    Ident,
+    /// One punctuation character.
+    Punct,
+    /// String / raw string / byte string / char / number literal.
+    Literal,
+    /// `'lifetime` (or a loop label).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A comment with its 1-based line (the line the comment *starts* on).
+/// `text` excludes the `//` / `/*` markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The lexed file: the token stream plus every comment (the allow-directive
+/// parser consumes the comments; the rules consume the tokens).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. Unterminated constructs are tolerated (the tail is
+/// swallowed into the open token) — the linter runs on code that already
+/// compiles, so this path only matters for malformed fixtures.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.iter().filter(|&&c| c == '\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: b[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start_line = line;
+            let start = i + 2;
+            let mut depth = 1;
+            let mut j = start;
+            while j < b.len() && depth > 0 {
+                if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                text: b[start..end].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings / raw byte strings: r"..", r#".."#, br#".."#.
+        if c == 'r' || c == 'b' || c == 'c' {
+            if let Some((tok_len, consumed)) = raw_string_len(&b[i..]) {
+                let text: String = b[i..i + tok_len].iter().collect();
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                });
+                bump_lines!(b[i..i + consumed]);
+                i += consumed;
+                continue;
+            }
+        }
+        // Plain strings and byte strings.
+        if c == '"' || ((c == 'b' || c == 'c') && i + 1 < b.len() && b[i + 1] == '"') {
+            let start = i;
+            let mut j = if c == '"' { i + 1 } else { i + 2 };
+            while j < b.len() {
+                match b[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let text: String = b[start..j.min(b.len())].iter().collect();
+            bump_lines!(b[start..j.min(b.len())]);
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs. lifetime. After `'`: a lifetime is `'ident` NOT
+        // followed by a closing quote; anything else is a char literal.
+        if c == '\'' {
+            let mut j = i + 1;
+            let is_lifetime = j < b.len()
+                && (b[j].is_alphabetic() || b[j] == '_')
+                && !(j + 1 < b.len() && b[j + 1] == '\'');
+            if is_lifetime {
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal: consume escapes until the closing quote.
+            while j < b.len() {
+                match b[j] {
+                    '\\' => j += 2,
+                    '\'' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: b[i..j.min(b.len())].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers (0x.., 1_000, 1.5e-9, suffixes). `1..2` keeps the range
+        // dots; `.5`-style floats don't occur in rustc-accepted code.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i + 1;
+            if c == '0' && j < b.len() && (b[j] == 'x' || b[j] == 'o' || b[j] == 'b') {
+                j += 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part — only when not a `..` range.
+                if j + 1 < b.len() && b[j] == '.' && b[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                        j += 1;
+                    }
+                }
+                // Exponent.
+                if j < b.len() && (b[j] == 'e' || b[j] == 'E') {
+                    let mut k = j + 1;
+                    if k < b.len() && (b[k] == '+' || b[k] == '-') {
+                        k += 1;
+                    }
+                    if k < b.len() && b[k].is_ascii_digit() {
+                        j = k;
+                        while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Type suffix (u64, f32, usize...).
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: b[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifiers / keywords (incl. raw identifiers `r#type`).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Raw identifier `r#ident` is caught above via raw_string_len
+        // returning None and `r` lexing as an ident; the `#` and name lex
+        // as separate tokens, which is fine for our patterns.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// If `rest` starts a raw (byte) string (`r"`, `r#`, `br`, `cr` forms),
+/// return `(token_len, consumed)` — both equal — else `None`.
+fn raw_string_len(rest: &[char]) -> Option<(usize, usize)> {
+    let mut j = 0usize;
+    if rest[j] == 'b' || rest[j] == 'c' {
+        j += 1;
+    }
+    if j >= rest.len() || rest[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < rest.len() && rest[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= rest.len() || rest[j] != '"' {
+        return None;
+    }
+    j += 1;
+    // Find closing `"####` with the same number of hashes.
+    while j < rest.len() {
+        if rest[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < rest.len() && rest[j + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                let end = j + 1 + hashes;
+                return Some((end, end));
+            }
+        }
+        j += 1;
+    }
+    Some((rest.len(), rest.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // Instant::now in a comment
+            /* HashMap in a /* nested */ block */
+            let s = "thread_rng inside a string";
+            let r = r#"SystemTime raw"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_literals() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let lx = lex(src);
+        let b_tok = lx.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3, "multi-line string advanced the line count");
+    }
+
+    #[test]
+    fn comments_carry_text_and_line() {
+        let lx = lex("let x = 1; // lidc-lint: allow(wall-clock) reason=\"t\"\nlet y = 2;");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.comments[0].text.contains("lidc-lint"));
+        assert_eq!(lx.comments[0].line, 1);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let lx = lex("for i in 0..10 {}");
+        let dots = lx.toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+}

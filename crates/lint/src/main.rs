@@ -1,0 +1,134 @@
+//! CLI for `lidc_lint`.
+//!
+//! ```text
+//! lidc_lint --workspace            # scan the enclosing cargo workspace
+//! lidc_lint path/to/file.rs ...    # scan specific files
+//! lidc_lint --json --workspace     # machine-readable findings
+//! lidc_lint --rules                # list the rule catalogue
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
+//! or I/O errors — so the CI step is just `cargo run -p lidc_lint
+//! --release -- --workspace`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--workspace" => workspace = true,
+            "--rules" => list_rules = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("lidc_lint: unknown flag `{flag}` (see --help)");
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    if list_rules {
+        for r in lidc_lint::rules::ALL {
+            println!("{r:15} {}", lidc_lint::rules::describe(r));
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !workspace && paths.is_empty() {
+        eprintln!("lidc_lint: nothing to scan — pass --workspace or file paths (see --help)");
+        return ExitCode::from(2);
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lidc_lint: cannot read current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match lidc_lint::find_workspace_root(&cwd) {
+        Some(r) => r,
+        None if workspace => {
+            eprintln!("lidc_lint: no enclosing cargo workspace found from {}", cwd.display());
+            return ExitCode::from(2);
+        }
+        None => cwd.clone(),
+    };
+
+    let mut findings = Vec::new();
+    if workspace {
+        match lidc_lint::scan_workspace(&root) {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("lidc_lint: workspace scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for p in &paths {
+        match lidc_lint::scan_file(&root, p) {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("lidc_lint: cannot scan {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    if json {
+        println!("{}", lidc_lint::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            eprintln!("lidc_lint: clean");
+        } else {
+            eprintln!(
+                "lidc_lint: {} finding{} — see docs/DETERMINISM.md for the contract and the allow escape hatch",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!(
+        "lidc_lint — workspace determinism & actor-isolation lint
+
+USAGE:
+    lidc_lint [--json] (--workspace | FILE...)
+    lidc_lint --rules
+
+FLAGS:
+    --workspace   scan every policed .rs file in the enclosing workspace
+    --json        emit findings as a JSON array
+    --rules       list the rule catalogue
+    -h, --help    this text
+
+Findings print as `file:line: rule[<id>]: message`. A deliberate
+violation carries a scoped escape hatch on (or directly above) the line:
+
+    // lidc-lint: allow(<rule>) reason=\"why order/time cannot matter here\"
+
+Unused allows are themselves findings. The contract is documented in
+docs/DETERMINISM.md."
+    );
+}

@@ -1,0 +1,34 @@
+//! The acceptance gate: the whole workspace scans clean. Any new
+//! violation — or any allow that went stale — fails this test (and the
+//! dedicated CI step that runs the binary).
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let findings = lidc_lint::scan_workspace(&root).expect("scan");
+    let rendered: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; findings:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn workspace_scan_is_deterministic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf();
+    let a = lidc_lint::scan_workspace(&root).expect("scan");
+    let b = lidc_lint::scan_workspace(&root).expect("scan");
+    assert_eq!(a, b, "a linter about determinism had better be deterministic");
+}

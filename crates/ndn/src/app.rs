@@ -102,14 +102,24 @@ impl Consumer {
     pub fn on_app_rx(&mut self, rx: &AppRx) -> Option<ConsumerEvent> {
         match &rx.packet {
             Packet::Data(data) => {
-                let key = self
-                    .pending
-                    .iter()
-                    .find(|(name, e)| {
-                        *name == &data.name
-                            || (e.interest.can_be_prefix && name.is_prefix_of(&data.name))
-                    })
-                    .map(|(name, _)| name.clone())?;
+                // Exact match first (O(1)); otherwise the *smallest*
+                // matching prefix entry. `find` over the hash map would
+                // pick whichever matching entry iteration order surfaced
+                // first — an order-dependent choice when several pending
+                // CanBePrefix Interests cover the same Data — so the
+                // tie-break must be a total order on the names.
+                let key = if self.pending.contains_key(&data.name) {
+                    data.name.clone()
+                } else {
+                    self.pending
+                        .iter()
+                        .filter(|(name, e)| {
+                            e.interest.can_be_prefix && name.is_prefix_of(&data.name)
+                        })
+                        .map(|(name, _)| name)
+                        .min()?
+                        .clone()
+                };
                 self.pending.remove(&key);
                 Some(ConsumerEvent::Data(data.clone()))
             }

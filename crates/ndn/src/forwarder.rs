@@ -306,8 +306,11 @@ struct StagedGroup {
 /// return the Data, plus the strategy feedback the merge phase replays.
 #[derive(Debug)]
 struct Satisfaction {
-    /// Downstream faces to return the Data to.
-    faces: Vec<FaceId>,
+    /// Downstream faces to return the Data to. (Named `downstreams`, not
+    /// `faces`, so the field can't be confused with the forwarder's
+    /// `faces` *map* — this Vec is already in deterministic PIT-record
+    /// order.)
+    downstreams: Vec<FaceId>,
     /// `(entry name, FIB prefix, upstream face, rtt)` when the Data arrived
     /// on a face the entry had an out-record for.
     feedback: Option<(Name, Name, FaceId, SimDuration)>,
@@ -442,7 +445,7 @@ fn shard_data(
             }
         }
         satisfied.push(Satisfaction {
-            faces: entry.return_faces(in_face),
+            downstreams: entry.return_faces(in_face),
             feedback,
         });
     }
@@ -1457,7 +1460,7 @@ impl Forwarder {
                         let sidx = self.strategy_index_for(&name);
                         self.strategies[sidx].1.on_data(&prefix, face, rtt);
                     }
-                    for face in sat.faces {
+                    for face in sat.downstreams {
                         self.send_packet(face, Packet::Data(data.clone()), ctx);
                     }
                     ctx.metrics().incr("ndn.pit_satisfied", 1);

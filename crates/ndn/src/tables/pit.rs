@@ -384,10 +384,12 @@ impl Pit {
                 Some(_) => {}
             }
         }
-        for entry in self.entries.values() {
-            if !entry.interest.can_be_prefix && entry.prefix_idx != NO_PREFIX_IDX {
-                return Err("exact entry carries a prefix index".to_owned());
-            }
+        if self
+            .entries
+            .values()
+            .any(|e| !e.interest.can_be_prefix && e.prefix_idx != NO_PREFIX_IDX)
+        {
+            return Err("exact entry carries a prefix index".to_owned());
         }
         Ok(())
     }
@@ -399,6 +401,7 @@ impl Pit {
 
     /// Iterate entry keys in unspecified order (diagnostics/tests).
     pub fn keys(&self) -> impl Iterator<Item = &PitKey> {
+        // lidc-lint: allow(unordered-iter) reason="order-unspecified accessor by contract; behaviour-affecting consumers must sort (the face-down sweep collects and sorts canonically)"
         self.entries.keys()
     }
 }

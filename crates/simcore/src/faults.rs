@@ -320,7 +320,7 @@ impl FaultSchedule {
                     dur,
                     FaultKind::NodeCrash {
                         cluster: cluster.clone(),
-                        node: format!("{cluster}-n{node}"),
+                        node: format!("{cluster}-node-{node}"),
                     },
                 ));
             }
@@ -350,7 +350,8 @@ pub struct ChaosProfile {
     pub clusters: Vec<String>,
     /// Link labels eligible for degradation.
     pub links: Vec<String>,
-    /// Nodes per cluster (node names are `<cluster>-n<i>`).
+    /// Nodes per cluster (node names are `<cluster>-node-<i>`, matching the
+    /// names the chaos worlds give their Kubernetes nodes).
     pub nodes_per_cluster: usize,
     /// Number of cluster outages to draw.
     pub outages: usize,

@@ -1,0 +1,105 @@
+//! Property test for the metrics-merge contract: folding the same set of
+//! per-worker `Metrics` buffers in *any* order yields identical readouts —
+//! counter tables, histogram summaries, and percentiles. This is the
+//! algebraic fact the engine's parallel dispatch leans on when it merges
+//! worker buffers in whatever order the join produces.
+//!
+//! Samples are integer-valued (exactly representable), so sums are exact
+//! and "identical" means bit-identical, not approximately equal.
+
+use lidc_simcore::metrics::Metrics;
+use lidc_simcore::rng::DetRng;
+use proptest::prelude::*;
+
+/// One write against a metrics buffer.
+#[derive(Debug, Clone)]
+enum Op {
+    Incr(usize, u64),
+    SetMax(usize, u64),
+    Record(usize, u32),
+}
+
+// Disjoint name pools per write kind: a key is either a running counter,
+// a high-water mark, or a histogram — mixing `incr` and `set_max` on one
+// name has no defined merge semantics and never occurs in the system.
+const CTR_NAMES: &[&str] = &["ndn.rx", "job.completed"];
+const MAX_NAMES: &[&str] = &["disp.batch_max", "cs.bytes_peak"];
+const HIST_NAMES: &[&str] = &["job.latency", "ndn.rtt"];
+
+prop_compose! {
+    fn op_strategy()(kind in 0u8..3, n in 0usize..2, v in 0u64..1_000_000) -> Op {
+        match kind {
+            0 => Op::Incr(n, v % 1_000),
+            1 => Op::SetMax(n, v),
+            _ => Op::Record(n, v as u32),
+        }
+    }
+}
+
+fn apply(ops: &[Op]) -> Metrics {
+    let mut m = Metrics::new();
+    for op in ops {
+        match *op {
+            Op::Incr(n, v) => m.incr(CTR_NAMES[n], v),
+            Op::SetMax(n, v) => m.set_max(MAX_NAMES[n], v),
+            Op::Record(n, v) => m.record(HIST_NAMES[n], f64::from(v)),
+        }
+    }
+    m
+}
+
+/// Everything observable about a merged registry, rendered to strings so
+/// the comparison covers the exact readout paths reports use.
+fn readout(m: &mut Metrics) -> Vec<String> {
+    let mut out = vec![m.counters_table("counters", "").to_markdown()];
+    let names: Vec<String> = m.histogram_names().map(str::to_owned).collect();
+    for name in names {
+        let h = m.histogram_mut(&name).expect("present");
+        out.push(format!("{name}: {}", h.summary()));
+        out.push(format!("{name}.p25={}", h.percentile(25.0)));
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_readouts_are_permutation_invariant(
+        buffers in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..30), 1..8),
+        perm_seed in any::<u64>(),
+    ) {
+        // Merge in the given order…
+        let mut in_order = Metrics::new();
+        for ops in &buffers {
+            in_order.merge(apply(ops));
+        }
+
+        // …and in a seeded Fisher–Yates shuffle of the same buffers.
+        let mut idx: Vec<usize> = (0..buffers.len()).collect();
+        let mut rng = DetRng::new(perm_seed);
+        for i in (1..idx.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            idx.swap(i, j);
+        }
+        let mut shuffled = Metrics::new();
+        for &i in &idx {
+            shuffled.merge(apply(&buffers[i]));
+        }
+
+        prop_assert_eq!(readout(&mut in_order), readout(&mut shuffled));
+    }
+
+    #[test]
+    fn merge_equals_direct_recording(
+        buffers in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..30), 1..8),
+    ) {
+        // Merging per-worker buffers must equal having recorded every op
+        // into one registry, with set_max folded as a running maximum.
+        let mut merged = Metrics::new();
+        for ops in &buffers {
+            merged.merge(apply(ops));
+        }
+        let all: Vec<Op> = buffers.concat();
+        let mut direct = apply(&all);
+        prop_assert_eq!(readout(&mut merged), readout(&mut direct));
+    }
+}

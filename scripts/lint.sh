@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run lidc-lint — the workspace determinism & actor-isolation pass — over
+# the whole tree.
+#
+#   ./scripts/lint.sh [--json] [paths...]
+#
+# With no paths, scans the workspace (what CI runs). Exit codes: 0 clean,
+# 1 findings, 2 usage/IO error. The rule catalogue and the allow-directive
+# grammar are documented in docs/DETERMINISM.md; `cargo run -p lidc_lint
+# -- --rules` prints the one-line summaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 0 ]; then
+    exec cargo run -p lidc_lint --release -q -- --workspace
+fi
+exec cargo run -p lidc_lint --release -q -- "$@"

@@ -280,26 +280,19 @@ impl DeadNonceList {
     }
 }
 
-/// One staged link transmission (wire batching; see the module docs).
-#[derive(Debug)]
-struct StagedTx {
+/// Per-out-link staging bucket (wave-aware link fan-out; see the module
+/// docs): every packet staged for one link during the current handler, in
+/// staging order. Face `busy_until` is monotone, so per-bucket arrivals are
+/// nondecreasing and same-arrival flush groups are *contiguous runs* — the
+/// flush needs no hash pass, and a hub's fan-out over N links is N
+/// independent bucket walks instead of one interleaved scan.
+struct TxBucket {
     /// The peer forwarder.
     peer: lidc_simcore::engine::ActorId,
     /// The peer's face for this link.
     peer_face: FaceId,
-    /// Absolute arrival instant (propagation + serialisation, FIFO-queued).
-    arrival: lidc_simcore::time::SimTime,
-    /// The packet.
-    packet: Packet,
-}
-
-/// A flush group: every staged packet bound for one link arriving at one
-/// instant.
-struct StagedGroup {
-    peer: lidc_simcore::engine::ActorId,
-    peer_face: FaceId,
-    arrival: lidc_simcore::time::SimTime,
-    packets: Vec<Packet>,
+    /// `(absolute arrival instant, packet)`, arrivals nondecreasing.
+    txs: Vec<(lidc_simcore::time::SimTime, Packet)>,
 }
 
 /// One PIT entry satisfied by a Data packet in the shard phase: where to
@@ -507,8 +500,12 @@ pub struct Forwarder {
     /// Reused buffer for PIT data-match results: Data arrivals fill this in
     /// place instead of allocating a fresh Vec per packet.
     pit_match_scratch: Vec<PitKey>,
-    /// Link transmissions staged during the current handler invocation.
-    tx_staged: Vec<StagedTx>,
+    /// Link transmissions staged during the current handler invocation,
+    /// bucketed by out-link in first-staged face order.
+    tx_buckets: Vec<TxBucket>,
+    /// Recycled bucket buffers (flushing empties a bucket but keeps its
+    /// allocation for the next handler).
+    tx_spare: Vec<Vec<(lidc_simcore::time::SimTime, Packet)>>,
     /// Per-shard scratch for the two-phase ingress (empty when shards = 1).
     shard_scratch: Vec<ShardScratch>,
     /// Reused arrival-order packet buffer for the current burst run.
@@ -553,7 +550,8 @@ impl Forwarder {
             dnl: dnl_caps.into_iter().map(DeadNonceList::new).collect(),
             strategies: vec![(Name::root(), Box::new(BestRoute::new()))],
             pit_match_scratch: Vec::new(),
-            tx_staged: Vec::new(),
+            tx_buckets: Vec::new(),
+            tx_spare: Vec::new(),
             shard_scratch: (0..shards).map(|_| ShardScratch::default()).collect(),
             run_buf: Vec::new(),
             config,
@@ -696,77 +694,83 @@ impl Forwarder {
                 let arrival = face.busy_until + props.effective_latency();
                 // Stage instead of scheduling: the end-of-handler flush
                 // merges same-(link, arrival) packets into one event.
-                self.tx_staged.push(StagedTx {
-                    peer,
-                    peer_face,
-                    arrival,
-                    packet,
-                });
+                self.stage_tx(peer, peer_face, arrival, packet);
             }
         }
     }
 
+    /// Stage one link transmission into its out-link bucket (created on
+    /// first use this handler, in staging order). The bucket count is the
+    /// handler's distinct out-link count — single digits even on a hub — so
+    /// a linear probe beats hashing per packet.
+    fn stage_tx(
+        &mut self,
+        peer: lidc_simcore::engine::ActorId,
+        peer_face: FaceId,
+        arrival: lidc_simcore::time::SimTime,
+        packet: Packet,
+    ) {
+        if let Some(bucket) = self.tx_buckets.iter_mut().find(|b| b.peer_face == peer_face) {
+            debug_assert!(
+                bucket.txs.last().is_none_or(|(a, _)| *a <= arrival),
+                "per-face arrivals must be nondecreasing"
+            );
+            bucket.txs.push((arrival, packet));
+        } else {
+            let mut txs = self.tx_spare.pop().unwrap_or_default();
+            txs.push((arrival, packet));
+            self.tx_buckets.push(TxBucket {
+                peer,
+                peer_face,
+                txs,
+            });
+        }
+    }
+
     /// Emit every staged link transmission, one scheduler event per
-    /// `(link, arrival instant)` group, in first-staged order. Called once
-    /// at the end of each handler invocation (per message when the engine
-    /// delivers singly, per burst under batched dispatch). Grouping is a
-    /// single O(n) hash pass — on bandwidth-limited links every packet has
-    /// a distinct arrival and degenerates to singleton groups, which must
-    /// not cost quadratic scans.
+    /// `(link, arrival instant)` group, bucket by bucket in first-staged
+    /// face order. Called once at the end of each handler invocation (per
+    /// message when the engine delivers singly, per burst under batched
+    /// dispatch). Per-bucket arrivals are nondecreasing, so same-arrival
+    /// groups are contiguous runs — no hash pass, and each out-link's
+    /// fan-out walks independently (the wave-aware split: under the horizon
+    /// scheduler each link's `RxBatch` feeds a different group's queue).
     fn flush_tx(&mut self, ctx: &mut Ctx<'_>) {
-        if self.tx_staged.is_empty() {
+        if self.tx_buckets.is_empty() {
             return;
         }
         let now = ctx.now();
-        let mut staged = std::mem::take(&mut self.tx_staged);
-        if staged.len() == 1 {
-            let s = staged.pop().expect("one entry");
-            ctx.send_after(s.arrival.since(now), s.peer, Rx {
-                face: s.peer_face,
-                packet: s.packet,
-            });
-            self.tx_staged = staged;
-            return;
-        }
-        let mut index: FxHashMap<(FaceId, lidc_simcore::time::SimTime), usize> =
-            FxHashMap::default();
-        let mut groups: Vec<StagedGroup> = Vec::new();
-        for s in staged.drain(..) {
-            match index.entry((s.peer_face, s.arrival)) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    groups[*e.get()].packets.push(s.packet);
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(groups.len());
-                    groups.push(StagedGroup {
-                        peer: s.peer,
-                        peer_face: s.peer_face,
-                        arrival: s.arrival,
-                        packets: vec![s.packet],
+        let mut buckets = std::mem::take(&mut self.tx_buckets);
+        for bucket in &mut buckets {
+            let mut txs = bucket.txs.drain(..).peekable();
+            while let Some((arrival, packet)) = txs.next() {
+                let delay = arrival.since(now);
+                if txs.peek().is_some_and(|(a, _)| *a == arrival) {
+                    let mut packets = vec![packet];
+                    while let Some((a, _)) = txs.peek() {
+                        if *a != arrival {
+                            break;
+                        }
+                        packets.push(txs.next().expect("peeked").1);
+                    }
+                    ctx.metrics().incr("ndn.batch.link_flushes", 1);
+                    ctx.metrics()
+                        .incr("ndn.batch.link_packets", packets.len() as u64);
+                    ctx.send_after(delay, bucket.peer, RxBatch {
+                        face: bucket.peer_face,
+                        packets,
+                    });
+                } else {
+                    ctx.send_after(delay, bucket.peer, Rx {
+                        face: bucket.peer_face,
+                        packet,
                     });
                 }
             }
         }
-        for mut group in groups {
-            let delay = group.arrival.since(now);
-            if group.packets.len() == 1 {
-                ctx.send_after(delay, group.peer, Rx {
-                    face: group.peer_face,
-                    packet: group.packets.pop().expect("one packet"),
-                });
-            } else {
-                ctx.metrics().incr("ndn.batch.link_flushes", 1);
-                ctx.metrics()
-                    .incr("ndn.batch.link_packets", group.packets.len() as u64);
-                ctx.send_after(delay, group.peer, RxBatch {
-                    face: group.peer_face,
-                    packets: group.packets,
-                });
-            }
-        }
-        // Reclaim the staging buffer unless a nested path repopulated it.
-        if self.tx_staged.is_empty() {
-            self.tx_staged = staged;
+        // Recycle the emptied bucket buffers for the next handler.
+        for bucket in buckets {
+            self.tx_spare.push(bucket.txs);
         }
     }
 

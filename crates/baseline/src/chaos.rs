@@ -309,6 +309,17 @@ fn degrade(
     });
 }
 
+/// The runtime half of the metric-key contract: the static lint proves
+/// literal keys are registered, this proves the *run* stayed inside the
+/// schema (dynamic keys included). Panics naming the drifted keys.
+pub fn assert_metrics_registered(sim: &Sim) {
+    let m = sim.metrics_ref();
+    let bad = lidc_simcore::metrics_keys::unregistered(
+        m.counter_names().chain(m.histogram_names()),
+    );
+    assert!(bad.is_empty(), "metric keys recorded but not registered in metrics_keys.rs: {bad:?}");
+}
+
 /// Run the LIDC world under `cfg`'s schedule.
 pub fn run_lidc_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     let mut sim = Sim::new(cfg.seed);
@@ -369,6 +380,7 @@ pub fn run_lidc_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         .actor::<FaultController>(controller)
         .expect("controller")
         .timeline_text();
+    assert_metrics_registered(&sim);
     ChaosOutcome {
         label: "lidc".into(),
         submitted: runs.len() as u32,
@@ -453,6 +465,7 @@ pub fn run_baseline_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         .actor::<FaultController>(fault_controller)
         .expect("controller")
         .timeline_text();
+    assert_metrics_registered(&sim);
     ChaosOutcome {
         label: "baseline".into(),
         submitted: runs.len() as u32,

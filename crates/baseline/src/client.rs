@@ -98,8 +98,12 @@ pub struct CentralClient {
     consumer: Option<Consumer>,
     config: ClientConfig,
     runs: Vec<BaselineRun>,
-    active_submits: HashMap<Name, usize>,
-    active_polls: HashMap<Name, usize>,
+    /// Pending name → record indexes. Duplicate submissions of the same
+    /// request share one Interest name (the PIT aggregates them), so one
+    /// reply or timeout must settle every waiting record — a single-record
+    /// map silently stranded the overwritten run (see the LIDC client).
+    active_submits: HashMap<Name, Vec<usize>>,
+    active_polls: HashMap<Name, Vec<usize>>,
 }
 
 impl CentralClient {
@@ -140,37 +144,48 @@ impl CentralClient {
         self.runs.iter().filter(|r| r.is_success()).count()
     }
 
+    /// The run with id `record` — the single chokepoint for record-index
+    /// resolution.
+    fn run_mut(&mut self, record: usize) -> &mut BaselineRun {
+        // lidc-lint: allow(panic-path) reason="record ids are minted at runs.push and flow only through this client's own maps and self-scheduled messages; runs never shrinks, so every id stays in range"
+        &mut self.runs[record]
+    }
+
+    /// The attached consumer — installed by `deploy` before the actor can
+    /// receive a single message.
+    fn consumer_mut(&mut self) -> &mut Consumer {
+        // lidc-lint: allow(panic-path) reason="deploy() installs the consumer before the actor id escapes, so no message can arrive while it is None"
+        self.consumer.as_mut().expect("deployed")
+    }
+
     fn express_submit(&mut self, record: usize, ctx: &mut Ctx<'_>) {
-        let name = submit_name(&self.runs[record].request);
+        let name = submit_name(&self.run_mut(record).request);
         let interest = Interest::new(name.clone())
             .must_be_fresh(true)
             .with_lifetime(SimDuration::from_secs(4));
-        self.active_submits.insert(name, record);
-        self.consumer
-            .as_mut()
-            .expect("deployed")
-            .express(ctx, interest, self.config.retries);
+        self.active_submits.entry(name).or_default().push(record);
+        let retries = self.config.retries;
+        self.consumer_mut().express(ctx, interest, retries);
     }
 
     fn express_poll(&mut self, record: usize, ctx: &mut Ctx<'_>) {
-        let Some(job_id) = self.runs[record].job_id.clone() else {
+        let Some(job_id) = self.run_mut(record).job_id.clone() else {
             return;
         };
         let name = status_name(&job_id);
         let interest = Interest::new(name.clone())
             .must_be_fresh(true)
             .with_lifetime(SimDuration::from_secs(4));
-        self.active_polls.insert(name, record);
-        self.runs[record].polls += 1;
-        self.consumer
-            .as_mut()
-            .expect("deployed")
-            .express(ctx, interest, self.config.retries);
+        self.active_polls.entry(name).or_default().push(record);
+        self.run_mut(record).polls += 1;
+        let retries = self.config.retries;
+        self.consumer_mut().express(ctx, interest, retries);
     }
 
     fn maybe_resubmit(&mut self, record: usize, why: &str, ctx: &mut Ctx<'_>) {
-        let run = &mut self.runs[record];
-        if run.resubmits < self.config.resubmit_attempts {
+        let attempts = self.config.resubmit_attempts;
+        let run = self.run_mut(record);
+        if run.resubmits < attempts {
             run.resubmits += 1;
             run.job_id = None;
             run.cluster = None;
@@ -184,63 +199,80 @@ impl CentralClient {
 
     fn on_data(&mut self, data: Data, ctx: &mut Ctx<'_>) {
         let name = data.name.clone();
-        if let Some(record) = self.active_submits.remove(&name) {
-            if data.content_type == ContentType::Nack {
-                self.runs[record].error =
-                    Some(String::from_utf8_lossy(&data.content).into_owned());
-                return;
+        // Drain every record waiting on the name (submission order).
+        if let Some(records) = self.active_submits.remove(&name) {
+            for record in records {
+                self.on_submit_reply(record, &data, ctx);
             }
-            let Some(ack) = SubmitAck::from_text(&String::from_utf8_lossy(&data.content)) else {
-                self.runs[record].error = Some("unparseable ack".to_owned());
-                return;
-            };
-            let run = &mut self.runs[record];
-            run.ack_at = Some(ctx.now());
-            run.job_id = Some(ack.job_id);
-            run.cluster = Some(ack.cluster);
-            let interval = self.config.poll_interval;
-            ctx.schedule_self(interval, PollTick { record });
             return;
         }
-        if let Some(record) = self.active_polls.remove(&name) {
-            if data.content_type == ContentType::Nack {
-                self.maybe_resubmit(record, "status-nack", ctx);
-                return;
+        if let Some(records) = self.active_polls.remove(&name) {
+            for record in records {
+                self.on_poll_reply(record, &data, ctx);
             }
-            let Some(state) = JobState::from_text(&String::from_utf8_lossy(&data.content)) else {
-                self.runs[record].error = Some("unparseable status".to_owned());
-                return;
-            };
-            self.runs[record].status_failures = 0;
-            match state {
-                JobState::Pending | JobState::Running { .. } => {
-                    let interval = self.config.poll_interval;
-                    ctx.schedule_self(interval, PollTick { record });
-                }
-                JobState::Completed { .. } => {
-                    self.runs[record].completed_at = Some(ctx.now());
-                }
-                JobState::Failed { error } => {
-                    self.runs[record].error = Some(format!("job-failed: {error}"));
-                }
+        }
+    }
+
+    fn on_submit_reply(&mut self, record: usize, data: &Data, ctx: &mut Ctx<'_>) {
+        if data.content_type == ContentType::Nack {
+            self.run_mut(record).error =
+                Some(String::from_utf8_lossy(&data.content).into_owned());
+            return;
+        }
+        let Some(ack) = SubmitAck::from_text(&String::from_utf8_lossy(&data.content)) else {
+            self.run_mut(record).error = Some("unparseable ack".to_owned());
+            return;
+        };
+        let run = self.run_mut(record);
+        run.ack_at = Some(ctx.now());
+        run.job_id = Some(ack.job_id);
+        run.cluster = Some(ack.cluster);
+        let interval = self.config.poll_interval;
+        ctx.schedule_self(interval, PollTick { record });
+    }
+
+    fn on_poll_reply(&mut self, record: usize, data: &Data, ctx: &mut Ctx<'_>) {
+        if data.content_type == ContentType::Nack {
+            self.maybe_resubmit(record, "status-nack", ctx);
+            return;
+        }
+        let Some(state) = JobState::from_text(&String::from_utf8_lossy(&data.content)) else {
+            self.run_mut(record).error = Some("unparseable status".to_owned());
+            return;
+        };
+        self.run_mut(record).status_failures = 0;
+        match state {
+            JobState::Pending | JobState::Running { .. } => {
+                let interval = self.config.poll_interval;
+                ctx.schedule_self(interval, PollTick { record });
+            }
+            JobState::Completed { .. } => {
+                self.run_mut(record).completed_at = Some(ctx.now());
+            }
+            JobState::Failed { error } => {
+                self.run_mut(record).error = Some(format!("job-failed: {error}"));
             }
         }
     }
 
     fn on_failure(&mut self, interest: Interest, what: &str, ctx: &mut Ctx<'_>) {
         let name = interest.name.clone();
-        if let Some(record) = self.active_submits.remove(&name) {
-            self.maybe_resubmit(record, &format!("submit-{what}"), ctx);
+        if let Some(records) = self.active_submits.remove(&name) {
+            for record in records {
+                self.maybe_resubmit(record, &format!("submit-{what}"), ctx);
+            }
             return;
         }
-        if let Some(record) = self.active_polls.remove(&name) {
-            let run = &mut self.runs[record];
-            run.status_failures += 1;
-            if run.status_failures >= self.config.max_status_failures {
-                self.maybe_resubmit(record, &format!("status-{what}"), ctx);
-            } else {
-                let interval = self.config.poll_interval;
-                ctx.schedule_self(interval, PollTick { record });
+        if let Some(records) = self.active_polls.remove(&name) {
+            for record in records {
+                let run = self.run_mut(record);
+                run.status_failures += 1;
+                if run.status_failures >= self.config.max_status_failures {
+                    self.maybe_resubmit(record, &format!("status-{what}"), ctx);
+                } else {
+                    let interval = self.config.poll_interval;
+                    ctx.schedule_self(interval, PollTick { record });
+                }
             }
         }
     }
@@ -273,7 +305,7 @@ impl Actor for CentralClient {
         };
         let msg = match msg.downcast::<AppRx>() {
             Ok(rx) => {
-                match self.consumer.as_mut().expect("deployed").on_app_rx(&rx) {
+                match self.consumer_mut().on_app_rx(&rx) {
                     Some(ConsumerEvent::Data(data)) => self.on_data(data, ctx),
                     Some(ConsumerEvent::Nack(_, i)) => self.on_failure(i, "nack", ctx),
                     Some(ConsumerEvent::Timeout(i)) => self.on_failure(i, "timeout", ctx),
@@ -284,7 +316,7 @@ impl Actor for CentralClient {
             Err(m) => m,
         };
         if let Ok(t) = msg.downcast::<RetxTimer>() {
-            match self.consumer.as_mut().expect("deployed").on_timer(ctx, &t) {
+            match self.consumer_mut().on_timer(ctx, &t) {
                 Some(ConsumerEvent::Data(data)) => self.on_data(data, ctx),
                 Some(ConsumerEvent::Nack(_, i)) => self.on_failure(i, "nack", ctx),
                 Some(ConsumerEvent::Timeout(i)) => self.on_failure(i, "timeout", ctx),

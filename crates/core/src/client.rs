@@ -155,12 +155,19 @@ pub struct ScienceClient {
     consumer: Option<Consumer>,
     config: ClientConfig,
     runs: Vec<JobRun>,
-    /// Pending compute-Interest name → record index.
-    active_submits: HashMap<Name, usize>,
-    /// Pending status-Interest name → record index.
-    active_polls: HashMap<Name, usize>,
-    /// Pending result-fetch name → record index.
-    active_fetches: HashMap<Name, usize>,
+    /// Pending compute-Interest name → record indexes. One name can carry
+    /// several records: duplicate submissions of the same request share an
+    /// Interest (the PIT aggregates them and the gateway's result cache
+    /// dedups them), so every waiter must resolve when the one reply — or
+    /// timeout — lands. A single-record map here silently stranded the
+    /// overwritten run.
+    active_submits: HashMap<Name, Vec<usize>>,
+    /// Pending status-Interest name → record indexes (duplicate
+    /// submissions are acked with the same job id, so their polls share a
+    /// status name too).
+    active_polls: HashMap<Name, Vec<usize>>,
+    /// Pending result-fetch name → record indexes.
+    active_fetches: HashMap<Name, Vec<usize>>,
 }
 
 impl ScienceClient {
@@ -202,17 +209,35 @@ impl ScienceClient {
         self.runs.iter().filter(|r| r.is_success()).count()
     }
 
+    /// The run with id `record` — the single chokepoint for record-index
+    /// resolution.
+    fn run(&self, record: usize) -> &JobRun {
+        // lidc-lint: allow(panic-path) reason="record ids are minted at runs.push and flow only through this client's own maps and self-scheduled messages; runs never shrinks, so every id stays in range"
+        &self.runs[record]
+    }
+
+    /// Mutable twin of [`ScienceClient::run`].
+    fn run_mut(&mut self, record: usize) -> &mut JobRun {
+        // lidc-lint: allow(panic-path) reason="record ids are minted at runs.push and flow only through this client's own maps and self-scheduled messages; runs never shrinks, so every id stays in range"
+        &mut self.runs[record]
+    }
+
+    /// The attached consumer — installed by `deploy` before the actor can
+    /// receive a single message.
+    fn consumer_mut(&mut self) -> &mut Consumer {
+        // lidc-lint: allow(panic-path) reason="deploy() installs the consumer before the actor id escapes, so no message can arrive while it is None"
+        self.consumer.as_mut().expect("deployed")
+    }
+
     fn express_submit(&mut self, record: usize, ctx: &mut Ctx<'_>) {
-        let request = self.runs[record].request.clone();
+        let request = self.run(record).request.clone();
         let name = request.to_name();
         let interest = Interest::new(name.clone())
             .must_be_fresh(self.config.submit_must_be_fresh)
             .with_lifetime(SimDuration::from_secs(4));
-        self.active_submits.insert(name, record);
-        self.consumer
-            .as_mut()
-            .expect("deployed")
-            .express(ctx, interest, self.config.retries);
+        self.active_submits.entry(name).or_default().push(record);
+        let retries = self.config.retries;
+        self.consumer_mut().express(ctx, interest, retries);
     }
 
     fn on_submit(&mut self, request: ComputeRequest, ctx: &mut Ctx<'_>) {
@@ -227,31 +252,30 @@ impl ScienceClient {
     }
 
     fn express_poll(&mut self, record: usize, ctx: &mut Ctx<'_>) {
-        let Some(job_id) = self.runs[record].job_id.clone() else {
+        let Some(job_id) = self.run(record).job_id.clone() else {
             return;
         };
         let name = JobId(job_id).status_name();
         let interest = Interest::new(name.clone())
             .must_be_fresh(true)
             .with_lifetime(SimDuration::from_secs(4));
-        self.active_polls.insert(name, record);
-        self.runs[record].polls += 1;
-        self.consumer
-            .as_mut()
-            .expect("deployed")
-            .express(ctx, interest, self.config.retries);
+        self.active_polls.entry(name).or_default().push(record);
+        self.run_mut(record).polls += 1;
+        let retries = self.config.retries;
+        self.consumer_mut().express(ctx, interest, retries);
     }
 
     fn maybe_resubmit(&mut self, record: usize, why: &str, ctx: &mut Ctx<'_>) {
-        let run = &mut self.runs[record];
-        if run.resubmits < self.config.resubmit_attempts {
+        let attempts = self.config.resubmit_attempts;
+        let run = self.run_mut(record);
+        if run.resubmits < attempts {
             run.resubmits += 1;
             run.job_id = None;
             run.cluster = None;
             run.ack_at = None;
             run.status_failures = 0;
             ctx.metrics().incr("client.resubmissions", 1);
-            let delay = self.backoff_delay(self.runs[record].resubmits, ctx);
+            let delay = self.backoff_delay(self.run(record).resubmits, ctx);
             ctx.schedule_self(delay, Resubmit { record });
         } else {
             run.error = Some(why.to_owned());
@@ -277,116 +301,137 @@ impl ScienceClient {
 
     fn on_data(&mut self, data: Data, ctx: &mut Ctx<'_>) {
         let name = data.name.clone();
-        if let Some(record) = self.active_submits.remove(&name) {
-            if data.content_type == ContentType::Nack {
-                let message = String::from_utf8_lossy(&data.content).into_owned();
-                if message.contains("cluster-unavailable") {
-                    // The gateway's cluster has no ready nodes right now;
-                    // that is transient, so back off and resubmit (the
-                    // anycast prefix may route elsewhere) instead of
-                    // treating it as a terminal rejection.
-                    self.maybe_resubmit(record, &message, ctx);
-                    return;
-                }
-                self.runs[record].error = Some(message);
-                ctx.metrics().incr("client.rejected_runs", 1);
-                return;
-            }
-            let Some(ack) = SubmitAck::from_text(&String::from_utf8_lossy(&data.content)) else {
-                self.runs[record].error = Some("unparseable ack".to_owned());
-                return;
-            };
-            let run = &mut self.runs[record];
-            run.ack_at = Some(ctx.now());
-            run.job_id = Some(ack.job_id.clone());
-            run.cluster = Some(ack.cluster.clone());
-            if ack.state == "Completed" {
-                run.served_from_cache = true;
-                // Ask for the result pointer right away.
-                self.schedule_poll(record, SimDuration::ZERO, ctx);
-            } else {
-                self.schedule_poll(record, self.config.poll_interval, ctx);
+        // Drain *every* record waiting on the name: duplicate submissions
+        // share one Interest, so one reply settles all of them (records
+        // are in submission order; the drain preserves it).
+        if let Some(records) = self.active_submits.remove(&name) {
+            for record in records {
+                self.on_submit_reply(record, &data, ctx);
             }
             return;
         }
-        if let Some(record) = self.active_polls.remove(&name) {
-            if data.content_type == ContentType::Nack {
-                // Unknown job (e.g. the request was rerouted after a crash).
-                self.maybe_resubmit(record, "status-nack", ctx);
-                return;
-            }
-            let Some(state) = JobState::from_text(&String::from_utf8_lossy(&data.content)) else {
-                self.runs[record].error = Some("unparseable status".to_owned());
-                return;
-            };
-            self.runs[record].status_failures = 0;
-            match state {
-                JobState::Pending => {
-                    self.schedule_poll(record, self.config.poll_interval, ctx);
-                }
-                JobState::Running { eta_secs } => {
-                    let run = &mut self.runs[record];
-                    if run.first_running_at.is_none() {
-                        run.first_running_at = Some(ctx.now());
-                    }
-                    run.last_eta_secs = eta_secs;
-                    self.schedule_poll(record, self.config.poll_interval, ctx);
-                }
-                JobState::Completed { result, size } => {
-                    let fetch = self.config.fetch_results;
-                    let run = &mut self.runs[record];
-                    run.completed_at = Some(ctx.now());
-                    run.result_name = Some(result.clone());
-                    run.result_size = size;
-                    ctx.metrics().incr("client.completed_runs", 1);
-                    if fetch {
-                        let interest = Interest::new(result.clone())
-                            .with_lifetime(SimDuration::from_secs(4));
-                        self.active_fetches.insert(result, record);
-                        self.consumer
-                            .as_mut()
-                            .expect("deployed")
-                            .express(ctx, interest, self.config.retries);
-                    }
-                }
-                JobState::Failed { error } => {
-                    self.runs[record].error = Some(format!("job-failed: {error}"));
-                    ctx.metrics().incr("client.failed_runs", 1);
-                }
+        if let Some(records) = self.active_polls.remove(&name) {
+            for record in records {
+                self.on_poll_reply(record, &data, ctx);
             }
             return;
         }
         // Result fetches may return the object itself or a manifest; either
         // way the name matches what we asked for (or extends it via
         // CanBePrefix — not used here).
-        if let Some(record) = self.active_fetches.remove(&name) {
-            if data.content_type == ContentType::Nack {
-                self.runs[record].error = Some("result-fetch-nack".to_owned());
-            } else {
-                self.runs[record].fetched_at = Some(ctx.now());
-                ctx.metrics().incr("client.results_fetched", 1);
+        if let Some(records) = self.active_fetches.remove(&name) {
+            for record in records {
+                if data.content_type == ContentType::Nack {
+                    self.run_mut(record).error = Some("result-fetch-nack".to_owned());
+                } else {
+                    self.run_mut(record).fetched_at = Some(ctx.now());
+                    ctx.metrics().incr("client.results_fetched", 1);
+                }
+            }
+        }
+    }
+
+    fn on_submit_reply(&mut self, record: usize, data: &Data, ctx: &mut Ctx<'_>) {
+        if data.content_type == ContentType::Nack {
+            let message = String::from_utf8_lossy(&data.content).into_owned();
+            if message.contains("cluster-unavailable") {
+                // The gateway's cluster has no ready nodes right now;
+                // that is transient, so back off and resubmit (the
+                // anycast prefix may route elsewhere) instead of
+                // treating it as a terminal rejection.
+                self.maybe_resubmit(record, &message, ctx);
+                return;
+            }
+            self.run_mut(record).error = Some(message);
+            ctx.metrics().incr("client.rejected_runs", 1);
+            return;
+        }
+        let Some(ack) = SubmitAck::from_text(&String::from_utf8_lossy(&data.content)) else {
+            self.run_mut(record).error = Some("unparseable ack".to_owned());
+            return;
+        };
+        let run = self.run_mut(record);
+        run.ack_at = Some(ctx.now());
+        run.job_id = Some(ack.job_id.clone());
+        run.cluster = Some(ack.cluster.clone());
+        if ack.state == "Completed" {
+            run.served_from_cache = true;
+            // Ask for the result pointer right away.
+            self.schedule_poll(record, SimDuration::ZERO, ctx);
+        } else {
+            self.schedule_poll(record, self.config.poll_interval, ctx);
+        }
+    }
+
+    fn on_poll_reply(&mut self, record: usize, data: &Data, ctx: &mut Ctx<'_>) {
+        if data.content_type == ContentType::Nack {
+            // Unknown job (e.g. the request was rerouted after a crash).
+            self.maybe_resubmit(record, "status-nack", ctx);
+            return;
+        }
+        let Some(state) = JobState::from_text(&String::from_utf8_lossy(&data.content)) else {
+            self.run_mut(record).error = Some("unparseable status".to_owned());
+            return;
+        };
+        self.run_mut(record).status_failures = 0;
+        match state {
+            JobState::Pending => {
+                self.schedule_poll(record, self.config.poll_interval, ctx);
+            }
+            JobState::Running { eta_secs } => {
+                let run = self.run_mut(record);
+                if run.first_running_at.is_none() {
+                    run.first_running_at = Some(ctx.now());
+                }
+                run.last_eta_secs = eta_secs;
+                self.schedule_poll(record, self.config.poll_interval, ctx);
+            }
+            JobState::Completed { result, size } => {
+                let fetch = self.config.fetch_results;
+                let run = self.run_mut(record);
+                run.completed_at = Some(ctx.now());
+                run.result_name = Some(result.clone());
+                run.result_size = size;
+                ctx.metrics().incr("client.completed_runs", 1);
+                if fetch {
+                    let interest = Interest::new(result.clone())
+                        .with_lifetime(SimDuration::from_secs(4));
+                    self.active_fetches.entry(result).or_default().push(record);
+                    let retries = self.config.retries;
+                    self.consumer_mut().express(ctx, interest, retries);
+                }
+            }
+            JobState::Failed { error } => {
+                self.run_mut(record).error = Some(format!("job-failed: {error}"));
+                ctx.metrics().incr("client.failed_runs", 1);
             }
         }
     }
 
     fn on_failure(&mut self, interest: Interest, what: &str, ctx: &mut Ctx<'_>) {
         let name = interest.name.clone();
-        if let Some(record) = self.active_submits.remove(&name) {
-            self.maybe_resubmit(record, &format!("submit-{what}"), ctx);
-            return;
-        }
-        if let Some(record) = self.active_polls.remove(&name) {
-            let run = &mut self.runs[record];
-            run.status_failures += 1;
-            if run.status_failures >= self.config.max_status_failures {
-                self.maybe_resubmit(record, &format!("status-{what}"), ctx);
-            } else {
-                self.schedule_poll(record, self.config.poll_interval, ctx);
+        if let Some(records) = self.active_submits.remove(&name) {
+            for record in records {
+                self.maybe_resubmit(record, &format!("submit-{what}"), ctx);
             }
             return;
         }
-        if let Some(record) = self.active_fetches.remove(&name) {
-            self.runs[record].error = Some(format!("fetch-{what}"));
+        if let Some(records) = self.active_polls.remove(&name) {
+            for record in records {
+                let run = self.run_mut(record);
+                run.status_failures += 1;
+                if run.status_failures >= self.config.max_status_failures {
+                    self.maybe_resubmit(record, &format!("status-{what}"), ctx);
+                } else {
+                    self.schedule_poll(record, self.config.poll_interval, ctx);
+                }
+            }
+            return;
+        }
+        if let Some(records) = self.active_fetches.remove(&name) {
+            for record in records {
+                self.run_mut(record).error = Some(format!("fetch-{what}"));
+            }
         }
     }
 }
@@ -416,7 +461,7 @@ impl Actor for ScienceClient {
         };
         let msg = match msg.downcast::<AppRx>() {
             Ok(rx) => {
-                let event = self.consumer.as_mut().expect("deployed").on_app_rx(&rx);
+                let event = self.consumer_mut().on_app_rx(&rx);
                 match event {
                     Some(ConsumerEvent::Data(data)) => self.on_data(data, ctx),
                     Some(ConsumerEvent::Nack(_, interest)) => {
@@ -432,7 +477,7 @@ impl Actor for ScienceClient {
             Err(m) => m,
         };
         if let Ok(t) = msg.downcast::<RetxTimer>() {
-            let event = self.consumer.as_mut().expect("deployed").on_timer(ctx, &t);
+            let event = self.consumer_mut().on_timer(ctx, &t);
             match event {
                 Some(ConsumerEvent::Timeout(interest)) => self.on_failure(interest, "timeout", ctx),
                 Some(ConsumerEvent::Data(data)) => self.on_data(data, ctx),

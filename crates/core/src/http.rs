@@ -203,6 +203,7 @@ impl Actor for HttpBridge {
                             .with_lifetime(SimDuration::from_secs(4));
                         self.consumer
                             .as_mut()
+                            // lidc-lint: allow(panic-path) reason="deploy() installs the consumer before the bridge id escapes, so no message can arrive while it is None"
                             .expect("deployed")
                             .express(ctx, interest, 2);
                     }
@@ -221,6 +222,7 @@ impl Actor for HttpBridge {
         };
         let msg = match msg.downcast::<AppRx>() {
             Ok(rx) => {
+                // lidc-lint: allow(panic-path) reason="deploy() installs the consumer before the bridge id escapes, so no message can arrive while it is None"
                 match self.consumer.as_mut().expect("deployed").on_app_rx(&rx) {
                     Some(ConsumerEvent::Data(data)) => {
                         let name = data.name.clone();
@@ -259,6 +261,7 @@ impl Actor for HttpBridge {
         };
         if let Ok(t) = msg.downcast::<RetxTimer>() {
             if let Some(ConsumerEvent::Timeout(interest)) =
+                // lidc-lint: allow(panic-path) reason="deploy() installs the consumer before the bridge id escapes, so no message can arrive while it is None"
                 self.consumer.as_mut().expect("deployed").on_timer(ctx, &t)
             {
                 let response = HttpResponse {

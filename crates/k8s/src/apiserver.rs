@@ -256,6 +256,7 @@ impl ApiServer {
         }
         if pod.holds_resources() {
             let (node, requests) = (
+                // lidc-lint: allow(panic-path) reason="holds_resources() returned true, which requires status.node to be Some"
                 pod.status.node.clone().expect("holds_resources ⇒ bound"),
                 pod.spec.total_requests(),
             );
@@ -280,6 +281,7 @@ impl ApiServer {
             _ => return false,
         }
         let ip = self.alloc_pod_ip();
+        // lidc-lint: allow(panic-path) reason="the match above returned early unless pods contains key"
         let pod = self.pods.get_mut(key).expect("checked above");
         pod.status.node = Some(node.to_owned());
         pod.status.ip = Some(ip);
@@ -288,6 +290,7 @@ impl ApiServer {
         if held {
             self.account_usage(node, requests, true);
         }
+        // lidc-lint: allow(panic-path) reason="bind_pod verified pods contains key above and nothing removes it in between"
         let uid = self.pods[key].meta.uid;
         self.pending_pods.remove(&(uid, key.clone()));
         self.record_event(now, "PodScheduled", key.to_string(), node.to_owned());
@@ -313,6 +316,7 @@ impl ApiServer {
         let held_after = pod.holds_resources();
         let pending_after = is_pending_unbound(pod);
         if held_before != held_after {
+            // lidc-lint: allow(panic-path) reason="a pod holds resources only while bound, and phase changes never clear status.node"
             let node = pod.status.node.clone().expect("held ⇒ bound");
             let requests = pod.spec.total_requests();
             self.account_usage(&node, requests, held_after);
@@ -340,6 +344,7 @@ impl ApiServer {
             }
         }
         if pod.holds_resources() {
+            // lidc-lint: allow(panic-path) reason="holds_resources() requires a bound pod, and delete_pod has not cleared status.node yet"
             let node = pod.status.node.clone().expect("held ⇒ bound");
             self.account_usage(&node, pod.spec.total_requests(), false);
         }

@@ -47,6 +47,7 @@ impl Scheduler {
         let pending: Vec<(ObjectKey, Resources, Option<String>)> = api
             .pending_pods()
             .map(|k| {
+                // lidc-lint: allow(panic-path) reason="pending_pods yields keys of pods present in api.pods"
                 let p = &api.pods[k];
                 (k.clone(), p.spec.total_requests(), p.spec.node_name.clone())
             })
@@ -103,6 +104,7 @@ impl Scheduler {
 
     /// Higher is better.
     fn score(&self, api: &ApiServer, node: &str, requests: &Resources) -> f64 {
+        // lidc-lint: allow(panic-path) reason="score is only called with node names drawn from api.nodes iteration in schedule()"
         let allocatable = api.nodes[node].allocatable;
         let used_after = api.node_usage(node) + *requests;
         let util = used_after.dominant_utilisation(&allocatable);

@@ -14,8 +14,11 @@
 //!   determinism contract wants at such a site.
 
 use crate::allow;
-use crate::lexer::{lex, Tok, TokKind};
+use crate::callgraph::CallGraph;
+use crate::lexer::{lex, Lexed, Tok, TokKind};
 use crate::rules;
+use crate::semantic;
+use crate::symbols;
 
 /// Where a file sits in the workspace — decides which rules apply.
 #[derive(Debug, Clone, Default)]
@@ -89,13 +92,135 @@ const REDUCERS: &[&str] = &[
 /// Shared-state primitives banned inside actor crates.
 const SHARED_STATE: &[&str] = &["Mutex", "RwLock", "RefCell"];
 
-/// Analyze one file. Returns findings with allow suppression applied and
-/// unused/malformed allow directives reported.
+/// One file handed to [`analyze_files`]: where it sits plus its source.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    pub ctx: FileCtx,
+    pub src: String,
+}
+
+/// Analyze one file in isolation. Cross-file rules still run, but see
+/// only this file — fixture tests exercise them by co-locating the actor
+/// impl / registry / call chain in one source. Workspace scans go through
+/// [`analyze_files`].
 pub fn analyze(ctx: &FileCtx, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
+    analyze_files(&[SourceFile {
+        ctx: ctx.clone(),
+        src: src.to_string(),
+    }])
+}
+
+/// Analyze a set of files as one workspace: per-file token rules, then
+/// the symbol-graph/call-graph semantic rules ([`semantic`]), then allow
+/// suppression per file. Findings come back sorted by (file, line, rule).
+pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
+    let mut lexeds: Vec<Lexed> = Vec::new();
+    let mut allows_per = Vec::new();
+    let mut bad_per = Vec::new();
+    let mut regions_per: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut raw_per: Vec<Vec<Finding>> = Vec::new();
+    for sf in files {
+        let lexed = lex(&sf.src);
+        let (allows, bad) = allow::collect(&lexed);
+        let regions = test_regions(&lexed.toks);
+        raw_per.push(raw_findings(&sf.ctx, &lexed, &regions));
+        lexeds.push(lexed);
+        allows_per.push(allows);
+        bad_per.push(bad);
+        regions_per.push(regions);
+    }
+
+    // The semantic layer sees every file at once.
+    let ws = symbols::Workspace::build(
+        files
+            .iter()
+            .zip(lexeds.iter())
+            .zip(regions_per.iter())
+            .map(|((sf, lexed), regions)| (sf.ctx.clone(), lexed.clone(), regions.clone()))
+            .collect(),
+    );
+    let cg = CallGraph::build(&ws);
+    let by_path: std::collections::BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, sf)| (sf.ctx.rel_path.as_str(), i))
+        .collect();
+    for f in semantic::run(&ws, &cg, &mut allows_per) {
+        match by_path.get(f.file.as_str()) {
+            Some(&i) => {
+                if !raw_per[i]
+                    .iter()
+                    .any(|g| g.rule == f.rule && g.line == f.line)
+                {
+                    raw_per[i].push(f);
+                }
+            }
+            None => unreachable!("semantic finding for unanalyzed file"),
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (((sf, raw), allows), bad) in files
+        .iter()
+        .zip(raw_per)
+        .zip(allows_per.iter_mut())
+        .zip(bad_per)
+    {
+        findings.extend(suppress(&sf.ctx, raw, allows, bad));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    findings
+}
+
+/// Apply allow suppression to one file's raw findings and report
+/// unused/malformed directives.
+fn suppress(
+    ctx: &FileCtx,
+    raw: Vec<Finding>,
+    allows: &mut [allow::Allow],
+    bad_allows: Vec<allow::BadAllow>,
+) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = Vec::new();
+    'next: for f in raw {
+        for a in allows.iter_mut() {
+            if a.covers == f.line && a.rules.iter().any(|r| r == f.rule) {
+                a.used = true;
+                continue 'next;
+            }
+        }
+        findings.push(f);
+    }
+    for a in allows.iter() {
+        if !a.used {
+            findings.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: a.line,
+                rule: rules::UNUSED_ALLOW,
+                message: format!(
+                    "allow({}) suppressed nothing — remove it or move it onto the offending line",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+    }
+    for b in bad_allows {
+        findings.push(Finding {
+            file: ctx.rel_path.clone(),
+            line: b.line,
+            rule: rules::ALLOW_SYNTAX,
+            message: b.message,
+        });
+    }
+    findings
+}
+
+/// The per-file token-pattern rules (PR 7's catalogue), without allow
+/// suppression — [`analyze_files`] applies that after the semantic layer
+/// has contributed its findings.
+fn raw_findings(ctx: &FileCtx, lexed: &Lexed, test_regions: &[(u32, u32)]) -> Vec<Finding> {
     let toks = &lexed.toks;
-    let (mut allows, bad_allows) = allow::collect(&lexed);
-    let test_regions = test_regions(toks);
     let in_test = |line: u32| test_regions.iter().any(|&(a, b)| (a..=b).contains(&line));
 
     let mut raw: Vec<Finding> = Vec::new();
@@ -254,40 +379,7 @@ pub fn analyze(ctx: &FileCtx, src: &str) -> Vec<Finding> {
         }
     }
 
-    // --- allow suppression ------------------------------------------------
-    let mut findings: Vec<Finding> = Vec::new();
-    'next: for f in raw {
-        for a in allows.iter_mut() {
-            if a.covers == f.line && a.rules.iter().any(|r| r == f.rule) {
-                a.used = true;
-                continue 'next;
-            }
-        }
-        findings.push(f);
-    }
-    for a in &allows {
-        if !a.used {
-            findings.push(Finding {
-                file: ctx.rel_path.clone(),
-                line: a.line,
-                rule: rules::UNUSED_ALLOW,
-                message: format!(
-                    "allow({}) suppressed nothing — remove it or move it onto the offending line",
-                    a.rules.join(", ")
-                ),
-            });
-        }
-    }
-    for b in bad_allows {
-        findings.push(Finding {
-            file: ctx.rel_path.clone(),
-            line: b.line,
-            rule: rules::ALLOW_SYNTAX,
-            message: b.message,
-        });
-    }
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings
+    raw
 }
 
 /// `toks[i] == a && toks[i+1] == b` for punctuation.
@@ -297,7 +389,7 @@ fn matches2(toks: &[Tok], i: usize, a: char, b: char) -> bool {
 
 /// Line ranges covered by `#[test]`- or `#[cfg(test)]`-gated items
 /// (attribute line through the matching close brace).
-fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+pub fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {

@@ -52,7 +52,7 @@ pub struct Comment {
 
 /// The lexed file: the token stream plus every comment (the allow-directive
 /// parser consumes the comments; the rules consume the tokens).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Lexed {
     pub toks: Vec<Tok>,
     pub comments: Vec<Comment>,

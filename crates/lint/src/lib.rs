@@ -28,10 +28,13 @@
 
 pub mod allow;
 pub mod analyze;
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
+pub mod semantic;
+pub mod symbols;
 
-pub use analyze::{analyze, FileCtx, Finding};
+pub use analyze::{analyze, analyze_files, FileCtx, Finding, SourceFile};
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -114,17 +117,69 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Scan the whole workspace rooted at `root`. Findings come back sorted
-/// by (file, line, rule).
-pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+/// Load every policed `.rs` file under `root` into memory, classified.
+/// The semantic rules need the whole workspace in view even when the
+/// caller only wants findings for a subset of files.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<analyze::SourceFile>> {
+    let mut out = Vec::new();
     for path in workspace_files(root)? {
-        findings.extend(scan_file(root, &path)?);
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(analyze::SourceFile {
+            ctx: classify(&rel),
+            src: fs::read_to_string(&path)?,
+        });
     }
-    findings.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
-    });
+    Ok(out)
+}
+
+/// Scan the whole workspace rooted at `root` — per-file rules plus the
+/// cross-file semantic rules. Findings come back sorted by
+/// (file, line, rule).
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    Ok(analyze_files(&load_workspace(root)?))
+}
+
+/// Scan the workspace but keep only findings in files `git` reports as
+/// changed relative to `base` (tracked diffs plus untracked files). The
+/// whole workspace is still loaded and analyzed so the cross-file rules
+/// see every caller — only the *reporting* is narrowed, which is what a
+/// pre-commit hook wants: fast signal, no false "clean" from a blinkered
+/// call graph.
+pub fn scan_changed(root: &Path, base: &str) -> std::io::Result<Vec<Finding>> {
+    let changed = git_changed_files(root, base)?;
+    let mut findings = analyze_files(&load_workspace(root)?);
+    findings.retain(|f| changed.contains(&f.file));
     Ok(findings)
+}
+
+/// The `.rs` files `git diff --name-only <base>` lists, plus untracked
+/// ones, as workspace-relative forward-slash paths.
+fn git_changed_files(root: &Path, base: &str) -> std::io::Result<std::collections::BTreeSet<String>> {
+    let mut out = std::collections::BTreeSet::new();
+    for args in [
+        vec!["diff", "--name-only", base, "--"],
+        vec!["ls-files", "--others", "--exclude-standard"],
+    ] {
+        let run = std::process::Command::new("git").arg("-C").arg(root).args(&args).output()?;
+        if !run.status.success() {
+            return Err(std::io::Error::other(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&run.stderr).trim()
+            )));
+        }
+        for line in String::from_utf8_lossy(&run.stdout).lines() {
+            let line = line.trim();
+            if line.ends_with(".rs") {
+                out.insert(line.replace('\\', "/"));
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Walk up from `start` to the directory whose `Cargo.toml` declares

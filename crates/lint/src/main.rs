@@ -3,8 +3,10 @@
 //! ```text
 //! lidc_lint --workspace            # scan the enclosing cargo workspace
 //! lidc_lint path/to/file.rs ...    # scan specific files
+//! lidc_lint --changed=<base>       # workspace analysis, changed-file reporting
 //! lidc_lint --json --workspace     # machine-readable findings
 //! lidc_lint --rules                # list the rule catalogue
+//! lidc_lint --rules=a,b ...        # keep only the listed rules' findings
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
@@ -19,12 +21,29 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut workspace = false;
     let mut list_rules = false;
+    let mut changed: Option<String> = None;
+    let mut rule_filter: Option<Vec<String>> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     for a in &args {
         match a.as_str() {
             "--json" => json = true,
             "--workspace" => workspace = true,
             "--rules" => list_rules = true,
+            "--changed" => changed = Some("HEAD".to_owned()),
+            flag if flag.starts_with("--changed=") => {
+                changed = Some(flag["--changed=".len()..].to_owned());
+            }
+            flag if flag.starts_with("--rules=") => {
+                let mut wanted = Vec::new();
+                for id in flag["--rules=".len()..].split(',').filter(|s| !s.is_empty()) {
+                    if !lidc_lint::rules::ALL.contains(&id) {
+                        eprintln!("lidc_lint: unknown rule `{id}` in --rules= (run --rules for the catalogue)");
+                        return ExitCode::from(2);
+                    }
+                    wanted.push(id.to_owned());
+                }
+                rule_filter = Some(wanted);
+            }
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -43,8 +62,8 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    if !workspace && paths.is_empty() {
-        eprintln!("lidc_lint: nothing to scan — pass --workspace or file paths (see --help)");
+    if !workspace && changed.is_none() && paths.is_empty() {
+        eprintln!("lidc_lint: nothing to scan — pass --workspace, --changed, or file paths (see --help)");
         return ExitCode::from(2);
     }
 
@@ -57,7 +76,7 @@ fn main() -> ExitCode {
     };
     let root = match lidc_lint::find_workspace_root(&cwd) {
         Some(r) => r,
-        None if workspace => {
+        None if workspace || changed.is_some() => {
             eprintln!("lidc_lint: no enclosing cargo workspace found from {}", cwd.display());
             return ExitCode::from(2);
         }
@@ -74,6 +93,15 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(base) = &changed {
+        match lidc_lint::scan_changed(&root, base) {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("lidc_lint: changed-file scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     for p in &paths {
         match lidc_lint::scan_file(&root, p) {
             Ok(f) => findings.extend(f),
@@ -83,8 +111,12 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(wanted) = &rule_filter {
+        findings.retain(|f| wanted.iter().any(|w| w == f.rule));
+    }
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings.dedup();
 
     if json {
         println!("{}", lidc_lint::to_json(&findings));
@@ -114,14 +146,18 @@ fn print_help() {
         "lidc_lint — workspace determinism & actor-isolation lint
 
 USAGE:
-    lidc_lint [--json] (--workspace | FILE...)
+    lidc_lint [--json] [--rules=a,b] (--workspace | --changed[=BASE] | FILE...)
     lidc_lint --rules
 
 FLAGS:
-    --workspace   scan every policed .rs file in the enclosing workspace
-    --json        emit findings as a JSON array
-    --rules       list the rule catalogue
-    -h, --help    this text
+    --workspace        scan every policed .rs file in the enclosing workspace
+    --changed[=BASE]   analyze the whole workspace but report findings only in
+                       files `git diff --name-only BASE` (default HEAD) lists,
+                       plus untracked files — the pre-commit mode
+    --json             emit findings as a JSON array
+    --rules            list the rule catalogue
+    --rules=a,b        keep only the listed rules' findings
+    -h, --help         this text
 
 Findings print as `file:line: rule[<id>]: message`. A deliberate
 violation carries a scoped escape hatch on (or directly above) the line:

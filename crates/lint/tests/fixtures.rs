@@ -128,8 +128,12 @@ fn actor_isolation_flags_shared_state_in_actor_crates_only() {
     let f = rules_at(&actor_ctx(), src);
     assert_eq!(
         f,
-        vec![("actor-isolation".to_string(), 2)],
-        "the usage site flags; the import alone is not shared state"
+        vec![
+            ("actor-isolation".to_string(), 2),
+            ("horizon-safety".to_string(), 2),
+        ],
+        "the usage site flags (both isolation and, since PR 9, horizon \
+         coupling); the import alone is not shared state"
     );
     assert!(
         rules_at(&lib_ctx(), src).is_empty(),
@@ -201,4 +205,177 @@ fn findings_render_rustc_style() {
         line.starts_with("crates/core/src/gateway.rs:1: rule[wall-clock]: "),
         "got: {line}"
     );
+}
+
+// ---------------------------------------------------------------------
+// Cross-file semantic rules (PR 9). These need `analyze_files` — the
+// call graph only exists across a whole file set.
+
+use lidc_lint::{analyze_files, SourceFile};
+
+fn multi(files: &[(&str, &str)]) -> Vec<(String, String, u32)> {
+    let files: Vec<SourceFile> = files
+        .iter()
+        .map(|(p, s)| SourceFile { ctx: classify(p), src: (*s).to_string() })
+        .collect();
+    analyze_files(&files)
+        .into_iter()
+        .map(|f| (f.file, f.rule.to_string(), f.line))
+        .collect()
+}
+
+const HANDLER_CALLS_HELPER: &str = "pub struct F;\n\
+impl Actor for F {\n\
+    fn on_message(&mut self, ctx: &mut Ctx<'_>) {\n\
+        helpers::poke();\n\
+    }\n\
+}";
+
+#[test]
+fn panic_path_flags_unwrap_reachable_from_handler_cross_file() {
+    let helper = "pub fn poke() {\n    let v: Option<u32> = None;\n    v.unwrap();\n}";
+    let f = multi(&[
+        ("crates/ndn/src/actor_fixture.rs", HANDLER_CALLS_HELPER),
+        ("crates/ndn/src/helpers.rs", helper),
+    ]);
+    assert_eq!(
+        f,
+        vec![("crates/ndn/src/helpers.rs".to_string(), "panic-path".to_string(), 3)],
+        "the panic site is flagged in the callee, not at the handler"
+    );
+}
+
+#[test]
+fn panic_path_allow_on_the_site_suppresses() {
+    let helper = "pub fn poke() {\n    let v: Option<u32> = Some(1);\n    // lidc-lint: allow(panic-path) reason=\"v is Some on the line above\"\n    v.unwrap();\n}";
+    let f = multi(&[
+        ("crates/ndn/src/actor_fixture.rs", HANDLER_CALLS_HELPER),
+        ("crates/ndn/src/helpers.rs", helper),
+    ]);
+    assert!(f.is_empty(), "scoped allow must suppress (and count as used): {f:?}");
+}
+
+#[test]
+fn panic_path_ignores_non_actor_crates_and_unreachable_fns() {
+    // Same shape in a compute library: not an actor crate, no finding.
+    let f = multi(&[
+        ("crates/genomics/src/actor_fixture.rs", HANDLER_CALLS_HELPER),
+        ("crates/genomics/src/helpers.rs", "pub fn poke() { None::<u32>.unwrap(); }"),
+    ]);
+    assert!(f.is_empty(), "genomics is not an actor crate: {f:?}");
+
+    // An unwrap in a fn no handler reaches stays silent.
+    let f = multi(&[(
+        "crates/ndn/src/quiet.rs",
+        "pub fn cold() { None::<u32>.unwrap(); }",
+    )]);
+    assert!(f.is_empty(), "unreachable from any handler: {f:?}");
+}
+
+#[test]
+fn effect_purity_flags_ctx_spawn_from_concurrent_actor() {
+    let src = "pub struct W;\n\
+impl Actor for W {\n\
+    fn concurrency(&self) -> Concurrency { Concurrency::Concurrent }\n\
+    fn on_message(&mut self, ctx: &mut Ctx<'_>) {\n\
+        self.work(ctx);\n\
+    }\n\
+}\n\
+impl W {\n\
+    fn work(&mut self, ctx: &mut Ctx<'_>) {\n\
+        ctx.spawn(\"child\", W);\n\
+    }\n\
+}";
+    let f = multi(&[("crates/ndn/src/wave.rs", src)]);
+    assert_eq!(
+        f,
+        vec![("crates/ndn/src/wave.rs".to_string(), "effect-purity".to_string(), 10)],
+        "ctx.spawn reachable from a Concurrent handler is the violation"
+    );
+
+    // The identical actor declared Exclusive may spawn freely.
+    let exclusive = src.replace("Concurrency::Concurrent", "Concurrency::Exclusive");
+    let f = multi(&[("crates/ndn/src/wave.rs", exclusive.as_str())]);
+    assert!(f.is_empty(), "Exclusive actors may spawn: {f:?}");
+}
+
+/// A minimal stand-in for the checked-in metric registry.
+const REGISTRY_FIXTURE: &str = "/// Interests forwarded.\npub const NDN_TX: &str = \"ndn.tx\";\n";
+
+#[test]
+fn metric_key_flags_unregistered_and_orphaned_keys() {
+    let user = "fn f(ctx: &mut Ctx<'_>) {\n    ctx.metrics().incr(\"ndn.tx\", 1);\n    ctx.metrics().incr(\"ndn.txx\", 1);\n}";
+    let f = multi(&[
+        (lidc_lint::semantic::REGISTRY_PATH, REGISTRY_FIXTURE),
+        ("crates/ndn/src/metrics_user.rs", user),
+    ]);
+    assert_eq!(
+        f,
+        vec![("crates/ndn/src/metrics_user.rs".to_string(), "metric-key".to_string(), 3)],
+        "the typo'd key is flagged; the registered one is not"
+    );
+
+    // A registered key that nothing records is an orphan — flagged at
+    // the registry, so the schema cannot rot.
+    let f = multi(&[
+        (lidc_lint::semantic::REGISTRY_PATH, REGISTRY_FIXTURE),
+        ("crates/ndn/src/metrics_user.rs", "fn f() {}"),
+    ]);
+    assert_eq!(
+        f,
+        vec![(lidc_lint::semantic::REGISTRY_PATH.to_string(), "metric-key".to_string(), 2)],
+        "the orphaned registry entry is flagged at its declaration"
+    );
+}
+
+#[test]
+fn metric_key_dynamic_key_needs_allow() {
+    let user = "fn f(ctx: &mut Ctx<'_>, key: &str) {\n    ctx.metrics().incr(key, 1);\n}";
+    let f = multi(&[
+        (lidc_lint::semantic::REGISTRY_PATH, REGISTRY_FIXTURE),
+        ("crates/ndn/src/metrics_user.rs", user),
+    ]);
+    // The dynamic key plus the now-orphaned registry entry.
+    assert!(
+        f.contains(&("crates/ndn/src/metrics_user.rs".to_string(), "metric-key".to_string(), 2)),
+        "a non-literal key cannot be checked and must be flagged: {f:?}"
+    );
+
+    let allowed = "fn f(ctx: &mut Ctx<'_>, key: &str) {\n    // lidc-lint: allow(metric-key) reason=\"key is one of the registered ndn.* constants\"\n    ctx.metrics().incr(key, 1);\n}";
+    let f = multi(&[
+        (lidc_lint::semantic::REGISTRY_PATH, REGISTRY_FIXTURE),
+        ("crates/ndn/src/recorder.rs", "fn rec(ctx: &mut Ctx<'_>) { ctx.metrics().incr(\"ndn.tx\", 1); }"),
+        ("crates/ndn/src/metrics_user.rs", allowed),
+    ]);
+    assert!(f.is_empty(), "the annotated dynamic key is accepted: {f:?}");
+}
+
+#[test]
+fn horizon_safety_flags_connect_runtime_outside_net() {
+    let src = "fn wire(sim: &mut Sim, a: ActorId, b: ActorId) {\n    connect_runtime(sim, a, b);\n}";
+    let f = multi(&[("crates/core/src/wiring.rs", src)]);
+    assert_eq!(
+        f,
+        vec![("crates/core/src/wiring.rs".to_string(), "horizon-safety".to_string(), 2)],
+        "runtime wiring bypasses the declared lookahead"
+    );
+
+    // The defining module and #[cfg(test)] regions are exempt.
+    let f = multi(&[("crates/ndn/src/net.rs", src)]);
+    assert!(f.is_empty(), "net.rs implements connect_runtime: {f:?}");
+}
+
+#[test]
+fn horizon_safety_allow_must_record_the_clamp() {
+    let missing = "// lidc-lint: allow(horizon-safety, actor-isolation) reason=\"shared read-mostly board\"\npub type Board = Arc<RwLock<State>>;";
+    let f = multi(&[("crates/core/src/board.rs", missing)]);
+    assert_eq!(
+        f,
+        vec![("crates/core/src/board.rs".to_string(), "horizon-safety".to_string(), 2)],
+        "an allow whose reason skips the clamp decision is incomplete"
+    );
+
+    let noted = "// lidc-lint: allow(horizon-safety, actor-isolation) reason=\"shared read-mostly board; horizon runs clamp the sharing groups to zero lookahead\"\npub type Board = Arc<RwLock<State>>;";
+    let f = multi(&[("crates/core/src/board.rs", noted)]);
+    assert!(f.is_empty(), "the clamp-noted allow suppresses: {f:?}");
 }

@@ -138,6 +138,7 @@ impl Consumer {
             return None; // stale timer from an earlier reincarnation
         }
         if entry.retries_left == 0 {
+            // lidc-lint: allow(panic-path) reason="entry was just read from pending under the same timer.name, so remove cannot miss"
             let entry = self.pending.remove(&timer.name).expect("present");
             return Some(ConsumerEvent::Timeout(entry.interest));
         }

@@ -101,11 +101,13 @@ impl Sha256 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
+            // lidc-lint: allow(panic-path) reason="chunks_exact(4) over the 64-byte block yields 16 chunks, within w's fixed 64 entries"
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
             let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            // lidc-lint: allow(panic-path) reason="the loop bounds i to 16..64 inside the fixed 64-entry schedule array"
             w[i] = w[i - 16]
                 .wrapping_add(s0)
                 .wrapping_add(w[i - 7])
@@ -118,7 +120,9 @@ impl Sha256 {
             let temp1 = h
                 .wrapping_add(s1)
                 .wrapping_add(ch)
+                // lidc-lint: allow(panic-path) reason="i < 64 from the compression loop, within K's fixed 64 entries"
                 .wrapping_add(K[i])
+                // lidc-lint: allow(panic-path) reason="i < 64 from the compression loop, within w's fixed 64 entries"
                 .wrapping_add(w[i]);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);

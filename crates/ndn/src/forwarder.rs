@@ -467,6 +467,7 @@ fn run_shard_phase(
         let outcome = match packet {
             Packet::Interest(i) => shard_interest(pit, cs, dnl, now, face, i),
             Packet::Data(d) => shard_data(pit, cs, dnl, keys, fib, now, d, face),
+            // lidc-lint: allow(panic-path) reason="phased runs pre-filter nacks onto the serial path, so shard batches hold only interests and data"
             Packet::Nack(_) => unreachable!("nacks never enter the phased path"),
         };
         outcomes.push((idx, outcome));
@@ -624,6 +625,7 @@ impl Forwarder {
     /// Retire a nonce into the name's shard.
     fn dnl_insert(&mut self, name: Name, nonce: u32) {
         let s = shard_of(&name, self.dnl.len());
+        // lidc-lint: allow(panic-path) reason="shard_of reduces modulo self.dnl.len(), which every constructor pins at one or more shards"
         self.dnl[s].insert(name, nonce);
     }
 
@@ -672,12 +674,14 @@ impl Forwarder {
                 // count (and thus every seeded run) is unchanged.
                 let loss = props.effective_loss();
                 if loss > 0.0 && ctx.rng().next_bool(loss) {
+                    // lidc-lint: allow(panic-path) reason="send_packet's guarded head already resolved face_id and returned on a miss; the map is untouched since"
                     let face = self.faces.get_mut(&face_id).expect("face exists");
                     face.counters.dropped += 1;
                     ctx.metrics().incr("ndn.link_loss_drops", 1);
                     return;
                 }
                 if props.corrupt > 0.0 && ctx.rng().next_bool(props.corrupt) {
+                    // lidc-lint: allow(panic-path) reason="send_packet's guarded head already resolved face_id and returned on a miss; the map is untouched since"
                     let face = self.faces.get_mut(&face_id).expect("face exists");
                     face.counters.dropped += 1;
                     ctx.metrics().incr("ndn.link_corrupt_drops", 1);
@@ -688,6 +692,7 @@ impl Forwarder {
                     Some(_) => props.transmit_time(packet.encoded_size()),
                     None => lidc_simcore::time::SimDuration::ZERO,
                 };
+                // lidc-lint: allow(panic-path) reason="send_packet's guarded head already resolved face_id and returned on a miss; the map is untouched since"
                 let face = self.faces.get_mut(&face_id).expect("face exists");
                 let start = face.busy_until.max(now);
                 face.busy_until = start + transmit;
@@ -751,6 +756,7 @@ impl Forwarder {
                         if *a != arrival {
                             break;
                         }
+                        // lidc-lint: allow(panic-path) reason="the peek on the same iterator just returned an entry with this arrival time"
                         packets.push(txs.next().expect("peeked").1);
                     }
                     ctx.metrics().incr("ndn.batch.link_flushes", 1);
@@ -871,6 +877,7 @@ impl Forwarder {
             .collect();
         let sidx = self.strategy_index_for(&interest.name);
         let selected = {
+            // lidc-lint: allow(panic-path) reason="strategy_index_for scans self.strategies and falls back to 0, and the table always holds the default strategy at index 0"
             let (_, strategy) = &mut self.strategies[sidx];
             let mut sctx = StrategyCtx {
                 interest: &interest,
@@ -942,6 +949,7 @@ impl Forwarder {
                 if let Some(fib_entry) = self.fib.lookup(&entry.interest.name) {
                     let prefix = fib_entry.prefix.clone();
                     let sidx = self.strategy_index_for(&entry.interest.name);
+                    // lidc-lint: allow(panic-path) reason="strategy_index_for scans self.strategies and falls back to 0, and the table always holds the default strategy at index 0"
                     self.strategies[sidx].1.on_data(&prefix, in_face, rtt);
                 }
             }
@@ -979,6 +987,7 @@ impl Forwarder {
         if let Some(fib_entry) = self.fib.lookup(&nack.interest.name) {
             let prefix = fib_entry.prefix.clone();
             let sidx = self.strategy_index_for(&nack.interest.name);
+            // lidc-lint: allow(panic-path) reason="strategy_index_for scans self.strategies and falls back to 0, and the table always holds the default strategy at index 0"
             self.strategies[sidx].1.on_failure(&prefix, in_face);
         }
         if exhausted {
@@ -1061,10 +1070,12 @@ impl Forwarder {
             };
             let sidx = self.strategy_index_for(&interest.name);
             if let Some(prefix) = &prefix {
+                // lidc-lint: allow(panic-path) reason="strategy_index_for scans self.strategies and falls back to 0, and the table always holds the default strategy at index 0"
                 self.strategies[sidx].1.on_failure(prefix, dead);
             }
             let selected = match &prefix {
                 Some(prefix) if !eligible.is_empty() => {
+                    // lidc-lint: allow(panic-path) reason="strategy_index_for scans self.strategies and falls back to 0, and the table always holds the default strategy at index 0"
                     let (_, strategy) = &mut self.strategies[sidx];
                     let mut sctx = StrategyCtx {
                         interest: &interest,
@@ -1104,6 +1115,7 @@ impl Forwarder {
                 let prefix = fib_entry.prefix.clone();
                 let sidx = self.strategy_index_for(&entry.interest.name);
                 for out in &entry.out_records {
+                    // lidc-lint: allow(panic-path) reason="strategy_index_for scans self.strategies and falls back to 0, and the table always holds the default strategy at index 0"
                     self.strategies[sidx].1.on_failure(&prefix, out.face);
                 }
             }
@@ -1307,10 +1319,12 @@ impl Forwarder {
                         face.counters.in_data += 1;
                         ctx.metrics().incr("ndn.rx_data", 1);
                     }
+                    // lidc-lint: allow(panic-path) reason="phasable runs are selected to exclude nacks before entering this path"
                     Packet::Nack(_) => unreachable!("phasable runs exclude nacks"),
                 },
             }
             let s = shard_of(packet.name(), shards);
+            // lidc-lint: allow(panic-path) reason="shard_of reduces modulo shards, the length shard_scratch was sized to"
             self.shard_scratch[s].packets.push((idx as u32, face_id, packet));
         }
         // Shard phase: threaded when the burst amortizes thread startup,
@@ -1372,6 +1386,7 @@ impl Forwarder {
             for (i, (_, head)) in lists.iter().enumerate() {
                 if let Some((idx, _)) = head {
                     if best
+                        // lidc-lint: allow(panic-path) reason="best only holds indexes whose head was observed Some earlier in this loop"
                         .map(|b| *idx < lists[b].1.as_ref().expect("head").0)
                         .unwrap_or(true)
                     {
@@ -1382,7 +1397,9 @@ impl Forwarder {
             let Some(i) = best else {
                 break;
             };
+            // lidc-lint: allow(panic-path) reason="best was set only where lists[i] held a Some head, and nothing consumed it since"
             let (_, outcome) = lists[i].1.take().expect("picked head");
+            // lidc-lint: allow(panic-path) reason="i was produced by the enumerate() over this same lists vec"
             lists[i].1 = lists[i].0.next();
             self.apply_outcome(outcome, ctx);
         }
@@ -1462,6 +1479,7 @@ impl Forwarder {
                 for sat in satisfied {
                     if let Some((name, prefix, face, rtt)) = sat.feedback {
                         let sidx = self.strategy_index_for(&name);
+                        // lidc-lint: allow(panic-path) reason="strategy_index_for scans self.strategies and falls back to 0, and the table always holds the default strategy at index 0"
                         self.strategies[sidx].1.on_data(&prefix, face, rtt);
                     }
                     for face in sat.downstreams {

@@ -381,6 +381,7 @@ fn push_u64(out: &mut String, mut n: u64) {
     let mut i = buf.len();
     loop {
         i -= 1;
+        // lidc-lint: allow(panic-path) reason="a u64 has at most buf.len() decimal digits, so i never underflows"
         buf[i] = b'0' + (n % 10) as u8;
         n /= 10;
         if n == 0 {
@@ -388,6 +389,7 @@ fn push_u64(out: &mut String, mut n: u64) {
         }
     }
     // The buffer holds ASCII digits only.
+    // lidc-lint: allow(panic-path) reason="the buffer holds only the ASCII digits written above, so utf8 validation cannot fail"
     out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
 }
 
@@ -592,6 +594,7 @@ impl Name {
         // deep names. No per-component moves through `push`.
         let mut name = Name::root();
         let Repr::Small { n, comps } = &mut name.repr else {
+            // lidc-lint: allow(panic-path) reason="Name::root() always constructs the Small representation"
             unreachable!("root is small");
         };
         let mut count = 0usize;
@@ -616,6 +619,7 @@ impl Name {
                 }
                 return Ok(Name::from_components(v));
             }
+            // lidc-lint: allow(panic-path) reason="count < SMALL_NAME_CAP is enforced by the overflow branch just above"
             parse_component_into(part, &mut comps[count])?;
             count += 1;
         }
@@ -706,6 +710,7 @@ impl Name {
             Repr::Small { n, comps } => {
                 let count = *n as usize;
                 if count < SMALL_NAME_CAP {
+                    // lidc-lint: allow(panic-path) reason="guarded by the count < SMALL_NAME_CAP check on the line above"
                     comps[count] = c;
                     *n += 1;
                 } else {
@@ -841,6 +846,7 @@ fn parse_component_into(part: &str, slot: &mut NameComponent) -> Result<(), Name
         for (i, pair) in hex.chunks_exact(2).enumerate() {
             let hi = hex_val(pair[0]).ok_or(NameParseError::BadDigest)?;
             let lo = hex_val(pair[1]).ok_or(NameParseError::BadDigest)?;
+            // lidc-lint: allow(panic-path) reason="hex length was validated to exactly 64, so chunks_exact(2) yields the digest's 32 pairs"
             digest[i] = (hi << 4) | lo;
         }
         slot.typ = TT_IMPLICIT_DIGEST;
@@ -862,6 +868,7 @@ fn parse_component_into(part: &str, slot: &mut NameComponent) -> Result<(), Name
     let mut bytes = Vec::with_capacity(raw.len());
     let mut i = 0;
     while i < raw.len() {
+        // lidc-lint: allow(panic-path) reason="the while condition bounds i < raw.len()"
         let b = raw[i];
         if b == b'%' {
             let hi = raw.get(i + 1).copied().and_then(hex_val);

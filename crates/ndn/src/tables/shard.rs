@@ -63,6 +63,7 @@ pub fn shard_of(name: &Name, shards: usize) -> usize {
 pub(crate) fn split_capacity(total: usize, shards: usize) -> Vec<usize> {
     (0..shards)
         .map(|i| {
+            // lidc-lint: allow(panic-path) reason="every constructor clamps the shard count with max(1), so shards is nonzero"
             let base = total / shards + usize::from(i < total % shards);
             if total > 0 {
                 base.max(1)
@@ -76,6 +77,7 @@ pub(crate) fn split_capacity(total: usize, shards: usize) -> Vec<usize> {
 /// Split a byte budget per shard (0 stays 0 = no byte limit).
 fn split_budget(total: u64, shards: u64) -> Vec<u64> {
     (0..shards)
+        // lidc-lint: allow(panic-path) reason="every constructor clamps the shard count with max(1), so shards is nonzero"
         .map(|i| total / shards + u64::from(i < total % shards))
         .collect()
 }
@@ -110,6 +112,7 @@ impl<T> Shards<T> {
     fn get(&self, i: usize) -> &T {
         match self {
             Shards::One(t) => t,
+            // lidc-lint: allow(panic-path) reason="Many is only built with the configured shard count and shard_of reduces i modulo that count"
             Shards::Many(v) => &v[i],
         }
     }
@@ -118,6 +121,7 @@ impl<T> Shards<T> {
     fn get_mut(&mut self, i: usize) -> &mut T {
         match self {
             Shards::One(t) => t,
+            // lidc-lint: allow(panic-path) reason="Many is only built with the configured shard count and shard_of reduces i modulo that count"
             Shards::Many(v) => &mut v[i],
         }
     }
@@ -406,6 +410,7 @@ impl ShardedCs {
                 let Some((i, _)) = best else {
                     break;
                 };
+                // lidc-lint: allow(panic-path) reason="best was set from a peek on walks[i] that returned Some this iteration"
                 let (_, slot, fresh_until, data) = walks[i].next().expect("peeked");
                 let fresh = !must_be_fresh || fresh_until.map(|t| now < t).unwrap_or(false);
                 if fresh {

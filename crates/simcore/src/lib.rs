@@ -66,6 +66,7 @@ pub mod bytesize;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
+pub mod metrics_keys;
 pub mod report;
 pub mod rng;
 pub mod time;

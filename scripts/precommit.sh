@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Pre-commit gate: lint the files changed relative to a base revision.
+#
+#   scripts/precommit.sh            # diff against HEAD (staged + unstaged)
+#   scripts/precommit.sh origin/main
+#
+# The whole workspace is still analyzed (the cross-file rules need every
+# caller in view); only the reporting is narrowed to your diff. Wire it
+# up as a git hook with:
+#
+#   ln -s ../../scripts/precommit.sh .git/hooks/pre-commit
+set -eu
+BASE="${1:-HEAD}"
+cd "$(dirname "$0")/.."
+exec cargo run -q -p lidc_lint -- --changed="$BASE"

@@ -209,6 +209,12 @@ fn run(mode: Mode) -> Fingerprint {
             "horizon mode ran no group windows"
         );
     }
+    // Runtime metric-key drift guard: every key this run recorded must
+    // be in the registry the static lint checks literals against.
+    let bad = lidc_simcore::metrics_keys::unregistered(
+        sim.metrics_ref().counter_names().chain(sim.metrics_ref().histogram_names()),
+    );
+    assert!(bad.is_empty(), "unregistered metric keys recorded: {bad:?}");
     let counters: BTreeMap<String, u64> = sim
         .metrics_ref()
         .counter_names()

@@ -17,7 +17,8 @@
 //!    outcomes, metrics, and fault timelines.
 
 use lidc::baseline::chaos::{
-    comparison_table, run_baseline_chaos, run_lidc_chaos, ChaosConfig,
+    assert_metrics_registered, comparison_table, run_baseline_chaos, run_lidc_chaos,
+    ChaosConfig,
 };
 use lidc::ndn::net::attach_app;
 use lidc::prelude::*;
@@ -71,6 +72,7 @@ fn link_cut_retransmits_in_flight_interest_over_alternate_face() {
     );
     sim.send(client, Submit(chaos_req(0)));
     sim.run();
+    assert_metrics_registered(&sim);
 
     let runs = sim.actor::<ScienceClient>(client).expect("client").runs();
     assert!(runs[0].is_success(), "job survived the cut: {:?}", runs[0].error);
@@ -135,6 +137,7 @@ fn content_store_serves_result_after_producer_crash() {
         ScienceClient::deploy(ClientConfig::default(), &mut sim, overlay.router, &alloc, "alice");
     sim.send(client, Submit(chaos_req(0)));
     sim.run();
+    assert_metrics_registered(&sim);
     let run = &sim.actor::<ScienceClient>(client).expect("client").runs()[0];
     assert!(run.is_success() && run.fetched_at.is_some(), "warm-up fetch done");
     let result = run.result_name.clone().expect("result name");
@@ -171,6 +174,7 @@ fn content_store_serves_result_after_producer_crash() {
     let hits_before = sim.metrics_ref().counter("ndn.cs_hits");
     sim.send_after(SimDuration::from_millis(10), probe, Go);
     sim.run();
+    assert_metrics_registered(&sim);
 
     assert_eq!(
         sim.actor::<Probe>(probe).expect("probe").got.as_deref(),
@@ -235,6 +239,7 @@ fn node_crash_mid_job_reschedules_and_completes() {
         }),
     );
     sim.run();
+    assert_metrics_registered(&sim);
 
     let runs = sim.actor::<ScienceClient>(client).expect("client").runs();
     assert!(runs[0].is_success(), "job completed despite the crash: {:?}", runs[0].error);
@@ -385,4 +390,77 @@ fn generated_schedules_are_deterministic_across_threads_and_shards() {
             );
         }
     }
+}
+
+/// Scenario 7: two submissions of the *same* request — the duplicate
+/// workload the gateway's result cache exists for — race through an
+/// outage window. Found by the PR-9 `panic-path` sweep over the client's
+/// record-index plumbing: the in-flight maps were keyed by Interest name,
+/// so the second record overwrote the first, and the overwritten run hung
+/// forever — no ack, no timeout (its retransmit timer had been staled by
+/// the second express), no resubmission, no error. Every run must reach a
+/// terminal state, and with the shared name both must ride the same ack.
+#[test]
+fn duplicate_submissions_share_a_name_and_all_terminate() {
+    let mut sim = Sim::new(23);
+    let overlay = Overlay::build(&mut sim, OverlayConfig {
+        placement: PlacementPolicy::Nearest,
+        clusters: vec![ClusterSpec::new("solo", SimDuration::from_millis(5))],
+        load_datasets: false,
+        ..Default::default()
+    });
+    let alloc = overlay.alloc.clone();
+    let config = ClientConfig {
+        resubmit_attempts: 10,
+        backoff_base: SimDuration::from_secs(1),
+        backoff_cap: SimDuration::from_secs(4),
+        ..Default::default()
+    };
+    let client = ScienceClient::deploy(config, &mut sim, overlay.router, &alloc, "u");
+    let router = overlay.router;
+    let face = overlay.face_of("solo").expect("solo face");
+    // The cluster is unreachable for the first ten seconds: both identical
+    // submissions are NACKed and resubmitted through the same shared name
+    // until the heal, when one ack must resolve both records.
+    let schedule = FaultSchedule::new().with(FaultEvent::transient(
+        SimDuration::from_millis(1),
+        SimDuration::from_secs(10),
+        FaultKind::ClusterOutage {
+            cluster: "solo".into(),
+        },
+    ));
+    FaultController::deploy(
+        &mut sim,
+        schedule,
+        Box::new(move |kind, action, ctx| {
+            if matches!(kind, FaultKind::ClusterOutage { .. }) {
+                ctx.send(router, SetFaceUp {
+                    face,
+                    up: action == FaultAction::Heal,
+                });
+            }
+        }),
+    );
+    let req = chaos_req(7); // deliberately the same request twice
+    sim.send(client, Submit(req.clone()));
+    sim.send(client, Submit(req));
+    sim.run();
+    assert_metrics_registered(&sim);
+
+    let runs = sim.actor::<ScienceClient>(client).expect("client").runs();
+    assert_eq!(runs.len(), 2);
+    for (i, run) in runs.iter().enumerate() {
+        assert!(
+            run.completed_at.is_some() || run.error.is_some(),
+            "run {i} reached a terminal state (was silently stranded): {run:?}"
+        );
+    }
+    assert!(
+        runs.iter().all(|r| r.is_success()),
+        "both runs completed after the heal: {runs:?}"
+    );
+    assert!(
+        runs.iter().all(|r| r.job_id.is_some()),
+        "both records were acked (pre-fix the overwritten one never was)"
+    );
 }

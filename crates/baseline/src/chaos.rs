@@ -22,6 +22,8 @@
 //! | `LinkDown` | both ends of the WAN link go down | *no-op* (members attach directly) |
 //! | `LinkDegrade` / `PacketCorrupt` / `SlowProducer` | [`DegradeLink`] on both ends | *no-op* |
 //! | `StaleFib` | prefix withdrawn / re-announced on the router FIB | *no-op* |
+//! | `ByzantineProducer` | the cluster's gateway mangles every reply ([`SetByzantine`]) | *no-op* |
+//! | `RegionOutage` | both ends of every member cluster's WAN link go down | every member cluster's nodes go unready |
 //!
 //! The no-ops **favour the baseline** — it never pays WAN latency, loss or
 //! corruption — so a completion-rate win for LIDC is conservative. The
@@ -36,6 +38,7 @@
 use std::collections::BTreeMap;
 
 use lidc_core::client::{ClientConfig, ScienceClient, Submit};
+use lidc_core::gateway::{ByzantineMode, SetByzantine};
 use lidc_core::naming::ComputeRequest;
 use lidc_core::overlay::{ClusterSpec, Overlay, OverlayConfig};
 use lidc_core::placement::PlacementPolicy;
@@ -134,6 +137,47 @@ impl ChaosConfig {
         }
     }
 
+    /// The byzantine-producer integrity scenario: from t=15s on, `east`'s
+    /// gateway answers every Interest with unsigned garbage (the
+    /// [`FaultKind::ByzantineProducer`] unsigned variant). No honest reply
+    /// from east ever arrives again, so completing the whole job stream
+    /// means the clients' resubmission path steered everything to the
+    /// honest clusters — and the first-hop verification gate must have
+    /// kept every poisoned reply out of every Content Store.
+    pub fn byzantine(seed: u64) -> Self {
+        let schedule = FaultSchedule::new().with(FaultEvent::permanent(
+            SimDuration::from_secs(15),
+            FaultKind::ByzantineProducer {
+                cluster: "east".into(),
+                signed: false,
+            },
+        ));
+        ChaosConfig {
+            schedule,
+            ..ChaosConfig::standard(seed)
+        }
+    }
+
+    /// The correlated region-outage scenario: `west` and `east` share the
+    /// "coastal" region and fail **together** at t=30s for 60s (one
+    /// [`FaultKind::RegionOutage`] firing cuts both WAN links in the LIDC
+    /// world and unreadies both node pools in the baseline world), then
+    /// heal together. Only `south` stays up during the outage.
+    pub fn region_outage(seed: u64) -> Self {
+        let schedule = FaultSchedule::new().with(FaultEvent::transient(
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(60),
+            FaultKind::RegionOutage {
+                region: "coastal".into(),
+                members: vec!["west".into(), "east".into()],
+            },
+        ));
+        ChaosConfig {
+            schedule,
+            ..ChaosConfig::standard(seed)
+        }
+    }
+
     fn client_config(&self) -> ClientConfig {
         ClientConfig {
             retries: 5,
@@ -172,6 +216,11 @@ pub struct ChaosOutcome {
     pub resubmissions: u64,
     /// Faults injected over the run.
     pub faults_injected: u64,
+    /// Data packets a forwarder refused on signature verification.
+    pub verify_failed: u64,
+    /// Verification failures that would have satisfied a PIT entry — the
+    /// packets that were one gate away from entering a Content Store.
+    pub cs_poison_rejected: u64,
     /// The controller's applied-fault timeline (one line per firing).
     pub fault_timeline: String,
 }
@@ -192,13 +241,16 @@ impl ChaosOutcome {
     /// thread count or shard count.
     pub fn fingerprint(&self) -> String {
         format!(
-            "{} submitted={} completed={} failed={} resubmits={} p99={:?}\n{}",
+            "{} submitted={} completed={} failed={} resubmits={} p99={:?} \
+             verify_failed={} poison_rejected={}\n{}",
             self.label,
             self.submitted,
             self.completed,
             self.failed,
             self.resubmissions,
             self.p99_turnaround,
+            self.verify_failed,
+            self.cs_poison_rejected,
             self.fault_timeline
         )
     }
@@ -221,6 +273,8 @@ struct LidcTargets {
     links: BTreeMap<String, (FaceId, ActorId, FaceId)>,
     /// name → k8s control-plane actor.
     k8s: BTreeMap<String, ActorId>,
+    /// name → gateway application actor (the byzantine-fault target).
+    gateways: BTreeMap<String, ActorId>,
     /// name → routing cost the cluster registered with (latency in µs);
     /// needed to re-announce a prefix when a `StaleFib` fault heals.
     costs: BTreeMap<String, u32>,
@@ -259,6 +313,27 @@ fn lidc_hook(t: LidcTargets) -> FaultHook {
             }
             FaultKind::PacketCorrupt { link, probability } => {
                 degrade(&t, ctx, link, inject, 1.0, 0.0, *probability);
+            }
+            FaultKind::ByzantineProducer { cluster, signed } => {
+                if let Some(&gateway) = t.gateways.get(cluster) {
+                    let mode = if *signed {
+                        ByzantineMode::SignedWrongName
+                    } else {
+                        ByzantineMode::UnsignedGarbage
+                    };
+                    ctx.send(gateway, SetByzantine(inject.then_some(mode)));
+                }
+            }
+            FaultKind::RegionOutage { region: _, members } => {
+                // One firing takes down every member cluster's WAN link
+                // (both ends, like LinkDown), modelling a correlated
+                // regional failure; recovery restores them together.
+                for member in members {
+                    if let Some(&(rf, gw, gf)) = t.links.get(member) {
+                        ctx.send(t.router, SetFaceUp { face: rf, up: !inject });
+                        ctx.send(gw, SetFaceUp { face: gf, up: !inject });
+                    }
+                }
             }
             FaultKind::StaleFib { prefix, cluster } => {
                 let (Ok(prefix), Some(&(face, _, _))) =
@@ -309,6 +384,24 @@ fn degrade(
     });
 }
 
+/// The poisoned-cache invariant: **no** forwarder may hold Data that
+/// fails signature verification, no matter what byzantine producers or
+/// bit-flipping links did during the run. Asserted over every shard of
+/// every listed forwarder's Content Store after each chaos run.
+pub fn assert_no_poisoned_cache(sim: &Sim, forwarders: &[(String, ActorId)]) {
+    for (label, id) in forwarders {
+        let fwd = sim.actor::<Forwarder>(*id).expect("forwarder");
+        for shard in fwd.cs().shards() {
+            for (name, data) in shard.entries() {
+                assert!(
+                    data.verify(None),
+                    "unverifiable Data cached in {label}'s Content Store: {name}"
+                );
+            }
+        }
+    }
+}
+
 /// The runtime half of the metric-key contract: the static lint proves
 /// literal keys are registered, this proves the *run* stayed inside the
 /// schema (dynamic keys included). Panics naming the drifted keys.
@@ -344,12 +437,14 @@ pub fn run_lidc_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     });
     let mut links = BTreeMap::new();
     let mut k8s = BTreeMap::new();
+    let mut gateways = BTreeMap::new();
     let mut costs = BTreeMap::new();
     for c in &overlay.clusters {
         let rf = overlay.face_of(&c.name).expect("router face");
         let gf = overlay.cluster_face_of(&c.name).expect("cluster face");
         links.insert(c.name.clone(), (rf, c.gateway_fwd, gf));
         k8s.insert(c.name.clone(), c.k8s.actor);
+        gateways.insert(c.name.clone(), c.gateway_app);
     }
     for (name, latency) in &cfg.clusters {
         let cost = u32::try_from(latency.as_nanos() / 1_000).unwrap_or(u32::MAX);
@@ -362,6 +457,7 @@ pub fn run_lidc_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             router: overlay.router,
             links,
             k8s,
+            gateways,
             costs,
         }),
     );
@@ -381,6 +477,11 @@ pub fn run_lidc_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         .expect("controller")
         .timeline_text();
     assert_metrics_registered(&sim);
+    let mut forwarders = vec![("router".to_owned(), overlay.router)];
+    for c in &overlay.clusters {
+        forwarders.push((format!("{}-nfd", c.name), c.gateway_fwd));
+    }
+    assert_no_poisoned_cache(&sim, &forwarders);
     ChaosOutcome {
         label: "lidc".into(),
         submitted: runs.len() as u32,
@@ -389,6 +490,8 @@ pub fn run_lidc_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         p99_turnaround: p99(turnarounds),
         resubmissions: sim.metrics_ref().counter("client.resubmissions"),
         faults_injected: sim.metrics_ref().counter("fault.injected"),
+        verify_failed: sim.metrics_ref().counter("ndn.verify_failed"),
+        cs_poison_rejected: sim.metrics_ref().counter("ndn.cs_poison_rejected"),
         fault_timeline: timeline,
     }
 }
@@ -415,8 +518,23 @@ fn baseline_hook(k8s: BTreeMap<String, (ActorId, Vec<String>)>) -> FaultHook {
                     });
                 }
             }
-            // The baseline has no WAN links to degrade — see the module
-            // docs: this bias favours the baseline.
+            FaultKind::RegionOutage { region: _, members } => {
+                // Correlated failure: every member cluster loses all of
+                // its nodes at once (the baseline has no WAN links to cut).
+                for member in members {
+                    if let Some((actor, nodes)) = k8s.get(member) {
+                        for node in nodes {
+                            ctx.send(*actor, SetNodeReady {
+                                node: node.clone(),
+                                ready: !inject,
+                            });
+                        }
+                    }
+                }
+            }
+            // The baseline has no WAN links to degrade and its producer
+            // (the controller itself) is trusted — see the module docs:
+            // these no-ops bias in the baseline's favour.
             _ => ctx.metrics().incr("fault.unmapped", 1),
         }
     })
@@ -466,6 +584,7 @@ pub fn run_baseline_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         .expect("controller")
         .timeline_text();
     assert_metrics_registered(&sim);
+    assert_no_poisoned_cache(&sim, &[("router".to_owned(), router)]);
     ChaosOutcome {
         label: "baseline".into(),
         submitted: runs.len() as u32,
@@ -474,6 +593,8 @@ pub fn run_baseline_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         p99_turnaround: p99(turnarounds),
         resubmissions: sim.metrics_ref().counter("client.resubmissions"),
         faults_injected: sim.metrics_ref().counter("fault.injected"),
+        verify_failed: sim.metrics_ref().counter("ndn.verify_failed"),
+        cs_poison_rejected: sim.metrics_ref().counter("ndn.cs_poison_rejected"),
         fault_timeline: timeline,
     }
 }

@@ -198,6 +198,13 @@ impl CentralClient {
     }
 
     fn on_data(&mut self, data: Data, ctx: &mut Ctx<'_>) {
+        // Same defense-in-depth as the LIDC client: re-verify the received
+        // packet and treat a bad signature like a timeout.
+        if !data.verify(None) {
+            ctx.metrics().incr("client.verify_failed", 1);
+            self.on_failure(Interest::new(data.name.clone()), "verify", ctx);
+            return;
+        }
         let name = data.name.clone();
         // Drain every record waiting on the name (submission order).
         if let Some(records) = self.active_submits.remove(&name) {

@@ -399,7 +399,9 @@ fn bench_parallel_ingress(c: &mut Criterion) {
         fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
             if let Ok(rx) = msg.downcast::<AppRx>() {
                 if let Packet::Interest(i) = rx.packet {
-                    let data = Data::new(i.name, self.payload.clone());
+                    // Signed: forwarders verify Data before CS admission,
+                    // so an unsigned reply would be dropped at the gate.
+                    let data = Data::new(i.name, self.payload.clone()).sign_digest();
                     ctx.send(self.fwd, Rx {
                         face: rx.face,
                         packet: Packet::Data(data),
@@ -761,6 +763,19 @@ fn bench_chaos_recovery(c: &mut Criterion) {
     g.bench_function("recovery_latency", |b| {
         b.iter(|| {
             let mut cfg = ChaosConfig::standard(42);
+            cfg.jobs = 4;
+            cfg.horizon = SimDuration::from_mins(10);
+            black_box(run_lidc_chaos(&cfg).completed)
+        })
+    });
+    // The verification-heavy path: a byzantine gateway forges every reply,
+    // so every hop verifies and the broken packets ride the full
+    // reject → strike → resubmit pipeline. Compared against
+    // `recovery_latency` (honest traffic, verification still on) in the
+    // trajectory, this prices the integrity machinery under attack.
+    g.bench_function("verify_overhead", |b| {
+        b.iter(|| {
+            let mut cfg = ChaosConfig::byzantine(42);
             cfg.jobs = 4;
             cfg.horizon = SimDuration::from_mins(10);
             black_box(run_lidc_chaos(&cfg).completed)

@@ -293,11 +293,23 @@ pub fn experiment(args: &Args) -> CmdResult {
 }
 
 /// `lidc chaos` — run LIDC and the centralized baseline under the *same*
-/// deterministic fault schedule (a permanent cluster outage plus transient
-/// node crashes) and print the side-by-side outcome.
+/// deterministic fault schedule and print the side-by-side outcome.
+/// `--schedule` picks the storm: `standard` (a permanent cluster outage
+/// plus transient node crashes), `byzantine` (one cluster's gateway
+/// forges every reply — see docs/INTEGRITY.md), or `region-outage`
+/// (a correlated two-cluster outage that heals).
 pub fn chaos(args: &Args) -> CmdResult {
     let seed = args.get_u64("seed", 42)?;
-    let mut cfg = ChaosConfig::standard(seed);
+    let mut cfg = match args.get_or("schedule", "standard") {
+        "standard" => ChaosConfig::standard(seed),
+        "byzantine" => ChaosConfig::byzantine(seed),
+        "region-outage" => ChaosConfig::region_outage(seed),
+        other => {
+            return Err(format!(
+                "unknown --schedule {other:?} (expected standard, byzantine, or region-outage)"
+            ))
+        }
+    };
     cfg.jobs = u32::try_from(args.get_u64("jobs", u64::from(cfg.jobs))?)
         .map_err(|_| "--jobs out of range".to_owned())?;
     cfg.threads = usize::try_from(args.get_u64("threads", 1)?).unwrap_or(1);
@@ -338,7 +350,7 @@ COMMANDS
   topology    show overlay members, latencies and routed prefixes
   chaos       LIDC vs centralized baseline under one deterministic fault
               schedule [--jobs N] [--threads N] [--forwarder-shards N]
-              [--horizon]
+              [--horizon] [--schedule standard|byzantine|region-outage]
   experiment  list the table/figure reproduction harnesses
   help        this text
 

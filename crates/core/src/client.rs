@@ -300,6 +300,17 @@ impl ScienceClient {
     }
 
     fn on_data(&mut self, data: Data, ctx: &mut Ctx<'_>) {
+        // Defense in depth: forwarders already refuse to cache or deliver
+        // unverifiable Data, but the client re-checks the signature on the
+        // packet it actually received (the last hop is an app face with no
+        // verification of its own). A bad packet is treated exactly like a
+        // timeout so the resubmission/backoff path steers around the
+        // offending producer.
+        if !data.verify(None) {
+            ctx.metrics().incr("client.verify_failed", 1);
+            self.on_failure(Interest::new(data.name.clone()), "verify", ctx);
+            return;
+        }
         let name = data.name.clone();
         // Drain *every* record waiting on the name: duplicate submissions
         // share one Interest, so one reply settles all of them (records

@@ -150,6 +150,25 @@ struct CheckJob {
     job_id: String,
 }
 
+/// How a byzantine gateway mangles its replies (fault injection: the
+/// `FaultKind::ByzantineProducer` hook flips this on and off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzantineMode {
+    /// Replies keep their name but carry garbage content and no signature:
+    /// the first-hop forwarder's verification gate rejects them before
+    /// they can satisfy a PIT entry or enter any Content Store.
+    UnsignedGarbage,
+    /// Replies are correctly digest-signed but carry a name nobody asked
+    /// for: verification passes, so only PIT matching (the unsolicited-Data
+    /// drop) stands between the packet and the cache.
+    SignedWrongName,
+}
+
+/// Control message: put the gateway into (or take it out of) byzantine
+/// mode. `None` restores honest behaviour.
+#[derive(Debug)]
+pub struct SetByzantine(pub Option<ByzantineMode>);
+
 /// The gateway actor.
 pub struct Gateway {
     producer: Option<Producer>,
@@ -161,6 +180,8 @@ pub struct Gateway {
     predictor: SharedPredictor,
     jobs: HashMap<String, JobRecord>,
     next_job: u64,
+    /// Active byzantine fault, if any (see [`SetByzantine`]).
+    byzantine: Option<ByzantineMode>,
     /// Statistics.
     pub stats: GatewayStats,
 }
@@ -182,6 +203,7 @@ impl Gateway {
             predictor: Arc::new(RwLock::new(RuntimePredictor::new())), // lidc-lint: allow(actor-isolation) reason="constructor for the SharedPredictor handle justified on the alias"
             jobs: HashMap::new(),
             next_job: 0,
+            byzantine: None,
             stats: GatewayStats::default(),
         }
     }
@@ -209,8 +231,45 @@ impl Gateway {
     }
 
     fn reply(&self, ctx: &mut Ctx<'_>, data: Data) {
+        // Single egress chokepoint: every Data this gateway emits passes
+        // through here, so an active byzantine fault corrupts all of them.
+        let data = match self.byzantine {
+            None => data,
+            Some(mode) => {
+                ctx.metrics().incr("gateway.byzantine_replies", 1);
+                Self::sabotage(mode, data)
+            }
+        };
         // lidc-lint: allow(panic-path) reason="deploy() installs the producer before the gateway id escapes, so no Interest can arrive while it is None"
         self.producer.expect("gateway deployed").reply(ctx, data);
+    }
+
+    /// Mangle an honest reply per the active [`ByzantineMode`]. Pure and
+    /// deterministic in the input (garbage bytes are an FNV keystream over
+    /// the name), so byzantine runs fingerprint-stably.
+    fn sabotage(mode: ByzantineMode, data: Data) -> Data {
+        match mode {
+            ByzantineMode::UnsignedGarbage => {
+                let seed = fnv(data.name.to_uri().as_bytes());
+                let garbage: Vec<u8> = (0..data.content.len().max(16))
+                    .map(|i| (seed.rotate_left((i % 57) as u32) ^ i as u64) as u8)
+                    .collect();
+                // No signing step: the signature stays empty, which
+                // `Data::verify` rejects at the first verifying forwarder.
+                let mut bad = Data::new(data.name, garbage).with_content_type(data.content_type);
+                bad.freshness = data.freshness;
+                bad
+            }
+            ByzantineMode::SignedWrongName => {
+                // A perfectly valid signature over a name nobody asked
+                // for: PIT matching (the unsolicited-Data drop) is the
+                // only remaining defense, and it must hold.
+                let wrong = data.name.child_str("byzantine");
+                let mut bad = Data::new(wrong, data.content).with_content_type(data.content_type);
+                bad.freshness = data.freshness;
+                bad.sign_digest()
+            }
+        }
     }
 
     fn reply_nack(&mut self, ctx: &mut Ctx<'_>, name: Name, message: String) {
@@ -724,6 +783,13 @@ impl Actor for Gateway {
             }
             Err(m) => m,
         };
+        let msg = match msg.downcast::<SetByzantine>() {
+            Ok(set) => {
+                self.byzantine = set.0;
+                return;
+            }
+            Err(m) => m,
+        };
         if let Ok(check) = msg.downcast::<CheckJob>() {
             self.on_check_job(check.job_id, ctx);
         }
@@ -779,6 +845,24 @@ impl Actor for Gateway {
                             }
                         }
                     }
+                    continue;
+                }
+                Err(m) => m,
+            };
+            let msg = match msg.downcast::<SetByzantine>() {
+                Ok(set) => {
+                    // Changes how every later reply is built; flush the
+                    // open runs so earlier requests get the behaviour in
+                    // force when they arrived.
+                    if !computes.is_empty() {
+                        let run = std::mem::take(&mut computes);
+                        self.on_compute_batch(run, ctx);
+                    }
+                    if !statuses.is_empty() {
+                        let run = std::mem::take(&mut statuses);
+                        self.on_status_batch(run, ctx);
+                    }
+                    self.byzantine = set.0;
                     continue;
                 }
                 Err(m) => m,

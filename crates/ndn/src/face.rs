@@ -86,8 +86,12 @@ pub struct LinkProps {
     /// Runtime degradation: loss probability *added* to `loss` (0.0 =
     /// healthy). Applied by [`LinkProps::effective_loss`].
     pub extra_loss: f64,
-    /// Runtime degradation: per-packet corruption probability. A corrupted
-    /// packet is dropped on send (it would fail its digest on receive).
+    /// Runtime degradation: per-packet corruption probability. What happens
+    /// to a corrupted packet is the forwarder's
+    /// [`CorruptionMode`](crate::forwarder::CorruptionMode): the default
+    /// bit-flips Data in flight and lets signature verification catch the
+    /// damage downstream; the legacy mode drops the packet *at the link*
+    /// (an idealization that assumes a perfect checksum at every hop).
     pub corrupt: f64,
 }
 

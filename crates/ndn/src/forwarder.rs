@@ -133,8 +133,28 @@ pub struct DegradeLink {
     pub latency_factor: f64,
     /// Loss probability added to the link's base loss.
     pub extra_loss: f64,
-    /// Per-packet corruption probability (corrupted packets are dropped).
+    /// Per-packet corruption probability. What a corrupted packet turns
+    /// into is the sender's [`CorruptionMode`].
     pub corrupt: f64,
+}
+
+/// What the link model does to a packet its corruption draw selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorruptionMode {
+    /// Honest corruption: flip one seeded bit of a Data packet (content or
+    /// signature bytes) and transmit the damaged packet — the error travels
+    /// downstream until signature verification catches it at the next
+    /// verify point (`ndn.link_corrupt_flips`). Interests and Nacks carry
+    /// no signature for a verifier to check, so they are still dropped at
+    /// the link (`ndn.link_corrupt_drops`), as is the rare Data with no
+    /// flippable bytes.
+    #[default]
+    BitFlip,
+    /// Legacy idealization: the corrupted packet is dropped *at the link*,
+    /// before it ever reaches the peer (`ndn.link_corrupt_drops`) — as if
+    /// every hop ran a perfect checksum. Kept behind this flag for
+    /// scenarios pinned to the PR-6 corruption semantics.
+    Drop,
 }
 
 /// Register a route (RIB entry flattened straight into the FIB).
@@ -205,6 +225,24 @@ pub struct ForwarderConfig {
     /// but never zero; a nonzero default also keeps request/response
     /// timestamps strictly ordered in single-cluster worlds.
     pub app_face_latency: lidc_simcore::time::SimDuration,
+    /// Verify every Data's signature before it can satisfy PIT entries or
+    /// enter the Content Store (the cache-poisoning defense; see
+    /// docs/INTEGRITY.md). An unverifiable Data counts `ndn.verify_failed`,
+    /// leaves the PIT untouched (retransmissions and alternate upstreams
+    /// keep working), and — when it would have been cached — counts
+    /// `ndn.cs_poison_rejected` and records a quarantine strike against the
+    /// ingress face. Default on; turn off only for benches isolating
+    /// non-crypto forwarding cost.
+    pub verify_data: bool,
+    /// What the link corruption model does to a packet it damages.
+    pub corruption: CorruptionMode,
+    /// Decayed verification-failure strike count at which an ingress face
+    /// is quarantined: while at or above this, the face is skipped as a
+    /// next hop whenever an alternate exists (`ndn.quarantine_skips`).
+    pub quarantine_threshold: f64,
+    /// Half-life of the decaying strike counter: a face that stops failing
+    /// verification re-earns trust on this timescale.
+    pub quarantine_halflife: lidc_simcore::time::SimDuration,
 }
 
 impl Default for ForwarderConfig {
@@ -215,6 +253,10 @@ impl Default for ForwarderConfig {
             dnl_capacity: 8192,
             shards: 1,
             app_face_latency: lidc_simcore::time::SimDuration::from_micros(50),
+            verify_data: true,
+            corruption: CorruptionMode::BitFlip,
+            quarantine_threshold: 3.0,
+            quarantine_halflife: lidc_simcore::time::SimDuration::from_secs(30),
         }
     }
 }
@@ -343,6 +385,14 @@ enum PhasedOutcome {
     },
     /// Data matched no PIT entry (not cached, mirroring the serial path).
     Unsolicited,
+    /// Data failed signature verification: never cached, PIT untouched.
+    /// `poisoned` is true when PIT entries would have been satisfied (a
+    /// cache-poisoning attempt, not line noise on an idle path).
+    VerifyFailed {
+        in_face: FaceId,
+        name: Name,
+        poisoned: bool,
+    },
     /// Data satisfied one or more exact PIT entries.
     DataDeliver {
         data: Data,
@@ -406,6 +456,7 @@ fn shard_data(
     keys: &mut Vec<PitKey>,
     fib: &Fib,
     now: SimTime,
+    verify: bool,
     data: Data,
     in_face: FaceId,
 ) -> PhasedOutcome {
@@ -413,6 +464,14 @@ fn shard_data(
     // Exact probes already emit in the deterministic match order (plain
     // selector before MustBeFresh, same name).
     pit.match_exact_append(&data.name, keys);
+    // Verify gate (serial twin: the same check in `Forwarder::on_data`).
+    // Verification is pure per-packet CPU work, so it belongs in the shard
+    // phase; the merge phase replays the metrics and quarantine strike.
+    if verify && !data.verify(None) {
+        let poisoned = !keys.is_empty();
+        keys.clear();
+        return PhasedOutcome::VerifyFailed { in_face, name: data.name, poisoned };
+    }
     if keys.is_empty() {
         return PhasedOutcome::Unsolicited;
     }
@@ -456,6 +515,7 @@ fn run_shard_phase(
     scratch: &mut ShardScratch,
     fib: &Fib,
     now: SimTime,
+    verify: bool,
 ) {
     let ShardScratch {
         packets,
@@ -466,7 +526,7 @@ fn run_shard_phase(
     for (idx, face, packet) in packets.drain(..) {
         let outcome = match packet {
             Packet::Interest(i) => shard_interest(pit, cs, dnl, now, face, i),
-            Packet::Data(d) => shard_data(pit, cs, dnl, keys, fib, now, d, face),
+            Packet::Data(d) => shard_data(pit, cs, dnl, keys, fib, now, verify, d, face),
             // lidc-lint: allow(panic-path) reason="phased runs pre-filter nacks onto the serial path, so shard batches hold only interests and data"
             Packet::Nack(_) => unreachable!("nacks never enter the phased path"),
         };
@@ -511,6 +571,11 @@ pub struct Forwarder {
     shard_scratch: Vec<ShardScratch>,
     /// Reused arrival-order packet buffer for the current burst run.
     run_buf: Vec<(FaceId, Packet)>,
+    /// Decaying per-face verification-failure strikes:
+    /// `face → (strike count at last update, last update instant)`. Point
+    /// lookups only — never iterated — so map order cannot leak into
+    /// behavior. See [`ForwarderConfig::quarantine_threshold`].
+    quarantine: FxHashMap<FaceId, (f64, SimTime)>,
 }
 
 /// Bursts below this size run the shard phase serially: scoped-thread
@@ -555,6 +620,7 @@ impl Forwarder {
             tx_spare: Vec::new(),
             shard_scratch: (0..shards).map(|_| ShardScratch::default()).collect(),
             run_buf: Vec::new(),
+            quarantine: FxHashMap::default(),
             config,
         }
     }
@@ -629,6 +695,58 @@ impl Forwarder {
         self.dnl[s].insert(name, nonce);
     }
 
+    /// Strike count for `face` decayed to `now` (pure function of the
+    /// stored `(count, last_update)` pair — deterministic at any thread
+    /// count).
+    fn decayed_strikes(&self, face: FaceId, now: SimTime) -> f64 {
+        let Some((count, at)) = self.quarantine.get(&face) else {
+            return 0.0;
+        };
+        let dt = now.since(*at).as_secs_f64();
+        let halflife = self.config.quarantine_halflife.as_secs_f64().max(1e-9);
+        count * 0.5f64.powf(dt / halflife)
+    }
+
+    /// True while `face`'s decayed strikes sit at or above the quarantine
+    /// threshold (public for tests/diagnostics).
+    pub fn is_quarantined(&self, face: FaceId, now: SimTime) -> bool {
+        self.decayed_strikes(face, now) >= self.config.quarantine_threshold
+    }
+
+    /// Record one verification-failure strike against an ingress face.
+    fn record_verify_strike(&mut self, face: FaceId, now: SimTime, ctx: &mut Ctx<'_>) {
+        let strikes = self.decayed_strikes(face, now) + 1.0;
+        self.quarantine.insert(face, (strikes, now));
+        ctx.metrics().incr("ndn.quarantine_strikes", 1);
+    }
+
+    /// Shared handling of a Data that failed signature verification
+    /// (serial path and phased merge replay): count it, and when it was a
+    /// poisoning attempt (PIT entries would have been satisfied), strike
+    /// the ingress face and tell the strategy so forwarding steers away.
+    /// The PIT is deliberately left untouched — downstream retransmissions
+    /// and alternate upstreams still have a live entry to satisfy.
+    fn on_verify_failed(
+        &mut self,
+        in_face: FaceId,
+        name: &Name,
+        poisoned: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        ctx.metrics().incr("ndn.verify_failed", 1);
+        if !poisoned {
+            return;
+        }
+        ctx.metrics().incr("ndn.cs_poison_rejected", 1);
+        self.record_verify_strike(in_face, ctx.now(), ctx);
+        if let Some(fib_entry) = self.fib.lookup(name) {
+            let prefix = fib_entry.prefix.clone();
+            let sidx = self.strategy_index_for(name);
+            // lidc-lint: allow(panic-path) reason="strategy_index_for scans self.strategies and falls back to 0, and the table always holds the default strategy at index 0"
+            self.strategies[sidx].1.on_failure(&prefix, in_face);
+        }
+    }
+
     fn strategy_index_for(&self, name: &Name) -> usize {
         let mut best: usize = 0;
         let mut best_len: isize = -1;
@@ -680,12 +798,32 @@ impl Forwarder {
                     ctx.metrics().incr("ndn.link_loss_drops", 1);
                     return;
                 }
+                // Corruption: one draw decides *whether* the packet is
+                // damaged (no draw at all while the link is healthy, so
+                // seeded runs without corruption faults are unchanged);
+                // the mode decides what the damage looks like. BitFlip
+                // draws one extra u64 to pick the bit — only on the
+                // already-rare corrupting branch.
+                let mut packet = packet;
                 if props.corrupt > 0.0 && ctx.rng().next_bool(props.corrupt) {
-                    // lidc-lint: allow(panic-path) reason="send_packet's guarded head already resolved face_id and returned on a miss; the map is untouched since"
-                    let face = self.faces.get_mut(&face_id).expect("face exists");
-                    face.counters.dropped += 1;
-                    ctx.metrics().incr("ndn.link_corrupt_drops", 1);
-                    return;
+                    let flipped = match (&self.config.corruption, &mut packet) {
+                        (CorruptionMode::BitFlip, Packet::Data(data)) => {
+                            let bit = ctx.rng().next_u64();
+                            data.flip_bit(bit)
+                        }
+                        // Drop mode, Interests, Nacks, and unflippable Data
+                        // all fall back to the link-level drop.
+                        _ => false,
+                    };
+                    if flipped {
+                        ctx.metrics().incr("ndn.link_corrupt_flips", 1);
+                    } else {
+                        // lidc-lint: allow(panic-path) reason="send_packet's guarded head already resolved face_id and returned on a miss; the map is untouched since"
+                        let face = self.faces.get_mut(&face_id).expect("face exists");
+                        face.counters.dropped += 1;
+                        ctx.metrics().incr("ndn.link_corrupt_drops", 1);
+                        return;
+                    }
                 }
                 // Serialisation delay only matters on rate-limited links.
                 let transmit = match props.bandwidth_bps {
@@ -862,7 +1000,7 @@ impl Forwarder {
             return;
         };
         let prefix = entry.prefix.clone();
-        let eligible: Vec<NextHop> = entry
+        let mut eligible: Vec<NextHop> = entry
             .nexthops
             .iter()
             .filter(|nh| {
@@ -875,6 +1013,20 @@ impl Forwarder {
             })
             .copied()
             .collect();
+        // Quarantine filter: skip next hops whose face is serving
+        // unverifiable Data — but only while an untainted alternate
+        // exists (availability beats purity when every route is suspect).
+        if !self.quarantine.is_empty() {
+            let now = ctx.now();
+            let suspect = eligible
+                .iter()
+                .filter(|nh| self.is_quarantined(nh.face, now))
+                .count();
+            if suspect > 0 && suspect < eligible.len() {
+                eligible.retain(|nh| !self.is_quarantined(nh.face, now));
+                ctx.metrics().incr("ndn.quarantine_skips", suspect as u64);
+            }
+        }
         let sidx = self.strategy_index_for(&interest.name);
         let selected = {
             // lidc-lint: allow(panic-path) reason="strategy_index_for scans self.strategies and falls back to 0, and the table always holds the default strategy at index 0"
@@ -912,6 +1064,16 @@ impl Forwarder {
         }
         let mut keys = std::mem::take(&mut self.pit_match_scratch);
         self.pit.match_data_into(&data.name, &mut keys);
+        // Verify gate, *before* CS admission and PIT satisfaction: an
+        // unverifiable Data is never cached and never consumes the PIT
+        // entries it targeted (phased twin: `shard_data`'s VerifyFailed).
+        if self.config.verify_data && !data.verify(None) {
+            let poisoned = !keys.is_empty();
+            keys.clear();
+            self.pit_match_scratch = keys;
+            self.on_verify_failed(in_face, &data.name, poisoned, ctx);
+            return;
+        }
         if keys.is_empty() {
             self.pit_match_scratch = keys;
             ctx.metrics().incr("ndn.unsolicited_data", 1);
@@ -1345,6 +1507,7 @@ impl Forwarder {
         let threaded = parallel && host_parallelism() > 1;
         {
             let fib = &self.fib;
+            let verify = self.config.verify_data;
             let work = self
                 .pit
                 .shards_mut()
@@ -1356,12 +1519,14 @@ impl Forwarder {
             if threaded {
                 std::thread::scope(|scope| {
                     for (((pit, cs), dnl), scratch) in work {
-                        scope.spawn(move || run_shard_phase(pit, cs, dnl, scratch, fib, now));
+                        scope.spawn(move || {
+                            run_shard_phase(pit, cs, dnl, scratch, fib, now, verify)
+                        });
                     }
                 });
             } else {
                 for (((pit, cs), dnl), scratch) in work {
-                    run_shard_phase(pit, cs, dnl, scratch, fib, now);
+                    run_shard_phase(pit, cs, dnl, scratch, fib, now, verify);
                 }
             }
         }
@@ -1466,6 +1631,9 @@ impl Forwarder {
                 self.forward_interest(in_face, interest, key, retransmission, ctx);
             }
             PhasedOutcome::Unsolicited => ctx.metrics().incr("ndn.unsolicited_data", 1),
+            PhasedOutcome::VerifyFailed { in_face, name, poisoned } => {
+                self.on_verify_failed(in_face, &name, poisoned, ctx);
+            }
             PhasedOutcome::DataDeliver { data, satisfied } => {
                 // Serial twin snapshots the byte peak after each CS insert
                 // (i.e. exactly once per delivered — not unsolicited —

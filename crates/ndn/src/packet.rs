@@ -425,6 +425,39 @@ impl Data {
         self
     }
 
+    /// True when this packet carries a signature value. Unsigned Data
+    /// (fresh from [`Data::new`]) never verifies, so the data plane treats
+    /// it like a verification failure rather than a special case.
+    pub fn is_signed(&self) -> bool {
+        !self.signature.value.is_empty()
+    }
+
+    /// Deterministically flip one bit of the packet, chosen by `index`
+    /// modulo the flippable bit count (content bytes first, then signature
+    /// bytes). Models in-flight corruption honestly: the damaged packet
+    /// keeps travelling and [`Data::verify`] catches it at the next verify
+    /// point. Returns `false` (packet untouched) when there is nothing to
+    /// flip — an unsigned, empty-content Data.
+    pub fn flip_bit(&mut self, index: u64) -> bool {
+        let content_bits = self.content.len() as u64 * 8;
+        let total_bits = content_bits + self.signature.value.len() as u64 * 8;
+        if total_bits == 0 {
+            return false;
+        }
+        let bit = index % total_bits;
+        let flip = |bytes: &Bytes, bit: u64| {
+            let mut buf = bytes.to_vec();
+            buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+            Bytes::from(buf)
+        };
+        if bit < content_bits {
+            self.content = flip(&self.content, bit);
+        } else {
+            self.signature.value = flip(&self.signature.value, bit - content_bits);
+        }
+        true
+    }
+
     /// Verify the signature: digest recomputation, or HMAC under `key`
     /// (required iff the flavour is HMAC).
     pub fn verify(&self, key: Option<&[u8]>) -> bool {
@@ -742,6 +775,33 @@ mod tests {
         let mut tampered = d.clone();
         tampered.content = Bytes::copy_from_slice(b"PAYLOAD");
         assert!(!tampered.verify(None));
+    }
+
+    #[test]
+    fn flip_bit_breaks_verification_everywhere() {
+        let d = Data::new(name!("/a"), &b"payload"[..]).sign_digest();
+        let total_bits = (d.content.len() + d.signature.value.len()) as u64 * 8;
+        for index in [0, 7, 55, total_bits - 1, total_bits, total_bits + 13] {
+            let mut flipped = d.clone();
+            assert!(flipped.flip_bit(index));
+            assert!(!flipped.verify(None), "bit {index} flipped but still verifies");
+            // Flipping the same bit again restores the packet exactly.
+            assert!(flipped.flip_bit(index));
+            assert_eq!(flipped, d);
+        }
+    }
+
+    #[test]
+    fn flip_bit_on_unflippable_packet_is_a_noop() {
+        let mut empty = Data::new(name!("/a"), Bytes::new());
+        assert!(!empty.is_signed());
+        assert!(!empty.flip_bit(3));
+        assert_eq!(empty, Data::new(name!("/a"), Bytes::new()));
+        // Signed-empty still has signature bits to flip.
+        let mut signed = Data::new(name!("/a"), Bytes::new()).sign_digest();
+        assert!(signed.is_signed());
+        assert!(signed.flip_bit(3));
+        assert!(!signed.verify(None));
     }
 
     #[test]

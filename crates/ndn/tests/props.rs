@@ -744,3 +744,202 @@ proptest! {
         prop_assert_eq!(names_single, sharded.names());
     }
 }
+
+// --- end-to-end integrity: signing, bit flips, cache admission --------------
+
+proptest! {
+    /// Sign → (optionally flip one seeded bit of the signed portion) →
+    /// verify: verification accepts **iff** nothing was flipped, for both
+    /// signature flavours. This is the exact pipeline a Data packet rides
+    /// through a corrupting link (see docs/INTEGRITY.md).
+    #[test]
+    fn verification_accepts_iff_no_bit_flipped(
+        name in arb_text_name(),
+        content in proptest::collection::vec(any::<u8>(), 0..128),
+        hmac in any::<bool>(),
+        key in proptest::collection::vec(any::<u8>(), 1..32),
+        flip in any::<Option<u64>>(),
+    ) {
+        let data = if hmac {
+            Data::new(name, content).sign_hmac(Name::parse("/keys/k1").unwrap(), &key)
+        } else {
+            Data::new(name, content).sign_digest()
+        };
+        let mut received = data.clone();
+        let flipped = match flip {
+            Some(bit) => received.flip_bit(bit),
+            None => false,
+        };
+        // Both flavours carry a 32-byte signature, so a flip always lands.
+        prop_assert_eq!(flipped, flip.is_some());
+        let key = if hmac { Some(&key[..]) } else { None };
+        prop_assert_eq!(received.verify(key), !flipped, "verify ⇔ unflipped");
+    }
+}
+
+/// How the scripted producer answers one request in the cache-admission
+/// property below.
+#[derive(Debug, Clone, Copy)]
+enum ReplyKind {
+    /// Honest: digest-signed under the requested name.
+    Signed,
+    /// Unsigned garbage under the requested name (byzantine producer).
+    Unsigned,
+    /// Digest-signed, then one seeded bit flipped (corrupting link).
+    Tampered(u64),
+    /// Correctly signed under a name nobody asked for (signed-wrong-name
+    /// byzantine variant: verification passes, PIT matching must hold).
+    WrongName,
+}
+
+prop_compose! {
+    fn arb_tampered()(bit in proptest::num::u64::ANY) -> ReplyKind {
+        ReplyKind::Tampered(bit)
+    }
+}
+
+fn arb_reply_kind() -> impl Strategy<Value = ReplyKind> {
+    prop_oneof![
+        Just(ReplyKind::Signed),
+        Just(ReplyKind::Unsigned),
+        arb_tampered(),
+        Just(ReplyKind::WrongName),
+    ]
+}
+
+/// Replies to the i-th arriving Interest per `script[i]`.
+struct ScriptedProducer {
+    producer: Option<lidc_ndn::app::Producer>,
+    script: Vec<ReplyKind>,
+    served: usize,
+}
+
+impl lidc_simcore::engine::Actor for ScriptedProducer {
+    fn on_message(&mut self, msg: lidc_simcore::engine::Msg, ctx: &mut lidc_simcore::engine::Ctx<'_>) {
+        use lidc_ndn::packet::Packet;
+        if let Ok(rx) = msg.downcast::<lidc_ndn::forwarder::AppRx>() {
+            if let Packet::Interest(interest) = rx.packet {
+                let kind = self.script[self.served % self.script.len()];
+                self.served += 1;
+                let honest = Data::new(interest.name.clone(), &b"payload"[..])
+                    .with_freshness(SimDuration::from_secs(60));
+                let reply = match kind {
+                    ReplyKind::Signed => honest.sign_digest(),
+                    ReplyKind::Unsigned => honest,
+                    ReplyKind::Tampered(bit) => {
+                        let mut d = honest.sign_digest();
+                        d.flip_bit(bit);
+                        d
+                    }
+                    ReplyKind::WrongName => {
+                        Data::new(interest.name.child_str("wrong"), &b"payload"[..])
+                            .with_freshness(SimDuration::from_secs(60))
+                            .sign_digest()
+                    }
+                };
+                self.producer.unwrap().reply(ctx, reply);
+            }
+        }
+    }
+}
+
+/// Fires one Interest per scripted reply, 1 ms apart.
+struct ScriptedConsumer {
+    consumer: Option<lidc_ndn::app::Consumer>,
+}
+struct Express(Interest);
+
+impl lidc_simcore::engine::Actor for ScriptedConsumer {
+    fn on_message(&mut self, msg: lidc_simcore::engine::Msg, ctx: &mut lidc_simcore::engine::Ctx<'_>) {
+        let msg = match msg.downcast::<Express>() {
+            Ok(e) => {
+                self.consumer.as_mut().unwrap().express(ctx, e.0, 0);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<lidc_ndn::forwarder::AppRx>() {
+            Ok(rx) => {
+                self.consumer.as_mut().unwrap().on_app_rx(&rx);
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(t) = msg.downcast::<lidc_ndn::app::RetxTimer>() {
+            self.consumer.as_mut().unwrap().on_timer(ctx, &t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cache-admission safety: for **any** sequence of producer behaviours
+    /// — honest, unsigned, bit-flipped, or signed-under-the-wrong-name —
+    /// the forwarder's Content Store ends up holding exactly the honest
+    /// replies and nothing that fails verification. The two broken
+    /// flavours are counted at the verification gate; the wrong-name
+    /// flavour verifies but dies at PIT matching.
+    #[test]
+    fn no_reply_sequence_admits_unverifiable_data_into_the_cs(
+        script in proptest::collection::vec(arb_reply_kind(), 1..24),
+        seed in any::<u64>(),
+    ) {
+        use lidc_ndn::app::{Consumer, Producer};
+        use lidc_ndn::face::FaceIdAlloc;
+        use lidc_ndn::forwarder::{Forwarder, ForwarderConfig};
+        use lidc_ndn::net::attach_app;
+        use lidc_simcore::engine::Sim;
+
+        let mut sim = Sim::new(seed);
+        let alloc = FaceIdAlloc::new();
+        let fwd = sim.spawn("fwd", Forwarder::new("fwd", ForwarderConfig::default()));
+        let producer = sim.spawn("producer", ScriptedProducer {
+            producer: None,
+            script: script.clone(),
+            served: 0,
+        });
+        let pface = attach_app(&mut sim, fwd, producer, &alloc);
+        sim.actor_mut::<ScriptedProducer>(producer).unwrap().producer =
+            Some(Producer::new(fwd, pface));
+        let prefix = Name::parse("/lab").unwrap();
+        sim.actor_mut::<Forwarder>(fwd)
+            .unwrap()
+            .register_prefix(prefix.clone(), pface, 0);
+        let consumer = sim.spawn("consumer", ScriptedConsumer { consumer: None });
+        let cface = attach_app(&mut sim, fwd, consumer, &alloc);
+        sim.actor_mut::<ScriptedConsumer>(consumer).unwrap().consumer =
+            Some(Consumer::new(fwd, cface));
+        for (i, _) in script.iter().enumerate() {
+            let interest = Interest::new(prefix.clone().child_str(&format!("obj{i}")))
+                .with_lifetime(SimDuration::from_millis(500));
+            sim.send_after(SimDuration::from_millis(i as u64), consumer, Express(interest));
+        }
+        sim.run();
+
+        let signed = script.iter().filter(|k| matches!(k, ReplyKind::Signed)).count();
+        let broken = script
+            .iter()
+            .filter(|k| matches!(k, ReplyKind::Unsigned | ReplyKind::Tampered(_)))
+            .count();
+        let fwd = sim.actor::<Forwarder>(fwd).unwrap();
+        let mut cached = 0usize;
+        for shard in fwd.cs().shards() {
+            for (name, data) in shard.entries() {
+                prop_assert!(data.verify(None), "unverifiable Data cached: {name}");
+                cached += 1;
+            }
+        }
+        prop_assert_eq!(cached, signed, "exactly the honest replies were cached");
+        prop_assert_eq!(
+            sim.metrics_ref().counter("ndn.verify_failed"),
+            broken as u64,
+            "every broken reply was refused at the verification gate"
+        );
+        prop_assert_eq!(
+            sim.metrics_ref().counter("ndn.cs_poison_rejected"),
+            broken as u64,
+            "every broken reply would have satisfied a PIT entry"
+        );
+    }
+}

@@ -87,13 +87,37 @@ pub enum FaultKind {
         /// Cluster whose advertisement is withdrawn.
         cluster: String,
     },
-    /// A link corrupts a fraction of packets in flight (dropped on receive,
-    /// as a corrupted NDN packet fails its digest check).
+    /// A link corrupts a fraction of packets in flight. How a corrupted
+    /// packet manifests is the receiving stack's choice: the NDN layer's
+    /// legacy mode drops it *at the link* (an idealization), while its
+    /// bit-flip mode delivers the damaged bytes downstream so signature
+    /// verification catches them at the first verify point (see
+    /// docs/INTEGRITY.md).
     PacketCorrupt {
         /// Link label.
         link: String,
         /// Per-packet corruption probability.
         probability: f64,
+    },
+    /// A producer turns byzantine: it keeps answering, but with wrong
+    /// bytes. `signed = false` serves unsigned garbage (fails signature
+    /// verification at the first hop); `signed = true` serves correctly
+    /// signed Data under the wrong name (verifiable, but never matches
+    /// the consumer's Interest, so it dies as unsolicited Data).
+    ByzantineProducer {
+        /// Cluster whose producer misbehaves.
+        cluster: String,
+        /// Whether the wrong bytes carry a valid signature.
+        signed: bool,
+    },
+    /// A correlated region failure: one firing takes down the declared
+    /// set of member clusters (and their WAN links) together, modelling
+    /// a shared power/fiber domain rather than independent outages.
+    RegionOutage {
+        /// Region label.
+        region: String,
+        /// Member cluster names that fail and heal as one unit.
+        members: Vec<String>,
     },
 }
 
@@ -108,6 +132,8 @@ impl FaultKind {
             FaultKind::SlowProducer { .. } => "fault.slow_producer",
             FaultKind::StaleFib { .. } => "fault.stale_fib",
             FaultKind::PacketCorrupt { .. } => "fault.packet_corrupt",
+            FaultKind::ByzantineProducer { .. } => "fault.byzantine_producer",
+            FaultKind::RegionOutage { .. } => "fault.region_outage",
         }
     }
 }
@@ -129,6 +155,12 @@ impl fmt::Display for FaultKind {
             }
             FaultKind::PacketCorrupt { link, probability } => {
                 write!(f, "packet-corrupt({link} p={probability})")
+            }
+            FaultKind::ByzantineProducer { cluster, signed } => {
+                write!(f, "byzantine-producer({cluster} signed={signed})")
+            }
+            FaultKind::RegionOutage { region, members } => {
+                write!(f, "region-outage({region}: {})", members.join("+"))
             }
         }
     }
@@ -337,6 +369,30 @@ impl FaultSchedule {
                 ));
             }
         }
+        // The integrity kinds draw *after* the original three families so a
+        // profile with `byzantine = region_outages = 0` consumes exactly the
+        // draws it did before they existed (schedules stay stable per seed).
+        for _ in 0..profile.byzantine {
+            let (at, dur) = (draw_at(rng), draw_dur(rng));
+            let signed = rng.next_bool(0.5);
+            if let Some(cluster) = rng.choose(&profile.clusters) {
+                schedule.push(FaultEvent::transient(
+                    at,
+                    dur,
+                    FaultKind::ByzantineProducer { cluster: cluster.clone(), signed },
+                ));
+            }
+        }
+        for _ in 0..profile.region_outages {
+            let (at, dur) = (draw_at(rng), draw_dur(rng));
+            if let Some((region, members)) = rng.choose(&profile.regions) {
+                schedule.push(FaultEvent::transient(
+                    at,
+                    dur,
+                    FaultKind::RegionOutage { region: region.clone(), members: members.clone() },
+                ));
+            }
+        }
         schedule
     }
 }
@@ -359,6 +415,16 @@ pub struct ChaosProfile {
     pub node_crashes: usize,
     /// Number of link degradations to draw.
     pub link_degrades: usize,
+    /// Number of byzantine-producer episodes to draw (default 0: the
+    /// integrity kinds are opt-in so pre-existing seeds keep their
+    /// schedules). Keep rates low — a byzantine producer poisons every
+    /// answer it gives, so storms of them can starve a small federation.
+    pub byzantine: usize,
+    /// Number of correlated region outages to draw (default 0).
+    pub region_outages: usize,
+    /// Region definitions eligible for [`FaultKind::RegionOutage`]:
+    /// `(region label, member clusters)`.
+    pub regions: Vec<(String, Vec<String>)>,
     /// Mean fault duration (exponential, clamped to `[0.1, 4] × mean`).
     pub mean_duration: SimDuration,
 }
@@ -373,6 +439,9 @@ impl Default for ChaosProfile {
             outages: 1,
             node_crashes: 1,
             link_degrades: 1,
+            byzantine: 0,
+            region_outages: 0,
+            regions: Vec::new(),
             mean_duration: SimDuration::from_secs(10),
         }
     }
@@ -547,6 +616,42 @@ mod tests {
         let s2 = FaultSchedule::generate(&mut root.derive_str("faults"), &profile);
         assert_eq!(s1.fingerprint(), s2.fingerprint());
         assert_eq!(s1.len(), 9);
+    }
+
+    #[test]
+    fn generate_draws_integrity_kinds_after_legacy_families() {
+        let legacy = ChaosProfile {
+            clusters: vec!["a".into(), "b".into()],
+            links: vec!["a".into(), "b".into()],
+            ..Default::default()
+        };
+        let extended = ChaosProfile {
+            byzantine: 2,
+            region_outages: 1,
+            regions: vec![("west-coast".into(), vec!["a".into(), "b".into()])],
+            ..legacy.clone()
+        };
+        let root = DetRng::new(7);
+        let s_legacy = FaultSchedule::generate(&mut root.derive_str("faults"), &legacy);
+        let s_ext = FaultSchedule::generate(&mut root.derive_str("faults"), &extended);
+        // The legacy families draw first, so their events are byte-identical
+        // whether or not the integrity kinds are enabled.
+        for e in s_legacy.events() {
+            assert!(s_ext.events().contains(e), "legacy event perturbed: {e}");
+        }
+        assert_eq!(s_ext.len(), s_legacy.len() + 3);
+        let byz = s_ext
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::ByzantineProducer { .. }))
+            .count();
+        let region = s_ext
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::RegionOutage { .. }))
+            .count();
+        assert_eq!((byz, region), (2, 1));
+        assert!(s_ext.fingerprint().contains("region-outage(west-coast: a+b)"));
     }
 
     #[test]

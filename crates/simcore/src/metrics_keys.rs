@@ -57,6 +57,10 @@ pub const FAULT_SLOW_PRODUCER: &str = "fault.slow_producer";
 pub const FAULT_STALE_FIB: &str = "fault.stale_fib";
 /// See [`FAULT_CLUSTER_OUTAGE`].
 pub const FAULT_PACKET_CORRUPT: &str = "fault.packet_corrupt";
+/// See [`FAULT_CLUSTER_OUTAGE`].
+pub const FAULT_BYZANTINE_PRODUCER: &str = "fault.byzantine_producer";
+/// See [`FAULT_CLUSTER_OUTAGE`].
+pub const FAULT_REGION_OUTAGE: &str = "fault.region_outage";
 
 // ------------------------------------------------------------- ndn plane --
 
@@ -108,8 +112,20 @@ pub const NDN_FACE_DOWN_NACKED: &str = "ndn.face_down_nacked";
 pub const NDN_FACE_DOWN_REROUTED: &str = "ndn.face_down_rerouted";
 /// Packets dropped by link-loss fault injection.
 pub const NDN_LINK_LOSS_DROPS: &str = "ndn.link_loss_drops";
-/// Packets dropped by link-corruption fault injection.
+/// Packets dropped by link-corruption fault injection (legacy drop mode).
 pub const NDN_LINK_CORRUPT_DROPS: &str = "ndn.link_corrupt_drops";
+/// Data packets bit-flipped in flight by link-corruption fault injection
+/// (honest mode: the damage travels downstream until verification).
+pub const NDN_LINK_CORRUPT_FLIPS: &str = "ndn.link_corrupt_flips";
+/// Data packets that failed signature verification at a forwarder.
+pub const NDN_VERIFY_FAILED: &str = "ndn.verify_failed";
+/// Unverifiable Data that would have satisfied a PIT entry and been
+/// cached — the cache-poisoning attempts the verify gate refused.
+pub const NDN_CS_POISON_REJECTED: &str = "ndn.cs_poison_rejected";
+/// Verification-failure strikes recorded against an ingress face.
+pub const NDN_QUARANTINE_STRIKES: &str = "ndn.quarantine_strikes";
+/// Next hops excluded from forwarding because their face is quarantined.
+pub const NDN_QUARANTINE_SKIPS: &str = "ndn.quarantine_skips";
 /// Messages a forwarder did not understand.
 pub const NDN_UNKNOWN_MESSAGE: &str = "ndn.unknown_message";
 /// Link-level batch flushes (egress coalescing).
@@ -137,6 +153,8 @@ pub const GATEWAY_VALIDATION_FAILURES: &str = "gateway.validation_failures";
 pub const GATEWAY_BATCH_BURSTS: &str = "gateway.batch.bursts";
 /// Requests that arrived inside gateway batches.
 pub const GATEWAY_BATCH_REQUESTS: &str = "gateway.batch.requests";
+/// Replies a byzantine gateway deliberately mangled (fault injection).
+pub const GATEWAY_BYZANTINE_REPLIES: &str = "gateway.byzantine_replies";
 /// Runs submitted by workload clients.
 pub const CLIENT_SUBMISSIONS: &str = "client.submissions";
 /// Runs that completed successfully end-to-end.
@@ -149,6 +167,9 @@ pub const CLIENT_REJECTED_RUNS: &str = "client.rejected_runs";
 pub const CLIENT_RESUBMISSIONS: &str = "client.resubmissions";
 /// Result payload fetches completed by clients.
 pub const CLIENT_RESULTS_FETCHED: &str = "client.results_fetched";
+/// Data a client rejected on receive because its signature did not
+/// verify (defense-in-depth behind the forwarder gate).
+pub const CLIENT_VERIFY_FAILED: &str = "client.verify_failed";
 /// HTTP-ingress requests translated into native submissions.
 pub const HTTP_TRANSLATED: &str = "http.translated";
 /// HTTP-ingress requests rejected at translation.
@@ -189,6 +210,8 @@ pub const ALL: &[&str] = &[
     FAULT_SLOW_PRODUCER,
     FAULT_STALE_FIB,
     FAULT_PACKET_CORRUPT,
+    FAULT_BYZANTINE_PRODUCER,
+    FAULT_REGION_OUTAGE,
     NDN_RX_INTERESTS,
     NDN_RX_DATA,
     NDN_RX_NACKS,
@@ -214,6 +237,11 @@ pub const ALL: &[&str] = &[
     NDN_FACE_DOWN_REROUTED,
     NDN_LINK_LOSS_DROPS,
     NDN_LINK_CORRUPT_DROPS,
+    NDN_LINK_CORRUPT_FLIPS,
+    NDN_VERIFY_FAILED,
+    NDN_CS_POISON_REJECTED,
+    NDN_QUARANTINE_STRIKES,
+    NDN_QUARANTINE_SKIPS,
     NDN_UNKNOWN_MESSAGE,
     NDN_BATCH_LINK_FLUSHES,
     NDN_BATCH_LINK_PACKETS,
@@ -226,12 +254,14 @@ pub const ALL: &[&str] = &[
     GATEWAY_VALIDATION_FAILURES,
     GATEWAY_BATCH_BURSTS,
     GATEWAY_BATCH_REQUESTS,
+    GATEWAY_BYZANTINE_REPLIES,
     CLIENT_SUBMISSIONS,
     CLIENT_COMPLETED_RUNS,
     CLIENT_FAILED_RUNS,
     CLIENT_REJECTED_RUNS,
     CLIENT_RESUBMISSIONS,
     CLIENT_RESULTS_FETCHED,
+    CLIENT_VERIFY_FAILED,
     HTTP_TRANSLATED,
     HTTP_REJECTED,
     K8S_UNKNOWN_MESSAGE,

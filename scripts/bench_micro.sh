@@ -11,7 +11,9 @@
 # does), the raw run is *merged* into it: every measured bench id's
 # median_ns/min_ns refreshes "current" (new ids — e.g. the
 # align/{seq,par,extend,extend_scalar} aligner-kernel group, cs_evict/*,
-# cs_churn/* and chaos/recovery_latency — are added), and speedups
+# cs_churn/*, chaos/recovery_latency and chaos/verify_overhead, the
+# byzantine variant pricing per-hop Data verification — are added), and
+# speedups
 # against any recorded
 # "baseline" entry are recomputed. Otherwise the raw shim output is
 # written as-is. Pass a filter (e.g. "cs_" or "align/") to run and

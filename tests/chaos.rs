@@ -14,7 +14,15 @@
 //!    LIDC completes at least as many jobs;
 //! 5. the whole chaos run is deterministic: same seed + schedule at 1 and
 //!    4 worker threads (and 4-way sharded forwarders) → identical
-//!    outcomes, metrics, and fault timelines.
+//!    outcomes, metrics, and fault timelines;
+//! 6. generated random schedules (all fault families, including byzantine
+//!    producers and region outages) replay bit-identically;
+//! 7. duplicate submissions share one Interest and all terminate;
+//! 8. a byzantine producer mangles every reply from one cluster → LIDC
+//!    still completes everything, and no poisoned Data ever enters any
+//!    Content Store (see docs/INTEGRITY.md);
+//! 9. a correlated region outage takes down two clusters at once, then
+//!    heals → LIDC completes everything via the surviving region.
 
 use lidc::baseline::chaos::{
     assert_metrics_registered, comparison_table, run_baseline_chaos, run_lidc_chaos,
@@ -353,17 +361,34 @@ fn generated_schedules_are_deterministic_across_threads_and_shards() {
             outages: 1,
             node_crashes: 2,
             link_degrades: 2,
+            byzantine: 1,
+            region_outages: 1,
+            regions: vec![("coastal".into(), vec!["west".into(), "east".into()])],
             mean_duration: SimDuration::from_secs(30),
         };
         let schedule =
             FaultSchedule::generate(&mut DetRng::new(seed).derive_str("faults"), &profile);
-        assert_eq!(schedule.events().len(), 5, "every draw produced an event");
+        assert_eq!(schedule.events().len(), 7, "every draw produced an event");
         assert!(
             schedule.events().iter().any(|e| matches!(
                 &e.kind,
                 FaultKind::NodeCrash { node, .. } if node.contains("-node-")
             )),
             "generated crashes target real node names"
+        );
+        assert!(
+            schedule
+                .events()
+                .iter()
+                .any(|e| matches!(&e.kind, FaultKind::ByzantineProducer { .. })),
+            "the generator draws byzantine producers"
+        );
+        assert!(
+            schedule.events().iter().any(|e| matches!(
+                &e.kind,
+                FaultKind::RegionOutage { members, .. } if members.len() == 2
+            )),
+            "the generator draws region outages with their declared members"
         );
 
         let mut cfg = ChaosConfig::standard(seed);
@@ -463,4 +488,98 @@ fn duplicate_submissions_share_a_name_and_all_terminate() {
         runs.iter().all(|r| r.job_id.is_some()),
         "both records were acked (pre-fix the overwritten one never was)"
     );
+}
+
+/// Run the LIDC world across the full engine matrix — 1/4 worker threads ×
+/// 1/4-way-sharded forwarders × legacy/horizon scheduler — and demand
+/// bit-identical fingerprints. Returns the reference outcome.
+fn lidc_across_engine_matrix(cfg: &ChaosConfig) -> lidc::baseline::chaos::ChaosOutcome {
+    let mut reference = None;
+    for (threads, shards, horizon_mode) in
+        [(1, 1, false), (1, 4, false), (4, 1, false), (4, 4, false), (1, 1, true), (4, 4, true)]
+    {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        c.shards = shards;
+        c.horizon_mode = horizon_mode;
+        let outcome = run_lidc_chaos(&c);
+        match &reference {
+            None => reference = Some(outcome),
+            Some(r) => assert_eq!(
+                outcome.fingerprint(),
+                r.fingerprint(),
+                "outcome at {threads} threads / {shards} shards (horizon: {horizon_mode}) diverged"
+            ),
+        }
+    }
+    reference.expect("matrix ran")
+}
+
+/// Scenario 8: a byzantine producer. From t=15s on, `east`'s gateway
+/// answers **every** Interest with unsigned garbage under the original
+/// name. The first-hop verification gate must reject each forgery before
+/// it can satisfy a PIT entry or enter a Content Store, the clients'
+/// resubmission path must steer the whole job stream to the honest
+/// clusters, and the run must stay bit-identical across the engine matrix.
+/// (`run_lidc_chaos` additionally scans every forwarder's CS shard for
+/// unverifiable Data after the run.)
+#[test]
+fn byzantine_producer_is_contained_and_lidc_still_completes() {
+    let cfg = ChaosConfig::byzantine(4242);
+    let lidc = lidc_across_engine_matrix(&cfg);
+    let baseline = run_baseline_chaos(&cfg);
+    println!("{}", comparison_table(&[&lidc, &baseline]).to_markdown());
+
+    assert_eq!(lidc.submitted, cfg.jobs);
+    assert_eq!(
+        lidc.completed, lidc.submitted,
+        "LIDC completed everything despite the byzantine cluster: {lidc:?}"
+    );
+    assert!(
+        lidc.verify_failed > 0,
+        "the forgeries were seen and refused: {lidc:?}"
+    );
+    assert!(
+        lidc.cs_poison_rejected > 0,
+        "at least one forgery was caught at the cache-admission gate: {lidc:?}"
+    );
+    assert!(
+        lidc.resubmissions > 0,
+        "recovery went through the client resubmission path"
+    );
+    // The byzantine fault is a no-op in the baseline world (its producer
+    // is the trusted controller), so this comparison is about LIDC paying
+    // the verification cost and *still* matching the undisturbed baseline.
+    assert!(lidc.completed >= baseline.completed);
+}
+
+/// Scenario 9: a correlated region outage. One `RegionOutage` firing cuts
+/// `west` **and** `east` together at t=30s (both WAN links in the LIDC
+/// world, both node pools in the baseline world) and one heal restores
+/// them together at t=90s. LIDC must ride out the outage on the surviving
+/// `south` and complete the entire job stream, bit-identically across the
+/// engine matrix.
+#[test]
+fn region_outage_takes_down_the_region_together_and_heals() {
+    let cfg = ChaosConfig::region_outage(31_415);
+    let lidc = lidc_across_engine_matrix(&cfg);
+    let baseline = run_baseline_chaos(&cfg);
+    println!("{}", comparison_table(&[&lidc, &baseline]).to_markdown());
+
+    assert_eq!(lidc.submitted, cfg.jobs);
+    assert_eq!(
+        lidc.completed, lidc.submitted,
+        "LIDC completed everything despite losing the coastal region: {lidc:?}"
+    );
+    assert_eq!(
+        lidc.faults_injected, 1,
+        "one firing takes down the whole declared member set"
+    );
+    assert!(
+        lidc.fault_timeline.contains("region-outage(coastal: west+east)"),
+        "the timeline names the region and its members: {}",
+        lidc.fault_timeline
+    );
+    assert_eq!(lidc.fault_timeline, baseline.fault_timeline, "same schedule applied");
+    assert!(lidc.completed >= baseline.completed);
 }
